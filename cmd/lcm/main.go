@@ -1,0 +1,249 @@
+// Command lcm is the optimizer driver: it reads a function in the textual
+// IR, applies a partial-redundancy-elimination transformation, and prints
+// the result.
+//
+// Usage:
+//
+//	lcm [flags] [file]
+//
+// With no file, the program is read from standard input.
+//
+// Flags:
+//
+//	-mode lcm|alcm|bcm|mr|gcse|sr  transformation to apply (default lcm)
+//	-predicates                  print the LCM predicate table per expression
+//	-dot                         print the transformed CFG in Graphviz DOT
+//	-stats                       print analysis and edit statistics
+//	-simplify                    clean up the CFG after transforming
+//	-canonical                   identify commutated commutative expressions
+//	-run a,b,c                   run original and transformed on the given
+//	                             arguments and print both outcomes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"lazycm/internal/gcse"
+	"lazycm/internal/graph"
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/mr"
+	"lazycm/internal/nodes"
+	"lazycm/internal/props"
+	"lazycm/internal/sr"
+	"lazycm/internal/textir"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("lcm", flag.ContinueOnError)
+	mode := fs.String("mode", "lcm", "transformation: lcm, alcm, bcm, mr, gcse, or sr")
+	predicates := fs.Bool("predicates", false, "print the LCM predicate table")
+	dot := fs.Bool("dot", false, "print the transformed CFG in Graphviz DOT")
+	stats := fs.Bool("stats", false, "print analysis and edit statistics")
+	simplify := fs.Bool("simplify", false, "clean up the CFG after transforming (merge trivial blocks)")
+	canonical := fs.Bool("canonical", false, "identify commutated expressions (a+b ≡ b+a) in lcm/alcm/bcm modes")
+	runArgs := fs.String("run", "", "comma-separated integer arguments to execute with")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src []byte
+	var err error
+	switch fs.NArg() {
+	case 0:
+		src, err = io.ReadAll(stdin)
+	case 1:
+		src, err = os.ReadFile(fs.Arg(0))
+	default:
+		return fmt.Errorf("at most one input file expected")
+	}
+	if err != nil {
+		return err
+	}
+	fns, err := textir.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	for i, f := range fns {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		if err := optimizeOne(f, opts{
+			mode: *mode, predicates: *predicates, dot: *dot, stats: *stats,
+			simplify: *simplify, canonical: *canonical, runArgs: *runArgs,
+		}, stdout); err != nil {
+			return fmt.Errorf("%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+type opts struct {
+	mode                             string
+	predicates, dot, stats, simplify bool
+	canonical                        bool
+	runArgs                          string
+}
+
+func optimizeOne(f *ir.Function, o opts, stdout io.Writer) error {
+
+	var out *ir.Function
+	var tempFor map[ir.Expr]string
+	var statLines []string
+	switch o.mode {
+	case "lcm", "alcm", "bcm":
+		m := map[string]lcm.Mode{"lcm": lcm.LCM, "alcm": lcm.ALCM, "bcm": lcm.BCM}[o.mode]
+		res, err := lcm.TransformWith(f, m, o.canonical)
+		if err != nil {
+			return err
+		}
+		out, tempFor = res.F, res.TempFor
+		statLines = append(statLines,
+			fmt.Sprintf("mode: %s", res.Mode),
+			fmt.Sprintf("insertions: %d, replacements: %d, critical edges split: %d",
+				res.Inserted, res.Replaced, res.EdgesSplit),
+			fmt.Sprintf("static computations: %d before, %d after",
+				lcm.StaticComputations(f), lcm.StaticComputations(res.F)),
+			fmt.Sprintf("analysis vector ops: %d", res.Analysis.TotalVectorOps()))
+		for _, s := range res.Analysis.Stats {
+			statLines = append(statLines, "  "+s.String())
+		}
+	case "mr":
+		res, err := mr.Transform(f)
+		if err != nil {
+			return err
+		}
+		out, tempFor = res.F, res.TempFor
+		statLines = append(statLines,
+			"mode: Morel–Renvoise",
+			fmt.Sprintf("insertions: %d, deletions: %d, saves: %d", res.Inserted, res.Deleted, res.Saved),
+			fmt.Sprintf("analysis vector ops: %d (bidirectional passes: %d)",
+				res.TotalVectorOps(), res.Bidir.Passes))
+	case "sr":
+		res, err := sr.Transform(f)
+		if err != nil {
+			return err
+		}
+		out = res.F
+		statLines = append(statLines,
+			"mode: strength reduction",
+			fmt.Sprintf("reduced: %d, recurrence updates: %d, preheaders: %d",
+				res.Reduced, res.Updates, res.Preheaders))
+	case "gcse":
+		res, err := gcse.Transform(f)
+		if err != nil {
+			return err
+		}
+		out, tempFor = res.F, res.TempFor
+		statLines = append(statLines,
+			"mode: GCSE",
+			fmt.Sprintf("replacements: %d, saves: %d", res.Replaced, res.Saved))
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+
+	if o.simplify {
+		out.Simplify()
+	}
+	if o.predicates {
+		if err := printPredicates(stdout, f); err != nil {
+			return err
+		}
+	}
+	if o.dot {
+		fmt.Fprint(stdout, graph.Dot(out))
+	} else {
+		fmt.Fprint(stdout, out.String())
+	}
+	if o.stats {
+		for _, l := range statLines {
+			fmt.Fprintln(stdout, "#", l)
+		}
+		if len(tempFor) > 0 {
+			fmt.Fprintln(stdout, "# temporaries:")
+			for _, e := range props.Collect(f).Exprs() {
+				if t, ok := tempFor[e]; ok {
+					fmt.Fprintf(stdout, "#   %s = %s\n", t, e)
+				}
+			}
+		}
+	}
+	if o.runArgs != "" {
+		argv, err := parseArgs(o.runArgs)
+		if err != nil {
+			return err
+		}
+		before, _, err := interp.Run(f, interp.Options{Args: argv})
+		if err != nil {
+			return err
+		}
+		after, _, err := interp.Run(out, interp.Options{Args: argv})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "# original:    %s\n# transformed: %s\n", before, after)
+		if !before.ObservablyEqual(after) {
+			return fmt.Errorf("transformed program behaves differently")
+		}
+	}
+	return nil
+}
+
+func parseArgs(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -run argument %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// printPredicates dumps the full LCM predicate table of f (after critical
+// edge splitting), one section per candidate expression.
+func printPredicates(w io.Writer, f *ir.Function) error {
+	clone := f.Clone()
+	graph.SplitCriticalEdges(clone)
+	u := props.Collect(clone)
+	g := nodes.Build(clone, u)
+	a := lcm.Analyze(g)
+	mark := func(b bool) byte {
+		if b {
+			return 'X'
+		}
+		return '.'
+	}
+	for e := 0; e < u.Size(); e++ {
+		fmt.Fprintf(w, "# expression %s\n", u.Expr(e))
+		fmt.Fprintf(w, "# %-30s %-4s %-6s %-5s %-5s %-8s %-5s %-6s %-8s\n",
+			"node", "COMP", "TRANSP", "DSAFE", "USAFE", "EARLIEST", "DELAY", "LATEST", "ISOLATED")
+		for id := 0; id < g.NumNodes(); id++ {
+			fmt.Fprintf(w, "# %-30s %-4c %-6c %-5c %-5c %-8c %-5c %-6c %-8c\n",
+				g.Nodes[id].String(),
+				mark(g.Comp.Get(id, e)), mark(g.Transp.Get(id, e)),
+				mark(a.DSafe.Get(id, e)), mark(a.USafe.Get(id, e)),
+				mark(a.Earliest.Get(id, e)), mark(a.Delay.Get(id, e)),
+				mark(a.Latest.Get(id, e)), mark(a.Isolated.Get(id, e)))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+const testdata = "../../testdata"
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+// TestGolden locks the CLI output for the whole testdata corpus across all
+// modes. Regenerate with: go test ./cmd/lcm -update
+func TestGolden(t *testing.T) {
+	inputs, err := filepath.Glob(filepath.Join(testdata, "*.ir"))
+	if err != nil || len(inputs) == 0 {
+		t.Fatalf("no testdata inputs: %v", err)
+	}
+	modes := []string{"lcm", "alcm", "bcm", "mr", "gcse", "sr"}
+	for _, in := range inputs {
+		base := strings.TrimSuffix(filepath.Base(in), ".ir")
+		for _, mode := range modes {
+			t.Run(base+"/"+mode, func(t *testing.T) {
+				got := runCLI(t, "-mode", mode, "-stats", in)
+				golden := filepath.Join(testdata, "golden", base+"."+mode+".out")
+				if *update {
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	var out strings.Builder
+	src := "func f(a) {\ne:\n  x = a + 1\n  ret x\n}\n"
+	if err := run(nil, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "x = a + 1") {
+		t.Errorf("output missing program:\n%s", out.String())
+	}
+}
+
+func TestRunFlagEquivalence(t *testing.T) {
+	out := runCLI(t, "-run", "3,4,1", filepath.Join(testdata, "diamond.ir"))
+	if !strings.Contains(out, "# original:") || !strings.Contains(out, "# transformed:") {
+		t.Errorf("missing run report:\n%s", out)
+	}
+	if !strings.Contains(out, "ret 7") {
+		t.Errorf("wrong value:\n%s", out)
+	}
+}
+
+func TestPredicatesFlag(t *testing.T) {
+	out := runCLI(t, "-predicates", filepath.Join(testdata, "diamond.ir"))
+	for _, want := range []string{"EARLIEST", "ISOLATED", "expression a + b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predicates output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotFlag(t *testing.T) {
+	out := runCLI(t, "-dot", filepath.Join(testdata, "diamond.ir"))
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("not DOT output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus", filepath.Join(testdata, "diamond.ir")},
+		{"a.ir", "b.ir"},
+		{"/nonexistent/file.ir"},
+		{"-run", "1,x", filepath.Join(testdata, "diamond.ir")},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestBadProgramRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("not a program"), &out); err == nil {
+		t.Error("garbage input accepted")
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	got, err := parseArgs(" 1 , -2 ,3 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Errorf("parseArgs = %v, %v", got, err)
+	}
+	if _, err := parseArgs("1,,2"); err == nil {
+		t.Error("empty field accepted")
+	}
+	if got, err := parseArgs(""); err != nil || got != nil {
+		t.Errorf("empty string: %v, %v", got, err)
+	}
+}
+
+func TestSimplifyFlag(t *testing.T) {
+	// The running example's back-edge split block is empty after LCM and
+	// must be folded away by -simplify.
+	plain := runCLI(t, filepath.Join(testdata, "running.ir"))
+	simplified := runCLI(t, "-simplify", filepath.Join(testdata, "running.ir"))
+	if !strings.Contains(plain, ".split") {
+		t.Fatalf("expected a split block without -simplify:\n%s", plain)
+	}
+	if strings.Contains(simplified, ".split") {
+		t.Errorf("split block survived -simplify:\n%s", simplified)
+	}
+	// Semantics must be unchanged.
+	out := runCLI(t, "-simplify", "-run", "7,4,0,5", filepath.Join(testdata, "running.ir"))
+	if !strings.Contains(out, "# transformed:") {
+		t.Errorf("run report missing:\n%s", out)
+	}
+}
+
+func TestCanonicalFlag(t *testing.T) {
+	src := "func f(a, b, p) {\nentry:\n  br p t e\nt:\n  x = a + b\n  jmp j\ne:\n  jmp j\nj:\n  y = b + a\n  ret y\n}\n"
+	var plain, canon strings.Builder
+	if err := run([]string{"-stats"}, strings.NewReader(src), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", "-canonical"}, strings.NewReader(src), &canon); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "insertions: 2") {
+		t.Errorf("lexical mode should see no partial redundancy here:\n%s", plain.String())
+	}
+	if !strings.Contains(canon.String(), "replacements: 2") {
+		t.Errorf("canonical mode should merge a+b and b+a:\n%s", canon.String())
+	}
+}
+
+func TestMultiFunctionInput(t *testing.T) {
+	src := `
+func one(a, b) {
+e:
+  x = a + b
+  y = a + b
+  ret y
+}
+func two(p) {
+e:
+  z = p * 2
+  ret z
+}
+`
+	var out strings.Builder
+	if err := run([]string{"-stats"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "func one(") || !strings.Contains(s, "func two(") {
+		t.Errorf("multi-function output missing a function:\n%s", s)
+	}
+	if !strings.Contains(s, "replacements: 2") {
+		t.Errorf("first function not optimized:\n%s", s)
+	}
+}

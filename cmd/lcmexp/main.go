@@ -1,0 +1,81 @@
+// Command lcmexp regenerates every experiment of the reproduction: the
+// paper's worked figures (F1–F5) and the theorem measurements (T1–T6).
+//
+// Usage:
+//
+//	lcmexp [flags] [ids...]
+//
+// With no ids, all experiments run in order. Ids are case-insensitive
+// (f1 … f5, t1 … t6).
+//
+// Flags:
+//
+//	-programs N   random programs per theorem experiment (default 100)
+//	-runs N       inputs per program (default 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"lazycm/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcmexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lcmexp", flag.ContinueOnError)
+	fs.SetOutput(w)
+	programs := fs.Int("programs", 100, "random programs per theorem experiment")
+	runs := fs.Int("runs", 4, "inputs per program")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := []struct {
+		id  string
+		gen func() *exp.Report
+	}{
+		{"f1", exp.Figure1},
+		{"f2", exp.Figure2},
+		{"f3", exp.Figure3},
+		{"f4", exp.Figure4},
+		{"f5", exp.Figure5},
+		{"t1", func() *exp.Report { return exp.T1Correctness(*programs, *runs) }},
+		{"t2", func() *exp.Report { return exp.T2CompOptimality(*programs, *runs) }},
+		{"t3", func() *exp.Report { return exp.T3Lifetimes(*programs) }},
+		{"t3b", func() *exp.Report { return exp.T3bRegisterPressure(*programs, []int{4, 6, 8}) }},
+		{"t4", func() *exp.Report { return exp.T4SolverCost([]int{1, 2, 3, 4}, 10) }},
+		{"t4b", func() *exp.Report { return exp.T4bSolverCostBlockLevel([]int{1, 2, 3, 4}, 10) }},
+		{"t5", func() *exp.Report { return exp.T5LoopInvariant([]int64{1, 10, 100, 1000}) }},
+		{"t5b", func() *exp.Report { return exp.T5bSecondOrder() }},
+		{"t6", func() *exp.Report { return exp.T6GCSE(*programs, *runs) }},
+		{"t7", func() *exp.Report { return exp.T7Canonicalization(*programs, *runs) }},
+		{"t8", func() *exp.Report { return exp.T8StrengthReduction([]int64{1, 10, 100, 1000}) }},
+	}
+
+	want := map[string]bool{}
+	for _, id := range fs.Args() {
+		want[strings.ToLower(id)] = true
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fmt.Fprintln(w, e.gen().String())
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %v (known: f1–f5, t1–t8, t3b, t4b, t5b)", fs.Args())
+	}
+	return nil
+}

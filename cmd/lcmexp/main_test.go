@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"f1", "f2", "f3", "f4", "f5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"== F1:", "== F2:", "== F3:", "== F4:", "== F5:"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("missing %q", id)
+		}
+	}
+}
+
+func TestSelectedTheorems(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-programs", "5", "-runs", "2", "t1", "t5", "t5b"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"== T1:", "== T5:", "== T5b:"} {
+		if !strings.Contains(s, id) {
+			t.Errorf("missing %q:\n%s", id, s)
+		}
+	}
+	if strings.Contains(s, "== T2:") {
+		t.Error("unselected experiment ran")
+	}
+}
+
+func TestCaseInsensitiveIDs(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"F3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== F3:") {
+		t.Error("uppercase id not matched")
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"f9"}, &out); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-programs", "x"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

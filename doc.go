@@ -1,0 +1,11 @@
+// Package lazycm is a from-scratch Go reproduction of Lazy Code Motion
+// (Knoop, Rüthing & Steffen, PLDI 1992): computationally and lifetime
+// optimal partial-redundancy elimination by four unidirectional bit-vector
+// data-flow analyses.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the executables under cmd/lcm and cmd/lcmexp, runnable
+// examples under examples/, and the per-figure/per-theorem benchmark
+// harness in bench_test.go at this root. EXPERIMENTS.md records the
+// paper-expected versus measured outcome of every experiment.
+package lazycm

@@ -1,0 +1,60 @@
+// Pipeline: PRE in context. A single LCM round hoists a+b out of the loop
+// but leaves x*2 behind (it depends on the local x). Copy propagation
+// rewrites it over the PRE temporary, a second round hoists it, and
+// dead-code elimination plus CFG simplification tidy the result — the
+// reapplication story for second-order redundancies.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/opt"
+	"lazycm/internal/textir"
+)
+
+const src = `
+func hot(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  y = x * 2
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret y
+}
+`
+
+func main() {
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- original ---")
+	fmt.Print(f)
+
+	for rounds := 1; rounds <= 3; rounds++ {
+		res, err := opt.Pipeline(f, rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		args := []int64{3, 4, 50}
+		_, counts, err := interp.Run(res.F, interp.Options{Args: args})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n--- after %d round(s): %d evaluations for 50 iterations ---\n", rounds, counts.Total())
+		fmt.Print(res.F)
+		for i, rs := range res.Rounds {
+			fmt.Printf("round %d: inserted %d, replaced %d, copies propagated %d, dead removed %d\n",
+				i+1, rs.Inserted, rs.Replaced, rs.CopiesPropagated, rs.DeadRemoved)
+		}
+	}
+}

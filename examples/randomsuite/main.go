@@ -1,0 +1,109 @@
+// Random fleet: generate a batch of random structured programs, run every
+// optimizer in the module over each, verify the paper's guarantees
+// (equivalence, per-path never-worse, computational-optimality agreement,
+// lifetime ordering), and print aggregate metrics.
+//
+// Run with: go run ./examples/randomsuite [-n programs] [-seed base]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/lcm"
+	"lazycm/internal/live"
+	"lazycm/internal/mr"
+	"lazycm/internal/props"
+	"lazycm/internal/randprog"
+	"lazycm/internal/verify"
+)
+
+func main() {
+	n := flag.Int("n", 50, "number of random programs")
+	base := flag.Int64("seed", 0, "base seed")
+	flag.Parse()
+
+	var evalOrig, evalLCM, evalMR int
+	var lifeBCM, lifeLCM int
+	var lcmBeatsMR int
+	for i := 0; i < *n; i++ {
+		seed := *base + int64(i)
+		f := randprog.ForSeed(seed)
+
+		lres, err := lcm.Transform(f, lcm.LCM)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		bres, err := lcm.Transform(f, lcm.BCM)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		mres, err := mr.Transform(f)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+
+		for _, tr := range []verify.Transformation{
+			{Name: "LCM", F: lres.F, TempFor: lres.TempFor},
+			{Name: "BCM", F: bres.F, TempFor: bres.TempFor},
+			{Name: "MR", F: mres.F, TempFor: mres.TempFor},
+		} {
+			if err := verify.Check(f, tr, seed*131, 4); err != nil {
+				log.Fatalf("seed %d: %v\n%s", seed, err, f)
+			}
+		}
+
+		exprs := props.Collect(f).Exprs()
+		strictly := false
+		for run := 0; run < 4; run++ {
+			args := randprog.Args(f, seed*977+int64(run))
+			count := func(fn *lcm.Result) int {
+				_, c, err := interp.Run(fn.F, interp.Options{Args: args})
+				if err != nil {
+					log.Fatal(err)
+				}
+				return interp.CountsRestrictedTo(c, exprs).Total()
+			}
+			_, co, err := interp.Run(f, interp.Options{Args: args})
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, cm, err := interp.Run(mres.F, interp.Options{Args: args})
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := interp.CountsRestrictedTo(co, exprs).Total()
+			m := interp.CountsRestrictedTo(cm, exprs).Total()
+			l := count(lres)
+			evalOrig += o
+			evalLCM += l
+			evalMR += m
+			if l < m {
+				strictly = true
+			}
+		}
+		if strictly {
+			lcmBeatsMR++
+		}
+
+		sum := func(res *lcm.Result) int {
+			t := 0
+			for _, v := range live.TempLifetimes(res.F, res.TempFor) {
+				t += v
+			}
+			return t
+		}
+		lifeBCM += sum(bres)
+		lifeLCM += sum(lres)
+	}
+
+	fmt.Printf("programs: %d (all verified: equivalent, never worse, temps defined)\n", *n)
+	fmt.Printf("dynamic candidate evaluations: original %d, MR %d, LCM %d\n", evalOrig, evalMR, evalLCM)
+	fmt.Printf("LCM strictly beats MR on %d/%d programs\n", lcmBeatsMR, *n)
+	fmt.Printf("temporary lifetimes: BCM %d live points, LCM %d live points\n", lifeBCM, lifeLCM)
+	if lifeBCM > 0 {
+		fmt.Printf("LCM/BCM lifetime ratio: %.3f\n", float64(lifeLCM)/float64(lifeBCM))
+	}
+}

@@ -1,0 +1,55 @@
+package lazycm
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun smoke-tests every runnable example: each must build,
+// exit successfully, and print its headline output. This keeps the
+// examples honest as the library evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples need go run; skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"./examples/quickstart", nil, []string{
+			"after lazy code motion",
+			"verified: observably equivalent",
+			"cond=1: a+b evaluated 2 time(s) before, 1 after",
+		}},
+		{"./examples/loopinvariant", nil, []string{
+			"invariant is hoisted",
+			"LCM declines",
+		}},
+		{"./examples/tradeoff", nil, []string{
+			"BCM", "ALCM", "LCM", "temp lifetime",
+		}},
+		{"./examples/randomsuite", []string{"-n", "10"}, []string{
+			"all verified",
+			"LCM/BCM lifetime ratio",
+		}},
+		{"./examples/pipeline", nil, []string{
+			"after 2 round(s): 102 evaluations",
+			"copies propagated",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", append([]string{"run", c.dir}, c.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, w := range c.want {
+				if !strings.Contains(string(out), w) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, w, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module lazycm
+
+go 1.22

@@ -1,0 +1,83 @@
+package bitvec
+
+import "fmt"
+
+// Matrix is a rows×cols bit matrix stored as one vector per row. It is the
+// shape every data-flow state in this module takes: one row per node, one
+// column per expression.
+type Matrix struct {
+	rows, cols int
+	data       []*Vector
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bitvec: negative matrix dimensions %d×%d", rows, cols))
+	}
+	m := &Matrix{rows: rows, cols: cols, data: make([]*Vector, rows)}
+	for i := range m.data {
+		m.data[i] = New(cols)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Row returns row i. The returned vector is shared with the matrix; callers
+// that need a private copy must Copy it.
+func (m *Matrix) Row(i int) *Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("bitvec: row %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i]
+}
+
+// Get reports whether bit (row, col) is set.
+func (m *Matrix) Get(row, col int) bool { return m.Row(row).Get(col) }
+
+// Set sets bit (row, col).
+func (m *Matrix) Set(row, col int) { m.Row(row).Set(col) }
+
+// Clear clears bit (row, col).
+func (m *Matrix) Clear(row, col int) { m.Row(row).Clear(col) }
+
+// SetBool sets bit (row, col) to b.
+func (m *Matrix) SetBool(row, col int, b bool) { m.Row(row).SetBool(col, b) }
+
+// Copy returns an independent copy of m.
+func (m *Matrix) Copy() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]*Vector, m.rows)}
+	for i, v := range m.data {
+		c.data[i] = v.Copy()
+	}
+	return c
+}
+
+// Equal reports whether m and o have identical dimensions and contents.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		if !m.data[i].Equal(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Column extracts column c as a fresh vector of length Rows.
+func (m *Matrix) Column(c int) *Vector {
+	v := New(m.rows)
+	for i := 0; i < m.rows; i++ {
+		if m.data[i].Get(c) {
+			v.Set(i)
+		}
+	}
+	return v
+}

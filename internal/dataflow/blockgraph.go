@@ -1,0 +1,25 @@
+package dataflow
+
+import "lazycm/internal/ir"
+
+// BlockGraph adapts an ir.Function's basic-block CFG to the Graph
+// interface, indexing nodes by block ID. The function's Recompute must be
+// current.
+type BlockGraph struct {
+	F *ir.Function
+}
+
+// NumNodes implements Graph.
+func (g BlockGraph) NumNodes() int { return g.F.NumBlocks() }
+
+// NumSuccs implements Graph.
+func (g BlockGraph) NumSuccs(n int) int { return g.F.Blocks[n].NumSuccs() }
+
+// Succ implements Graph.
+func (g BlockGraph) Succ(n, i int) int { return g.F.Blocks[n].Succ(i).ID }
+
+// NumPreds implements Graph.
+func (g BlockGraph) NumPreds(n int) int { return len(g.F.Blocks[n].Preds()) }
+
+// Pred implements Graph.
+func (g BlockGraph) Pred(n, i int) int { return g.F.Blocks[n].Preds()[i].ID }

@@ -1,0 +1,288 @@
+// Package dataflow implements the iterative bit-vector data-flow framework
+// of the reproduction: unidirectional gen/kill problems over an abstract
+// directed graph, solved round-robin in (reverse) postorder until a fixed
+// point. Every analysis of the Lazy Code Motion paper — up-safety,
+// down-safety, delayability, isolation — and the auxiliary liveness
+// analysis are instances of this framework; the Morel–Renvoise baseline is
+// deliberately not, because it is bidirectional, which is exactly the cost
+// the paper eliminates (experiment T4 measures the difference using the
+// Stats this package reports).
+package dataflow
+
+import (
+	"fmt"
+
+	"lazycm/internal/bitvec"
+)
+
+// Graph is the directed graph a problem is solved over. Nodes are dense
+// indices 0..NumNodes()-1.
+type Graph interface {
+	NumNodes() int
+	NumSuccs(n int) int
+	Succ(n, i int) int
+	NumPreds(n int) int
+	Pred(n, i int) int
+}
+
+// Direction selects forward (along edges) or backward (against edges)
+// propagation.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Meet selects the confluence operator.
+type Meet int
+
+const (
+	// Must intersects the inputs: a property must hold on all paths.
+	Must Meet = iota
+	// May unions the inputs: a property holds on some path.
+	May
+)
+
+// String names the meet operator.
+func (m Meet) String() string {
+	if m == Must {
+		return "must"
+	}
+	return "may"
+}
+
+// Boundary selects the meet input at boundary nodes (no predecessors for
+// forward problems, no successors for backward ones).
+type Boundary int
+
+const (
+	// BoundaryEmpty makes the property false at the boundary.
+	BoundaryEmpty Boundary = iota
+	// BoundaryFull makes the property true at the boundary.
+	BoundaryFull
+)
+
+// Problem is a gen/kill bit-vector data-flow problem. With
+// flow-side = IN for forward problems applied as
+//
+//	IN(n)  = meet over preds m of OUT(m)        (boundary at no preds)
+//	OUT(n) = GEN(n) ∨ (IN(n) ∧ ¬KILL(n))
+//
+// and symmetrically for backward problems
+//
+//	OUT(n) = meet over succs m of IN(m)         (boundary at no succs)
+//	IN(n)  = GEN(n) ∨ (OUT(n) ∧ ¬KILL(n))
+type Problem struct {
+	// Name labels the problem in stats output.
+	Name string
+	Dir  Direction
+	Meet Meet
+	// Width is the number of bits per node (e.g. the expression universe
+	// size).
+	Width int
+	// Gen and Kill are per-node vectors; both must be NumNodes×Width.
+	Gen, Kill *bitvec.Matrix
+	// Boundary is the meet input at boundary nodes.
+	Boundary Boundary
+}
+
+// Result holds the fixpoint solution and solver statistics.
+type Result struct {
+	// In and Out are the per-node solution matrices, indexed by node.
+	In, Out *bitvec.Matrix
+	Stats   Stats
+}
+
+// Stats records solver effort, the efficiency currency of experiment T4.
+type Stats struct {
+	// Name echoes the problem name.
+	Name string
+	// Passes is the number of full round-robin sweeps, including the last
+	// (unchanged) confirming sweep.
+	Passes int
+	// NodeVisits is the number of node evaluations.
+	NodeVisits int
+	// VectorOps counts whole-bit-vector operations (and/or/andnot/copy),
+	// the unit the PRE-efficiency literature reports.
+	VectorOps int
+}
+
+// Add accumulates other into s (keeping s's name).
+func (s *Stats) Add(other Stats) {
+	s.Passes += other.Passes
+	s.NodeVisits += other.NodeVisits
+	s.VectorOps += other.VectorOps
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d passes, %d node visits, %d vector ops", s.Name, s.Passes, s.NodeVisits, s.VectorOps)
+}
+
+// Solve runs the problem to its (unique) fixed point over g. The iteration
+// order is reverse postorder for forward problems and postorder for
+// backward ones, computed over reachable nodes; nodes unreachable in the
+// iteration direction keep their initial value.
+func Solve(g Graph, p *Problem) *Result {
+	n := g.NumNodes()
+	if p.Gen.Rows() != n || p.Kill.Rows() != n || p.Gen.Cols() != p.Width || p.Kill.Cols() != p.Width {
+		panic(fmt.Sprintf("dataflow: %s: gen/kill dimensions do not match graph (%d nodes) and width %d", p.Name, n, p.Width))
+	}
+	res := &Result{
+		In:  bitvec.NewMatrix(n, p.Width),
+		Out: bitvec.NewMatrix(n, p.Width),
+	}
+	res.Stats.Name = p.Name
+
+	// Initialize the flow-side values to top so a Must meet can descend.
+	// For May problems bottom (empty) is the correct start.
+	if p.Meet == Must {
+		for i := 0; i < n; i++ {
+			if p.Dir == Forward {
+				res.Out.Row(i).SetAll()
+			} else {
+				res.In.Row(i).SetAll()
+			}
+		}
+	}
+
+	order := iterationOrder(g, p.Dir)
+	meetIn := bitvec.New(p.Width)
+
+	for {
+		res.Stats.Passes++
+		changed := false
+		for _, node := range order {
+			res.Stats.NodeVisits++
+			var flowIn, flowOut *bitvec.Vector
+			var degree int
+			if p.Dir == Forward {
+				flowIn, flowOut = res.In.Row(node), res.Out.Row(node)
+				degree = g.NumPreds(node)
+			} else {
+				flowIn, flowOut = res.Out.Row(node), res.In.Row(node)
+				degree = g.NumSuccs(node)
+			}
+
+			// Meet.
+			if degree == 0 {
+				if p.Boundary == BoundaryFull {
+					meetIn.SetAll()
+				} else {
+					meetIn.ClearAll()
+				}
+			} else {
+				first := true
+				for i := 0; i < degree; i++ {
+					var src *bitvec.Vector
+					if p.Dir == Forward {
+						src = res.Out.Row(g.Pred(node, i))
+					} else {
+						src = res.In.Row(g.Succ(node, i))
+					}
+					if first {
+						meetIn.CopyFrom(src)
+						first = false
+					} else if p.Meet == Must {
+						meetIn.And(src)
+					} else {
+						meetIn.Or(src)
+					}
+					res.Stats.VectorOps++
+				}
+			}
+			if flowIn.CopyFrom(meetIn) {
+				changed = true
+			}
+			res.Stats.VectorOps++
+
+			// Transfer: flowOut = gen ∨ (flowIn ∧ ¬kill).
+			tmp := meetIn // reuse: meetIn currently equals flowIn
+			tmp.AndNot(p.Kill.Row(node))
+			tmp.Or(p.Gen.Row(node))
+			res.Stats.VectorOps += 2
+			if flowOut.CopyFrom(tmp) {
+				changed = true
+			}
+			res.Stats.VectorOps++
+		}
+		if !changed {
+			return res
+		}
+	}
+}
+
+// iterationOrder returns reverse postorder from boundary nodes for forward
+// problems, and reverse postorder of the reversed graph for backward ones.
+// Nodes unreachable from any boundary node are appended afterwards so they
+// still stabilize.
+func iterationOrder(g Graph, dir Direction) []int {
+	n := g.NumNodes()
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+
+	degree := func(i int) int {
+		if dir == Forward {
+			return g.NumPreds(i)
+		}
+		return g.NumSuccs(i)
+	}
+	next := func(i, k int) int {
+		if dir == Forward {
+			return g.Succ(i, k)
+		}
+		return g.Pred(i, k)
+	}
+	fanout := func(i int) int {
+		if dir == Forward {
+			return g.NumSuccs(i)
+		}
+		return g.NumPreds(i)
+	}
+
+	type frame struct{ node, i int }
+	var stack []frame
+	dfs := func(root int) {
+		if seen[root] {
+			return
+		}
+		seen[root] = true
+		stack = append(stack, frame{node: root})
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.i < fanout(fr.node) {
+				s := next(fr.node, fr.i)
+				fr.i++
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, frame{node: s})
+				}
+				continue
+			}
+			post = append(post, fr.node)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if degree(i) == 0 {
+			dfs(i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		dfs(i)
+	}
+	// Reverse postorder.
+	order := make([]int, len(post))
+	for i, v := range post {
+		order[len(post)-1-i] = v
+	}
+	return order
+}

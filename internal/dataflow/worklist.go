@@ -1,0 +1,120 @@
+package dataflow
+
+import "lazycm/internal/bitvec"
+
+// SolveWorklist solves the same problem as Solve but with a classic
+// worklist algorithm: a node is re-evaluated only when one of its
+// meet-inputs changed. Both solvers reach the identical (unique) fixpoint
+// — the lattice is finite and the transfer functions monotone — so the
+// choice is purely an efficiency trade-off, which the benchmarks compare:
+// round-robin sweeps in (reverse) postorder touch every node each pass but
+// have perfect locality; the worklist touches only awakened nodes but pays
+// queue overhead.
+func SolveWorklist(g Graph, p *Problem) *Result {
+	n := g.NumNodes()
+	if p.Gen.Rows() != n || p.Kill.Rows() != n || p.Gen.Cols() != p.Width || p.Kill.Cols() != p.Width {
+		panic("dataflow: " + p.Name + ": gen/kill dimensions do not match graph")
+	}
+	res := &Result{
+		In:  bitvec.NewMatrix(n, p.Width),
+		Out: bitvec.NewMatrix(n, p.Width),
+	}
+	res.Stats.Name = p.Name
+	if p.Meet == Must {
+		for i := 0; i < n; i++ {
+			if p.Dir == Forward {
+				res.Out.Row(i).SetAll()
+			} else {
+				res.In.Row(i).SetAll()
+			}
+		}
+	}
+
+	// Seed the queue with every node in a good order and track membership
+	// so nodes are not queued twice.
+	order := iterationOrder(g, p.Dir)
+	queue := make([]int, len(order))
+	copy(queue, order)
+	queued := make([]bool, n)
+	for _, node := range order {
+		queued[node] = true
+	}
+	res.Stats.Passes = 1 // one conceptual pass; NodeVisits carries the cost
+
+	meetIn := bitvec.New(p.Width)
+	for len(queue) > 0 {
+		node := queue[0]
+		queue = queue[1:]
+		queued[node] = false
+		res.Stats.NodeVisits++
+
+		var flowIn, flowOut *bitvec.Vector
+		var degree int
+		if p.Dir == Forward {
+			flowIn, flowOut = res.In.Row(node), res.Out.Row(node)
+			degree = g.NumPreds(node)
+		} else {
+			flowIn, flowOut = res.Out.Row(node), res.In.Row(node)
+			degree = g.NumSuccs(node)
+		}
+
+		if degree == 0 {
+			if p.Boundary == BoundaryFull {
+				meetIn.SetAll()
+			} else {
+				meetIn.ClearAll()
+			}
+		} else {
+			first := true
+			for i := 0; i < degree; i++ {
+				var src *bitvec.Vector
+				if p.Dir == Forward {
+					src = res.Out.Row(g.Pred(node, i))
+				} else {
+					src = res.In.Row(g.Succ(node, i))
+				}
+				if first {
+					meetIn.CopyFrom(src)
+					first = false
+				} else if p.Meet == Must {
+					meetIn.And(src)
+				} else {
+					meetIn.Or(src)
+				}
+				res.Stats.VectorOps++
+			}
+		}
+		flowIn.CopyFrom(meetIn)
+		res.Stats.VectorOps++
+
+		meetIn.AndNot(p.Kill.Row(node))
+		meetIn.Or(p.Gen.Row(node))
+		res.Stats.VectorOps += 2
+		if !flowOut.CopyFrom(meetIn) {
+			res.Stats.VectorOps++
+			continue
+		}
+		res.Stats.VectorOps++
+
+		// Awaken dependents.
+		var fanout int
+		if p.Dir == Forward {
+			fanout = g.NumSuccs(node)
+		} else {
+			fanout = g.NumPreds(node)
+		}
+		for i := 0; i < fanout; i++ {
+			var dep int
+			if p.Dir == Forward {
+				dep = g.Succ(node, i)
+			} else {
+				dep = g.Pred(node, i)
+			}
+			if !queued[dep] {
+				queued[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	return res
+}

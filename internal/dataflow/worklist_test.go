@@ -1,0 +1,118 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lazycm/internal/bitvec"
+)
+
+// TestWorklistAgreesWithRoundRobin: the two solvers must compute the
+// identical fixpoint on random graphs and problems, for every
+// direction/meet/boundary combination.
+func TestWorklistAgreesWithRoundRobin(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(14)
+		var edges [][2]int
+		for i := 0; i < n-1; i++ {
+			edges = append(edges, [2]int{i, i + 1})
+		}
+		for i := 0; i < r.Intn(2*n); i++ {
+			edges = append(edges, [2]int{r.Intn(n), r.Intn(n)})
+		}
+		g := newSliceGraph(n, edges)
+		w := 1 + r.Intn(8)
+		gen := bitvec.NewMatrix(n, w)
+		kill := bitvec.NewMatrix(n, w)
+		for i := 0; i < n; i++ {
+			for j := 0; j < w; j++ {
+				if r.Intn(3) == 0 {
+					gen.Set(i, j)
+				}
+				if r.Intn(3) == 0 {
+					kill.Set(i, j)
+				}
+			}
+		}
+		for _, dir := range []Direction{Forward, Backward} {
+			for _, meet := range []Meet{Must, May} {
+				for _, bound := range []Boundary{BoundaryEmpty, BoundaryFull} {
+					p := &Problem{Name: "w", Dir: dir, Meet: meet, Width: w, Gen: gen, Kill: kill, Boundary: bound}
+					a := Solve(g, p)
+					b := SolveWorklist(g, p)
+					if !a.In.Equal(b.In) || !a.Out.Equal(b.Out) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorklistStats(t *testing.T) {
+	res := SolveWorklist(diamondG(), availProblem(Must))
+	if res.Stats.NodeVisits < 4 || res.Stats.VectorOps == 0 {
+		t.Errorf("stats implausible: %+v", res.Stats)
+	}
+}
+
+func TestWorklistDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	SolveWorklist(diamondG(), &Problem{Name: "bad", Width: 1, Gen: bitvec.NewMatrix(3, 1), Kill: bitvec.NewMatrix(4, 1)})
+}
+
+func TestWorklistDeterministic(t *testing.T) {
+	p := availProblem(Must)
+	a := SolveWorklist(diamondG(), p)
+	for i := 0; i < 5; i++ {
+		b := SolveWorklist(diamondG(), p)
+		if !a.In.Equal(b.In) || a.Stats != b.Stats {
+			t.Fatal("worklist solver nondeterministic")
+		}
+	}
+}
+
+func BenchmarkSolverStrategies(b *testing.B) {
+	// A ladder graph with a kill in the middle: enough structure to make
+	// the comparison meaningful.
+	const n = 200
+	var edges [][2]int
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+		if i%7 == 0 && i+5 < n {
+			edges = append(edges, [2]int{i, i + 5})
+		}
+		if i%13 == 0 && i > 6 {
+			edges = append(edges, [2]int{i, i - 6}) // back edges
+		}
+	}
+	g := newSliceGraph(n, edges)
+	const w = 128
+	gen := bitvec.NewMatrix(n, w)
+	kill := bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		gen.Set(i, (i*17)%w)
+		kill.Set(i, (i*31)%w)
+	}
+	p := &Problem{Name: "bench", Dir: Forward, Meet: Must, Width: w, Gen: gen, Kill: kill}
+	b.Run("roundrobin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Solve(g, p)
+		}
+	})
+	b.Run("worklist", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SolveWorklist(g, p)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Headers: []string{"a", "bb"}}
+	r.AddRow(1, "hello")
+	r.AddRow("world", 2)
+	r.Notef("n = %d", 3)
+	s := r.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "hello", "world", "note: n = 3", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	r := Figure1()
+	s := r.String()
+	if len(r.Rows) < 10 {
+		t.Fatalf("F1 has only %d rows", len(r.Rows))
+	}
+	// The dynamic-count notes must show a strict improvement.
+	if !strings.Contains(s, "before") {
+		t.Errorf("F1 missing dynamic counts:\n%s", s)
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "split 1 critical edge") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("running example should split exactly one critical edge (the back edge):\n%s", s)
+	}
+}
+
+func TestFigure2SafetyContainsInsertions(t *testing.T) {
+	r := Figure2()
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "2/2 LCM insertions fall on safe nodes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("F2 insertions not all safe:\n%s", r)
+	}
+}
+
+func TestFigure3BCMShape(t *testing.T) {
+	r := Figure3()
+	got := map[string]string{}
+	for _, row := range r.Rows {
+		got[row[0]] = row[1]
+	}
+	if got["insertions"] != "1" {
+		t.Errorf("BCM insertions = %s, want 1 (hoisted to entry)", got["insertions"])
+	}
+	if got["replacements"] != "2" {
+		t.Errorf("BCM replacements = %s, want 2", got["replacements"])
+	}
+	if got["static computations after"] != "1" {
+		t.Errorf("static after = %s, want 1", got["static computations after"])
+	}
+}
+
+func TestFigure4LifetimeOrdering(t *testing.T) {
+	r := Figure4()
+	// Parse the lifetime notes: BCM must exceed LCM.
+	var bcmLife, lcmLife int
+	for _, n := range r.Notes {
+		var ins, life int
+		var mode string
+		if _, err := fmtSscanf(n, &mode, &ins, &life); err == nil {
+			switch mode {
+			case "BCM":
+				bcmLife = life
+			case "LCM":
+				lcmLife = life
+			}
+		}
+	}
+	if bcmLife == 0 || lcmLife == 0 {
+		t.Fatalf("could not parse lifetimes from notes: %v", r.Notes)
+	}
+	if lcmLife >= bcmLife {
+		t.Errorf("LCM lifetime %d not smaller than BCM %d:\n%s", lcmLife, bcmLife, r)
+	}
+}
+
+// fmtSscanf parses the Figure4 note format.
+func fmtSscanf(s string, mode *string, ins, life *int) (int, error) {
+	var tail string
+	n, err := sscanfNote(s, mode, ins, life, &tail)
+	return n, err
+}
+
+func sscanfNote(s string, mode *string, ins, life *int, tail *string) (int, error) {
+	// Format: "<MODE>: <N> insertions, temp lifetime <L> live points"
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, errParse
+	}
+	*mode = strings.TrimSpace(parts[0])
+	var a, b int
+	if _, err := sscanTwoInts(parts[1], &a, &b); err != nil {
+		return 0, err
+	}
+	*ins, *life = a, b
+	return 3, nil
+}
+
+var errParse = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "parse error" }
+
+func sscanTwoInts(s string, a, b *int) (int, error) {
+	nums := []int{}
+	cur, in := 0, false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			cur = cur*10 + int(r-'0')
+			in = true
+		} else if in {
+			nums = append(nums, cur)
+			cur, in = 0, false
+		}
+	}
+	if in {
+		nums = append(nums, cur)
+	}
+	if len(nums) < 2 {
+		return 0, errParse
+	}
+	*a, *b = nums[0], nums[1]
+	return 2, nil
+}
+
+func TestFigure5Isolation(t *testing.T) {
+	r := Figure5()
+	s := strings.Join(r.Notes, "\n")
+	if !strings.Contains(s, "ALCM: 1 insertions, 1 replacements") {
+		t.Errorf("ALCM shape wrong:\n%s", r)
+	}
+	if !strings.Contains(s, "LCM: 0 insertions, 0 replacements") {
+		t.Errorf("LCM shape wrong:\n%s", r)
+	}
+}
+
+func TestT1NoFailures(t *testing.T) {
+	r := T1Correctness(15, 3)
+	for _, row := range r.Rows {
+		if row[2] != "0" {
+			t.Errorf("%s had %s failures:\n%s", row[0], row[2], r)
+		}
+	}
+}
+
+func TestT2Shape(t *testing.T) {
+	r := T2CompOptimality(15, 3)
+	vals := map[string]string{}
+	rowVal := map[string]int{}
+	for _, row := range r.Rows {
+		vals[row[0]] = row[1]
+		n := 0
+		for _, ch := range row[1] {
+			if ch >= '0' && ch <= '9' {
+				n = n*10 + int(ch-'0')
+			}
+		}
+		rowVal[row[0]] = n
+	}
+	if !(rowVal["LCM"] <= rowVal["MR"] && rowVal["MR"] <= rowVal["original"]) {
+		t.Errorf("ordering LCM ≤ MR ≤ original violated:\n%s", r)
+	}
+	if rowVal["LCM"] != rowVal["BCM"] || rowVal["LCM"] != rowVal["ALCM"] {
+		t.Errorf("computational optimality violated (LCM=%d BCM=%d ALCM=%d):\n%s",
+			rowVal["LCM"], rowVal["BCM"], rowVal["ALCM"], r)
+	}
+	if rowVal["LCM"] > rowVal["GCSE"] {
+		t.Errorf("LCM worse than GCSE:\n%s", r)
+	}
+	if rowVal["original"] == 0 {
+		t.Error("no evaluations measured")
+	}
+	// Full optimality agreement note must report all programs agree.
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "15/15 programs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("optimality agreement not total:\n%s", r)
+	}
+}
+
+func TestT3Shape(t *testing.T) {
+	r := T3Lifetimes(15)
+	for _, n := range r.Notes {
+		if strings.Contains(n, "violated") && !strings.Contains(n, "0/15") {
+			t.Errorf("lifetime ordering violated:\n%s", r)
+		}
+	}
+}
+
+func TestT4Shape(t *testing.T) {
+	r := T4SolverCost([]int{1, 2}, 3)
+	if len(r.Rows) != 2 {
+		t.Fatalf("T4 rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[2] == "0" {
+			t.Errorf("no LCM ops measured:\n%s", r)
+		}
+	}
+}
+
+func TestT5LoopShape(t *testing.T) {
+	r := T5LoopInvariant([]int64{1, 10, 100})
+	if len(r.Rows) != 3 {
+		t.Fatalf("T5 rows = %d", len(r.Rows))
+	}
+	// At 100 trips the original must evaluate 100×, LCM once.
+	last := r.Rows[2]
+	if last[1] != "100" || last[2] != "1" {
+		t.Errorf("T5 row = %v, want 100 → 1", last)
+	}
+}
+
+func TestT6NoViolations(t *testing.T) {
+	r := T6GCSE(15, 3)
+	if r.Rows[0][2] != "0" {
+		t.Errorf("GCSE subsumption violated:\n%s", r)
+	}
+}
+
+func TestExamplesParse(t *testing.T) {
+	for _, src := range []string{RunningExampleSrc, MotivatingExampleSrc, IsolationExampleSrc} {
+		f := mustParse(src)
+		if err := f.Validate(); err != nil {
+			t.Errorf("embedded example invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package exp
+
+import (
+	"fmt"
+
+	"lazycm/internal/graph"
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/live"
+	"lazycm/internal/nodes"
+	"lazycm/internal/props"
+	"lazycm/internal/textir"
+)
+
+// RunningExampleSrc is the reconstruction of the paper's worked flow-graph
+// example. It packs, into one function, every phenomenon the paper's
+// figures walk through: a computation that is partially redundant across a
+// join, an operand kill that blocks hoisting on one arm, a bottom-test loop
+// whose invariant computation must be moved to the preheader, a critical
+// back edge that needs a synthetic node, and a fully redundant computation
+// after the loop.
+const RunningExampleSrc = `
+func running(a, b, p, n) {
+entry:
+  br p left right
+left:
+  x = a + b
+  jmp join
+right:
+  a = 5
+  jmp join
+join:
+  i = 0
+  jmp loop
+loop:
+  y = a + b
+  i = i + 1
+  c = i < n
+  br c loop after
+after:
+  z = a + b
+  ret z
+}
+`
+
+// MotivatingExampleSrc is the minimal partially-redundant diamond used by
+// figures F2–F4 where the running example would obscure the single
+// phenomenon under discussion.
+const MotivatingExampleSrc = `
+func diamond(a, b, p) {
+entry:
+  br p then else
+then:
+  x = a + b
+  jmp join
+else:
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}
+`
+
+// IsolationExampleSrc demonstrates isolation (figure F5): the computation
+// in the taken arm has no further uses, so ALCM's insertion would feed only
+// the statement it precedes.
+const IsolationExampleSrc = `
+func isolated(a, b, p) {
+entry:
+  br p yes no
+yes:
+  x = a + b
+  ret x
+no:
+  ret 0
+}
+`
+
+func mustParse(src string) *ir.Function {
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		panic(fmt.Sprintf("exp: bad embedded example: %v", err))
+	}
+	return f
+}
+
+// analyzed prepares a function for predicate display: clone, split critical
+// edges, build the node graph, run the analysis.
+func analyzed(src string) (*ir.Function, *nodes.Graph, *lcm.Analysis) {
+	f := mustParse(src)
+	graph.SplitCriticalEdges(f)
+	u := props.Collect(f)
+	g := nodes.Build(f, u)
+	return f, g, lcm.Analyze(g)
+}
+
+func mark(b bool) string {
+	if b {
+		return "X"
+	}
+	return "."
+}
+
+// Figure1 reproduces the motivating worked example: the full predicate
+// table over the running example for the expression a+b, plus the dynamic
+// evaluation counts before and after LCM.
+func Figure1() *Report {
+	f, g, a := analyzed(RunningExampleSrc)
+	u := g.U
+	ei, ok := u.Index(ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")})
+	if !ok {
+		panic("exp: running example lost its expression")
+	}
+	r := &Report{
+		ID:    "F1",
+		Title: "running example: predicates for a+b at every program point",
+		Headers: []string{
+			"node", "COMP", "TRANSP", "DSAFE", "USAFE", "EARLIEST", "DELAY", "LATEST", "ISOLATED",
+		},
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		r.AddRow(
+			g.Nodes[id].String(),
+			mark(g.Comp.Get(id, ei)),
+			mark(g.Transp.Get(id, ei)),
+			mark(a.DSafe.Get(id, ei)),
+			mark(a.USafe.Get(id, ei)),
+			mark(a.Earliest.Get(id, ei)),
+			mark(a.Delay.Get(id, ei)),
+			mark(a.Latest.Get(id, ei)),
+			mark(a.Isolated.Get(id, ei)),
+		)
+	}
+
+	orig := mustParse(RunningExampleSrc)
+	res, err := lcm.Transform(orig, lcm.LCM)
+	if err != nil {
+		panic(err)
+	}
+	addExpr := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	for _, p := range []int64{0, 1} {
+		args := []int64{7, 4, p, 5}
+		_, before, _ := interp.Run(orig, interp.Options{Args: args})
+		_, afterAll, _ := interp.Run(res.F, interp.Options{Args: args})
+		after := interp.CountsRestrictedTo(afterAll, props.Collect(orig).Exprs())
+		r.Notef("dynamic candidate evaluations with p=%d, n=5: %d before, %d after LCM (a+b alone: %d before, %d after)",
+			p, before.Total(), after.Total(), before[addExpr], after[addExpr])
+	}
+	r.Notef("LCM inserted %d, replaced %d, split %d critical edge(s)", res.Inserted, res.Replaced, res.EdgesSplit)
+	_ = f
+	return r
+}
+
+// Figure2 reproduces the safe-program-points figure: SAFE = DSAFE ∨ USAFE
+// on the diamond, and the check that every LCM insertion lies inside the
+// safe region.
+func Figure2() *Report {
+	_, g, a := analyzed(MotivatingExampleSrc)
+	const ei = 0
+	r := &Report{
+		ID:      "F2",
+		Title:   "safe program points (DSAFE ∨ USAFE) on the diamond",
+		Headers: []string{"node", "DSAFE", "USAFE", "SAFE"},
+	}
+	safeCount, insertInSafe, insertTotal := 0, 0, 0
+	p := a.Placement(lcm.LCM)
+	for id := 0; id < g.NumNodes(); id++ {
+		ds, us := a.DSafe.Get(id, ei), a.USafe.Get(id, ei)
+		if ds || us {
+			safeCount++
+		}
+		if p.Insert.Get(id, ei) {
+			insertTotal++
+			if ds || us {
+				insertInSafe++
+			}
+		}
+		r.AddRow(g.Nodes[id].String(), mark(ds), mark(us), mark(ds || us))
+	}
+	r.Notef("%d of %d nodes are safe; %d/%d LCM insertions fall on safe nodes",
+		safeCount, g.NumNodes(), insertInSafe, insertTotal)
+	return r
+}
+
+// Figure3 reproduces the busy-code-motion figure: the EARLIEST placement on
+// the diamond, its transformed program, and its temporary lifetime.
+func Figure3() *Report {
+	f := mustParse(MotivatingExampleSrc)
+	res, err := lcm.Transform(f, lcm.BCM)
+	if err != nil {
+		panic(err)
+	}
+	r := &Report{
+		ID:      "F3",
+		Title:   "busy code motion: earliest placement on the diamond",
+		Headers: []string{"metric", "value"},
+	}
+	r.AddRow("insertions", res.Inserted)
+	r.AddRow("replacements", res.Replaced)
+	r.AddRow("static computations before", lcm.StaticComputations(f))
+	r.AddRow("static computations after", lcm.StaticComputations(res.F))
+	life := live.TempLifetimes(res.F, res.TempFor)
+	total := 0
+	for _, v := range life {
+		total += v
+	}
+	r.AddRow("temp lifetime (live points)", total)
+	r.Notef("BCM hoists to the entry block: computationally optimal, maximal register pressure")
+	return r
+}
+
+// Figure4 reproduces the delayability figure: where DELAY pushes the
+// insertion on the diamond, and the lifetime win of LCM over BCM.
+func Figure4() *Report {
+	f, g, a := analyzed(MotivatingExampleSrc)
+	const ei = 0
+	r := &Report{
+		ID:      "F4",
+		Title:   "delayability: latest placement and the lifetime gain",
+		Headers: []string{"node", "DELAY", "LATEST"},
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		r.AddRow(g.Nodes[id].String(), mark(a.Delay.Get(id, ei)), mark(a.Latest.Get(id, ei)))
+	}
+	orig := mustParse(MotivatingExampleSrc)
+	for _, mode := range []lcm.Mode{lcm.BCM, lcm.ALCM, lcm.LCM} {
+		res, err := lcm.Transform(orig, mode)
+		if err != nil {
+			panic(err)
+		}
+		life := live.TempLifetimes(res.F, res.TempFor)
+		total := 0
+		for _, v := range life {
+			total += v
+		}
+		r.Notef("%s: %d insertions, temp lifetime %d live points", mode, res.Inserted, total)
+	}
+	_ = f
+	return r
+}
+
+// Figure5 reproduces the isolation figure: ALCM emits an insertion that
+// feeds only the immediately following statement; LCM suppresses it.
+func Figure5() *Report {
+	_, g, a := analyzed(IsolationExampleSrc)
+	const ei = 0
+	r := &Report{
+		ID:      "F5",
+		Title:   "isolation: suppressing single-use insertions",
+		Headers: []string{"node", "LATEST", "ISOLATED"},
+	}
+	for id := 0; id < g.NumNodes(); id++ {
+		r.AddRow(g.Nodes[id].String(), mark(a.Latest.Get(id, ei)), mark(a.Isolated.Get(id, ei)))
+	}
+	orig := mustParse(IsolationExampleSrc)
+	alcmRes, err := lcm.Transform(orig, lcm.ALCM)
+	if err != nil {
+		panic(err)
+	}
+	lcmRes, err := lcm.Transform(orig, lcm.LCM)
+	if err != nil {
+		panic(err)
+	}
+	r.Notef("ALCM: %d insertions, %d replacements (the useless copy)", alcmRes.Inserted, alcmRes.Replaced)
+	r.Notef("LCM: %d insertions, %d replacements (computation left in place)", lcmRes.Inserted, lcmRes.Replaced)
+	return r
+}

@@ -1,0 +1,81 @@
+// Package exp is the experiment harness: it regenerates, as executable
+// measurements, every figure of the paper's development (F1–F5, the worked
+// flow-graph examples) and every theorem/claim as a quantitative experiment
+// (T1–T6). cmd/lcmexp prints the reports; bench_test.go at the module root
+// exposes one benchmark per experiment; EXPERIMENTS.md records the
+// paper-expected shape against the measured outcome.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's table.
+type Report struct {
+	// ID is the experiment identifier (F1…F5, T1…T6).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Headers are the column names.
+	Headers []string
+	// Rows are the table body.
+	Rows [][]string
+	// Notes carry free-form findings appended after the table.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Report) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

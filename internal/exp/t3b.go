@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+	"lazycm/internal/regalloc"
+)
+
+// T3bRegisterPressure measures the practical payoff of lifetime
+// optimality: register pressure and spill counts of BCM-, ALCM- and
+// LCM-transformed programs under fixed register budgets. Stretched
+// temporary live ranges (busy placement) must translate into higher
+// pressure and more spills than lazy placement.
+func T3bRegisterPressure(programs int, budgets []int) *Report {
+	r := &Report{
+		ID:    "T3b",
+		Title: fmt.Sprintf("register pressure and spills over %d random programs", programs),
+		Headers: []string{
+			"transformation", "total max pressure", "min regs (sum)",
+		},
+	}
+	for _, k := range budgets {
+		r.Headers = append(r.Headers, fmt.Sprintf("spilled vars @K=%d", k))
+	}
+
+	type row struct {
+		pressure, minRegs int
+		spills            []int
+	}
+	acc := map[string]*row{}
+	order := []string{"original", "BCM", "ALCM", "LCM"}
+	for _, n := range order {
+		acc[n] = &row{spills: make([]int, len(budgets))}
+	}
+	lcmLighter, violations := 0, 0
+
+	for seed := int64(0); seed < int64(programs); seed++ {
+		f := randprog.ForSeed(seed)
+		variants := map[string]*lcm.Result{}
+		for _, mode := range []lcm.Mode{lcm.BCM, lcm.ALCM, lcm.LCM} {
+			res, err := lcm.Transform(f, mode)
+			if err != nil {
+				panic(err)
+			}
+			variants[mode.String()] = res
+		}
+		fns := map[string]*ir.Function{
+			"original": f,
+			"BCM":      variants["BCM"].F,
+			"ALCM":     variants["ALCM"].F,
+			"LCM":      variants["LCM"].F,
+		}
+		var bcmPressure, lcmPressure int
+		for _, name := range order {
+			fn := fns[name]
+			a := acc[name]
+			full := regalloc.Allocate(fn, 1<<16)
+			a.pressure += full.MaxPressure
+			a.minRegs += regalloc.MinRegisters(fn)
+			for i, k := range budgets {
+				a.spills[i] += len(regalloc.Allocate(fn, k).Spilled)
+			}
+			switch name {
+			case "BCM":
+				bcmPressure = full.MaxPressure
+			case "LCM":
+				lcmPressure = full.MaxPressure
+			}
+		}
+		if lcmPressure < bcmPressure {
+			lcmLighter++
+		}
+		if lcmPressure > bcmPressure {
+			violations++
+		}
+	}
+
+	for _, n := range order {
+		a := acc[n]
+		cells := []any{n, a.pressure, a.minRegs}
+		for _, s := range a.spills {
+			cells = append(cells, s)
+		}
+		r.AddRow(cells...)
+	}
+	r.Notef("LCM pressure strictly below BCM on %d/%d programs; above it on %d", lcmLighter, programs, violations)
+	r.Notef("the theorem bounds TEMPORARY lifetimes only: operand lifetimes can move the other way " +
+		"(hoisting t=a+b early lets a and b die early), so isolated per-program pressure reversals are legitimate; " +
+		"the aggregate must still favour LCM")
+	return r
+}

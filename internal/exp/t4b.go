@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+
+	"lazycm/internal/lcmblock"
+	"lazycm/internal/mr"
+	"lazycm/internal/randprog"
+)
+
+// T4bSolverCostBlockLevel is the same-granularity version of T4: both the
+// edge-based LCM variant and Morel–Renvoise run on basic blocks, so their
+// whole-vector operation counts are directly comparable. This is the
+// paper's efficiency claim in its cleanest measurable form: two
+// unidirectional problems plus a unidirectionally-solvable LATER system
+// against a genuinely bidirectional fixpoint.
+func T4bSolverCostBlockLevel(sizes []int, programsPer int) *Report {
+	r := &Report{
+		ID:    "T4b",
+		Title: "solver cost at block granularity: edge-LCM vs MR (bidirectional)",
+		Headers: []string{
+			"max depth", "avg blocks", "avg LCM vec-ops", "avg LCM passes",
+			"avg MR vec-ops", "avg MR passes", "MR/LCM ops",
+		},
+	}
+	for _, depth := range sizes {
+		var blocks, lcmOps, lcmPasses, mrOps, mrPasses int
+		for i := 0; i < programsPer; i++ {
+			cfg := randprog.Default(int64(depth*10000 + i))
+			cfg.MaxDepth = depth
+			f := randprog.Generate(cfg)
+			blocks += f.NumBlocks()
+
+			bres, err := lcmblock.Transform(f)
+			if err != nil {
+				panic(err)
+			}
+			lcmOps += bres.Analysis.TotalVectorOps()
+			lcmPasses += bres.Analysis.LaterPasses
+			for _, s := range bres.Analysis.UniStats {
+				lcmPasses += s.Passes
+			}
+
+			mres, err := mr.Transform(f)
+			if err != nil {
+				panic(err)
+			}
+			mrOps += mres.TotalVectorOps()
+			mrPasses += mres.Bidir.Passes
+			for _, s := range mres.UniStats {
+				mrPasses += s.Passes
+			}
+		}
+		n := programsPer
+		ratio := "n/a"
+		if lcmOps > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(mrOps)/float64(lcmOps))
+		}
+		r.AddRow(depth, blocks/n, lcmOps/n, lcmPasses/n, mrOps/n, mrPasses/n, ratio)
+	}
+	r.Notef("both analyses run on basic blocks; LCM = anticipatability + availability + LATER, MR = availability + partial availability + bidirectional PP")
+	return r
+}

@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestT4bShape(t *testing.T) {
+	r := T4bSolverCostBlockLevel([]int{1, 3}, 4)
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At equal granularity, the unidirectional LCM system must be cheaper
+	// than the bidirectional MR system, and the gap must not shrink with
+	// size.
+	var ratios []float64
+	for _, row := range r.Rows {
+		lcmOps, err1 := strconv.Atoi(row[2])
+		mrOps, err2 := strconv.Atoi(row[4])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable row %v", row)
+		}
+		if lcmOps <= 0 || mrOps <= lcmOps {
+			t.Errorf("MR (%d ops) not more expensive than edge-LCM (%d ops):\n%s", mrOps, lcmOps, r)
+		}
+		ratio, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("bad ratio %q", row[6])
+		}
+		ratios = append(ratios, ratio)
+	}
+	if ratios[1] < ratios[0] {
+		t.Errorf("MR/LCM cost ratio shrank with size (%v); expected growth:\n%s", ratios, r)
+	}
+}
+
+func TestT5bShape(t *testing.T) {
+	r := T5bSecondOrder()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(i, j int) int {
+		v, err := strconv.Atoi(r.Rows[i][j])
+		if err != nil {
+			t.Fatalf("bad cell %q", r.Rows[i][j])
+		}
+		return v
+	}
+	// Monotone improvement: 200 → 151 → 102 → 102 total evals.
+	if !(get(0, 1) > get(1, 1) && get(1, 1) > get(2, 1) && get(2, 1) == get(3, 1)) {
+		t.Errorf("reapplication profile wrong:\n%s", r)
+	}
+	// After two rounds both invariants are hoisted: 2 invariant evals.
+	if get(2, 2) != 2 {
+		t.Errorf("round 2 invariant evals = %d, want 2:\n%s", get(2, 2), r)
+	}
+}
+
+func TestT3bShape(t *testing.T) {
+	r := T3bRegisterPressure(12, []int{4, 8})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(name string, col int) int {
+		for _, row := range r.Rows {
+			if row[0] == name {
+				v, err := strconv.Atoi(row[col])
+				if err != nil {
+					t.Fatalf("bad cell %q", row[col])
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	// Aggregate pressure and spills: LCM ≤ ALCM ≤ BCM.
+	for col := 1; col <= 4; col++ {
+		l, a, b := get("LCM", col), get("ALCM", col), get("BCM", col)
+		if !(l <= a && a <= b) {
+			t.Errorf("column %d ordering violated: LCM=%d ALCM=%d BCM=%d\n%s", col, l, a, b, r)
+		}
+	}
+}
+
+func TestT7Shape(t *testing.T) {
+	r := T7Canonicalization(20, 3)
+	lex, err1 := strconv.Atoi(r.Rows[0][1])
+	can, err2 := strconv.Atoi(r.Rows[1][1])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable rows: %v", r.Rows)
+	}
+	if can > lex {
+		t.Errorf("canonical LCM worse than lexical (%d > %d):\n%s", can, lex, r)
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "worked example") && !strings.Contains(n, "lexical LCM evaluates 2, canonical 1") {
+			t.Errorf("worked example wrong: %s", n)
+		}
+	}
+}
+
+func TestT8Shape(t *testing.T) {
+	r := T8StrengthReduction([]int64{1, 100})
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At 100 trips: 100 muls originally, 1 after.
+	if r.Rows[1][1] != "100" || r.Rows[1][2] != "1" {
+		t.Errorf("T8 row = %v, want 100 → 1", r.Rows[1])
+	}
+}

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/sr"
+	"lazycm/internal/textir"
+)
+
+// T8StrengthReduction measures the strength-reduction companion
+// transformation (the application the LCM authors develop in "Lazy
+// Strength Reduction"): dynamic multiplication counts before and after
+// reducing i*k recurrences in loops, by trip count.
+func T8StrengthReduction(trips []int64) *Report {
+	const src = `
+func addressing(n) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  off = i * 8
+  sum = sum + off
+  i = i + 1
+  jmp head
+exit:
+  ret sum
+}
+`
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sr.Transform(f)
+	if err != nil {
+		panic(err)
+	}
+	r := &Report{
+		ID:      "T8",
+		Title:   "strength reduction: dynamic multiplications in an array-addressing loop",
+		Headers: []string{"trips", "muls original", "muls after SR", "adds original", "adds after SR"},
+	}
+	count := func(fn *ir.Function, n int64, op ir.Op) int {
+		_, counts, err := interp.Run(fn, interp.Options{Args: []int64{n}})
+		if err != nil {
+			panic(err)
+		}
+		total := 0
+		for e, c := range counts {
+			if e.Op == op {
+				total += c
+			}
+		}
+		return total
+	}
+	for _, n := range trips {
+		r.AddRow(n,
+			count(f, n, ir.Mul), count(res.F, n, ir.Mul),
+			count(f, n, ir.Add), count(res.F, n, ir.Add))
+	}
+	r.Notef("reduced %d multiplication site(s), inserted %d recurrence update(s), %d preheader(s)",
+		res.Reduced, res.Updates, res.Preheaders)
+	r.Notef("the per-iteration multiplication becomes one addition; on wraparound arithmetic the recurrence is exact")
+	return r
+}

@@ -1,0 +1,329 @@
+package exp
+
+import (
+	"fmt"
+
+	"lazycm/internal/gcse"
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/live"
+	"lazycm/internal/mr"
+	"lazycm/internal/props"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+// transformAll runs every optimizer on f, panicking on internal failure
+// (the experiments operate on generator output, which must always work).
+type allResults struct {
+	orig *ir.Function
+	bcm  *lcm.Result
+	alcm *lcm.Result
+	lazy *lcm.Result
+	mr   *mr.Result
+	gcse *gcse.Result
+}
+
+func transformAll(f *ir.Function) allResults {
+	bcm, err := lcm.Transform(f, lcm.BCM)
+	if err != nil {
+		panic(err)
+	}
+	alcm, err := lcm.Transform(f, lcm.ALCM)
+	if err != nil {
+		panic(err)
+	}
+	lazy, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		panic(err)
+	}
+	mrRes, err := mr.Transform(f)
+	if err != nil {
+		panic(err)
+	}
+	gcseRes, err := gcse.Transform(f)
+	if err != nil {
+		panic(err)
+	}
+	return allResults{orig: f, bcm: bcm, alcm: alcm, lazy: lazy, mr: mrRes, gcse: gcseRes}
+}
+
+// candEvals runs f on args and returns the dynamic candidate-expression
+// evaluation count, attributed to the universe of orig.
+func candEvals(orig, f *ir.Function, args []int64) int {
+	_, counts, err := interp.Run(f, interp.Options{Args: args})
+	if err != nil {
+		panic(err)
+	}
+	return interp.CountsRestrictedTo(counts, props.Collect(orig).Exprs()).Total()
+}
+
+// T1Correctness verifies every transformation against the full battery on
+// a fleet of random programs: the executable form of the paper's
+// correctness theorem.
+func T1Correctness(programs, runs int) *Report {
+	r := &Report{
+		ID:      "T1",
+		Title:   fmt.Sprintf("correctness battery over %d random programs × %d inputs", programs, runs),
+		Headers: []string{"transformation", "programs", "failures"},
+	}
+	names := []string{"BCM", "ALCM", "LCM", "MR", "GCSE"}
+	failures := make(map[string]int, len(names))
+	for seed := int64(0); seed < int64(programs); seed++ {
+		f := randprog.ForSeed(seed)
+		all := transformAll(f)
+		checks := []verify.Transformation{
+			{Name: "BCM", F: all.bcm.F, TempFor: all.bcm.TempFor},
+			{Name: "ALCM", F: all.alcm.F, TempFor: all.alcm.TempFor},
+			{Name: "LCM", F: all.lazy.F, TempFor: all.lazy.TempFor},
+			{Name: "MR", F: all.mr.F, TempFor: all.mr.TempFor},
+			{Name: "GCSE", F: all.gcse.F, TempFor: all.gcse.TempFor},
+		}
+		for _, c := range checks {
+			if err := verify.Check(f, c, seed*31, runs); err != nil {
+				failures[c.Name]++
+			}
+		}
+	}
+	for _, n := range names {
+		r.AddRow(n, programs, failures[n])
+	}
+	return r
+}
+
+// T2CompOptimality measures dynamic candidate evaluations across the
+// optimizers: the computational-optimality theorem (LCM = ALCM = BCM ≤
+// every other safe transformation) and the strict improvements over MR and
+// GCSE.
+func T2CompOptimality(programs, runs int) *Report {
+	r := &Report{
+		ID:      "T2",
+		Title:   fmt.Sprintf("dynamic candidate evaluations over %d random programs × %d inputs", programs, runs),
+		Headers: []string{"transformation", "total evals", "vs original", "programs strictly better than MR"},
+	}
+	var orig, bcmT, alcmT, lazyT, mrT, gcseT int
+	var lcmBeatsMR, lcmEqBCM int
+	comparisons := 0
+	for seed := int64(0); seed < int64(programs); seed++ {
+		f := randprog.ForSeed(seed)
+		all := transformAll(f)
+		progLCMBetter := false
+		progMismatch := false
+		for run := 0; run < runs; run++ {
+			args := randprog.Args(f, seed*977+int64(run))
+			o := candEvals(f, f, args)
+			bc := candEvals(f, all.bcm.F, args)
+			al := candEvals(f, all.alcm.F, args)
+			lz := candEvals(f, all.lazy.F, args)
+			m := candEvals(f, all.mr.F, args)
+			g := candEvals(f, all.gcse.F, args)
+			orig += o
+			bcmT += bc
+			alcmT += al
+			lazyT += lz
+			mrT += m
+			gcseT += g
+			comparisons++
+			if lz < m {
+				progLCMBetter = true
+			}
+			if lz != bc || lz != al {
+				progMismatch = true
+			}
+		}
+		if progLCMBetter {
+			lcmBeatsMR++
+		}
+		if !progMismatch {
+			lcmEqBCM++
+		}
+	}
+	ratio := func(v int) string {
+		if orig == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(v)/float64(orig))
+	}
+	r.AddRow("original", orig, ratio(orig), "-")
+	r.AddRow("GCSE", gcseT, ratio(gcseT), "-")
+	r.AddRow("MR", mrT, ratio(mrT), "-")
+	r.AddRow("BCM", bcmT, ratio(bcmT), "-")
+	r.AddRow("ALCM", alcmT, ratio(alcmT), "-")
+	r.AddRow("LCM", lazyT, ratio(lazyT), fmt.Sprintf("%d/%d", lcmBeatsMR, programs))
+	r.Notef("LCM, ALCM and BCM agree on every run in %d/%d programs (computational optimality)", lcmEqBCM, programs)
+	r.Notef("%d evaluation comparisons in total", comparisons)
+	return r
+}
+
+// T3Lifetimes measures total temporary live ranges: the lifetime-optimality
+// theorem (LCM ≤ ALCM ≤ BCM, with strict wins wherever delaying helps).
+func T3Lifetimes(programs int) *Report {
+	r := &Report{
+		ID:      "T3",
+		Title:   fmt.Sprintf("temporary lifetimes over %d random programs", programs),
+		Headers: []string{"transformation", "total live points", "vs BCM", "programs strictly better than BCM"},
+	}
+	var bcmT, alcmT, lazyT int
+	var lcmWins, violations int
+	for seed := int64(0); seed < int64(programs); seed++ {
+		f := randprog.ForSeed(seed)
+		all := transformAll(f)
+		sum := func(res *lcm.Result) int {
+			t := 0
+			for _, v := range live.TempLifetimes(res.F, res.TempFor) {
+				t += v
+			}
+			return t
+		}
+		b, a, l := sum(all.bcm), sum(all.alcm), sum(all.lazy)
+		bcmT += b
+		alcmT += a
+		lazyT += l
+		if l < b {
+			lcmWins++
+		}
+		if l > a || a > b {
+			violations++
+		}
+	}
+	ratio := func(v int) string {
+		if bcmT == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.3f", float64(v)/float64(bcmT))
+	}
+	r.AddRow("BCM", bcmT, ratio(bcmT), "-")
+	r.AddRow("ALCM", alcmT, ratio(alcmT), "-")
+	r.AddRow("LCM", lazyT, ratio(lazyT), fmt.Sprintf("%d/%d", lcmWins, programs))
+	r.Notef("ordering LCM ≤ ALCM ≤ BCM violated in %d/%d programs (expected 0)", violations, programs)
+	return r
+}
+
+// T4SolverCost compares the analysis effort of LCM's four unidirectional
+// problems against Morel–Renvoise's bidirectional system, over growing
+// program sizes: the paper's efficiency argument, in vector operations and
+// fixpoint passes.
+func T4SolverCost(sizes []int, programsPer int) *Report {
+	r := &Report{
+		ID:    "T4",
+		Title: "solver cost: LCM (4 unidirectional problems) vs MR (bidirectional fixpoint)",
+		Headers: []string{
+			"max depth", "avg stmts", "avg LCM vec-ops", "avg LCM passes",
+			"avg MR vec-ops", "avg MR passes", "MR/LCM ops",
+		},
+	}
+	for _, depth := range sizes {
+		var stmts, lcmOps, lcmPasses, mrOps, mrPasses int
+		for i := 0; i < programsPer; i++ {
+			cfg := randprog.Default(int64(depth*10000 + i))
+			cfg.MaxDepth = depth
+			f := randprog.Generate(cfg)
+			stmts += f.NumInstrs()
+			lres, err := lcm.Transform(f, lcm.LCM)
+			if err != nil {
+				panic(err)
+			}
+			lcmOps += lres.Analysis.TotalVectorOps()
+			for _, s := range lres.Analysis.Stats {
+				lcmPasses += s.Passes
+			}
+			mres, err := mr.Transform(f)
+			if err != nil {
+				panic(err)
+			}
+			mrOps += mres.TotalVectorOps()
+			mrPasses += mres.Bidir.Passes
+			for _, s := range mres.UniStats {
+				mrPasses += s.Passes
+			}
+		}
+		n := programsPer
+		ratio := "n/a"
+		if lcmOps > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(mrOps)/float64(lcmOps))
+		}
+		r.AddRow(depth, stmts/n, lcmOps/n, lcmPasses/n, mrOps/n, mrPasses/n, ratio)
+	}
+	r.Notef("LCM runs on statement-level nodes, MR on blocks; vector ops are whole-bit-vector and/or/copy operations")
+	return r
+}
+
+// T5LoopInvariant measures the loop-invariant subsumption claim: dynamic
+// evaluations of an invariant expression in a bottom-test loop, original vs
+// LCM, as the trip count grows.
+func T5LoopInvariant(trips []int64) *Report {
+	const src = `
+func loopinv(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  y = x * 2
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret y
+}
+`
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		panic(err)
+	}
+	res, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		panic(err)
+	}
+	r := &Report{
+		ID:      "T5",
+		Title:   "loop-invariant code motion as a PRE special case (bottom-test loop)",
+		Headers: []string{"trips", "evals original", "evals LCM", "speedup factor"},
+	}
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	for _, n := range trips {
+		args := []int64{3, 4, n}
+		_, before, _ := interp.Run(f, interp.Options{Args: args})
+		_, after, _ := interp.Run(res.F, interp.Options{Args: args})
+		b, a := before[add], after[add]
+		factor := "inf"
+		if a > 0 {
+			factor = fmt.Sprintf("%.1f", float64(b)/float64(a))
+		}
+		r.AddRow(n, b, a, factor)
+	}
+	r.Notef("the multiplication x*2 is also invariant but depends on x; a second LCM pass after copy propagation would lift it — out of scope, as in the paper")
+	return r
+}
+
+// T6GCSE measures the global-CSE subsumption claim: on every random
+// program and input, LCM eliminates at least as many evaluations as GCSE.
+func T6GCSE(programs, runs int) *Report {
+	r := &Report{
+		ID:      "T6",
+		Title:   fmt.Sprintf("GCSE subsumption over %d random programs × %d inputs", programs, runs),
+		Headers: []string{"relation", "runs", "violations"},
+	}
+	total, violations, strict := 0, 0, 0
+	for seed := int64(0); seed < int64(programs); seed++ {
+		f := randprog.ForSeed(seed)
+		all := transformAll(f)
+		for run := 0; run < runs; run++ {
+			args := randprog.Args(f, seed*31337+int64(run))
+			g := candEvals(f, all.gcse.F, args)
+			l := candEvals(f, all.lazy.F, args)
+			total++
+			if l > g {
+				violations++
+			}
+			if l < g {
+				strict++
+			}
+		}
+	}
+	r.AddRow("LCM ≤ GCSE", total, violations)
+	r.Notef("LCM strictly better than GCSE on %d/%d runs (partial redundancies GCSE cannot touch)", strict, total)
+	return r
+}

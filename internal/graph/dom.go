@@ -1,0 +1,89 @@
+package graph
+
+import "lazycm/internal/ir"
+
+// DomTree holds the immediate-dominator relation of a function's CFG,
+// computed with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	f *ir.Function
+	// idom[blockID] is the immediate dominator's block ID; the entry block
+	// is its own idom.
+	idom []int
+	rpo  []int
+}
+
+// Dominators computes the dominator tree of f.
+func Dominators(f *ir.Function) *DomTree {
+	rpoBlocks := ReversePostorder(f)
+	rpoNum := make([]int, f.NumBlocks())
+	for i, b := range rpoBlocks {
+		rpoNum[b.ID] = i
+	}
+	const undef = -1
+	idom := make([]int, f.NumBlocks())
+	for i := range idom {
+		idom[i] = undef
+	}
+	entry := f.Entry()
+	idom[entry.ID] = entry.ID
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpoBlocks {
+			if b == entry {
+				continue
+			}
+			newIdom := undef
+			for _, p := range b.Preds() {
+				if idom[p.ID] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = p.ID
+				} else {
+					newIdom = intersect(p.ID, newIdom)
+				}
+			}
+			if newIdom != undef && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{f: f, idom: idom, rpo: rpoNum}
+}
+
+// IDom returns the immediate dominator of b, or nil for the entry block.
+func (d *DomTree) IDom(b *ir.Block) *ir.Block {
+	if b == d.f.Entry() {
+		return nil
+	}
+	return d.f.Blocks[d.idom[b.ID]]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	entryID := d.f.Entry().ID
+	x := b.ID
+	for {
+		if x == a.ID {
+			return true
+		}
+		if x == entryID {
+			return false
+		}
+		x = d.idom[x]
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+)
+
+// bruteDominates is the definition of dominance, computed the slow way:
+// a dominates b iff removing a from the graph makes b unreachable from
+// entry (and a block dominates itself).
+func bruteDominates(f *ir.Function, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, f.NumBlocks())
+	stack := []*ir.Block{f.Entry()}
+	if f.Entry() == a {
+		return true // removing the entry makes everything unreachable
+	}
+	seen[f.Entry().ID] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i, n := 0, x.NumSuccs(); i < n; i++ {
+			s := x.Succ(i)
+			if s == a || seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			stack = append(stack, s)
+		}
+	}
+	return !seen[b.ID]
+}
+
+// TestDominatorsAgainstBruteForce checks the iterative dominator
+// computation against the definition on a fleet of random CFGs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		f := randprog.ForSeed(seed)
+		d := Dominators(f)
+		for _, a := range f.Blocks {
+			for _, b := range f.Blocks {
+				want := bruteDominates(f, a, b)
+				got := d.Dominates(a, b)
+				if got != want {
+					t.Fatalf("seed %d: Dominates(%s, %s) = %v, brute force says %v",
+						seed, a.Name, b.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIDomIsStrictDominatorProperty: the immediate dominator of b strictly
+// dominates b and is dominated by every other strict dominator of b.
+func TestIDomIsClosestStrictDominator(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := randprog.ForSeed(seed)
+		d := Dominators(f)
+		for _, b := range f.Blocks {
+			idom := d.IDom(b)
+			if b == f.Entry() {
+				if idom != nil {
+					t.Fatalf("seed %d: entry has idom %s", seed, idom.Name)
+				}
+				continue
+			}
+			if idom == nil || !d.Dominates(idom, b) || idom == b {
+				t.Fatalf("seed %d: idom(%s) invalid", seed, b.Name)
+			}
+			for _, a := range f.Blocks {
+				if a != b && d.Dominates(a, b) && !d.Dominates(a, idom) {
+					t.Fatalf("seed %d: strict dominator %s of %s does not dominate idom %s",
+						seed, a.Name, b.Name, idom.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopsContainTheirBackEdgeSources: every natural loop contains the
+// sources of the back edges that define it.
+func TestLoopsContainBackEdgeSources(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := randprog.ForSeed(seed)
+		d := Dominators(f)
+		loops := NaturalLoops(f)
+		byHeader := map[*ir.Block]*Loop{}
+		for _, l := range loops {
+			byHeader[l.Header] = l
+		}
+		for _, b := range f.Blocks {
+			for i, n := 0, b.NumSuccs(); i < n; i++ {
+				h := b.Succ(i)
+				if !d.Dominates(h, b) {
+					continue
+				}
+				l := byHeader[h]
+				if l == nil {
+					t.Fatalf("seed %d: back edge %s->%s has no loop", seed, b.Name, h.Name)
+				}
+				if !l.Contains(b) {
+					t.Fatalf("seed %d: loop at %s missing latch %s", seed, h.Name, b.Name)
+				}
+			}
+		}
+	}
+}

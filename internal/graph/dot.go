@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+
+	"lazycm/internal/ir"
+)
+
+// Dot renders the function's CFG in Graphviz DOT syntax, one record node
+// per block with its statements, for debugging and documentation.
+func Dot(f *ir.Function) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, blk := range f.Blocks {
+		var lines []string
+		lines = append(lines, blk.Name+":")
+		for _, in := range blk.Instrs {
+			lines = append(lines, "  "+in.String())
+		}
+		lines = append(lines, "  "+blk.Term.String())
+		label := strings.Join(lines, "\\l") + "\\l"
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", blk.Name, label)
+	}
+	for _, blk := range f.Blocks {
+		for i, n := 0, blk.NumSuccs(); i < n; i++ {
+			attr := ""
+			if blk.Term.Kind == ir.Branch {
+				if i == 0 {
+					attr = " [label=\"T\"]"
+				} else {
+					attr = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", blk.Name, blk.Succ(i).Name, attr)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

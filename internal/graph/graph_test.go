@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/ir"
+)
+
+// buildDiamond: entry -> {then, else} -> join -> ret
+func buildDiamond(t *testing.T) *ir.Function {
+	t.Helper()
+	return mustBuild(t, ir.NewBuilder("diamond", "c").
+		Block("entry").Branch(ir.Var("c"), "then", "else").
+		Block("then").Jump("join").
+		Block("else").Jump("join").
+		Block("join").RetVoid())
+}
+
+// buildLoop: entry -> head; head -> (body | exit); body -> head
+func buildLoop(t *testing.T) *ir.Function {
+	t.Helper()
+	return mustBuild(t, ir.NewBuilder("loop", "c").
+		Block("entry").Jump("head").
+		Block("head").Branch(ir.Var("c"), "body", "exit").
+		Block("body").Jump("head").
+		Block("exit").RetVoid())
+}
+
+// buildNested: two-level nested loop.
+func buildNested(t *testing.T) *ir.Function {
+	t.Helper()
+	return mustBuild(t, ir.NewBuilder("nested", "c", "d").
+		Block("entry").Jump("h1").
+		Block("h1").Branch(ir.Var("c"), "h2", "exit").
+		Block("h2").Branch(ir.Var("d"), "b2", "latch1").
+		Block("b2").Jump("h2").
+		Block("latch1").Jump("h1").
+		Block("exit").RetVoid())
+}
+
+func mustBuild(t *testing.T, bd *ir.Builder) *ir.Function {
+	t.Helper()
+	f, err := bd.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func names(bs []*ir.Block) string {
+	var ns []string
+	for _, b := range bs {
+		ns = append(ns, b.Name)
+	}
+	return strings.Join(ns, " ")
+}
+
+func TestPostorderDiamond(t *testing.T) {
+	f := buildDiamond(t)
+	po := Postorder(f)
+	if len(po) != 4 {
+		t.Fatalf("postorder len = %d", len(po))
+	}
+	// Entry must come last in postorder; join must precede then/else.
+	if po[len(po)-1].Name != "entry" {
+		t.Errorf("postorder = %s", names(po))
+	}
+	pos := map[string]int{}
+	for i, b := range po {
+		pos[b.Name] = i
+	}
+	if pos["join"] > pos["then"] || pos["join"] > pos["else"] {
+		t.Errorf("join after branch arms: %s", names(po))
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	f := buildDiamond(t)
+	rpo := ReversePostorder(f)
+	if rpo[0].Name != "entry" || rpo[len(rpo)-1].Name != "join" {
+		t.Errorf("rpo = %s", names(rpo))
+	}
+	num := RPONumbers(f)
+	for i, b := range rpo {
+		if num[b.ID] != i {
+			t.Errorf("RPONumbers[%s] = %d, want %d", b.Name, num[b.ID], i)
+		}
+	}
+}
+
+func TestPostorderDeterministic(t *testing.T) {
+	f := buildNested(t)
+	a := names(Postorder(f))
+	for i := 0; i < 10; i++ {
+		if got := names(Postorder(f)); got != a {
+			t.Fatalf("postorder nondeterministic: %q vs %q", got, a)
+		}
+	}
+}
+
+func TestExitBlocks(t *testing.T) {
+	f := buildLoop(t)
+	ex := ExitBlocks(f)
+	if len(ex) != 1 || ex[0].Name != "exit" {
+		t.Errorf("ExitBlocks = %s", names(ex))
+	}
+}
+
+func TestEdges(t *testing.T) {
+	f := buildDiamond(t)
+	es := Edges(f)
+	if len(es) != 4 {
+		t.Fatalf("edges = %d", len(es))
+	}
+	if es[0].From.Name != "entry" || es[0].To().Name != "then" {
+		t.Errorf("edge 0 = %s->%s", es[0].From.Name, es[0].To().Name)
+	}
+	if es[1].From.Name != "entry" || es[1].To().Name != "else" {
+		t.Errorf("edge 1 = %s->%s", es[1].From.Name, es[1].To().Name)
+	}
+}
+
+func TestCriticalEdges(t *testing.T) {
+	// entry branches to join directly (critical: entry has 2 succs, join 2 preds)
+	f := mustBuild(t, ir.NewBuilder("crit", "c").
+		Block("entry").Branch(ir.Var("c"), "mid", "join").
+		Block("mid").Jump("join").
+		Block("join").RetVoid())
+	crit := CriticalEdges(f)
+	if len(crit) != 1 || crit[0].From.Name != "entry" || crit[0].To().Name != "join" {
+		t.Fatalf("critical edges wrong: %d", len(crit))
+	}
+	n := SplitCriticalEdges(f)
+	if n != 1 {
+		t.Fatalf("split %d edges", n)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(CriticalEdges(f)) != 0 {
+		t.Fatal("critical edges remain after splitting")
+	}
+	// The new block must sit between entry and join.
+	nb := f.Entry().Succ(1)
+	if nb.Name == "join" || nb.Succ(0).Name != "join" {
+		t.Fatalf("split block misplaced: %s", nb.Name)
+	}
+	if len(nb.Instrs) != 0 {
+		t.Fatal("split block not empty")
+	}
+}
+
+func TestSplitCriticalEdgesIdempotent(t *testing.T) {
+	f := buildLoop(t)
+	// head->exit edge: head has 2 succs; exit has 1 pred, so not critical.
+	// head->body: body has 1 pred. No critical edges here.
+	if n := SplitCriticalEdges(f); n != 0 {
+		t.Fatalf("split %d edges in loop", n)
+	}
+	// Self-loop on head via branch creates a critical edge (head has 2
+	// succs, head has 2 preds).
+	g := mustBuild(t, ir.NewBuilder("self", "c").
+		Block("entry").Jump("head").
+		Block("head").Branch(ir.Var("c"), "head", "exit").
+		Block("exit").RetVoid())
+	if n := SplitCriticalEdges(g); n != 1 {
+		t.Fatalf("self-loop split = %d", n)
+	}
+	if n := SplitCriticalEdges(g); n != 0 {
+		t.Fatalf("second split = %d", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := buildDiamond(t)
+	d := Dominators(f)
+	entry := f.Entry()
+	join := f.BlockByName("join")
+	then := f.BlockByName("then")
+	if d.IDom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	if d.IDom(join) != entry {
+		t.Errorf("idom(join) = %v", d.IDom(join).Name)
+	}
+	if d.IDom(then) != entry {
+		t.Errorf("idom(then) = %v", d.IDom(then).Name)
+	}
+	if !d.Dominates(entry, join) || !d.Dominates(join, join) {
+		t.Error("Dominates reflexive/entry wrong")
+	}
+	if d.Dominates(then, join) {
+		t.Error("then should not dominate join")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := buildLoop(t)
+	d := Dominators(f)
+	head := f.BlockByName("head")
+	body := f.BlockByName("body")
+	exit := f.BlockByName("exit")
+	if d.IDom(body) != head || d.IDom(exit) != head {
+		t.Error("loop idoms wrong")
+	}
+	if !d.Dominates(head, body) {
+		t.Error("head must dominate body")
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	f := buildLoop(t)
+	loops := NaturalLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	l := loops[0]
+	if l.Header.Name != "head" || l.Depth != 1 {
+		t.Errorf("loop = %+v", l)
+	}
+	if !l.Contains(f.BlockByName("body")) || l.Contains(f.BlockByName("exit")) {
+		t.Error("loop membership wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	f := buildNested(t)
+	loops := NaturalLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d", len(loops))
+	}
+	var inner, outer *Loop
+	for _, l := range loops {
+		switch l.Header.Name {
+		case "h1":
+			outer = l
+		case "h2":
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("missing loop headers")
+	}
+	if outer.Depth != 1 || inner.Depth != 2 || inner.Parent != outer {
+		t.Errorf("nesting wrong: outer depth %d, inner depth %d", outer.Depth, inner.Depth)
+	}
+	depths := LoopDepths(f)
+	if depths[f.BlockByName("b2").ID] != 2 {
+		t.Errorf("b2 depth = %d", depths[f.BlockByName("b2").ID])
+	}
+	if depths[f.BlockByName("entry").ID] != 0 {
+		t.Error("entry in a loop?")
+	}
+	if depths[f.BlockByName("latch1").ID] != 1 {
+		t.Errorf("latch1 depth = %d", depths[f.BlockByName("latch1").ID])
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	f := buildDiamond(t)
+	if loops := NaturalLoops(f); len(loops) != 0 {
+		t.Errorf("diamond has %d loops", len(loops))
+	}
+}
+
+func TestDot(t *testing.T) {
+	f := buildDiamond(t)
+	s := Dot(f)
+	for _, want := range []string{"digraph", `"entry" -> "then" [label="T"]`, `"entry" -> "else" [label="F"]`, `"then" -> "join"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Dot missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPostorderDeepCFGNoOverflow(t *testing.T) {
+	// A long chain exercises the iterative DFS.
+	bd := ir.NewBuilder("chain")
+	const n = 20000
+	for i := 0; i < n; i++ {
+		bd.Block(blockName(i))
+		if i == n-1 {
+			bd.RetVoid()
+		} else {
+			bd.Jump(blockName(i + 1))
+		}
+	}
+	f := mustBuild(t, bd)
+	po := Postorder(f)
+	if len(po) != n {
+		t.Fatalf("postorder len = %d", len(po))
+	}
+	if po[0].Name != blockName(n-1) {
+		t.Errorf("first postorder = %s", po[0].Name)
+	}
+}
+
+func blockName(i int) string {
+	return "b" + string(rune('A'+i/1000%26)) + string(rune('a'+i/26%26)) + string(rune('a'+i%26)) + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,179 @@
+// Package interp executes IR functions. It is the oracle of the
+// reproduction: a transformed program must produce the same observable
+// behaviour (printed values and return value) as the original on every
+// input, and the interpreter's per-expression evaluation counters provide
+// the dynamic computation counts that the optimality experiments (T2)
+// compare.
+//
+// Semantics are total: reading an undefined variable yields 0 (the IR
+// validator accepts such programs and the random generator never relies on
+// it, but totality keeps the equivalence oracle simple), and division or
+// modulus by zero yields 0 (see ir.Op.Eval). Execution is bounded by a step
+// budget so that looping programs always terminate in tests.
+package interp
+
+import (
+	"fmt"
+
+	"lazycm/internal/ir"
+)
+
+// Outcome is the observable result of a run.
+type Outcome struct {
+	// Returned reports whether execution reached a return before the step
+	// budget expired.
+	Returned bool
+	// HasValue and Value describe the returned value.
+	HasValue bool
+	Value    int64
+	// Prints is the sequence of printed values.
+	Prints []int64
+	// Steps is the number of statements and terminators executed.
+	Steps int
+}
+
+// ObservablyEqual reports whether two outcomes are indistinguishable to an
+// observer: same termination status, same prints, same returned value.
+// Step counts are intentionally ignored — transformations change them.
+func (o Outcome) ObservablyEqual(p Outcome) bool {
+	if o.Returned != p.Returned || o.HasValue != p.HasValue {
+		return false
+	}
+	if o.HasValue && o.Value != p.Value {
+		return false
+	}
+	if len(o.Prints) != len(p.Prints) {
+		return false
+	}
+	for i := range o.Prints {
+		if o.Prints[i] != p.Prints[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the outcome.
+func (o Outcome) String() string {
+	if !o.Returned {
+		return fmt.Sprintf("<timeout after %d steps, prints=%v>", o.Steps, o.Prints)
+	}
+	if o.HasValue {
+		return fmt.Sprintf("<ret %d, prints=%v, steps=%d>", o.Value, o.Prints, o.Steps)
+	}
+	return fmt.Sprintf("<ret, prints=%v, steps=%d>", o.Prints, o.Steps)
+}
+
+// Counts maps each candidate expression to the number of times a BinOp
+// statement computing it was executed: the dynamic computation count of
+// experiment T2.
+type Counts map[ir.Expr]int
+
+// Total sums all per-expression counts.
+func (c Counts) Total() int {
+	t := 0
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Options configures a run.
+type Options struct {
+	// Args are the values bound to the function's parameters, positionally.
+	// Missing arguments default to 0; extra arguments are an error.
+	Args []int64
+	// MaxSteps bounds execution; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the step budget when Options.MaxSteps is zero.
+const DefaultMaxSteps = 1 << 20
+
+// Run executes f and returns its outcome and dynamic expression counts.
+func Run(f *ir.Function, opts Options) (Outcome, Counts, error) {
+	if len(opts.Args) > len(f.Params) {
+		return Outcome{}, nil, fmt.Errorf("interp: %d args for %d params", len(opts.Args), len(f.Params))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+
+	env := make(map[string]int64, len(f.Params)+8)
+	for i, p := range f.Params {
+		if i < len(opts.Args) {
+			env[p] = opts.Args[i]
+		} else {
+			env[p] = 0
+		}
+	}
+	eval := func(o ir.Operand) int64 {
+		if o.IsConst() {
+			return o.Value
+		}
+		return env[o.Name]
+	}
+
+	var out Outcome
+	counts := Counts{}
+	b := f.Entry()
+	for {
+		for _, in := range b.Instrs {
+			if out.Steps >= maxSteps {
+				return out, counts, nil
+			}
+			out.Steps++
+			switch in.Kind {
+			case ir.BinOp:
+				e, _ := in.Expr()
+				counts[e]++
+				env[in.Dst] = in.Op.Eval(eval(in.A), eval(in.B))
+			case ir.Copy:
+				env[in.Dst] = eval(in.A)
+			case ir.Print:
+				out.Prints = append(out.Prints, eval(in.A))
+			case ir.Nop:
+			default:
+				return out, counts, fmt.Errorf("interp: invalid instruction kind %d", int(in.Kind))
+			}
+		}
+		if out.Steps >= maxSteps {
+			return out, counts, nil
+		}
+		out.Steps++
+		switch b.Term.Kind {
+		case ir.Jump:
+			b = b.Term.Then
+		case ir.Branch:
+			if eval(b.Term.Cond) != 0 {
+				b = b.Term.Then
+			} else {
+				b = b.Term.Else
+			}
+		case ir.Ret:
+			out.Returned = true
+			if b.Term.HasVal {
+				out.HasValue = true
+				out.Value = eval(b.Term.Val)
+			}
+			return out, counts, nil
+		default:
+			return out, counts, fmt.Errorf("interp: invalid terminator kind %d", int(b.Term.Kind))
+		}
+	}
+}
+
+// CountsRestrictedTo filters counts to the expressions of the given set,
+// so that transformed programs (whose temporaries add no new candidate
+// expressions, but whose inserted computations must be attributed to the
+// original expressions) can be compared against originals.
+func CountsRestrictedTo(c Counts, exprs []ir.Expr) Counts {
+	out := Counts{}
+	for _, e := range exprs {
+		if v, ok := c[e]; ok {
+			out[e] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package interp
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func run(t *testing.T, src string, args ...int64) (Outcome, Counts) {
+	t.Helper()
+	out, counts, err := Run(parse(t, src), Options{Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, counts
+}
+
+func TestStraightLine(t *testing.T) {
+	out, counts := run(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = x * 2
+  print y
+  ret y
+}`, 3, 4)
+	if !out.Returned || !out.HasValue || out.Value != 14 {
+		t.Fatalf("outcome = %s", out)
+	}
+	if len(out.Prints) != 1 || out.Prints[0] != 14 {
+		t.Fatalf("prints = %v", out.Prints)
+	}
+	if counts.Total() != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	if counts[add] != 1 {
+		t.Errorf("count[a+b] = %d", counts[add])
+	}
+}
+
+func TestBranching(t *testing.T) {
+	src := `
+func f(c) {
+e:
+  br c yes no
+yes:
+  ret 1
+no:
+  ret 0
+}`
+	out, _ := run(t, src, 7)
+	if out.Value != 1 {
+		t.Errorf("true branch: %s", out)
+	}
+	out, _ = run(t, src, 0)
+	if out.Value != 0 {
+		t.Errorf("false branch: %s", out)
+	}
+}
+
+func TestLoopAndCounts(t *testing.T) {
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret x
+}`
+	out, counts := run(t, src, 2, 3, 10)
+	if out.Value != 5 {
+		t.Fatalf("value = %s", out)
+	}
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	if counts[add] != 10 {
+		t.Errorf("a+b evaluated %d times, want 10", counts[add])
+	}
+}
+
+func TestUndefinedReadsAreZero(t *testing.T) {
+	out, _ := run(t, `
+func f() {
+e:
+  x = u + 1
+  ret x
+}`)
+	if out.Value != 1 {
+		t.Errorf("undefined read: %s", out)
+	}
+}
+
+func TestDivModByZeroTotal(t *testing.T) {
+	out, _ := run(t, `
+func f(a) {
+e:
+  x = a / 0
+  y = a % 0
+  z = x + y
+  ret z
+}`, 5)
+	if !out.Returned || out.Value != 0 {
+		t.Errorf("division by zero not total: %s", out)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	f := parse(t, `
+func f(x) {
+e:
+  c = 1
+  jmp loop
+loop:
+  print c
+  br c loop done
+done:
+  ret
+}`)
+	out, _, err := Run(f, Options{MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Returned {
+		t.Fatal("infinite loop returned")
+	}
+	if out.Steps != 100 {
+		t.Errorf("steps = %d, want 100", out.Steps)
+	}
+	if len(out.Prints) == 0 {
+		t.Error("no observable prints before timeout")
+	}
+}
+
+func TestMissingArgsDefaultZero(t *testing.T) {
+	out, _ := run(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`, 5)
+	if out.Value != 5 {
+		t.Errorf("missing arg: %s", out)
+	}
+}
+
+func TestTooManyArgs(t *testing.T) {
+	f := parse(t, "func f(a) {\ne:\n  ret a\n}")
+	if _, _, err := Run(f, Options{Args: []int64{1, 2}}); err == nil {
+		t.Error("extra args accepted")
+	}
+}
+
+func TestNopAndBareRet(t *testing.T) {
+	out, _ := run(t, `
+func f() {
+e:
+  nop
+  ret
+}`)
+	if !out.Returned || out.HasValue {
+		t.Errorf("bare ret: %s", out)
+	}
+}
+
+func TestObservablyEqual(t *testing.T) {
+	a := Outcome{Returned: true, HasValue: true, Value: 3, Prints: []int64{1, 2}, Steps: 10}
+	b := a
+	b.Steps = 99
+	if !a.ObservablyEqual(b) {
+		t.Error("step count must not affect observability")
+	}
+	b.Value = 4
+	if a.ObservablyEqual(b) {
+		t.Error("different values equal")
+	}
+	b = a
+	b.Prints = []int64{1, 3}
+	if a.ObservablyEqual(b) {
+		t.Error("different prints equal")
+	}
+	b = a
+	b.Prints = []int64{1}
+	if a.ObservablyEqual(b) {
+		t.Error("different print lengths equal")
+	}
+	b = a
+	b.Returned = false
+	if a.ObservablyEqual(b) {
+		t.Error("different termination equal")
+	}
+	b = a
+	b.HasValue = false
+	if a.ObservablyEqual(b) {
+		t.Error("different HasValue equal")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if (Outcome{}).String() == "" ||
+		(Outcome{Returned: true}).String() == "" ||
+		(Outcome{Returned: true, HasValue: true}).String() == "" {
+		t.Error("empty outcome strings")
+	}
+}
+
+func TestCountsRestrictedTo(t *testing.T) {
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	mul := ir.Expr{Op: ir.Mul, A: ir.Var("a"), B: ir.Var("b")}
+	c := Counts{add: 3, mul: 5}
+	r := CountsRestrictedTo(c, []ir.Expr{add})
+	if r.Total() != 3 {
+		t.Errorf("restricted = %v", r)
+	}
+}
+
+func TestAllOperatorsExecute(t *testing.T) {
+	out, _ := run(t, `
+func f(a, b) {
+e:
+  t1 = a + b
+  t2 = a - b
+  t3 = a * b
+  t4 = a / b
+  t5 = a % b
+  t6 = a == b
+  t7 = a != b
+  t8 = a < b
+  t9 = a <= b
+  t10 = a > b
+  t11 = a >= b
+  s1 = t1 + t2
+  s2 = t3 + t4
+  s3 = t5 + t6
+  s4 = t7 + t8
+  s5 = t9 + t10
+  s6 = s1 + s2
+  s7 = s3 + s4
+  s8 = s5 + t11
+  s9 = s6 + s7
+  s10 = s9 + s8
+  ret s10
+}`, 7, 3)
+	// 10+4+21+2+1+0+1+0+0+1+1 = a+b=10, a-b=4, a*b=21, a/b=2, a%b=1,
+	// ==0, !=1, <0, <=0, >1, >=1. Sum = 41.
+	if out.Value != 41 {
+		t.Errorf("operator sum = %d, want 41", out.Value)
+	}
+}

@@ -1,0 +1,84 @@
+package ir
+
+// Block is a basic block: a named, straight-line sequence of statements
+// ended by exactly one terminator.
+type Block struct {
+	// Name is the block's label, unique within its function.
+	Name string
+	// ID is the block's dense index within its function, assigned by
+	// Function.Renumber. Analyses index their state by ID.
+	ID int
+	// Instrs are the block's statements in execution order.
+	Instrs []Instr
+	// Term is the block's terminator.
+	Term Terminator
+
+	preds []*Block
+}
+
+// Succs returns the block's successors in terminator order (Then before
+// Else). A Ret block has none. The returned slice is freshly allocated.
+func (b *Block) Succs() []*Block {
+	switch b.Term.Kind {
+	case Jump:
+		return []*Block{b.Term.Then}
+	case Branch:
+		return []*Block{b.Term.Then, b.Term.Else}
+	}
+	return nil
+}
+
+// NumSuccs returns the number of successors without allocating.
+func (b *Block) NumSuccs() int {
+	switch b.Term.Kind {
+	case Jump:
+		return 1
+	case Branch:
+		return 2
+	}
+	return 0
+}
+
+// Succ returns the i'th successor.
+func (b *Block) Succ(i int) *Block {
+	switch {
+	case b.Term.Kind == Jump && i == 0:
+		return b.Term.Then
+	case b.Term.Kind == Branch && i == 0:
+		return b.Term.Then
+	case b.Term.Kind == Branch && i == 1:
+		return b.Term.Else
+	}
+	panic("ir: successor index out of range")
+}
+
+// SetSucc replaces the i'th successor. Used by edge splitting.
+func (b *Block) SetSucc(i int, s *Block) {
+	switch {
+	case b.Term.Kind == Jump && i == 0:
+		b.Term.Then = s
+	case b.Term.Kind == Branch && i == 0:
+		b.Term.Then = s
+	case b.Term.Kind == Branch && i == 1:
+		b.Term.Else = s
+	default:
+		panic("ir: successor index out of range")
+	}
+}
+
+// Preds returns the block's predecessors as computed by the owning
+// function's Recompute. The slice is owned by the block; do not mutate.
+func (b *Block) Preds() []*Block { return b.preds }
+
+// InsertAt inserts instruction in before position i (0 ≤ i ≤ len(Instrs)).
+func (b *Block) InsertAt(i int, in Instr) {
+	if i < 0 || i > len(b.Instrs) {
+		panic("ir: instruction insertion index out of range")
+	}
+	b.Instrs = append(b.Instrs, Instr{})
+	copy(b.Instrs[i+1:], b.Instrs[i:])
+	b.Instrs[i] = in
+}
+
+// Append appends an instruction at the end of the block.
+func (b *Block) Append(in Instr) { b.Instrs = append(b.Instrs, in) }

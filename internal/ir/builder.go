@@ -1,0 +1,160 @@
+package ir
+
+import "fmt"
+
+// Builder constructs functions programmatically. Blocks are referred to by
+// name; terminator targets are resolved when Finish is called, so blocks may
+// be targeted before they are declared. The first block declared is the
+// entry block.
+type Builder struct {
+	fn   *Function
+	cur  *Block
+	errs []error
+	// pending maps a block to its terminator's unresolved target names.
+	pending map[*Block][2]string
+	termSet map[*Block]bool
+}
+
+// NewBuilder starts a function with the given name and parameters.
+func NewBuilder(name string, params ...string) *Builder {
+	return &Builder{
+		fn:      &Function{Name: name, Params: params},
+		pending: make(map[*Block][2]string),
+		termSet: make(map[*Block]bool),
+	}
+}
+
+func (bd *Builder) errorf(format string, args ...any) {
+	bd.errs = append(bd.errs, fmt.Errorf("builder %s: "+format, append([]any{bd.fn.Name}, args...)...))
+}
+
+// Block starts (or resumes) the block with the given name and makes it
+// current. Declaring the same name twice is an error unless the block has
+// no terminator yet.
+func (bd *Builder) Block(name string) *Builder {
+	if b := bd.fn.BlockByName(name); b != nil {
+		if bd.termSet[b] {
+			bd.errorf("block %q declared twice", name)
+		}
+		bd.cur = b
+		return bd
+	}
+	bd.cur = bd.fn.AddBlock(name)
+	return bd
+}
+
+func (bd *Builder) need() *Block {
+	if bd.cur == nil {
+		bd.errorf("statement before any block")
+		bd.cur = bd.fn.AddBlock("entry")
+	}
+	if bd.termSet[bd.cur] {
+		bd.errorf("statement after terminator in block %q", bd.cur.Name)
+	}
+	return bd.cur
+}
+
+// BinOp appends dst = a op b to the current block.
+func (bd *Builder) BinOp(dst string, op Op, a, b Operand) *Builder {
+	bd.need().Append(NewBinOp(dst, op, a, b))
+	return bd
+}
+
+// Copy appends dst = src to the current block.
+func (bd *Builder) Copy(dst string, src Operand) *Builder {
+	bd.need().Append(NewCopy(dst, src))
+	return bd
+}
+
+// Print appends print v to the current block.
+func (bd *Builder) Print(v Operand) *Builder {
+	bd.need().Append(NewPrint(v))
+	return bd
+}
+
+// Nop appends a no-op to the current block.
+func (bd *Builder) Nop() *Builder {
+	bd.need().Append(NewNop())
+	return bd
+}
+
+func (bd *Builder) setTerm(t Terminator, then, els string) {
+	b := bd.need()
+	if bd.errs != nil && bd.termSet[b] {
+		return
+	}
+	b.Term = t
+	bd.pending[b] = [2]string{then, els}
+	bd.termSet[b] = true
+	bd.cur = nil
+}
+
+// Jump ends the current block with jmp target.
+func (bd *Builder) Jump(target string) *Builder {
+	bd.setTerm(Terminator{Kind: Jump}, target, "")
+	return bd
+}
+
+// Branch ends the current block with br cond then else.
+func (bd *Builder) Branch(cond Operand, then, els string) *Builder {
+	bd.setTerm(Terminator{Kind: Branch, Cond: cond}, then, els)
+	return bd
+}
+
+// Ret ends the current block with ret v.
+func (bd *Builder) Ret(v Operand) *Builder {
+	bd.setTerm(Terminator{Kind: Ret, HasVal: true, Val: v}, "", "")
+	return bd
+}
+
+// RetVoid ends the current block with a bare ret.
+func (bd *Builder) RetVoid() *Builder {
+	bd.setTerm(Terminator{Kind: Ret}, "", "")
+	return bd
+}
+
+// Finish resolves targets, recomputes CFG metadata, validates, and returns
+// the function. It returns an error if construction or validation failed.
+func (bd *Builder) Finish() (*Function, error) {
+	for b, tgt := range bd.pending {
+		switch b.Term.Kind {
+		case Jump:
+			t := bd.fn.BlockByName(tgt[0])
+			if t == nil {
+				bd.errorf("block %q jumps to undefined block %q", b.Name, tgt[0])
+				continue
+			}
+			b.Term.Then = t
+		case Branch:
+			t := bd.fn.BlockByName(tgt[0])
+			e := bd.fn.BlockByName(tgt[1])
+			if t == nil || e == nil {
+				bd.errorf("block %q branches to undefined block", b.Name)
+				continue
+			}
+			b.Term.Then, b.Term.Else = t, e
+		}
+	}
+	for _, b := range bd.fn.Blocks {
+		if !bd.termSet[b] {
+			bd.errorf("block %q has no terminator", b.Name)
+		}
+	}
+	if len(bd.errs) > 0 {
+		return nil, bd.errs[0]
+	}
+	bd.fn.Recompute()
+	if err := bd.fn.Validate(); err != nil {
+		return nil, err
+	}
+	return bd.fn, nil
+}
+
+// MustFinish is Finish that panics on error; for tests and examples.
+func (bd *Builder) MustFinish() *Function {
+	f, err := bd.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

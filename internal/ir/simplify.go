@@ -1,0 +1,77 @@
+package ir
+
+// Simplify tidies the CFG in place without changing semantics:
+//
+//   - forwarding: an empty block ending in an unconditional jump is removed
+//     and its predecessors retargeted (this folds away critical-edge split
+//     blocks that received no insertion);
+//   - merging: a block with a unique successor whose unique predecessor it
+//     is absorbs that successor.
+//
+// The entry block is never removed. Simplify runs to a fixed point and
+// returns the number of blocks eliminated. Callers get a recomputed,
+// valid function back.
+func (f *Function) Simplify() int {
+	removed := 0
+	for {
+		changed := false
+
+		// Forwarding of empty jump blocks.
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 0 || b.Term.Kind != Jump {
+				continue
+			}
+			target := b.Term.Then
+			if target == b {
+				continue // degenerate self-loop; validation rejects these anyway
+			}
+			for _, p := range f.Blocks {
+				for i, n := 0, p.NumSuccs(); i < n; i++ {
+					if p.Succ(i) == b {
+						p.SetSucc(i, target)
+					}
+				}
+			}
+			f.removeBlock(b)
+			removed++
+			changed = true
+			break // block list changed; restart scan
+		}
+		if changed {
+			f.Recompute()
+			continue
+		}
+
+		// Straight-line merging.
+		for _, b := range f.Blocks {
+			if b.Term.Kind != Jump {
+				continue
+			}
+			s := b.Term.Then
+			if s == b || s == f.Entry() || len(s.Preds()) != 1 {
+				continue
+			}
+			b.Instrs = append(b.Instrs, s.Instrs...)
+			b.Term = s.Term
+			f.removeBlock(s)
+			removed++
+			changed = true
+			break
+		}
+		if !changed {
+			return removed
+		}
+		f.Recompute()
+	}
+}
+
+// removeBlock deletes b from the function's block list. The caller must
+// Recompute afterwards.
+func (f *Function) removeBlock(b *Block) {
+	for i, x := range f.Blocks {
+		if x == b {
+			f.Blocks = append(f.Blocks[:i], f.Blocks[i+1:]...)
+			return
+		}
+	}
+}

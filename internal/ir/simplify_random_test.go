@@ -1,0 +1,48 @@
+package ir_test
+
+// Simplify's unit tests cover the rewrite shapes; this file checks the
+// semantic contract on arbitrary programs, including ones that LCM has
+// already peppered with split blocks.
+
+import (
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+)
+
+func TestSimplifyPreservesSemanticsOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		f := randprog.ForSeed(seed)
+		// Transform first so there are split blocks to fold away.
+		res, err := lcm.Transform(f, lcm.LCM)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		g := res.F
+		before := g.NumBlocks()
+		removed := g.Simplify()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: simplified function invalid: %v\n%s", seed, err, g)
+		}
+		if g.NumBlocks() != before-removed {
+			t.Fatalf("seed %d: removed count inconsistent: %d blocks, was %d, removed %d",
+				seed, g.NumBlocks(), before, removed)
+		}
+		for run := 0; run < 4; run++ {
+			args := randprog.Args(f, seed*23+int64(run))
+			a, _, err := interp.Run(f, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := interp.Run(g, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.ObservablyEqual(b) {
+				t.Fatalf("seed %d args %v: %s vs %s\n%s", seed, args, a, b, g)
+			}
+		}
+	}
+}

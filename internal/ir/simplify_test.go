@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimplifyForwardsEmptyJumpBlock(t *testing.T) {
+	f, err := NewBuilder("f", "c").
+		Block("entry").Branch(Var("c"), "mid", "out").
+		Block("mid").Jump("out").
+		Block("out").RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Simplify()
+	if n != 1 {
+		t.Fatalf("removed = %d, want 1\n%s", n, f)
+	}
+	if f.BlockByName("mid") != nil {
+		t.Errorf("mid not removed:\n%s", f)
+	}
+	if f.Entry().Succ(0).Name != "out" || f.Entry().Succ(1).Name != "out" {
+		t.Errorf("preds not retargeted:\n%s", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyMergesStraightLine(t *testing.T) {
+	f, err := NewBuilder("f", "a").
+		Block("one").Copy("x", Var("a")).Jump("two").
+		Block("two").Copy("y", Var("x")).Jump("three").
+		Block("three").Ret(Var("y")).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Simplify()
+	if n != 2 {
+		t.Fatalf("removed = %d, want 2\n%s", n, f)
+	}
+	if f.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d\n%s", f.NumBlocks(), f)
+	}
+	e := f.Entry()
+	if len(e.Instrs) != 2 || e.Term.Kind != Ret {
+		t.Errorf("merge wrong:\n%s", f)
+	}
+}
+
+func TestSimplifyKeepsEntry(t *testing.T) {
+	// Entry is an empty jump block: it must not be removed.
+	f, err := NewBuilder("f").
+		Block("entry").Jump("body").
+		Block("body").Copy("x", Const(1)).RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Simplify()
+	if f.Entry().Name != "entry" && f.NumBlocks() > 1 {
+		t.Errorf("entry mishandled:\n%s", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyKeepsNonEmptyForwarders(t *testing.T) {
+	f, err := NewBuilder("f", "c").
+		Block("entry").Branch(Var("c"), "mid", "out").
+		Block("mid").Copy("x", Const(1)).Jump("out").
+		Block("out").RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.Simplify(); n != 0 {
+		t.Fatalf("removed %d blocks from an unsimplifiable CFG\n%s", n, f)
+	}
+}
+
+func TestSimplifyLoop(t *testing.T) {
+	// A loop through an empty latch block: the latch is forwarded, the
+	// back edge retargeted to the header.
+	f, err := NewBuilder("f", "c").
+		Block("entry").Jump("head").
+		Block("head").Branch(Var("c"), "latch", "out").
+		Block("latch").Jump("head").
+		Block("out").RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Simplify()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, f)
+	}
+	head := f.BlockByName("head")
+	if head == nil || head.Succ(0) != head {
+		t.Errorf("self back edge not formed:\n%s", f)
+	}
+}
+
+func TestSimplifyDoesNotMergeLoopHeader(t *testing.T) {
+	// b jumps to a header with two preds: no merge.
+	f, err := NewBuilder("f", "c").
+		Block("entry").Copy("x", Const(0)).Jump("head").
+		Block("head").Copy("x", Var("x")).Branch(Var("c"), "head", "out").
+		Block("out").RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.NumBlocks()
+	f.Simplify()
+	if f.NumBlocks() != before {
+		t.Errorf("loop header merged:\n%s", f)
+	}
+}
+
+func TestSimplifyIdempotent(t *testing.T) {
+	f, err := NewBuilder("f", "c").
+		Block("entry").Branch(Var("c"), "a", "b").
+		Block("a").Jump("join").
+		Block("b").Jump("join").
+		Block("join").Copy("x", Const(1)).Jump("tail").
+		Block("tail").RetVoid().
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Simplify()
+	s := f.String()
+	if n := f.Simplify(); n != 0 || f.String() != s {
+		t.Errorf("Simplify not idempotent (removed %d more):\n%s", n, f)
+	}
+}
+
+func TestSimplifyChainCollapse(t *testing.T) {
+	bd := NewBuilder("f")
+	bd.Block("entry").Jump("c1")
+	for i := 1; i <= 5; i++ {
+		bd.Block(blockN(i)).Jump(blockN(i + 1))
+	}
+	bd.Block(blockN(6)).RetVoid()
+	f, err := bd.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Simplify()
+	if f.NumBlocks() != 1 {
+		t.Errorf("chain not collapsed: %d blocks\n%s", f.NumBlocks(), f)
+	}
+	if !strings.Contains(f.String(), "ret") {
+		t.Errorf("terminator lost:\n%s", f)
+	}
+}
+
+func blockN(i int) string {
+	return "c" + string(rune('0'+i))
+}

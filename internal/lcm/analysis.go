@@ -1,0 +1,281 @@
+// Package lcm implements the paper's contribution: Lazy Code Motion
+// (Knoop, Rüthing & Steffen, PLDI 1992), a partial-redundancy-elimination
+// transformation that is computationally optimal and, among all
+// computationally optimal placements, lifetime optimal.
+//
+// The algorithm runs on the paper's program model (package nodes: one
+// elementary statement per node, unique empty entry and exit, synthetic
+// nodes on critical edges) and consists of four unidirectional bit-vector
+// data-flow analyses plus two derived predicates, all computed for every
+// candidate expression simultaneously:
+//
+//	DSAFE    (backward, must)  — down-safety: on every path from the node,
+//	                             e is computed before any operand changes.
+//	USAFE    (forward, must)   — up-safety (availability): on every path to
+//	                             the node, e was computed after the last
+//	                             operand change.
+//	EARLIEST (derived)         — down-safe nodes where the computation can
+//	                             be hoisted no further.
+//	DELAY    (forward, must)   — insertions can be postponed from earliest
+//	                             points down to here without losing
+//	                             computational optimality.
+//	LATEST   (derived)         — the frontier of delayability: the latest
+//	                             computationally optimal insertion points.
+//	ISOLATED (backward, must)  — insertions here would only feed the
+//	                             immediately following computation.
+//
+// Three placement modes expose the paper's development:
+//
+//	BCM  (busy)        — insert at EARLIEST: computationally optimal,
+//	                     maximal temporary lifetimes.
+//	ALCM (almost lazy) — insert at LATEST: minimal lifetimes except for
+//	                     isolated single-use copies.
+//	LCM  (lazy)        — insert at LATEST ∧ ¬ISOLATED, suppressing the
+//	                     useless copies: the paper's final transformation.
+package lcm
+
+import (
+	"fmt"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/dataflow"
+	"lazycm/internal/nodes"
+	"lazycm/internal/props"
+)
+
+// Mode selects a placement strategy.
+type Mode int
+
+const (
+	// BCM is Busy Code Motion: insert as early as possible.
+	BCM Mode = iota
+	// ALCM is Almost Lazy Code Motion: insert as late as possible.
+	ALCM
+	// LCM is Lazy Code Motion: as late as possible, minus isolated
+	// insertions.
+	LCM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case BCM:
+		return "BCM"
+	case ALCM:
+		return "ALCM"
+	case LCM:
+		return "LCM"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Analysis holds the six global predicates of the paper over a node graph,
+// one row per node, one column per candidate expression.
+type Analysis struct {
+	G *nodes.Graph
+	U *props.Universe
+
+	DSafe    *bitvec.Matrix // down-safety at node entry
+	USafe    *bitvec.Matrix // up-safety at node entry
+	Earliest *bitvec.Matrix
+	Delay    *bitvec.Matrix
+	Latest   *bitvec.Matrix
+	Isolated *bitvec.Matrix
+
+	// Stats holds the solver statistics of the data-flow problems, in the
+	// order they were solved (down-safety, up-safety, delay, isolation).
+	// The derived predicates' vector operations are accounted in Derived.
+	Stats []dataflow.Stats
+	// Derived counts the whole-vector operations spent computing EARLIEST
+	// and LATEST.
+	Derived int
+}
+
+// TotalVectorOps returns the total whole-vector operation count across the
+// four data-flow problems and the derived predicates: the efficiency
+// currency of experiment T4.
+func (a *Analysis) TotalVectorOps() int {
+	total := a.Derived
+	for _, s := range a.Stats {
+		total += s.VectorOps
+	}
+	return total
+}
+
+// Analyze computes all six predicates over g.
+func Analyze(g *nodes.Graph) *Analysis {
+	n := g.NumNodes()
+	w := g.U.Size()
+	a := &Analysis{G: g, U: g.U}
+
+	// Shared kill vector: expressions killed by a node are those with a
+	// redefined operand, i.e. ¬TRANSP.
+	notTransp := bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := notTransp.Row(i)
+		row.CopyFrom(g.Transp.Row(i))
+		row.Not()
+	}
+
+	// Down-safety: backward, must.
+	//   DSAFE(n) = COMP(n) ∨ (TRANSP(n) ∧ ∏_{m∈succ(n)} DSAFE(m))
+	// with DSAFE ≡ false at the exit node.
+	dsafeRes := dataflow.Solve(g, &dataflow.Problem{
+		Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
+		Width: w, Gen: g.Comp, Kill: notTransp,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+	a.DSafe = dsafeRes.In
+	a.Stats = append(a.Stats, dsafeRes.Stats)
+
+	// Up-safety: forward, must.
+	//   USAFE(n) = ∏_{m∈pred(n)} ((USAFE(m) ∨ COMP(m)) ∧ TRANSP(m))
+	// with USAFE ≡ false at the entry node. Gen = COMP ∧ TRANSP because a
+	// computation whose own assignment kills an operand (v = v ⊕ b) does
+	// not make the expression available.
+	usafeGen := bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := usafeGen.Row(i)
+		row.CopyFrom(g.Comp.Row(i))
+		row.And(g.Transp.Row(i))
+	}
+	usafeRes := dataflow.Solve(g, &dataflow.Problem{
+		Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
+		Width: w, Gen: usafeGen, Kill: notTransp,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+	a.USafe = usafeRes.In
+	a.Stats = append(a.Stats, usafeRes.Stats)
+
+	// Earliestness (derived):
+	//   EARLIEST(n) = DSAFE(n) ∧ (pred(n) = ∅ ∨
+	//       ¬∏_{m∈pred(n)} (TRANSP(m) ∧ (DSAFE(m) ∨ USAFE(m))))
+	// A computation can be hoisted over predecessor m only if m does not
+	// change its value (TRANSP) and placing it at m is safe.
+	a.Earliest = bitvec.NewMatrix(n, w)
+	hoistable := bitvec.New(w)
+	tmp := bitvec.New(w)
+	for i := 0; i < n; i++ {
+		row := a.Earliest.Row(i)
+		row.CopyFrom(a.DSafe.Row(i))
+		a.Derived++
+		if g.NumPreds(i) == 0 {
+			continue // entry: earliest wherever down-safe
+		}
+		hoistable.SetAll()
+		for p := 0; p < g.NumPreds(i); p++ {
+			m := g.Pred(i, p)
+			tmp.CopyFrom(a.DSafe.Row(m))
+			tmp.Or(a.USafe.Row(m))
+			tmp.And(g.Transp.Row(m))
+			hoistable.And(tmp)
+			a.Derived += 4
+		}
+		row.AndNot(hoistable)
+		a.Derived++
+	}
+
+	// Delayability: forward, must.
+	//   DELAY(n) = EARLIEST(n) ∨ ∏_{m∈pred(n)} (DELAY(m) ∧ ¬COMP(m))
+	// with the meet-input false at the entry node. In gen/kill form the
+	// transfer is OUT = (IN ∨ EARLIEST) ∧ ¬COMP.
+	delayGen := bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := delayGen.Row(i)
+		row.CopyFrom(a.Earliest.Row(i))
+		row.AndNot(g.Comp.Row(i))
+	}
+	delayRes := dataflow.Solve(g, &dataflow.Problem{
+		Name: "delay", Dir: dataflow.Forward, Meet: dataflow.Must,
+		Width: w, Gen: delayGen, Kill: g.Comp,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+	a.Delay = bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := a.Delay.Row(i)
+		row.CopyFrom(delayRes.In.Row(i))
+		row.Or(a.Earliest.Row(i))
+	}
+	a.Stats = append(a.Stats, delayRes.Stats)
+
+	// Latestness (derived):
+	//   LATEST(n) = DELAY(n) ∧ (COMP(n) ∨ ¬∏_{m∈succ(n)} DELAY(m))
+	a.Latest = bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := a.Latest.Row(i)
+		ns := g.NumSuccs(i)
+		if ns == 0 {
+			// ∏ over the empty set is true: LATEST = DELAY ∧ COMP.
+			row.CopyFrom(a.Delay.Row(i))
+			row.And(g.Comp.Row(i))
+			a.Derived += 2
+			continue
+		}
+		hoistable.SetAll()
+		for s := 0; s < ns; s++ {
+			hoistable.And(a.Delay.Row(g.Succ(i, s)))
+			a.Derived++
+		}
+		hoistable.Not()
+		hoistable.Or(g.Comp.Row(i))
+		row.CopyFrom(a.Delay.Row(i))
+		row.And(hoistable)
+		a.Derived += 4
+	}
+
+	// Isolation: backward, must.
+	//   ISOLATED(n) = ∏_{m∈succ(n)} (LATEST(m) ∨ (¬COMP(m) ∧ ISOLATED(m)))
+	// with ISOLATED ≡ true at the exit node. In flow form the node value
+	// is the OUT side; the IN transfer is IN = LATEST ∨ (OUT ∧ ¬COMP).
+	isoRes := dataflow.Solve(g, &dataflow.Problem{
+		Name: "isolated", Dir: dataflow.Backward, Meet: dataflow.Must,
+		Width: w, Gen: a.Latest, Kill: g.Comp,
+		Boundary: dataflow.BoundaryFull,
+	})
+	a.Isolated = isoRes.Out
+	a.Stats = append(a.Stats, isoRes.Stats)
+
+	return a
+}
+
+// Placement is a code-motion decision: which expressions to insert before
+// which nodes and which computations to rewrite to the temporary.
+type Placement struct {
+	Mode Mode
+	// Insert(node, expr): place t_expr = expr immediately before node.
+	Insert *bitvec.Matrix
+	// Replace(node, expr): rewrite the node's computation of expr to read
+	// t_expr.
+	Replace *bitvec.Matrix
+}
+
+// Placement derives the insert/replace decision for the given mode.
+func (a *Analysis) Placement(mode Mode) *Placement {
+	n := a.G.NumNodes()
+	w := a.U.Size()
+	p := &Placement{Mode: mode, Insert: bitvec.NewMatrix(n, w), Replace: bitvec.NewMatrix(n, w)}
+	for i := 0; i < n; i++ {
+		ins := p.Insert.Row(i)
+		rep := p.Replace.Row(i)
+		switch mode {
+		case BCM:
+			ins.CopyFrom(a.Earliest.Row(i))
+			rep.CopyFrom(a.G.Comp.Row(i))
+		case ALCM:
+			ins.CopyFrom(a.Latest.Row(i))
+			rep.CopyFrom(a.G.Comp.Row(i))
+		case LCM:
+			// INSERT = LATEST ∧ ¬ISOLATED
+			ins.CopyFrom(a.Latest.Row(i))
+			ins.AndNot(a.Isolated.Row(i))
+			// REPLACE = COMP ∧ ¬(LATEST ∧ ISOLATED)
+			rep.CopyFrom(a.Latest.Row(i))
+			rep.And(a.Isolated.Row(i))
+			rep.Not()
+			rep.And(a.G.Comp.Row(i))
+		default:
+			panic(fmt.Sprintf("lcm: invalid mode %d", int(mode)))
+		}
+	}
+	return p
+}

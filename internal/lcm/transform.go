@@ -1,0 +1,204 @@
+package lcm
+
+import (
+	"fmt"
+	"sort"
+
+	"lazycm/internal/graph"
+	"lazycm/internal/ir"
+	"lazycm/internal/nodes"
+	"lazycm/internal/props"
+)
+
+// Result is the outcome of a PRE transformation.
+type Result struct {
+	// F is the transformed function: a clone of the input with critical
+	// edges split, temporaries inserted, and computations replaced. The
+	// input function is never mutated.
+	F *ir.Function
+	// Mode is the placement mode used.
+	Mode Mode
+	// Analysis is the full predicate analysis on the (edge-split) clone's
+	// node graph.
+	Analysis *Analysis
+	// Placement is the insert/replace decision applied.
+	Placement *Placement
+	// TempFor maps each candidate expression to its temporary's name.
+	// Only expressions with at least one insertion or replacement appear.
+	TempFor map[ir.Expr]string
+	// Inserted and Replaced count the code edits.
+	Inserted, Replaced int
+	// EdgesSplit is the number of critical edges materialized.
+	EdgesSplit int
+}
+
+// Transform applies the given placement mode to a clone of f and returns
+// the result. The input function must be valid; the output is valid too.
+func Transform(f *ir.Function, mode Mode) (*Result, error) {
+	return TransformWith(f, mode, false)
+}
+
+// TransformWith is Transform with an option: when canonical is true, the
+// expression universe identifies commutated forms of commutative
+// operators (a+b ≡ b+a), exposing strictly more redundancies than the
+// paper's purely lexical model — the extension measured by experiment T7.
+func TransformWith(f *ir.Function, mode Mode, canonical bool) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("lcm: input invalid: %w", err)
+	}
+	clone := f.Clone()
+	split := graph.SplitCriticalEdges(clone)
+
+	var u *props.Universe
+	if canonical {
+		u = props.CollectCanonical(clone)
+	} else {
+		u = props.Collect(clone)
+	}
+	g := nodes.Build(clone, u)
+	a := Analyze(g)
+	p := a.Placement(mode)
+
+	res := &Result{
+		F: clone, Mode: mode, Analysis: a, Placement: p,
+		TempFor: make(map[ir.Expr]string), EdgesSplit: split,
+	}
+	if err := apply(res, g, u); err != nil {
+		return nil, err
+	}
+	if err := clone.Validate(); err != nil {
+		return nil, fmt.Errorf("lcm: transformed function invalid: %w", err)
+	}
+	return res, nil
+}
+
+// insertion is one pending edit: place t_expr = expr before position pos of
+// a block.
+type insertion struct {
+	pos  int
+	expr int
+}
+
+func apply(res *Result, g *nodes.Graph, u *props.Universe) error {
+	clone := res.F
+
+	// Name the temporaries deterministically: in expression-number order,
+	// t0, t1, … skipping any names the program already uses. Only
+	// expressions the placement touches get a temporary.
+	touched := make([]bool, u.Size())
+	for id := 0; id < g.NumNodes(); id++ {
+		res.Placement.Insert.Row(id).ForEach(func(e int) { touched[e] = true })
+		res.Placement.Replace.Row(id).ForEach(func(e int) { touched[e] = true })
+	}
+	used := make(map[string]bool)
+	for _, v := range clone.Vars() {
+		used[v] = true
+	}
+	tempName := make([]string, u.Size())
+	next := 0
+	for e := range touched {
+		if !touched[e] {
+			continue
+		}
+		for {
+			cand := fmt.Sprintf("t%d", next)
+			next++
+			if !used[cand] {
+				tempName[e] = cand
+				used[cand] = true
+				res.TempFor[u.Expr(e)] = cand
+				break
+			}
+		}
+	}
+	needsTemp := func(e int) string { return tempName[e] }
+
+	// Group insertions by block; record replacements per (block, index).
+	insertsByBlock := make(map[*ir.Block][]insertion)
+	type replKey struct {
+		b   *ir.Block
+		idx int
+	}
+	replace := make(map[replKey][]int)
+
+	for id, nd := range g.Nodes {
+		insRow := res.Placement.Insert.Row(id)
+		if !insRow.IsEmpty() {
+			var blk *ir.Block
+			var pos int
+			switch nd.Kind {
+			case nodes.Stmt:
+				blk, pos = nd.Block, nd.Index
+			case nodes.Term:
+				blk, pos = nd.Block, len(nd.Block.Instrs)
+			case nodes.Entry:
+				blk, pos = clone.Entry(), 0
+			case nodes.Exit:
+				return fmt.Errorf("lcm: internal error: insertion at virtual exit")
+			}
+			insRow.ForEach(func(e int) {
+				insertsByBlock[blk] = append(insertsByBlock[blk], insertion{pos: pos, expr: e})
+			})
+		}
+		repRow := res.Placement.Replace.Row(id)
+		if !repRow.IsEmpty() {
+			if nd.Kind != nodes.Stmt {
+				return fmt.Errorf("lcm: internal error: replacement at non-statement node %s", nd)
+			}
+			repRow.ForEach(func(e int) {
+				k := replKey{b: nd.Block, idx: nd.Index}
+				replace[k] = append(replace[k], e)
+			})
+		}
+	}
+
+	// Apply replacements first (indices are still the originals).
+	for k, exprs := range replace {
+		if len(exprs) != 1 {
+			return fmt.Errorf("lcm: internal error: %d replacements at one statement", len(exprs))
+		}
+		e := exprs[0]
+		in := &k.b.Instrs[k.idx]
+		ie, ok := in.Expr()
+		if !ok {
+			return fmt.Errorf("lcm: internal error: replacing non-computation %s", in)
+		}
+		if idx, found := u.Index(ie); !found || idx != e {
+			return fmt.Errorf("lcm: internal error: replacement expression mismatch at %s", in)
+		}
+		*in = ir.NewCopy(in.Dst, ir.Var(needsTemp(e)))
+		res.Replaced++
+	}
+
+	// Apply insertions back to front within each block so positions stay
+	// valid; ties (same position) are applied in expression order.
+	for blk, ins := range insertsByBlock {
+		sort.Slice(ins, func(i, j int) bool {
+			if ins[i].pos != ins[j].pos {
+				return ins[i].pos > ins[j].pos
+			}
+			return ins[i].expr > ins[j].expr
+		})
+		for _, c := range ins {
+			e := u.Expr(c.expr)
+			blk.InsertAt(c.pos, ir.NewBinOp(needsTemp(c.expr), e.Op, e.A, e.B))
+			res.Inserted++
+		}
+	}
+	clone.Recompute()
+	return nil
+}
+
+// StaticComputations counts BinOp statements in f: the static code-size
+// measure reported by the experiments.
+func StaticComputations(f *ir.Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == ir.BinOp {
+				n++
+			}
+		}
+	}
+	return n
+}

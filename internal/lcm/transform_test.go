@@ -1,0 +1,354 @@
+package lcm
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func transform(t *testing.T, src string, mode Mode) *Result {
+	t.Helper()
+	res, err := Transform(parse(t, src), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTransformDiamondLCM(t *testing.T) {
+	res := transform(t, diamondSrc, LCM)
+	f := res.F
+	if res.Inserted != 2 || res.Replaced != 2 {
+		t.Fatalf("inserted=%d replaced=%d, want 2/2\n%s", res.Inserted, res.Replaced, f)
+	}
+	// Static computation count unchanged (2 before, 2 after: one original
+	// replaced pair becomes insert+copy on each arm).
+	if got := StaticComputations(f); got != 2 {
+		t.Errorf("static computations = %d, want 2\n%s", got, f)
+	}
+	tmp, ok := res.TempFor[ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}]
+	if !ok {
+		t.Fatal("no temp for a + b")
+	}
+	then := f.BlockByName("then")
+	if len(then.Instrs) != 2 ||
+		then.Instrs[0].String() != tmp+" = a + b" ||
+		then.Instrs[1].String() != "x = "+tmp {
+		t.Errorf("then block wrong:\n%s", f)
+	}
+	els := f.BlockByName("else")
+	if len(els.Instrs) != 1 || els.Instrs[0].String() != tmp+" = a + b" {
+		t.Errorf("else block wrong:\n%s", f)
+	}
+	join := f.BlockByName("join")
+	if join.Instrs[0].String() != "y = "+tmp {
+		t.Errorf("join block wrong:\n%s", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformDiamondBCM(t *testing.T) {
+	res := transform(t, diamondSrc, BCM)
+	f := res.F
+	// BCM hoists to program start: one insertion, two replacements.
+	if res.Inserted != 1 || res.Replaced != 2 {
+		t.Fatalf("inserted=%d replaced=%d, want 1/2\n%s", res.Inserted, res.Replaced, f)
+	}
+	entry := f.Entry()
+	if len(entry.Instrs) != 1 || entry.Instrs[0].Kind != ir.BinOp {
+		t.Errorf("BCM insertion not at entry:\n%s", f)
+	}
+	if got := StaticComputations(f); got != 1 {
+		t.Errorf("static computations = %d, want 1\n%s", got, f)
+	}
+}
+
+func TestTransformIsolationModes(t *testing.T) {
+	src := `
+func f(a, b, c) {
+entry:
+  br c yes no
+yes:
+  x = a + b
+  ret x
+no:
+  ret 0
+}`
+	lcmRes := transform(t, src, LCM)
+	if lcmRes.Inserted != 0 || lcmRes.Replaced != 0 {
+		t.Errorf("LCM touched an isolated computation: %d/%d\n%s",
+			lcmRes.Inserted, lcmRes.Replaced, lcmRes.F)
+	}
+	alcmRes := transform(t, src, ALCM)
+	if alcmRes.Inserted != 1 || alcmRes.Replaced != 1 {
+		t.Errorf("ALCM should emit the isolated copy: %d/%d", alcmRes.Inserted, alcmRes.Replaced)
+	}
+}
+
+func TestTransformLoopInvariant(t *testing.T) {
+	res := transform(t, `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret x
+}`, LCM)
+	f := res.F
+	// a+b must be gone from the loop body and live in the preheader.
+	body := f.BlockByName("body")
+	for _, in := range body.Instrs {
+		if e, ok := in.Expr(); ok && e.String() == "a + b" {
+			t.Errorf("a + b still in loop body:\n%s", f)
+		}
+	}
+	foundPre := false
+	for _, in := range f.Entry().Instrs {
+		if e, ok := in.Expr(); ok && e.String() == "a + b" {
+			foundPre = true
+		}
+	}
+	if !foundPre {
+		t.Errorf("a + b not hoisted to preheader:\n%s", f)
+	}
+}
+
+func TestTransformCriticalEdgeInsertion(t *testing.T) {
+	// entry branches straight to join (critical edge); then computes a+b.
+	// LCM must insert on the split block of the critical edge, never in
+	// entry (that would be speculative for the then-arm... actually for
+	// the else-arm) and never at join (too late: then-arm would recompute).
+	src := `
+func f(a, b, c) {
+entry:
+  br c then join
+then:
+  x = a + b
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+	res := transform(t, src, LCM)
+	f := res.F
+	if res.EdgesSplit != 1 {
+		t.Fatalf("EdgesSplit = %d", res.EdgesSplit)
+	}
+	// Find the split block: successor of entry that is not "then".
+	var split *ir.Block
+	for i := 0; i < f.Entry().NumSuccs(); i++ {
+		if s := f.Entry().Succ(i); s.Name != "then" {
+			split = s
+		}
+	}
+	if split == nil || split.Name == "join" {
+		t.Fatalf("split block missing:\n%s", f)
+	}
+	found := false
+	for _, in := range split.Instrs {
+		if e, ok := in.Expr(); ok && e.String() == "a + b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("insertion not on split block:\n%s", f)
+	}
+	if len(f.Entry().Instrs) != 0 {
+		t.Errorf("speculative insertion in entry:\n%s", f)
+	}
+	if got := StaticComputations(f); got != 2 {
+		t.Errorf("static computations = %d, want 2\n%s", got, f)
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	f := parse(t, diamondSrc)
+	before := f.String()
+	if _, err := Transform(f, LCM); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	src := `
+func f(a, b, c, d) {
+entry:
+  p = a + b
+  q = c * d
+  r = a - b
+  br p l1 l2
+l1:
+  s = a + b
+  u = c * d
+  jmp out
+l2:
+  v = a - b
+  jmp out
+out:
+  w = a + b
+  z = c * d
+  ret w
+}`
+	first := transform(t, src, LCM).F.String()
+	for i := 0; i < 20; i++ {
+		if got := transform(t, src, LCM).F.String(); got != first {
+			t.Fatalf("nondeterministic output:\n%s\nvs\n%s", got, first)
+		}
+	}
+}
+
+func TestTransformTempNamesAvoidCollisions(t *testing.T) {
+	// The program already uses t0; the temp must skip it.
+	src := `
+func f(a, b, c) {
+entry:
+  t0 = 5
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  print t0
+  ret y
+}`
+	res := transform(t, src, LCM)
+	for _, tmp := range res.TempFor {
+		if tmp == "t0" {
+			t.Fatalf("temp collides with existing variable t0:\n%s", res.F)
+		}
+	}
+}
+
+func TestTransformMultipleExpressions(t *testing.T) {
+	src := `
+func f(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  y = a * b
+  jmp join
+else:
+  jmp join
+join:
+  p = a + b
+  q = a * b
+  ret p
+}`
+	res := transform(t, src, LCM)
+	if len(res.TempFor) != 2 {
+		t.Fatalf("TempFor = %v", res.TempFor)
+	}
+	if got := StaticComputations(res.F); got != 4 {
+		t.Errorf("static computations = %d, want 4 (2 per arm)\n%s", got, res.F)
+	}
+	if res.Replaced != 4 {
+		t.Errorf("replaced = %d, want 4", res.Replaced)
+	}
+}
+
+func TestTransformSelfKillLoop(t *testing.T) {
+	// a = a + b in a loop: ANTLOC but not COMP/TRANSP; nothing is
+	// eliminable, and the transformation must not corrupt the program.
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  a = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret a
+}`
+	res := transform(t, src, LCM)
+	if err := res.F.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The accumulating statement cannot be replaced: its operand changes
+	// every iteration.
+	if res.Replaced != 0 || res.Inserted != 0 {
+		t.Errorf("self-killing accumulation was transformed: %d/%d\n%s",
+			res.Inserted, res.Replaced, res.F)
+	}
+}
+
+func TestTransformNoCandidates(t *testing.T) {
+	res := transform(t, `
+func f(a) {
+e:
+  x = a
+  print x
+  ret
+}`, LCM)
+	if res.Inserted != 0 || res.Replaced != 0 || len(res.TempFor) != 0 {
+		t.Error("transformation on candidate-free function did something")
+	}
+}
+
+func TestTransformInvalidInput(t *testing.T) {
+	f := parse(t, diamondSrc)
+	f.Blocks[1], f.Blocks[2] = f.Blocks[2], f.Blocks[1] // stale IDs
+	if _, err := Transform(f, LCM); err == nil {
+		t.Error("invalid input accepted")
+	}
+}
+
+func TestTransformOutputParses(t *testing.T) {
+	res := transform(t, diamondSrc, LCM)
+	if _, err := textir.ParseFunction(res.F.String()); err != nil {
+		t.Fatalf("transformed output does not re-parse: %v\n%s", err, res.F)
+	}
+}
+
+func TestStaticComputations(t *testing.T) {
+	f := parse(t, diamondSrc)
+	if got := StaticComputations(f); got != 2 {
+		t.Errorf("StaticComputations = %d", got)
+	}
+}
+
+func TestTransformFullRedundancyAllModes(t *testing.T) {
+	src := `
+func f(a, b) {
+e:
+  x = a + b
+  y = a + b
+  ret y
+}`
+	for _, mode := range []Mode{BCM, ALCM, LCM} {
+		res := transform(t, src, mode)
+		if got := StaticComputations(res.F); got != 1 {
+			t.Errorf("%s: static computations = %d, want 1\n%s", mode, got, res.F)
+		}
+		if !strings.Contains(res.F.String(), "= a + b") {
+			t.Errorf("%s: computation vanished entirely", mode)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package lcmblock
+
+import (
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/props"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func transform(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Transform(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const diamondSrc = `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+
+func TestDiamond(t *testing.T) {
+	res := transform(t, diamondSrc)
+	f := res.F
+	if res.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1 (the join computation)\n%s", res.Deleted, f)
+	}
+	if res.Inserted != 1 {
+		t.Errorf("inserted = %d, want 1 (on the else edge)\n%s", res.Inserted, f)
+	}
+	if res.Saved != 1 {
+		t.Errorf("saved = %d, want 1 (the then computation)\n%s", res.Saved, f)
+	}
+	// The insertion must land in the else block (its edge to join is not
+	// critical: else has one successor).
+	els := f.BlockByName("else")
+	if len(els.Instrs) != 1 || els.Instrs[0].Kind != ir.BinOp {
+		t.Errorf("insertion not at end of else:\n%s", f)
+	}
+}
+
+func TestCriticalEdgeSplit(t *testing.T) {
+	// entry branches straight to join: insertion must split that edge —
+	// the case block-level MR misses entirely.
+	src := `
+func f(a, b, c) {
+entry:
+  br c then join
+then:
+  x = a + b
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+	res := transform(t, src)
+	if res.EdgesSplit != 1 {
+		t.Fatalf("EdgesSplit = %d, want 1\n%s", res.EdgesSplit, res.F)
+	}
+	if res.Deleted != 1 || res.Inserted != 1 {
+		t.Errorf("deleted=%d inserted=%d, want 1/1\n%s", res.Deleted, res.Inserted, res.F)
+	}
+	// Dynamic check: exactly one evaluation on each path.
+	f := parse(t, src)
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	for _, c := range []int64{0, 1} {
+		_, counts, err := interp.Run(res.F, interp.Options{Args: []int64{3, 4, c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[add] != 1 {
+			t.Errorf("c=%d: a+b evaluated %d times, want 1\n%s", c, counts[add], res.F)
+		}
+	}
+	_ = f
+}
+
+func TestLCSEPrePass(t *testing.T) {
+	res := transform(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = a + b
+  ret y
+}`)
+	if res.LCSEEliminated != 1 {
+		t.Errorf("LCSEEliminated = %d, want 1\n%s", res.LCSEEliminated, res.F)
+	}
+	_, counts, _ := interp.Run(res.F, interp.Options{Args: []int64{1, 2}})
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	if counts[add] != 1 {
+		t.Errorf("a+b evaluated %d times, want 1", counts[add])
+	}
+}
+
+func TestLoopInvariantHoisted(t *testing.T) {
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret x
+}`
+	res := transform(t, src)
+	f := parse(t, src)
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	args := []int64{2, 3, 50}
+	_, before, _ := interp.Run(f, interp.Options{Args: args})
+	_, after, _ := interp.Run(res.F, interp.Options{Args: args})
+	if before[add] != 50 || after[add] != 1 {
+		t.Errorf("invariant not hoisted: %d -> %d\n%s", before[add], after[add], res.F)
+	}
+}
+
+func TestTopTestLoopSafe(t *testing.T) {
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  x = a + b
+  i = i + 1
+  jmp head
+exit:
+  ret i
+}`
+	res := transform(t, src)
+	f := parse(t, src)
+	// Zero-trip run must not evaluate a+b at all.
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	_, counts, _ := interp.Run(res.F, interp.Options{Args: []int64{1, 2, 0}})
+	if counts[add] != 0 {
+		t.Errorf("speculative evaluation on zero-trip path\n%s", res.F)
+	}
+	_ = f
+}
+
+func TestRandomProgramsVerified(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		f := randprog.ForSeed(seed)
+		res, err := Transform(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := verify.Transformation{Name: "edge-LCM", F: res.F, TempFor: res.TempFor}
+		if err := verify.Check(f, tr, seed*53, 4); err != nil {
+			t.Fatalf("seed %d: %v\noriginal:\n%s\ntransformed:\n%s", seed, err, f, res.F)
+		}
+	}
+}
+
+// TestAgreesWithNodeLCM is the cross-validation of the two formulations:
+// on every random program and input, the statement-level KRS placement and
+// the block-level Drechsler–Stadel placement perform exactly the same
+// number of dynamic candidate evaluations (both are computationally
+// optimal, and optimal counts are unique per path).
+func TestAgreesWithNodeLCM(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		f := randprog.ForSeed(seed)
+		blockRes, err := Transform(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		nodeRes, err := lcm.Transform(f, lcm.LCM)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exprs := props.Collect(f).Exprs()
+		for run := 0; run < 4; run++ {
+			args := randprog.Args(f, seed*411+int64(run))
+			_, cb, err := interp.Run(blockRes.F, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, cn, err := interp.Run(nodeRes.F, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nb := interp.CountsRestrictedTo(cb, exprs)
+			nn := interp.CountsRestrictedTo(cn, exprs)
+			for _, e := range exprs {
+				if nb[e] != nn[e] {
+					t.Fatalf("seed %d args %v: %s evaluated %d (edge) vs %d (node)\noriginal:\n%s\nedge:\n%s\nnode:\n%s",
+						seed, args, e, nb[e], nn[e], f, blockRes.F, nodeRes.F)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalysisExposed(t *testing.T) {
+	res := transform(t, diamondSrc)
+	a := res.Analysis
+	if len(a.Edges) == 0 || a.Edges[0].From != nil {
+		t.Fatal("virtual entry edge missing")
+	}
+	if a.TotalVectorOps() <= a.LaterVectorOps {
+		t.Error("TotalVectorOps must include unidirectional problems")
+	}
+	if a.LaterPasses < 2 {
+		t.Errorf("LaterPasses = %d", a.LaterPasses)
+	}
+	if len(a.UniStats) != 2 {
+		t.Errorf("UniStats = %d", len(a.UniStats))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	first := transform(t, diamondSrc).F.String()
+	for i := 0; i < 10; i++ {
+		if got := transform(t, diamondSrc).F.String(); got != first {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	f := parse(t, diamondSrc)
+	before := f.String()
+	if _, err := Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("input mutated")
+	}
+}
+
+func TestJumpBackToEntry(t *testing.T) {
+	// The entry block is a loop header: the virtual-entry-edge insertion
+	// path must not place loop code at the function top incorrectly.
+	src := `
+func f(a, b, n) {
+entry:
+  x = a + b
+  n = n - 1
+  c = 0 < n
+  br c entry out
+out:
+  ret x
+}`
+	f := parse(t, src)
+	res, err := Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := verify.Transformation{Name: "edge-LCM", F: res.F, TempFor: res.TempFor}
+	if err := verify.Check(f, tr, 99, 8); err != nil {
+		t.Fatalf("%v\n%s", err, res.F)
+	}
+}

@@ -1,0 +1,140 @@
+// Package lcse implements local (single-block) common-subexpression
+// elimination. The Lazy Code Motion paper assumes LCSE has already been
+// applied, so that each basic block computes each expression at most
+// "interestingly" once; the block-level formulation in package lcmblock
+// depends on this normalization, while the statement-level core in package
+// lcm does not (its node graph sees every computation individually).
+//
+// Within a block, a later computation of e reuses the value of an earlier
+// one when (a) no operand of e was redefined in between and (b) the
+// variable holding the earlier result still holds it. When (a) holds but
+// (b) fails, the earlier computation is rewritten to save its value into a
+// fresh temporary that the later computation copies from.
+package lcse
+
+import (
+	"fmt"
+	"sort"
+
+	"lazycm/internal/ir"
+)
+
+// Result reports what Transform did.
+type Result struct {
+	// F is the transformed clone; the input is not mutated.
+	F *ir.Function
+	// Eliminated counts computations rewritten into copies.
+	Eliminated int
+	// Saved counts fresh temporaries introduced because the original
+	// holder variable was overwritten before the reuse.
+	Saved int
+}
+
+// Transform applies LCSE to a clone of f.
+func Transform(f *ir.Function) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("lcse: input invalid: %w", err)
+	}
+	clone := f.Clone()
+	res := &Result{F: clone}
+
+	used := make(map[string]bool)
+	for _, v := range clone.Vars() {
+		used[v] = true
+	}
+	nextTemp := 0
+	freshTemp := func() string {
+		for {
+			cand := fmt.Sprintf("s%d", nextTemp)
+			nextTemp++
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+
+	for _, b := range clone.Blocks {
+		rewriteBlock(b, res, freshTemp)
+	}
+	clone.Recompute()
+	if err := clone.Validate(); err != nil {
+		return nil, fmt.Errorf("lcse: transformed function invalid: %w", err)
+	}
+	return res, nil
+}
+
+// holder tracks, for one available expression, which instruction computed
+// it and which variable currently holds its value ("" if clobbered).
+type holder struct {
+	idx int // index of the computing instruction in the block
+	v   string
+}
+
+func rewriteBlock(b *ir.Block, res *Result, freshTemp func() string) {
+	avail := make(map[ir.Expr]*holder)
+	// saves[idx] is the temp to interpose at instruction idx:
+	// "x = e" becomes "t = e; x = t".
+	saves := make(map[int]string)
+
+	for j := 0; j < len(b.Instrs); j++ {
+		in := b.Instrs[j]
+		if e, ok := in.Expr(); ok {
+			if h := avail[e]; h != nil {
+				// Reuse. If the holding variable was clobbered, retrofit a
+				// save at the original computation.
+				src := h.v
+				if src == "" {
+					if t, done := saves[h.idx]; done {
+						src = t
+					} else {
+						src = freshTemp()
+						saves[h.idx] = src
+						res.Saved++
+					}
+				}
+				b.Instrs[j] = ir.NewCopy(in.Dst, ir.Var(src))
+				res.Eliminated++
+				// The copy defines in.Dst; fall through to invalidation.
+				in = b.Instrs[j]
+			} else {
+				avail[e] = &holder{idx: j, v: in.Dst}
+			}
+		}
+
+		// Invalidate on definition: expressions over the defined variable
+		// disappear; holders whose variable is overwritten lose it.
+		if d := in.Defs(); d != "" {
+			for e, h := range avail {
+				if e.UsesVar(d) {
+					delete(avail, e)
+					continue
+				}
+				if h.v == d && !(h.idx == j) {
+					h.v = ""
+				}
+			}
+			// A self-recompute "x = e" where x holds e: the holder above
+			// (set this iteration) still points at j with v = x, which is
+			// correct — the value is x after this instruction.
+		}
+	}
+
+	if len(saves) == 0 {
+		return
+	}
+	// Apply saves back to front so indices stay valid.
+	idxs := make([]int, 0, len(saves))
+	for i := range saves {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for k := len(idxs) - 1; k >= 0; k-- {
+		j := idxs[k]
+		t := saves[j]
+		orig := b.Instrs[j]
+		e, _ := orig.Expr()
+		b.Instrs[j] = ir.NewCopy(orig.Dst, ir.Var(t))
+		b.InsertAt(j, ir.NewBinOp(t, e.Op, e.A, e.B))
+	}
+}

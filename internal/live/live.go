@@ -1,0 +1,148 @@
+// Package live computes variable liveness at statement granularity and the
+// temporary-lifetime metric of the paper's lifetime-optimality theorem
+// (experiment T3): the number of program points at which a PRE temporary is
+// live. Busy code motion maximizes these ranges; lazy code motion
+// provably minimizes them among all computationally optimal placements.
+package live
+
+import (
+	"sort"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/dataflow"
+	"lazycm/internal/ir"
+	"lazycm/internal/nodes"
+	"lazycm/internal/props"
+)
+
+// Info is the liveness solution for one function over a chosen variable
+// set.
+type Info struct {
+	G    *nodes.Graph
+	Vars []string
+	// LiveIn and LiveOut are node×variable matrices: LiveIn(n, v) means v
+	// is live immediately before node n.
+	LiveIn, LiveOut *bitvec.Matrix
+
+	index map[string]int
+	// Stats are the liveness solver's statistics.
+	Stats dataflow.Stats
+}
+
+// Compute solves liveness for f. If vars is nil, all variables of f are
+// tracked; otherwise only the given ones. Variables in vars that f never
+// mentions are legal and simply never live.
+func Compute(f *ir.Function, vars []string) *Info {
+	if vars == nil {
+		vars = f.Vars()
+	}
+	info := &Info{Vars: vars, index: make(map[string]int, len(vars))}
+	for i, v := range vars {
+		info.index[v] = i
+	}
+	u := props.Collect(f)
+	g := nodes.Build(f, u)
+	info.G = g
+
+	n := g.NumNodes()
+	w := len(vars)
+	use := bitvec.NewMatrix(n, w)
+	def := bitvec.NewMatrix(n, w)
+	var scratch []string
+	for id, nd := range g.Nodes {
+		switch nd.Kind {
+		case nodes.Stmt:
+			in := nd.Block.Instrs[nd.Index]
+			scratch = in.UsedVars(scratch[:0])
+			for _, v := range scratch {
+				if i, ok := info.index[v]; ok {
+					use.Set(id, i)
+				}
+			}
+			if d := in.Defs(); d != "" {
+				if i, ok := info.index[d]; ok {
+					def.Set(id, i)
+				}
+			}
+		case nodes.Term:
+			scratch = nd.Block.Term.UsedVars(scratch[:0])
+			for _, v := range scratch {
+				if i, ok := info.index[v]; ok {
+					use.Set(id, i)
+				}
+			}
+		}
+	}
+
+	res := dataflow.Solve(g, &dataflow.Problem{
+		Name: "liveness", Dir: dataflow.Backward, Meet: dataflow.May,
+		Width: w, Gen: use, Kill: def,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+	info.LiveIn = res.In
+	info.LiveOut = res.Out
+	info.Stats = res.Stats
+	return info
+}
+
+// LiveBefore reports whether v is live immediately before node id.
+func (i *Info) LiveBefore(id int, v string) bool {
+	vi, ok := i.index[v]
+	if !ok {
+		return false
+	}
+	return i.LiveIn.Get(id, vi)
+}
+
+// LiveAfter reports whether v is live immediately after node id.
+func (i *Info) LiveAfter(id int, v string) bool {
+	vi, ok := i.index[v]
+	if !ok {
+		return false
+	}
+	return i.LiveOut.Get(id, vi)
+}
+
+// LiveRange returns the number of nodes at whose entry v is live: the
+// lifetime metric.
+func (i *Info) LiveRange(v string) int {
+	vi, ok := i.index[v]
+	if !ok {
+		return 0
+	}
+	return i.LiveIn.Column(vi).Count()
+}
+
+// TotalLiveRange sums LiveRange over the given variables; with vars nil it
+// sums over all tracked variables.
+func (i *Info) TotalLiveRange(vars []string) int {
+	if vars == nil {
+		vars = i.Vars
+	}
+	t := 0
+	for _, v := range vars {
+		t += i.LiveRange(v)
+	}
+	return t
+}
+
+// TempLifetimes measures, for a PRE result with the given expression→temp
+// mapping, the live range of each temporary. The returned map is keyed by
+// the temporary name.
+func TempLifetimes(f *ir.Function, tempFor map[ir.Expr]string) map[string]int {
+	if len(tempFor) == 0 {
+		return map[string]int{}
+	}
+	var temps []string
+	for _, t := range tempFor {
+		temps = append(temps, t)
+	}
+	// Deterministic order for reproducible stats.
+	sort.Strings(temps)
+	info := Compute(f, temps)
+	out := make(map[string]int, len(temps))
+	for _, t := range temps {
+		out[t] = info.LiveRange(t)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package live
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStraightLineLiveness(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = x * 2
+  print y
+  ret
+}`)
+	info := Compute(f, nil)
+	g := info.G
+	e := f.Entry()
+	n0 := g.FirstOf(e) // x = a + b
+	n1 := n0 + 1       // y = x * 2
+	n2 := n0 + 2       // print y
+
+	if !info.LiveBefore(n0, "a") || !info.LiveBefore(n0, "b") {
+		t.Error("params must be live at first use")
+	}
+	if info.LiveBefore(n0, "x") {
+		t.Error("x live before its definition")
+	}
+	if !info.LiveBefore(n1, "x") {
+		t.Error("x dead before its use")
+	}
+	if info.LiveBefore(n2, "x") {
+		t.Error("x live after last use")
+	}
+	if !info.LiveBefore(n2, "y") {
+		t.Error("y dead before print")
+	}
+}
+
+func TestBranchAndRetUses(t *testing.T) {
+	f := parse(t, `
+func f(c, r) {
+e:
+  br c a b
+a:
+  ret r
+b:
+  ret 0
+}`)
+	info := Compute(f, nil)
+	g := info.G
+	if !info.LiveBefore(g.TermOf(f.Entry()), "c") {
+		t.Error("branch condition dead at branch")
+	}
+	if !info.LiveBefore(g.FirstOf(f.Entry()), "r") {
+		t.Error("returned var dead on path to ret")
+	}
+	bBlock := f.BlockByName("b")
+	if info.LiveBefore(g.TermOf(bBlock), "r") {
+		t.Error("r live on the arm that never uses it")
+	}
+}
+
+func TestLoopLiveness(t *testing.T) {
+	f := parse(t, `
+func f(n) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  i = i + 1
+  jmp head
+exit:
+  ret i
+}`)
+	info := Compute(f, nil)
+	g := info.G
+	head := f.BlockByName("head")
+	// i is live around the whole loop.
+	if !info.LiveBefore(g.FirstOf(head), "i") || !info.LiveBefore(g.FirstOf(f.BlockByName("body")), "i") {
+		t.Error("loop variable dead inside loop")
+	}
+	if info.LiveRange("i") < 5 {
+		t.Errorf("LiveRange(i) = %d, implausibly small", info.LiveRange("i"))
+	}
+}
+
+func TestRestrictedVars(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  print x
+  ret
+}`)
+	info := Compute(f, []string{"x", "nosuch"})
+	if len(info.Vars) != 2 {
+		t.Fatalf("Vars = %v", info.Vars)
+	}
+	if info.LiveRange("nosuch") != 0 {
+		t.Error("unknown var has live range")
+	}
+	if info.LiveRange("x") == 0 {
+		t.Error("tracked var has no range")
+	}
+	if info.LiveRange("a") != 0 || info.LiveBefore(0, "a") {
+		t.Error("untracked var reported live")
+	}
+	if info.TotalLiveRange(nil) != info.LiveRange("x") {
+		t.Error("TotalLiveRange(nil) wrong")
+	}
+	if info.TotalLiveRange([]string{"x"}) != info.LiveRange("x") {
+		t.Error("TotalLiveRange(subset) wrong")
+	}
+}
+
+// TestLifetimeOrdering is the micro version of experiment T3: on the
+// diamond, the BCM temp (inserted at entry) must live strictly longer than
+// the LCM temp (inserted at the latest points).
+func TestLifetimeOrdering(t *testing.T) {
+	src := `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  nop
+  nop
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+	f := parse(t, src)
+	bcmRes, err := lcm.Transform(f, lcm.BCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcmRes, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcmLife := TempLifetimes(bcmRes.F, bcmRes.TempFor)
+	lcmLife := TempLifetimes(lcmRes.F, lcmRes.TempFor)
+	bcmTotal, lcmTotal := 0, 0
+	for _, v := range bcmLife {
+		bcmTotal += v
+	}
+	for _, v := range lcmLife {
+		lcmTotal += v
+	}
+	if bcmTotal <= lcmTotal {
+		t.Errorf("BCM lifetime %d not greater than LCM lifetime %d\nBCM:\n%s\nLCM:\n%s",
+			bcmTotal, lcmTotal, bcmRes.F, lcmRes.F)
+	}
+}
+
+func TestTempLifetimesEmpty(t *testing.T) {
+	f := parse(t, "func f() {\ne:\n  ret\n}")
+	if got := TempLifetimes(f, nil); len(got) != 0 {
+		t.Errorf("TempLifetimes(no temps) = %v", got)
+	}
+}
+
+func TestDeadCodeVariable(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  x = a + 1
+  ret a
+}`)
+	info := Compute(f, nil)
+	if info.LiveRange("x") != 0 {
+		t.Errorf("dead x has live range %d", info.LiveRange("x"))
+	}
+}

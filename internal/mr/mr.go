@@ -1,0 +1,231 @@
+// Package mr implements the Morel–Renvoise partial-redundancy elimination
+// (CACM 1979), the bidirectional baseline that Lazy Code Motion supersedes.
+// It is the comparator of experiments T2 (eliminated computations) and T4
+// (solver cost): MR requires a bidirectional fixpoint over the
+// placement-possible system, places code at block ends rather than on
+// edges (so it misses placements that need a critical edge split), guards
+// placement with partial availability, and does not minimize temporary
+// lifetimes.
+//
+// The transformation, for each candidate expression e with temporary t:
+//
+//	insert  — blocks with INSERT get "t = e" appended at the block end;
+//	delete  — the upward-exposed computation x = e of a block with PPIN
+//	          becomes "x = t";
+//	save    — the surviving downward-exposed computation x = e of a block
+//	          becomes "t = e; x = t", so t is current wherever AVOUT
+//	          justifies a later deletion. (Saving unconditionally adds
+//	          copies, never evaluations; MR's published refinements that
+//	          avoid some copies are orthogonal to the measurements here.)
+package mr
+
+import (
+	"fmt"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/dataflow"
+	"lazycm/internal/ir"
+	"lazycm/internal/props"
+	"lazycm/internal/rewrite"
+)
+
+// Result is the outcome of the MR transformation.
+type Result struct {
+	// F is the transformed clone; the input is not mutated.
+	F *ir.Function
+	// TempFor maps each touched expression to its temporary.
+	TempFor map[ir.Expr]string
+	// Inserted, Deleted and Saved count the code edits.
+	Inserted, Deleted, Saved int
+	// UniStats are the unidirectional preparatory problems (availability,
+	// partial availability).
+	UniStats []dataflow.Stats
+	// Bidir is the effort of the bidirectional placement-possible
+	// fixpoint, reported in the same currency as dataflow.Stats.
+	Bidir dataflow.Stats
+}
+
+// TotalVectorOps returns all whole-vector operations spent, the T4 metric.
+func (r *Result) TotalVectorOps() int {
+	total := r.Bidir.VectorOps
+	for _, s := range r.UniStats {
+		total += s.VectorOps
+	}
+	return total
+}
+
+// Analysis exposes MR's global predicates for inspection and testing.
+type Analysis struct {
+	U                      *props.Universe
+	Local                  *props.BlockLocal
+	AvIn, AvOut            *bitvec.Matrix
+	PavIn, PavOut          *bitvec.Matrix
+	PPIn, PPOut            *bitvec.Matrix
+	Insert, Delete         *bitvec.Matrix
+	UniStats               []dataflow.Stats
+	Passes, BidirVectorOps int
+}
+
+// Analyze computes MR's global predicates for f.
+func Analyze(f *ir.Function) *Analysis {
+	u := props.Collect(f)
+	local := props.ComputeBlockLocal(f, u)
+	n := f.NumBlocks()
+	w := u.Size()
+	g := dataflow.BlockGraph{F: f}
+
+	notTransp := bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := notTransp.Row(i)
+		row.CopyFrom(local.Transp.Row(i))
+		row.Not()
+	}
+
+	av := dataflow.Solve(g, &dataflow.Problem{
+		Name: "mr-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
+		Width: w, Gen: local.Comp, Kill: notTransp,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+	pav := dataflow.Solve(g, &dataflow.Problem{
+		Name: "mr-pavail", Dir: dataflow.Forward, Meet: dataflow.May,
+		Width: w, Gen: local.Comp, Kill: notTransp,
+		Boundary: dataflow.BoundaryEmpty,
+	})
+
+	a := &Analysis{
+		U: u, Local: local,
+		AvIn: av.In, AvOut: av.Out,
+		PavIn: pav.In, PavOut: pav.Out,
+		PPIn: bitvec.NewMatrix(n, w), PPOut: bitvec.NewMatrix(n, w),
+		UniStats: []dataflow.Stats{av.Stats, pav.Stats},
+	}
+
+	// Bidirectional placement-possible system, solved as a decreasing
+	// round-robin fixpoint from the all-true start:
+	//
+	//	PPOUT(i) = ∏_{s∈succ(i)} PPIN(s)                (false at exits)
+	//	PPIN(i)  = PAVIN(i)
+	//	         ∧ (ANTLOC(i) ∨ (TRANSP(i) ∧ PPOUT(i)))
+	//	         ∧ ∏_{p∈pred(i)} (PPOUT(p) ∨ AVOUT(p))  (false at entry)
+	for i := 0; i < n; i++ {
+		a.PPIn.Row(i).SetAll()
+		a.PPOut.Row(i).SetAll()
+	}
+	tmp := bitvec.New(w)
+	acc := bitvec.New(w)
+	for {
+		a.Passes++
+		changed := false
+		for _, b := range f.Blocks {
+			i := b.ID
+			// PPOUT
+			if b.NumSuccs() == 0 {
+				acc.ClearAll()
+			} else {
+				acc.SetAll()
+				for s := 0; s < b.NumSuccs(); s++ {
+					acc.And(a.PPIn.Row(b.Succ(s).ID))
+					a.BidirVectorOps++
+				}
+			}
+			if a.PPOut.Row(i).CopyFrom(acc) {
+				changed = true
+			}
+			a.BidirVectorOps++
+
+			// PPIN
+			if len(b.Preds()) == 0 {
+				acc.ClearAll()
+			} else {
+				acc.CopyFrom(local.Transp.Row(i))
+				acc.And(a.PPOut.Row(i))
+				acc.Or(local.Antloc.Row(i))
+				acc.And(a.PavIn.Row(i))
+				a.BidirVectorOps += 4
+				for p := 0; p < len(b.Preds()); p++ {
+					pid := b.Preds()[p].ID
+					tmp.CopyFrom(a.PPOut.Row(pid))
+					tmp.Or(a.AvOut.Row(pid))
+					acc.And(tmp)
+					a.BidirVectorOps += 3
+				}
+			}
+			if a.PPIn.Row(i).CopyFrom(acc) {
+				changed = true
+			}
+			a.BidirVectorOps++
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// INSERT(i) = PPOUT(i) ∧ ¬AVOUT(i) ∧ (¬PPIN(i) ∨ ¬TRANSP(i))
+	// DELETE(i) = ANTLOC(i) ∧ PPIN(i)
+	a.Insert = bitvec.NewMatrix(n, w)
+	a.Delete = bitvec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		ins := a.Insert.Row(i)
+		ins.CopyFrom(a.PPIn.Row(i))
+		ins.And(local.Transp.Row(i))
+		ins.Not()
+		ins.And(a.PPOut.Row(i))
+		ins.AndNot(a.AvOut.Row(i))
+
+		del := a.Delete.Row(i)
+		del.CopyFrom(local.Antloc.Row(i))
+		del.And(a.PPIn.Row(i))
+	}
+	return a
+}
+
+// Transform applies the MR transformation to a clone of f.
+func Transform(f *ir.Function) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("mr: input invalid: %w", err)
+	}
+	clone := f.Clone()
+	a := Analyze(clone)
+	u := a.U
+	n := clone.NumBlocks()
+	w := u.Size()
+
+	res := &Result{
+		F: clone, TempFor: make(map[ir.Expr]string),
+		UniStats: a.UniStats,
+		Bidir: dataflow.Stats{
+			Name: "mr-pp", Passes: a.Passes,
+			NodeVisits: a.Passes * n, VectorOps: a.BidirVectorOps,
+		},
+	}
+
+	// Temp naming: deterministic, by expression number, for expressions
+	// with any insertion or deletion.
+	touched := make([]bool, w)
+	for i := 0; i < n; i++ {
+		a.Insert.Row(i).ForEach(func(e int) { touched[e] = true })
+		a.Delete.Row(i).ForEach(func(e int) { touched[e] = true })
+	}
+	tempName, tempFor := rewrite.TempNamer(clone, u, touched, "m")
+	res.TempFor = tempFor
+
+	for _, b := range clone.Blocks {
+		ed := rewrite.Edits{}
+		a.Delete.Row(b.ID).ForEach(func(e int) { ed.Delete = append(ed.Delete, e) })
+		for e := 0; e < w; e++ {
+			if touched[e] && a.Local.Comp.Get(b.ID, e) {
+				ed.SaveDown = append(ed.SaveDown, e)
+			}
+		}
+		a.Insert.Row(b.ID).ForEach(func(e int) { ed.Append = append(ed.Append, e) })
+		c := rewrite.Apply(b, u, ed, tempName)
+		res.Deleted += c.Deleted
+		res.Saved += c.Saved
+		res.Inserted += c.Inserted
+	}
+	clone.Recompute()
+	if err := clone.Validate(); err != nil {
+		return nil, fmt.Errorf("mr: transformed function invalid: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,311 @@
+package mr
+
+import (
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func transform(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Transform(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+const diamondSrc = `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+
+func TestDiamond(t *testing.T) {
+	res := transform(t, diamondSrc)
+	f := res.F
+	// MR handles this shape: insert in else (block end), delete at join,
+	// save at then.
+	if res.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1\n%s", res.Deleted, f)
+	}
+	if res.Inserted != 1 {
+		t.Errorf("inserted = %d, want 1\n%s", res.Inserted, f)
+	}
+	if res.Saved != 1 {
+		t.Errorf("saved = %d, want 1\n%s", res.Saved, f)
+	}
+	els := f.BlockByName("else")
+	if len(els.Instrs) != 1 || els.Instrs[0].Kind != ir.BinOp {
+		t.Errorf("no insertion at end of else:\n%s", f)
+	}
+	join := f.BlockByName("join")
+	if join.Instrs[0].Kind != ir.Copy {
+		t.Errorf("join computation not deleted:\n%s", f)
+	}
+}
+
+func TestDiamondSemanticsPreserved(t *testing.T) {
+	f := parse(t, diamondSrc)
+	res := transform(t, diamondSrc)
+	for _, args := range [][]int64{{2, 3, 0}, {2, 3, 1}, {-5, 5, 1}, {0, 0, 0}} {
+		orig, _, err := interp.Run(f, interp.Options{Args: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := interp.Run(res.F, interp.Options{Args: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !orig.ObservablyEqual(got) {
+			t.Errorf("args %v: %s vs %s\n%s", args, orig, got, res.F)
+		}
+	}
+}
+
+func TestFullRedundancy(t *testing.T) {
+	res := transform(t, `
+func f(a, b) {
+one:
+  x = a + b
+  jmp two
+two:
+  y = a + b
+  ret y
+}`)
+	if res.Deleted != 1 {
+		t.Errorf("deleted = %d, want 1\n%s", res.Deleted, res.F)
+	}
+	// No insertion needed: availability covers the deletion.
+	if res.Inserted != 0 {
+		t.Errorf("inserted = %d, want 0\n%s", res.Inserted, res.F)
+	}
+	// Dynamic count must drop from 2 to 1.
+	_, counts, err := interp.Run(res.F, interp.Options{Args: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	if counts[add] != 1 {
+		t.Errorf("a+b evaluated %d times, want 1\n%s", counts[add], res.F)
+	}
+}
+
+func TestCriticalEdgeWeakness(t *testing.T) {
+	// entry branches straight to join: the needed insertion point lies on
+	// a critical edge. Block-level MR cannot place there. It must remain
+	// correct and must not make the program dynamically worse, but it is
+	// allowed to miss the elimination (this is exactly the gap LCM's
+	// edge-splitting model closes; experiment T2 quantifies it).
+	src := `
+func f(a, b, c) {
+entry:
+  br c then join
+then:
+  x = a + b
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+	f := parse(t, src)
+	res := transform(t, src)
+	for _, c := range []int64{0, 1} {
+		args := []int64{3, 4, c}
+		orig, origCounts, err := interp.Run(f, interp.Options{Args: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, newCounts, err := interp.Run(res.F, interp.Options{Args: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !orig.ObservablyEqual(got) {
+			t.Fatalf("c=%d: behaviour changed: %s vs %s\n%s", c, orig, got, res.F)
+		}
+		if newCounts.Total() > origCounts.Total() {
+			t.Errorf("c=%d: MR made the program worse: %d > %d",
+				c, newCounts.Total(), origCounts.Total())
+		}
+	}
+}
+
+func TestNoPartialAvailabilityNoPlacement(t *testing.T) {
+	// The expression is computed only at the join: nothing is partially
+	// available, so MR must do nothing (PAVIN guard).
+	res := transform(t, `
+func f(a, b, c) {
+entry:
+  br c then else
+then:
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`)
+	if res.Inserted != 0 || res.Deleted != 0 {
+		t.Errorf("MR placed code without partial availability: %d/%d\n%s",
+			res.Inserted, res.Deleted, res.F)
+	}
+}
+
+func TestLoopInvariantBottomTest(t *testing.T) {
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret x
+}`
+	f := parse(t, src)
+	res := transform(t, src)
+	// Behaviour preserved and the loop body no longer evaluates a+b each
+	// iteration... MR hoists here because the expression is partially
+	// available at body (around the back edge) and anticipated.
+	args := []int64{2, 3, 8}
+	orig, origCounts, err := interp.Run(f, interp.Options{Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, newCounts, err := interp.Run(res.F, interp.Options{Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.ObservablyEqual(got) {
+		t.Fatalf("behaviour changed: %s vs %s\n%s", orig, got, res.F)
+	}
+	add := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+	if origCounts[add] != 8 {
+		t.Fatalf("original count = %d", origCounts[add])
+	}
+	if newCounts[add] >= origCounts[add] {
+		t.Errorf("MR did not reduce loop evaluations: %d vs %d\n%s",
+			newCounts[add], origCounts[add], res.F)
+	}
+}
+
+func TestSelfKillUntouched(t *testing.T) {
+	res := transform(t, `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  a = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret a
+}`)
+	if res.Deleted != 0 {
+		t.Errorf("self-killing accumulation deleted\n%s", res.F)
+	}
+	f := parse(t, `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  a = a + b
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret a
+}`)
+	args := []int64{1, 2, 5}
+	orig, _, _ := interp.Run(f, interp.Options{Args: args})
+	got, _, _ := interp.Run(res.F, interp.Options{Args: args})
+	if !orig.ObservablyEqual(got) {
+		t.Errorf("behaviour changed: %s vs %s\n%s", orig, got, res.F)
+	}
+}
+
+func TestStatsAndDeterminism(t *testing.T) {
+	res := transform(t, diamondSrc)
+	if len(res.UniStats) != 2 {
+		t.Errorf("UniStats = %d", len(res.UniStats))
+	}
+	if res.Bidir.Passes < 2 || res.Bidir.VectorOps == 0 {
+		t.Errorf("Bidir stats implausible: %+v", res.Bidir)
+	}
+	if res.TotalVectorOps() <= res.Bidir.VectorOps {
+		t.Error("TotalVectorOps must include unidirectional problems")
+	}
+	first := res.F.String()
+	for i := 0; i < 10; i++ {
+		if got := transform(t, diamondSrc).F.String(); got != first {
+			t.Fatal("MR transform nondeterministic")
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	f := parse(t, diamondSrc)
+	before := f.String()
+	if _, err := Transform(f); err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestTempNamesFresh(t *testing.T) {
+	res := transform(t, `
+func f(a, b, c) {
+entry:
+  m0 = 1
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  print m0
+  ret y
+}`)
+	for _, tmp := range res.TempFor {
+		if tmp == "m0" {
+			t.Fatalf("temp collides with program variable m0\n%s", res.F)
+		}
+	}
+}
+
+func TestInvalidInputRejected(t *testing.T) {
+	f := parse(t, diamondSrc)
+	f.Blocks[1], f.Blocks[2] = f.Blocks[2], f.Blocks[1]
+	if _, err := Transform(f); err == nil {
+		t.Error("invalid input accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package nodes
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/props"
+	"lazycm/internal/textir"
+)
+
+func build(t *testing.T, src string) (*ir.Function, *Graph) {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := props.Collect(f)
+	return f, Build(f, u)
+}
+
+const diamondSrc = `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+
+func TestBuildShape(t *testing.T) {
+	f, g := build(t, diamondSrc)
+	// Nodes: entry + (entry:term) + (then: 1 stmt + term) + (else: term)
+	// + (join: 1 stmt + term) + exit = 1+1+2+1+2+1 = 8
+	if g.NumNodes() != 8 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.Nodes[g.EntryNode()].Kind != Entry || g.Nodes[g.ExitNode()].Kind != Exit {
+		t.Fatal("entry/exit misplaced")
+	}
+	// Entry has one succ: first node of entry block (its terminator,
+	// since it has no instructions).
+	if g.NumSuccs(g.EntryNode()) != 1 || g.Succ(g.EntryNode(), 0) != g.FirstOf(f.Entry()) {
+		t.Fatal("entry wiring wrong")
+	}
+	// Entry block is empty, so its first node is its term node.
+	if g.FirstOf(f.Entry()) != g.TermOf(f.Entry()) {
+		t.Fatal("empty block first != term")
+	}
+	// The branch term node has two successors.
+	bt := g.TermOf(f.Entry())
+	if g.NumSuccs(bt) != 2 {
+		t.Fatalf("branch term succs = %d", g.NumSuccs(bt))
+	}
+	// join's first node has two preds (both jmp term nodes).
+	join := f.BlockByName("join")
+	if g.NumPreds(g.FirstOf(join)) != 2 {
+		t.Fatalf("join first preds = %d", g.NumPreds(g.FirstOf(join)))
+	}
+	// ret term connects to exit.
+	if g.Succ(g.TermOf(join), 0) != g.ExitNode() {
+		t.Fatal("ret not wired to exit")
+	}
+	if g.NumSuccs(g.ExitNode()) != 0 || g.NumPreds(g.EntryNode()) != 0 {
+		t.Fatal("virtual boundary degrees wrong")
+	}
+}
+
+func TestLocalPredicates(t *testing.T) {
+	f, g := build(t, `
+func f(a, b) {
+e:
+  x = a + b
+  a = 0
+  y = a + b
+  ret y
+}`)
+	e := f.Entry()
+	n0 := g.FirstOf(e) // x = a + b
+	n1 := n0 + 1       // a = 0
+	n2 := n0 + 2       // y = a + b
+	nt := g.TermOf(e)  // ret
+	if !g.Comp.Get(n0, 0) || !g.Comp.Get(n2, 0) {
+		t.Error("computations not marked COMP")
+	}
+	if g.Comp.Get(n1, 0) || g.Comp.Get(nt, 0) {
+		t.Error("non-computations marked COMP")
+	}
+	if !g.Transp.Get(n0, 0) || !g.Transp.Get(n2, 0) || !g.Transp.Get(nt, 0) {
+		t.Error("transparent nodes not marked TRANSP")
+	}
+	if g.Transp.Get(n1, 0) {
+		t.Error("a = 0 marked TRANSP")
+	}
+}
+
+func TestSelfKillNode(t *testing.T) {
+	f, g := build(t, `
+func f(a, b) {
+e:
+  a = a + b
+  ret a
+}`)
+	n := g.FirstOf(f.Entry())
+	if !g.Comp.Get(n, 0) {
+		t.Error("a = a + b computes a + b")
+	}
+	if g.Transp.Get(n, 0) {
+		t.Error("a = a + b is not transparent")
+	}
+}
+
+func TestEveryNodeOnEntryExitPath(t *testing.T) {
+	_, g := build(t, diamondSrc)
+	// Forward reachability from entry.
+	seen := make([]bool, g.NumNodes())
+	stack := []int{g.EntryNode()}
+	seen[g.EntryNode()] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < g.NumSuccs(n); i++ {
+			s := g.Succ(n, i)
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("node %d (%s) unreachable from entry", i, g.Nodes[i])
+		}
+	}
+	// Backward from exit.
+	seen = make([]bool, g.NumNodes())
+	stack = []int{g.ExitNode()}
+	seen[g.ExitNode()] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < g.NumPreds(n); i++ {
+			p := g.Pred(n, i)
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("node %d (%s) cannot reach exit", i, g.Nodes[i])
+		}
+	}
+}
+
+func TestMultipleReturns(t *testing.T) {
+	f, g := build(t, `
+func f(c) {
+e:
+  br c a b
+a:
+  ret
+b:
+  ret
+}`)
+	exit := g.ExitNode()
+	if g.NumPreds(exit) != 2 {
+		t.Fatalf("exit preds = %d", g.NumPreds(exit))
+	}
+	_ = f
+}
+
+func TestNodeStrings(t *testing.T) {
+	f, g := build(t, diamondSrc)
+	if g.Nodes[g.EntryNode()].String() != "<entry>" {
+		t.Error("entry string")
+	}
+	if g.Nodes[g.ExitNode()].String() != "<exit>" {
+		t.Error("exit string")
+	}
+	then := f.BlockByName("then")
+	s := g.Nodes[g.FirstOf(then)].String()
+	if !strings.Contains(s, "then[0]") || !strings.Contains(s, "x = a + b") {
+		t.Errorf("stmt string = %q", s)
+	}
+	ts := g.Nodes[g.TermOf(then)].String()
+	if !strings.Contains(ts, "term") {
+		t.Errorf("term string = %q", ts)
+	}
+	for _, k := range []Kind{Entry, Exit, Stmt, Term} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func TestEdgeConsistency(t *testing.T) {
+	_, g := build(t, diamondSrc)
+	// succ/pred must be mutually consistent.
+	for n := 0; n < g.NumNodes(); n++ {
+		for i := 0; i < g.NumSuccs(n); i++ {
+			s := g.Succ(n, i)
+			found := false
+			for j := 0; j < g.NumPreds(s); j++ {
+				if g.Pred(s, j) == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from preds", n, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,279 @@
+package opt
+
+import (
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPropagateCopiesBasic(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a
+  y = x + b
+  ret y
+}`)
+	n := PropagateCopies(f)
+	if n != 1 {
+		t.Fatalf("rewrites = %d\n%s", n, f)
+	}
+	if got := f.Entry().Instrs[1].String(); got != "y = a + b" {
+		t.Errorf("propagation wrong: %q", got)
+	}
+}
+
+func TestPropagateCopiesConstant(t *testing.T) {
+	f := parse(t, `
+func f() {
+e:
+  x = 5
+  print x
+  ret x
+}`)
+	PropagateCopies(f)
+	if got := f.Entry().Instrs[1].String(); got != "print 5" {
+		t.Errorf("constant not propagated: %q", got)
+	}
+	if !f.Entry().Term.Val.IsConst() {
+		t.Errorf("ret operand not propagated:\n%s", f)
+	}
+}
+
+func TestPropagateCopiesInvalidation(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a
+  a = 9
+  y = x + b
+  ret y
+}`)
+	before, _, _ := interp.Run(parse(t, `
+func f(a, b) {
+e:
+  x = a
+  a = 9
+  y = x + b
+  ret y
+}`), interp.Options{Args: []int64{2, 3}})
+	PropagateCopies(f)
+	// x = a must NOT propagate into y = x + b (a was redefined).
+	after, _, err := interp.Run(f, interp.Options{Args: []int64{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.ObservablyEqual(after) {
+		t.Errorf("copy propagated across kill: %s vs %s\n%s", before, after, f)
+	}
+}
+
+func TestPropagateCopiesSelfCopy(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  x = a
+  x = x
+  y = x + 1
+  ret y
+}`)
+	PropagateCopies(f)
+	out, _, _ := interp.Run(f, interp.Options{Args: []int64{4}})
+	if out.Value != 5 {
+		t.Errorf("value = %s\n%s", out, f)
+	}
+}
+
+func TestPropagateBranchCond(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  c = a
+  br c y n
+y:
+  ret 1
+n:
+  ret 0
+}`)
+	PropagateCopies(f)
+	if f.Entry().Term.Cond.Name != "a" {
+		t.Errorf("branch condition not propagated:\n%s", f)
+	}
+}
+
+func TestEliminateDeadCode(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = a * b
+  nop
+  ret x
+}`)
+	n := EliminateDeadCode(f)
+	if n != 2 {
+		t.Fatalf("removed = %d, want 2 (dead y and nop)\n%s", n, f)
+	}
+	if len(f.Entry().Instrs) != 1 {
+		t.Errorf("instrs = %d\n%s", len(f.Entry().Instrs), f)
+	}
+}
+
+func TestDCECascade(t *testing.T) {
+	// y depends on dead z: both must go (fixed point).
+	f := parse(t, `
+func f(a) {
+e:
+  z = a + 1
+  y = z * 2
+  ret a
+}`)
+	n := EliminateDeadCode(f)
+	if n != 2 {
+		t.Fatalf("removed = %d, want 2\n%s", n, f)
+	}
+}
+
+func TestDCEKeepsPrintsAndLoopState(t *testing.T) {
+	f := parse(t, `
+func f(a, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + 1
+  print x
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret
+}`)
+	EliminateDeadCode(f)
+	out, _, err := interp.Run(f, interp.Options{Args: []int64{7, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Prints) != 3 || out.Prints[0] != 8 {
+		t.Errorf("prints lost: %s\n%s", out, f)
+	}
+}
+
+// TestPipelineSecondOrder is the T5b scenario: after LCM hoists a+b into
+// t, copy propagation turns x*2 into t*2, and a second LCM round hoists it
+// too — the reapplication story for second-order redundancies.
+func TestPipelineSecondOrder(t *testing.T) {
+	src := `
+func f(a, b, n) {
+entry:
+  i = 0
+  jmp body
+body:
+  x = a + b
+  y = x * 2
+  i = i + 1
+  c = i < n
+  br c body exit
+exit:
+  ret y
+}`
+	f := parse(t, src)
+	res, err := Pipeline(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both expressions must now be evaluated once per execution.
+	args := []int64{3, 4, 25}
+	_, before, _ := interp.Run(f, interp.Options{Args: args})
+	_, after, _ := interp.Run(res.F, interp.Options{Args: args})
+	if before.Total() <= after.Total() {
+		t.Fatalf("pipeline did not reduce work: %d -> %d\n%s", before.Total(), after.Total(), res.F)
+	}
+	// Count evaluations of binops inside the final loop body: the
+	// invariant chain must be fully hoisted, so per-iteration work is only
+	// the induction expressions (i+1, i<n).
+	outBefore, _, _ := interp.Run(f, interp.Options{Args: args})
+	outAfter, _, _ := interp.Run(res.F, interp.Options{Args: args})
+	if !outBefore.ObservablyEqual(outAfter) {
+		t.Fatalf("pipeline changed behaviour: %s vs %s\n%s", outBefore, outAfter, res.F)
+	}
+	// 25 iterations: i+1 and i<n are 25 each; a+b and (x|t)*2 once each.
+	if got := after.Total(); got != 52 {
+		t.Errorf("final evaluation count = %d, want 52 (2 + 2*25)\n%s", got, res.F)
+	}
+	if len(res.Rounds) < 2 {
+		t.Errorf("expected at least 2 effective rounds, got %d", len(res.Rounds))
+	}
+}
+
+func TestPipelineOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		f := randprog.ForSeed(seed)
+		res, err := Pipeline(f, 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Equivalent(f, res.F, seed*17, 4); err != nil {
+			t.Fatalf("seed %d: %v\noriginal:\n%s\nfinal:\n%s", seed, err, f, res.F)
+		}
+		// Copy propagation rewrites operands, so per-lexeme counts shift
+		// between expressions; the per-path guarantee for the pipeline is
+		// on the TOTAL number of evaluations.
+		for run := 0; run < 4; run++ {
+			args := randprog.Args(f, seed*17+int64(run))
+			_, before, err := interp.Run(f, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, after, err := interp.Run(res.F, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.Total() > before.Total() {
+				t.Fatalf("seed %d args %v: pipeline made the path worse: %d > %d\n%s",
+					seed, args, after.Total(), before.Total(), res.F)
+			}
+		}
+	}
+}
+
+func TestPipelineStopsEarly(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  print a
+  ret a
+}`)
+	res, err := Pipeline(f, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 1 {
+		t.Errorf("rounds = %d, want 1 (nothing to do)", len(res.Rounds))
+	}
+}
+
+func TestPipelineInvalidInput(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  ret a
+}`)
+	f.Blocks[0].ID = 3
+	if _, err := Pipeline(f, 2); err == nil {
+		t.Error("invalid input accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package props
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/textir"
+)
+
+func TestCommutative(t *testing.T) {
+	want := map[ir.Op]bool{
+		ir.Add: true, ir.Mul: true, ir.Eq: true, ir.Ne: true,
+		ir.Sub: false, ir.Div: false, ir.Mod: false,
+		ir.Lt: false, ir.Le: false, ir.Gt: false, ir.Ge: false,
+	}
+	for op, w := range want {
+		if Commutative(op) != w {
+			t.Errorf("Commutative(%s) = %v, want %v", op, !w, w)
+		}
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	a, b := ir.Var("a"), ir.Var("b")
+	cases := []struct {
+		in, want ir.Expr
+	}{
+		{ir.Expr{Op: ir.Add, A: b, B: a}, ir.Expr{Op: ir.Add, A: a, B: b}},
+		{ir.Expr{Op: ir.Add, A: a, B: b}, ir.Expr{Op: ir.Add, A: a, B: b}},
+		{ir.Expr{Op: ir.Sub, A: b, B: a}, ir.Expr{Op: ir.Sub, A: b, B: a}},
+		{ir.Expr{Op: ir.Mul, A: a, B: ir.Const(2)}, ir.Expr{Op: ir.Mul, A: ir.Const(2), B: a}},
+		{ir.Expr{Op: ir.Eq, A: ir.Const(5), B: ir.Const(3)}, ir.Expr{Op: ir.Eq, A: ir.Const(3), B: ir.Const(5)}},
+		{ir.Expr{Op: ir.Ne, A: ir.Var("z"), B: ir.Var("a")}, ir.Expr{Op: ir.Ne, A: ir.Var("a"), B: ir.Var("z")}},
+	}
+	for _, c := range cases {
+		if got := Canonicalize(c.in); got != c.want {
+			t.Errorf("Canonicalize(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	// Idempotent.
+	for _, c := range cases {
+		if Canonicalize(Canonicalize(c.in)) != Canonicalize(c.in) {
+			t.Errorf("Canonicalize not idempotent on %s", c.in)
+		}
+	}
+}
+
+func TestCollectCanonical(t *testing.T) {
+	f, err := textir.ParseFunction(`
+func f(a, b) {
+e:
+  x = a + b
+  y = b + a
+  z = a - b
+  w = b - a
+  ret w
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := CollectCanonical(f)
+	// a+b ≡ b+a merge; a-b and b-a stay distinct.
+	if u.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", u.Size())
+	}
+	i1, ok1 := u.Index(ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")})
+	i2, ok2 := u.Index(ir.Expr{Op: ir.Add, A: ir.Var("b"), B: ir.Var("a")})
+	if !ok1 || !ok2 || i1 != i2 {
+		t.Errorf("commuted lookups disagree: %d/%v vs %d/%v", i1, ok1, i2, ok2)
+	}
+	// The plain universe keeps them apart.
+	if Collect(f).Size() != 4 {
+		t.Errorf("plain Size = %d, want 4", Collect(f).Size())
+	}
+	// Kill sets must still cover both operands.
+	if kb := u.KilledBy("b"); kb == nil || kb.Count() != 3 {
+		t.Errorf("KilledBy(b) = %v", kb)
+	}
+}
+
+func TestBlockLocalWithCanonicalUniverse(t *testing.T) {
+	f, err := textir.ParseFunction(`
+func f(a, b) {
+e:
+  x = b + a
+  ret x
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := CollectCanonical(f)
+	bl := ComputeBlockLocal(f, u)
+	i, ok := u.Index(ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")})
+	if !ok {
+		t.Fatal("canonical form missing")
+	}
+	if !bl.Antloc.Get(f.Entry().ID, i) || !bl.Comp.Get(f.Entry().ID, i) {
+		t.Error("local predicates missed the commuted computation")
+	}
+}

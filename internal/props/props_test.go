@@ -1,0 +1,237 @@
+package props
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCollectOrderAndDedup(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = a * b
+  z = a + b
+  ret z
+}`)
+	u := Collect(f)
+	if u.Size() != 2 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+	if u.Expr(0).String() != "a + b" || u.Expr(1).String() != "a * b" {
+		t.Errorf("order wrong: %v, %v", u.Expr(0), u.Expr(1))
+	}
+	if i, ok := u.Index(ir.Expr{Op: ir.Mul, A: ir.Var("a"), B: ir.Var("b")}); !ok || i != 1 {
+		t.Errorf("Index = %d, %v", i, ok)
+	}
+	if _, ok := u.Index(ir.Expr{Op: ir.Sub, A: ir.Var("a"), B: ir.Var("b")}); ok {
+		t.Error("unknown expression found")
+	}
+	if len(u.Exprs()) != 2 {
+		t.Error("Exprs length")
+	}
+}
+
+func TestSyntacticIdentity(t *testing.T) {
+	// a + b and b + a are distinct expressions in the lexical model.
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = b + a
+  ret y
+}`)
+	if u := Collect(f); u.Size() != 2 {
+		t.Errorf("commutated expressions conflated: size = %d", u.Size())
+	}
+}
+
+func TestKilledBy(t *testing.T) {
+	f := parse(t, `
+func f(a, b, c) {
+e:
+  x = a + b
+  y = b * c
+  ret y
+}`)
+	u := Collect(f)
+	kb := u.KilledBy("b")
+	if kb == nil || kb.Count() != 2 {
+		t.Fatalf("KilledBy(b) = %v", kb)
+	}
+	if u.KilledBy("z") != nil {
+		t.Error("KilledBy of unused var should be nil")
+	}
+	ka := u.KilledBy("a")
+	if ka.Count() != 1 || !ka.Get(0) {
+		t.Errorf("KilledBy(a) = %v", ka)
+	}
+	// Constants kill nothing.
+	if u.KilledBy("x") != nil {
+		t.Error("destination x is not an operand")
+	}
+}
+
+func TestBlockLocalSimple(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  a = 0
+  y = a + b
+  ret y
+}`)
+	u := Collect(f)
+	bl := ComputeBlockLocal(f, u)
+	// One expression (a+b appears twice, same lexeme).
+	if u.Size() != 1 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+	id := f.Entry().ID
+	if !bl.Antloc.Get(id, 0) {
+		t.Error("first computation is upward exposed: ANTLOC")
+	}
+	if !bl.Comp.Get(id, 0) {
+		t.Error("second computation is downward exposed: COMP")
+	}
+	if bl.Transp.Get(id, 0) {
+		t.Error("a = 0 kills a + b: not TRANSP")
+	}
+}
+
+func TestBlockLocalKillBeforeUse(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  a = 0
+  x = a + b
+  ret x
+}`)
+	u := Collect(f)
+	bl := ComputeBlockLocal(f, u)
+	id := f.Entry().ID
+	if bl.Antloc.Get(id, 0) {
+		t.Error("computation after kill is not upward exposed")
+	}
+	if !bl.Comp.Get(id, 0) {
+		t.Error("computation with nothing after is downward exposed")
+	}
+	if bl.Transp.Get(id, 0) {
+		t.Error("block kills a: not TRANSP")
+	}
+}
+
+func TestSelfKill(t *testing.T) {
+	// a = a + b: ANTLOC (reads before writing), not COMP (its own def
+	// kills it), not TRANSP.
+	f := parse(t, `
+func f(a, b) {
+e:
+  a = a + b
+  ret a
+}`)
+	u := Collect(f)
+	bl := ComputeBlockLocal(f, u)
+	id := f.Entry().ID
+	if !bl.Antloc.Get(id, 0) {
+		t.Error("self-kill must be ANTLOC")
+	}
+	if bl.Comp.Get(id, 0) {
+		t.Error("self-kill must not be COMP")
+	}
+	if bl.Transp.Get(id, 0) {
+		t.Error("self-kill must not be TRANSP")
+	}
+}
+
+func TestTransparentEmptyBlock(t *testing.T) {
+	f := parse(t, `
+func f(a, b, c) {
+e:
+  x = a + b
+  br c m out
+m:
+  jmp out
+out:
+  ret x
+}`)
+	u := Collect(f)
+	bl := ComputeBlockLocal(f, u)
+	m := f.BlockByName("m").ID
+	if !bl.Transp.Get(m, 0) {
+		t.Error("empty block must be transparent")
+	}
+	if bl.Antloc.Get(m, 0) || bl.Comp.Get(m, 0) {
+		t.Error("empty block computes nothing")
+	}
+}
+
+func TestConstOperandExpr(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  x = a + 1
+  x = a + 1
+  ret x
+}`)
+	u := Collect(f)
+	if u.Size() != 1 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+	bl := ComputeBlockLocal(f, u)
+	id := f.Entry().ID
+	// x is not an operand of a+1, so both exposures hold and block is
+	// transparent.
+	if !bl.Antloc.Get(id, 0) || !bl.Comp.Get(id, 0) || !bl.Transp.Get(id, 0) {
+		t.Error("a+1 predicates wrong")
+	}
+}
+
+func TestCopyKills(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  b = x
+  y = a + b
+  ret y
+}`)
+	u := Collect(f)
+	bl := ComputeBlockLocal(f, u)
+	id := f.Entry().ID
+	if bl.Transp.Get(id, 0) {
+		t.Error("copy to operand must kill")
+	}
+	if !bl.Antloc.Get(id, 0) || !bl.Comp.Get(id, 0) {
+		t.Error("exposures around the copy wrong")
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	f := parse(t, `
+func f(a) {
+e:
+  x = a
+  print x
+  ret
+}`)
+	u := Collect(f)
+	if u.Size() != 0 {
+		t.Fatalf("Size = %d", u.Size())
+	}
+	bl := ComputeBlockLocal(f, u)
+	if bl.Antloc.Cols() != 0 {
+		t.Error("zero-width matrices expected")
+	}
+}

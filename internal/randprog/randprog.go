@@ -1,0 +1,283 @@
+// Package randprog generates random structured programs: the workload
+// generator of the property tests and of experiments T1–T5. Programs are
+// built by structural recursion (sequences, if/else, top-test and
+// bottom-test counted loops), so their CFGs are reducible, every loop
+// terminates, and every program passes ir.Validate. A small shared
+// variable pool and operator set bias the generator toward expression
+// reuse, which is what gives PRE something to do.
+//
+// Generation is fully determined by Config (including the seed):
+// regenerating with the same Config yields the identical program.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lazycm/internal/ir"
+)
+
+// Config parametrizes generation.
+type Config struct {
+	// Seed drives all random choices.
+	Seed int64
+	// MaxDepth bounds structural nesting; 0 means straight-line only.
+	MaxDepth int
+	// MaxItems bounds the number of structural items per sequence.
+	MaxItems int
+	// MaxStmts bounds the straight-line statements emitted per run.
+	MaxStmts int
+	// Vars is the size of the assignable variable pool (minimum 2).
+	Vars int
+	// Params is how many pool variables double as function parameters.
+	Params int
+	// MaxTrips bounds loop trip counts (minimum 1).
+	MaxTrips int
+	// PrintProb is the percent chance (0–100) a statement run ends with a
+	// print, keeping programs observable.
+	PrintProb int
+}
+
+// Default returns the configuration used by the test suite and the
+// experiment harness for the given seed.
+func Default(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		MaxDepth:  3,
+		MaxItems:  3,
+		MaxStmts:  4,
+		Vars:      6,
+		Params:    3,
+		MaxTrips:  4,
+		PrintProb: 40,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.MaxItems < 1 {
+		c.MaxItems = 1
+	}
+	if c.MaxStmts < 1 {
+		c.MaxStmts = 1
+	}
+	if c.Vars < 2 {
+		c.Vars = 2
+	}
+	if c.Params < 0 {
+		c.Params = 0
+	}
+	if c.Params > c.Vars {
+		c.Params = c.Vars
+	}
+	if c.MaxTrips < 1 {
+		c.MaxTrips = 1
+	}
+	return c
+}
+
+type gen struct {
+	cfg   Config
+	r     *rand.Rand
+	bd    *ir.Builder
+	block int // fresh block counter
+	loop  int // fresh loop-counter counter
+}
+
+// Generate builds a program from cfg. It panics only on internal generator
+// bugs (the produced function always validates).
+func Generate(cfg Config) *ir.Function {
+	cfg = cfg.normalized()
+	g := &gen{cfg: cfg, r: rand.New(rand.NewSource(cfg.Seed))}
+	params := make([]string, cfg.Params)
+	for i := range params {
+		params[i] = g.varName(i)
+	}
+	name := fmt.Sprintf("rand%d", cfg.Seed)
+	if cfg.Seed < 0 {
+		name = fmt.Sprintf("rand_n%d", -cfg.Seed) // '-' is not a valid identifier character
+	}
+	g.bd = ir.NewBuilder(name, params...)
+
+	entry := g.fresh()
+	g.bd.Block(entry)
+	// Initialize the non-parameter pool variables so behaviour does not
+	// depend on the interpreter's undefined-read rule.
+	for i := cfg.Params; i < cfg.Vars; i++ {
+		g.bd.Copy(g.varName(i), ir.Const(int64(g.r.Intn(21)-10)))
+	}
+	open := g.seq(entry, cfg.MaxDepth)
+	g.bd.Block(open)
+	g.bd.Print(ir.Var(g.varName(g.r.Intn(cfg.Vars))))
+	g.bd.Ret(ir.Var(g.varName(g.r.Intn(cfg.Vars))))
+
+	f, err := g.bd.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("randprog: generator produced invalid function: %v", err))
+	}
+	return f
+}
+
+// ForSeed generates a program with the default configuration.
+func ForSeed(seed int64) *ir.Function { return Generate(Default(seed)) }
+
+func (g *gen) fresh() string {
+	g.block++
+	return fmt.Sprintf("b%d", g.block)
+}
+
+func (g *gen) varName(i int) string { return fmt.Sprintf("v%d", i) }
+
+func (g *gen) poolVar() string { return g.varName(g.r.Intn(g.cfg.Vars)) }
+
+// operand yields a pool variable most of the time and a small constant
+// occasionally. Small pools and small constants maximize lexical reuse.
+func (g *gen) operand() ir.Operand {
+	if g.r.Intn(5) == 0 {
+		return ir.Const(int64(g.r.Intn(7) - 3))
+	}
+	return ir.Var(g.poolVar())
+}
+
+// op is biased toward a few operators so the same expressions recur.
+func (g *gen) op() ir.Op {
+	switch g.r.Intn(8) {
+	case 0, 1, 2:
+		return ir.Add
+	case 3, 4:
+		return ir.Mul
+	case 5:
+		return ir.Sub
+	case 6:
+		return ir.Lt
+	default:
+		return ir.Mod
+	}
+}
+
+// stmts appends a run of straight-line statements to the open block.
+func (g *gen) stmts(open string) {
+	g.bd.Block(open)
+	n := 1 + g.r.Intn(g.cfg.MaxStmts)
+	for i := 0; i < n; i++ {
+		switch g.r.Intn(10) {
+		case 0:
+			g.bd.Copy(g.poolVar(), g.operand())
+		case 1:
+			// Self-kill accumulation: dst is one of its own operands.
+			v := g.poolVar()
+			g.bd.BinOp(v, g.op(), ir.Var(v), g.operand())
+		default:
+			g.bd.BinOp(g.poolVar(), g.op(), g.operand(), g.operand())
+		}
+	}
+	if g.r.Intn(100) < g.cfg.PrintProb {
+		g.bd.Print(ir.Var(g.poolVar()))
+	}
+}
+
+// seq emits a sequence of structural items starting in block open and
+// returns the open block where control continues.
+func (g *gen) seq(open string, depth int) string {
+	items := 1 + g.r.Intn(g.cfg.MaxItems)
+	for i := 0; i < items; i++ {
+		if depth <= 0 {
+			g.stmts(open)
+			continue
+		}
+		switch g.r.Intn(5) {
+		case 0:
+			open = g.ifElse(open, depth-1)
+		case 1:
+			open = g.ifThen(open, depth-1)
+		case 2:
+			open = g.whileLoop(open, depth-1)
+		case 3:
+			open = g.doWhileLoop(open, depth-1)
+		default:
+			g.stmts(open)
+		}
+	}
+	return open
+}
+
+// condVar emits a comparison into the open block and returns its variable.
+func (g *gen) condVar(open string) string {
+	g.bd.Block(open)
+	c := g.poolVar()
+	g.bd.BinOp(c, ir.Lt, g.operand(), g.operand())
+	return c
+}
+
+func (g *gen) ifElse(open string, depth int) string {
+	cond := g.condVar(open)
+	then, els, join := g.fresh(), g.fresh(), g.fresh()
+	g.bd.Block(open).Branch(ir.Var(cond), then, els)
+	endThen := g.seq(then, depth)
+	g.bd.Block(endThen).Jump(join)
+	endElse := g.seq(els, depth)
+	g.bd.Block(endElse).Jump(join)
+	g.bd.Block(join)
+	g.bd.Nop() // keep the join materialized even if nothing follows
+	return join
+}
+
+// ifThen emits a one-armed conditional, which creates a critical edge from
+// the branch to the join — exactly the shape where edge placement matters.
+func (g *gen) ifThen(open string, depth int) string {
+	cond := g.condVar(open)
+	then, join := g.fresh(), g.fresh()
+	g.bd.Block(open).Branch(ir.Var(cond), then, join)
+	endThen := g.seq(then, depth)
+	g.bd.Block(endThen).Jump(join)
+	g.bd.Block(join)
+	g.bd.Nop()
+	return join
+}
+
+// whileLoop emits a counted top-test loop.
+func (g *gen) whileLoop(open string, depth int) string {
+	g.loop++
+	cnt := fmt.Sprintf("L%d", g.loop)
+	trips := int64(g.r.Intn(g.cfg.MaxTrips) + 1)
+	head, body, exit := g.fresh(), g.fresh(), g.fresh()
+
+	g.bd.Block(open).Copy(cnt, ir.Const(0)).Jump(head)
+	cond := fmt.Sprintf("c%d", g.loop)
+	g.bd.Block(head).BinOp(cond, ir.Lt, ir.Var(cnt), ir.Const(trips)).Branch(ir.Var(cond), body, exit)
+	endBody := g.seq(body, depth)
+	g.bd.Block(endBody).BinOp(cnt, ir.Add, ir.Var(cnt), ir.Const(1)).Jump(head)
+	g.bd.Block(exit)
+	g.bd.Nop()
+	return exit
+}
+
+// doWhileLoop emits a counted bottom-test loop (the shape from which LCM
+// hoists invariants).
+func (g *gen) doWhileLoop(open string, depth int) string {
+	g.loop++
+	cnt := fmt.Sprintf("L%d", g.loop)
+	trips := int64(g.r.Intn(g.cfg.MaxTrips) + 1)
+	body, exit := g.fresh(), g.fresh()
+
+	g.bd.Block(open).Copy(cnt, ir.Const(0)).Jump(body)
+	endBody := g.seq(body, depth)
+	cond := fmt.Sprintf("c%d", g.loop)
+	g.bd.Block(endBody).
+		BinOp(cnt, ir.Add, ir.Var(cnt), ir.Const(1)).
+		BinOp(cond, ir.Lt, ir.Var(cnt), ir.Const(trips)).
+		Branch(ir.Var(cond), body, exit)
+	g.bd.Block(exit)
+	g.bd.Nop()
+	return exit
+}
+
+// Args returns deterministic pseudo-random argument values for f derived
+// from the given seed.
+func Args(f *ir.Function, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	args := make([]int64, len(f.Params))
+	for i := range args {
+		args[i] = int64(r.Intn(41) - 20)
+	}
+	return args
+}

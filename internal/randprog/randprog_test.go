@@ -1,0 +1,159 @@
+package randprog
+
+import (
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/props"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		a := ForSeed(seed).String()
+		b := ForSeed(seed).String()
+		if a != b {
+			t.Fatalf("seed %d nondeterministic", seed)
+		}
+	}
+	if ForSeed(1).String() == ForSeed(2).String() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestAlwaysValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		f := ForSeed(seed)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d invalid: %v\n%s", seed, err, f)
+		}
+	}
+}
+
+func TestAlwaysTerminates(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		f := ForSeed(seed)
+		out, _, err := interp.Run(f, interp.Options{Args: Args(f, seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !out.Returned {
+			t.Fatalf("seed %d did not terminate in %d steps:\n%s", seed, out.Steps, f)
+		}
+	}
+}
+
+func TestStructuralVariety(t *testing.T) {
+	var sawLoop, sawBranch, sawMultiBlock, sawCandidates, sawPrint bool
+	for seed := int64(0); seed < 50; seed++ {
+		f := ForSeed(seed)
+		if f.NumBlocks() > 3 {
+			sawMultiBlock = true
+		}
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.Branch {
+				sawBranch = true
+			}
+			for _, in := range b.Instrs {
+				if in.Kind == ir.Print {
+					sawPrint = true
+				}
+			}
+		}
+		// Back edge ⇒ loop: any block whose successor has a smaller ID
+		// in builder order is a cheap proxy here.
+		for _, b := range f.Blocks {
+			for i := 0; i < b.NumSuccs(); i++ {
+				if b.Succ(i).ID <= b.ID {
+					sawLoop = true
+				}
+			}
+		}
+		if props.Collect(f).Size() > 0 {
+			sawCandidates = true
+		}
+	}
+	if !sawLoop || !sawBranch || !sawMultiBlock || !sawCandidates || !sawPrint {
+		t.Errorf("variety missing: loop=%v branch=%v multi=%v candidates=%v print=%v",
+			sawLoop, sawBranch, sawMultiBlock, sawCandidates, sawPrint)
+	}
+}
+
+func TestExpressionReuse(t *testing.T) {
+	// The generator must actually produce redundancy candidates: across a
+	// batch of programs, at least some expression must appear in more than
+	// one statement.
+	reused := 0
+	for seed := int64(0); seed < 50; seed++ {
+		f := ForSeed(seed)
+		count := map[ir.Expr]int{}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if e, ok := in.Expr(); ok {
+					count[e]++
+				}
+			}
+		}
+		for _, c := range count {
+			if c > 1 {
+				reused++
+				break
+			}
+		}
+	}
+	if reused < 25 {
+		t.Errorf("only %d/50 programs reuse an expression; generator too diverse", reused)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	// Degenerate configs must still produce valid programs.
+	cfgs := []Config{
+		{Seed: 1},
+		{Seed: 2, MaxDepth: 0, MaxItems: 0, MaxStmts: 0, Vars: 0, Params: 9, MaxTrips: 0},
+		{Seed: 3, MaxDepth: 6, MaxItems: 4, MaxStmts: 8, Vars: 3, Params: 3, MaxTrips: 2},
+	}
+	for _, cfg := range cfgs {
+		f := Generate(cfg)
+		if err := f.Validate(); err != nil {
+			t.Errorf("config %+v: %v", cfg, err)
+		}
+		out, _, err := interp.Run(f, interp.Options{})
+		if err != nil || !out.Returned {
+			t.Errorf("config %+v: run failed: %v %s", cfg, err, out)
+		}
+	}
+}
+
+func TestArgsDeterministic(t *testing.T) {
+	f := ForSeed(7)
+	a := Args(f, 42)
+	b := Args(f, 42)
+	if len(a) != len(f.Params) {
+		t.Fatalf("args len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Args nondeterministic")
+		}
+	}
+}
+
+func TestDepthZeroIsStraightLine(t *testing.T) {
+	f := Generate(Config{Seed: 5, MaxDepth: 0, MaxItems: 3, MaxStmts: 4, Vars: 4, Params: 2, MaxTrips: 1})
+	if f.NumBlocks() != 1 {
+		t.Errorf("depth 0 produced %d blocks", f.NumBlocks())
+	}
+}
+
+func TestParamsArePoolPrefix(t *testing.T) {
+	f := ForSeed(11)
+	if len(f.Params) != 3 {
+		t.Fatalf("params = %v", f.Params)
+	}
+	for i, p := range f.Params {
+		if want := Default(11); p != "v"+string(rune('0'+i)) || want.Params != 3 {
+			t.Errorf("param %d = %q", i, p)
+		}
+	}
+}

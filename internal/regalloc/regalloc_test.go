@@ -1,0 +1,177 @@
+package regalloc
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestStraightLine(t *testing.T) {
+	// a and b are simultaneously live; x overlaps b; y overlaps nothing
+	// else at its definition... small program, 2 registers suffice.
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = x * 2
+  ret y
+}`)
+	al := Allocate(f, 2)
+	if len(al.Spilled) != 0 {
+		t.Fatalf("spilled with 2 regs: %v", al.Spilled)
+	}
+	if al.Register["a"] == al.Register["b"] {
+		t.Error("simultaneously live params share a register")
+	}
+	if al.MaxPressure < 2 {
+		t.Errorf("MaxPressure = %d", al.MaxPressure)
+	}
+}
+
+func TestColoringValid(t *testing.T) {
+	// Interfering variables must get distinct registers on a batch of
+	// random programs; validity is checked against liveness directly.
+	for seed := int64(0); seed < 30; seed++ {
+		f := randprog.ForSeed(seed)
+		k := 4
+		al := Allocate(f, k)
+		for v, c := range al.Register {
+			if c < 0 || c >= k {
+				t.Fatalf("seed %d: color %d out of range for %s", seed, c, v)
+			}
+		}
+		// Spilled + colored = all vars.
+		if len(al.Register)+len(al.Spilled) != al.NumVars {
+			t.Fatalf("seed %d: %d + %d != %d", seed, len(al.Register), len(al.Spilled), al.NumVars)
+		}
+	}
+}
+
+func TestSpillWhenPressureExceedsK(t *testing.T) {
+	// Five values live at once cannot fit in 3 registers.
+	f := parse(t, `
+func f(a) {
+e:
+  v1 = a + 1
+  v2 = a + 2
+  v3 = a + 3
+  v4 = a + 4
+  s1 = v1 + v2
+  s2 = v3 + v4
+  s3 = s1 + s2
+  ret s3
+}`)
+	al3 := Allocate(f, 3)
+	if len(al3.Spilled) == 0 {
+		t.Errorf("no spills with 3 registers despite pressure %d", al3.MaxPressure)
+	}
+	al8 := Allocate(f, 8)
+	if len(al8.Spilled) != 0 {
+		t.Errorf("spills with 8 registers: %v", al8.Spilled)
+	}
+	if al3.MaxPressure != al8.MaxPressure {
+		t.Error("pressure depends on K?")
+	}
+}
+
+func TestMinRegisters(t *testing.T) {
+	f := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = x * 2
+  ret y
+}`)
+	k := MinRegisters(f)
+	if k < 2 || k > 3 {
+		t.Errorf("MinRegisters = %d", k)
+	}
+	if got := Allocate(f, k); len(got.Spilled) != 0 {
+		t.Errorf("MinRegisters=%d still spills", k)
+	}
+	if k > 1 {
+		if got := Allocate(f, k-1); len(got.Spilled) == 0 {
+			t.Errorf("MinRegisters not minimal: %d-1 also works", k)
+		}
+	}
+}
+
+func TestEmptyFunction(t *testing.T) {
+	f := parse(t, "func f() {\ne:\n  ret\n}")
+	al := Allocate(f, 4)
+	if al.NumVars != 0 || len(al.Spilled) != 0 || al.MaxPressure != 0 {
+		t.Errorf("empty allocation wrong: %+v", al)
+	}
+	if MinRegisters(f) != 0 {
+		t.Error("MinRegisters on empty != 0")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	f := randprog.ForSeed(3)
+	a := Allocate(f, 4)
+	for i := 0; i < 10; i++ {
+		b := Allocate(f, 4)
+		if len(a.Spilled) != len(b.Spilled) || a.MaxPressure != b.MaxPressure {
+			t.Fatal("nondeterministic allocation")
+		}
+		for v, c := range a.Register {
+			if b.Register[v] != c {
+				t.Fatal("nondeterministic coloring")
+			}
+		}
+	}
+}
+
+// TestLCMNeedsFewerRegistersThanBCM is the spirit of T3b on a single
+// program: the padded diamond where BCM hoists early.
+func TestLCMNeedsFewerRegistersThanBCM(t *testing.T) {
+	src := `
+func f(a, b, p) {
+entry:
+  u1 = p + 1
+  u2 = p + 2
+  u3 = u1 * u2
+  u4 = u3 - u1
+  br p then else
+then:
+  x = a + b
+  jmp join
+else:
+  w = u4 * u3
+  jmp join
+join:
+  y = a + b
+  z = y + w
+  ret z
+}`
+	f := parse(t, src)
+	bcm, err := lcm.Transform(f, lcm.BCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzy, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, kl := MinRegisters(bcm.F), MinRegisters(lzy.F)
+	if kl > kb {
+		t.Errorf("LCM needs more registers (%d) than BCM (%d)", kl, kb)
+	}
+	pb, pl := Allocate(bcm.F, 64).MaxPressure, Allocate(lzy.F, 64).MaxPressure
+	if pl > pb {
+		t.Errorf("LCM pressure %d exceeds BCM pressure %d", pl, pb)
+	}
+}

@@ -1,0 +1,170 @@
+// Package rewrite holds the block-rewriting machinery shared by the
+// block-level PRE transformations (Morel–Renvoise in package mr and the
+// edge-based Lazy Code Motion variant in package lcmblock): locating the
+// upward- and downward-exposed computation of each expression in a block,
+// and applying delete/save edits.
+package rewrite
+
+import (
+	"strconv"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/ir"
+	"lazycm/internal/props"
+)
+
+// Exposure maps expression numbers to the instruction index of their
+// upward- or downward-exposed computation within one block.
+type Exposure struct {
+	// Up[e] is the index of the first computation of e not preceded by a
+	// kill of e in the block.
+	Up map[int]int
+	// Down[e] is the index of the last computation of e not followed
+	// (inclusive of its own definition) by a kill of e in the block.
+	Down map[int]int
+}
+
+// FindExposure scans block b over universe u.
+func FindExposure(b *ir.Block, u *props.Universe) Exposure {
+	ex := Exposure{Up: make(map[int]int, 2), Down: make(map[int]int, 2)}
+	killed := bitvec.New(u.Size())
+	for j, in := range b.Instrs {
+		if e, ok := in.Expr(); ok {
+			if i, found := u.Index(e); found && !killed.Get(i) {
+				if _, seen := ex.Up[i]; !seen {
+					ex.Up[i] = j
+				}
+			}
+		}
+		u.AddKilledBy(killed, in.Defs())
+	}
+	killed.ClearAll()
+	for j := len(b.Instrs) - 1; j >= 0; j-- {
+		in := b.Instrs[j]
+		u.AddKilledBy(killed, in.Defs())
+		if e, ok := in.Expr(); ok {
+			if i, found := u.Index(e); found && !killed.Get(i) {
+				if _, seen := ex.Down[i]; !seen {
+					ex.Down[i] = j
+				}
+			}
+		}
+	}
+	return ex
+}
+
+// Edits collects the per-block rewrites of a block-level PRE
+// transformation.
+type Edits struct {
+	// Delete[e] requests rewriting the upward-exposed computation of e to
+	// a copy from its temporary.
+	Delete []int
+	// SaveDown[e] requests rewriting the downward-exposed computation of e
+	// to "t = e; x = t" if that instruction is not already deleted.
+	SaveDown []int
+	// Append are expression numbers to compute into their temporaries at
+	// the end of the block (before the terminator).
+	Append []int
+}
+
+// Counts reports how many edits of each kind Apply performed.
+type Counts struct {
+	Deleted, Saved, Inserted int
+}
+
+// Apply performs the edits on b. tempName[e] must name the temporary of
+// every touched expression. Edits referring to expressions without an
+// exposed occurrence in b are ignored (the caller's data-flow facts
+// guarantee existence; this keeps Apply total).
+func Apply(b *ir.Block, u *props.Universe, ed Edits, tempName []string) Counts {
+	var c Counts
+	ex := FindExposure(b, u)
+
+	type edit struct {
+		del  bool
+		save bool
+		expr int
+	}
+	edits := make(map[int]edit)
+	for _, e := range ed.Delete {
+		if tempName[e] == "" {
+			continue
+		}
+		if j, ok := ex.Up[e]; ok {
+			edits[j] = edit{del: true, expr: e}
+		}
+	}
+	for _, e := range ed.SaveDown {
+		if tempName[e] == "" {
+			continue
+		}
+		j, ok := ex.Down[e]
+		if !ok {
+			continue
+		}
+		if prev, exists := edits[j]; exists && prev.del {
+			// The deleted computation is also the downward-exposed one:
+			// the copy "x = t" leaves t current, no save needed.
+			continue
+		}
+		edits[j] = edit{save: true, expr: e}
+	}
+
+	var out []ir.Instr
+	for j, in := range b.Instrs {
+		e, ok := edits[j]
+		if !ok {
+			out = append(out, in)
+			continue
+		}
+		t := tempName[e.expr]
+		switch {
+		case e.del:
+			out = append(out, ir.NewCopy(in.Dst, ir.Var(t)))
+			c.Deleted++
+		case e.save:
+			ex := u.Expr(e.expr)
+			out = append(out, ir.NewBinOp(t, ex.Op, ex.A, ex.B), ir.NewCopy(in.Dst, ir.Var(t)))
+			c.Saved++
+		}
+	}
+	for _, e := range ed.Append {
+		if tempName[e] == "" {
+			continue
+		}
+		ex := u.Expr(e)
+		out = append(out, ir.NewBinOp(tempName[e], ex.Op, ex.A, ex.B))
+		c.Inserted++
+	}
+	b.Instrs = out
+	return c
+}
+
+// TempNamer assigns deterministic fresh temporary names ("<prefix>0",
+// "<prefix>1", …) in expression-number order to the touched expressions,
+// returning the per-expression name table and the expression→temp map.
+func TempNamer(f *ir.Function, u *props.Universe, touched []bool, prefix string) ([]string, map[ir.Expr]string) {
+	used := make(map[string]bool)
+	for _, v := range f.Vars() {
+		used[v] = true
+	}
+	names := make([]string, u.Size())
+	tempFor := make(map[ir.Expr]string)
+	next := 0
+	for e := range touched {
+		if !touched[e] {
+			continue
+		}
+		for {
+			cand := prefix + strconv.Itoa(next)
+			next++
+			if !used[cand] {
+				names[e] = cand
+				used[cand] = true
+				tempFor[u.Expr(e)] = cand
+				break
+			}
+		}
+	}
+	return names, tempFor
+}

@@ -1,0 +1,174 @@
+package rewrite
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/props"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) (*ir.Function, *props.Universe) {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, props.Collect(f)
+}
+
+func TestFindExposure(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  a = 0
+  y = a + b
+  z = a * b
+  ret z
+}`)
+	b := f.Entry()
+	ex := FindExposure(b, u)
+	add, _ := u.Index(ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")})
+	mul, _ := u.Index(ir.Expr{Op: ir.Mul, A: ir.Var("a"), B: ir.Var("b")})
+	if got, ok := ex.Up[add]; !ok || got != 0 {
+		t.Errorf("Up[a+b] = %d, %v; want 0", got, ok)
+	}
+	if got, ok := ex.Down[add]; !ok || got != 2 {
+		t.Errorf("Down[a+b] = %d, %v; want 2 (after the kill)", got, ok)
+	}
+	if _, ok := ex.Up[mul]; ok {
+		t.Error("a*b computed after the kill of a is not upward exposed")
+	}
+	if got, ok := ex.Down[mul]; !ok || got != 3 {
+		t.Errorf("Down[a*b] = %d, %v", got, ok)
+	}
+}
+
+func TestFindExposureSelfKill(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  a = a + b
+  ret a
+}`)
+	ex := FindExposure(f.Entry(), u)
+	if _, ok := ex.Up[0]; !ok {
+		t.Error("self-kill must be upward exposed")
+	}
+	if _, ok := ex.Down[0]; ok {
+		t.Error("self-kill must not be downward exposed")
+	}
+}
+
+func TestApplyDelete(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`)
+	names := []string{"t"}
+	c := Apply(f.Entry(), u, Edits{Delete: []int{0}}, names)
+	if c.Deleted != 1 || c.Saved != 0 || c.Inserted != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if got := f.Entry().Instrs[0].String(); got != "x = t" {
+		t.Errorf("deleted instr = %q", got)
+	}
+}
+
+func TestApplySave(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`)
+	names := []string{"t"}
+	c := Apply(f.Entry(), u, Edits{SaveDown: []int{0}}, names)
+	if c.Saved != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	is := f.Entry().Instrs
+	if len(is) != 2 || is[0].String() != "t = a + b" || is[1].String() != "x = t" {
+		t.Errorf("save shape wrong: %v", is)
+	}
+}
+
+func TestApplyDeleteWinsOverSave(t *testing.T) {
+	// Same instruction both deleted and downward exposed: delete wins, no
+	// save emitted.
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`)
+	names := []string{"t"}
+	c := Apply(f.Entry(), u, Edits{Delete: []int{0}, SaveDown: []int{0}}, names)
+	if c.Deleted != 1 || c.Saved != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestApplyAppend(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`)
+	names := []string{"t"}
+	c := Apply(f.Entry(), u, Edits{Append: []int{0}}, names)
+	if c.Inserted != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	is := f.Entry().Instrs
+	if is[len(is)-1].String() != "t = a + b" {
+		t.Errorf("append wrong: %v", is)
+	}
+}
+
+func TestApplyUnnamedIgnored(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  x = a + b
+  ret x
+}`)
+	names := []string{""} // expression not touched
+	c := Apply(f.Entry(), u, Edits{Delete: []int{0}, SaveDown: []int{0}, Append: []int{0}}, names)
+	if c.Deleted != 0 || c.Saved != 0 || c.Inserted != 0 {
+		t.Fatalf("unnamed expression edited: %+v", c)
+	}
+}
+
+func TestTempNamer(t *testing.T) {
+	f, u := parse(t, `
+func f(a, b) {
+e:
+  q0 = a + b
+  y = a * b
+  z = a - b
+  ret z
+}`)
+	touched := []bool{true, false, true}
+	names, tempFor := TempNamer(f, u, touched, "q")
+	// q0 is taken by the program: first temp must skip it.
+	if names[0] != "q1" {
+		t.Errorf("names[0] = %q, want q1", names[0])
+	}
+	if names[1] != "" {
+		t.Errorf("untouched expression named %q", names[1])
+	}
+	if names[2] != "q2" {
+		t.Errorf("names[2] = %q, want q2", names[2])
+	}
+	if len(tempFor) != 2 {
+		t.Errorf("tempFor = %v", tempFor)
+	}
+	if tempFor[u.Expr(0)] != "q1" {
+		t.Errorf("tempFor[0] = %q", tempFor[u.Expr(0)])
+	}
+}

@@ -1,0 +1,375 @@
+package sr
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/interp"
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func transform(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := Transform(parse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// mulCount runs f and counts dynamic multiplication evaluations.
+func mulCount(t *testing.T, f *ir.Function, args ...int64) int {
+	t.Helper()
+	_, counts, err := interp.Run(f, interp.Options{Args: args})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for e, c := range counts {
+		if e.Op == ir.Mul {
+			n += c
+		}
+	}
+	return n
+}
+
+const basicLoop = `
+func f(n) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  x = i * 8
+  print x
+  i = i + 1
+  jmp head
+exit:
+  ret i
+}
+`
+
+func TestBasicReduction(t *testing.T) {
+	res := transform(t, basicLoop)
+	if res.Reduced != 1 || res.Updates != 1 {
+		t.Fatalf("reduced=%d updates=%d\n%s", res.Reduced, res.Updates, res.F)
+	}
+	f := parse(t, basicLoop)
+	// Behaviour identical on a range of trip counts.
+	for _, n := range []int64{0, 1, 7} {
+		a, _, _ := interp.Run(f, interp.Options{Args: []int64{n}})
+		b, _, _ := interp.Run(res.F, interp.Options{Args: []int64{n}})
+		if !a.ObservablyEqual(b) {
+			t.Fatalf("n=%d: %s vs %s\n%s", n, a, b, res.F)
+		}
+	}
+	// Multiplications drop from n to ≤ 1 (the preheader init).
+	if got := mulCount(t, res.F, 10); got > 1 {
+		t.Errorf("dynamic muls after SR = %d, want ≤ 1\n%s", got, res.F)
+	}
+	if got := mulCount(t, f, 10); got != 10 {
+		t.Fatalf("original muls = %d", got)
+	}
+}
+
+func TestReductionWithDecrement(t *testing.T) {
+	src := `
+func f(n) {
+entry:
+  i = n
+  jmp head
+head:
+  c = 0 < i
+  br c body exit
+body:
+  x = 4 * i
+  print x
+  i = i - 1
+  jmp head
+exit:
+  ret
+}
+`
+	res := transform(t, src)
+	if res.Reduced != 1 {
+		t.Fatalf("reduced=%d\n%s", res.Reduced, res.F)
+	}
+	f := parse(t, src)
+	for _, n := range []int64{0, 3, 9} {
+		a, _, _ := interp.Run(f, interp.Options{Args: []int64{n}})
+		b, _, _ := interp.Run(res.F, interp.Options{Args: []int64{n}})
+		if !a.ObservablyEqual(b) {
+			t.Fatalf("n=%d: %s vs %s\n%s", n, a, b, res.F)
+		}
+	}
+}
+
+func TestMultipleUpdates(t *testing.T) {
+	// Two updates of i per iteration: both must be mirrored.
+	src := `
+func f(n) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  x = i * 3
+  print x
+  i = i + 1
+  i = i + 2
+  jmp head
+exit:
+  ret
+}
+`
+	res := transform(t, src)
+	if res.Updates != 2 {
+		t.Fatalf("updates=%d, want 2\n%s", res.Updates, res.F)
+	}
+	f := parse(t, src)
+	a, _, _ := interp.Run(f, interp.Options{Args: []int64{10}})
+	b, _, _ := interp.Run(res.F, interp.Options{Args: []int64{10}})
+	if !a.ObservablyEqual(b) {
+		t.Fatalf("%s vs %s\n%s", a, b, res.F)
+	}
+}
+
+func TestNonIVNotReduced(t *testing.T) {
+	// v is reassigned arbitrarily in the loop: not an induction variable.
+	src := `
+func f(n, v) {
+entry:
+  i = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  x = v * 8
+  v = x % 7
+  i = i + 1
+  jmp head
+exit:
+  ret v
+}
+`
+	res := transform(t, src)
+	if res.Reduced != 0 {
+		t.Errorf("non-IV multiplication reduced\n%s", res.F)
+	}
+}
+
+func TestIVTimesIVDstExcluded(t *testing.T) {
+	// j = i * 2 where j is itself updated additively: j has two def forms
+	// (mul + add) so it is not an IV, and reducing j = i*2 is fine; but a
+	// mul whose destination is a pure IV must be left alone.
+	src := `
+func f(n) {
+entry:
+  i = 0
+  j = 0
+  jmp head
+head:
+  c = i < n
+  br c body exit
+body:
+  j = j + 4
+  i = i + 1
+  jmp head
+exit:
+  ret j
+}
+`
+	res := transform(t, src)
+	if res.Reduced != 0 {
+		t.Errorf("nothing to reduce here\n%s", res.F)
+	}
+}
+
+func TestPreheaderCreatedForBottomTest(t *testing.T) {
+	// Bottom-test loop entered straight from a multi-successor block: a
+	// preheader must be materialized.
+	src := `
+func f(n, p) {
+entry:
+  i = 0
+  br p body out
+body:
+  x = i * 5
+  print x
+  i = i + 1
+  c = i < n
+  br c body out
+out:
+  ret i
+}
+`
+	res := transform(t, src)
+	if res.Reduced != 1 || res.Preheaders != 1 {
+		t.Fatalf("reduced=%d preheaders=%d\n%s", res.Reduced, res.Preheaders, res.F)
+	}
+	if !strings.Contains(res.F.String(), ".preheader") {
+		t.Errorf("no preheader block:\n%s", res.F)
+	}
+	f := parse(t, src)
+	for _, args := range [][]int64{{5, 1}, {5, 0}, {0, 1}} {
+		a, _, _ := interp.Run(f, interp.Options{Args: args})
+		b, _, _ := interp.Run(res.F, interp.Options{Args: args})
+		if !a.ObservablyEqual(b) {
+			t.Fatalf("args %v: %s vs %s\n%s", args, a, b, res.F)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `
+func f(n, m) {
+entry:
+  i = 0
+  jmp oh
+oh:
+  ci = i < n
+  br ci obody exit
+obody:
+  a = i * 10
+  j = 0
+  jmp ih
+ih:
+  cj = j < m
+  br cj ibody olatch
+ibody:
+  b = j * 3
+  s = a + b
+  print s
+  j = j + 1
+  jmp ih
+olatch:
+  i = i + 1
+  jmp oh
+exit:
+  ret
+}
+`
+	res := transform(t, src)
+	if res.Reduced < 2 {
+		t.Fatalf("reduced=%d, want both loops' muls\n%s", res.Reduced, res.F)
+	}
+	f := parse(t, src)
+	for _, args := range [][]int64{{3, 4}, {0, 5}, {2, 0}} {
+		a, _, _ := interp.Run(f, interp.Options{Args: args})
+		b, _, _ := interp.Run(res.F, interp.Options{Args: args})
+		if !a.ObservablyEqual(b) {
+			t.Fatalf("args %v: %s vs %s\n%s", args, a, b, res.F)
+		}
+	}
+	// Inner multiplication j*3 must execute 0 times in the loop; only
+	// preheader inits remain: ≤ n inits of the inner temp + 1 outer.
+	muls := mulCount(t, res.F, 3, 4)
+	if muls > 4 {
+		t.Errorf("dynamic muls = %d, want ≤ 4 (3 inner preheader + 1 outer)\n%s", muls, res.F)
+	}
+	if orig := mulCount(t, f, 3, 4); orig != 15 {
+		t.Fatalf("original muls = %d, want 15", orig)
+	}
+}
+
+func TestEntryIsLoopHeader(t *testing.T) {
+	src := `
+func f(n) {
+entry:
+  x = n * 6
+  print x
+  n = n - 1
+  c = 0 < n
+  br c entry out
+out:
+  ret
+}
+`
+	f := parse(t, src)
+	res, err := Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{1, 4} {
+		a, _, _ := interp.Run(f, interp.Options{Args: []int64{n}})
+		b, _, _ := interp.Run(res.F, interp.Options{Args: []int64{n}})
+		if !a.ObservablyEqual(b) {
+			t.Fatalf("n=%d: %s vs %s\n%s", n, a, b, res.F)
+		}
+	}
+	if res.Reduced != 1 {
+		t.Errorf("reduced=%d\n%s", res.Reduced, res.F)
+	}
+}
+
+func TestNoLoopsNoChange(t *testing.T) {
+	src := `
+func f(a) {
+e:
+  x = a * 4
+  ret x
+}
+`
+	res := transform(t, src)
+	if res.Reduced != 0 || res.Updates != 0 || res.Preheaders != 0 {
+		t.Errorf("straight-line code transformed: %+v", res)
+	}
+}
+
+func TestRandomProgramsEquivalent(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		f := randprog.ForSeed(seed)
+		res, err := Transform(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Equivalent(f, res.F, seed*19, 4); err != nil {
+			t.Fatalf("seed %d: %v\noriginal:\n%s\ntransformed:\n%s", seed, err, f, res.F)
+		}
+	}
+}
+
+func TestInputNotMutatedAndDeterministic(t *testing.T) {
+	f := parse(t, basicLoop)
+	before := f.String()
+	res1, err := Transform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != before {
+		t.Error("input mutated")
+	}
+	for i := 0; i < 10; i++ {
+		res2, _ := Transform(f)
+		if res2.F.String() != res1.F.String() {
+			t.Fatal("nondeterministic")
+		}
+	}
+}
+
+func TestTempsReported(t *testing.T) {
+	res := transform(t, basicLoop)
+	if len(res.Temps) != 1 {
+		t.Fatalf("Temps = %v", res.Temps)
+	}
+	if _, ok := res.Temps["i * 8"]; !ok {
+		t.Errorf("Temps = %v", res.Temps)
+	}
+}

@@ -1,0 +1,47 @@
+package textir_test
+
+import (
+	"fmt"
+	"log"
+
+	"lazycm/internal/textir"
+)
+
+// ExampleParseFunction parses a small program and prints its structure.
+func ExampleParseFunction() {
+	f, err := textir.ParseFunction(`
+# square the sum
+func f(a, b) {
+entry:
+  s = a + b
+  q = s * s
+  ret q
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s with %d params, %d blocks, %d statements\n",
+		f.Name, len(f.Params), f.NumBlocks(), f.NumInstrs())
+	// Output:
+	// f with 2 params, 1 blocks, 2 statements
+}
+
+// ExampleParse handles multiple functions and round-trips them.
+func ExampleParse() {
+	src := "func one() {\ne:\n  ret\n}\n\nfunc two(x) {\ne:\n  ret x\n}\n"
+	fns, err := textir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(textir.PrintFunctions(fns))
+	// Output:
+	// func one() {
+	// e:
+	//   ret
+	// }
+	//
+	// func two(x) {
+	// e:
+	//   ret x
+	// }
+}

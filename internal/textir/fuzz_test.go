@@ -1,0 +1,58 @@
+package textir
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/randprog"
+)
+
+// FuzzParse feeds arbitrary text to the parser: it must never panic, and
+// whenever it accepts an input, printing and reparsing must be stable.
+func FuzzParse(f *testing.F) {
+	f.Add("func f(a, b) {\ne:\n  x = a + b\n  ret x\n}")
+	f.Add("func f() {\ne:\n  nop\n  br x e e\n}")
+	f.Add("# comment only")
+	f.Add("func f() {\ne:\n  ret\n}\nfunc g() {\ne:\n  ret\n}")
+	f.Add("func f(")
+	f.Add(strings.Repeat("func f() {\ne:\n  ret\n}\n", 3))
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(randprog.ForSeed(seed).String())
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fns, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := PrintFunctions(fns)
+		fns2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed output failed: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if got := PrintFunctions(fns2); got != printed {
+			t.Fatalf("print not stable:\n%s\nvs\n%s", printed, got)
+		}
+	})
+}
+
+// FuzzGeneratedPrograms parses the printed form of generated programs for
+// arbitrary seeds: the generator, printer and parser must agree for any
+// seed value.
+func FuzzGeneratedPrograms(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(12345))
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		fn := randprog.ForSeed(seed)
+		if err := fn.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		re, err := ParseFunction(fn.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, fn)
+		}
+		if re.String() != fn.String() {
+			t.Fatalf("seed %d round trip unstable", seed)
+		}
+	})
+}

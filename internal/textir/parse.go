@@ -1,0 +1,281 @@
+// Package textir parses and prints the textual form of the IR. The syntax
+// is line oriented and round-trips with ir.Function.String:
+//
+//	func name(p1, p2) {
+//	entry:
+//	  x = a + b        // binop (one operator, as in the paper's model)
+//	  y = x            // copy
+//	  y = 42           // copy of a constant
+//	  print y
+//	  nop
+//	  br c then else   // branch on c != 0
+//	head:
+//	  jmp entry
+//	done:
+//	  ret y            // or bare "ret"
+//	}
+//
+// '#' starts a comment that runs to end of line. Blank lines are ignored.
+// The first block of a function is its entry block.
+package textir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lazycm/internal/ir"
+)
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("textir: line %d: %s", e.Line, e.Msg)
+}
+
+type parser struct {
+	lines []string
+	pos   int // index of next line
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-empty, comment-stripped line, trimmed, or ""
+// at end of input.
+func (p *parser) next() string {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line
+		}
+	}
+	return ""
+}
+
+// ParseFunction parses a single function from src.
+func ParseFunction(src string) (*ir.Function, error) {
+	fns, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) != 1 {
+		return nil, fmt.Errorf("textir: expected exactly 1 function, found %d", len(fns))
+	}
+	return fns[0], nil
+}
+
+// Parse parses all functions in src.
+func Parse(src string) ([]*ir.Function, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	var fns []*ir.Function
+	for {
+		line := p.next()
+		if line == "" {
+			break
+		}
+		fn, err := p.function(line)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("textir: no functions in input")
+	}
+	return fns, nil
+}
+
+func (p *parser) function(header string) (*ir.Function, error) {
+	rest, ok := strings.CutPrefix(header, "func ")
+	if !ok {
+		return nil, p.errf("expected 'func', got %q", header)
+	}
+	open := strings.IndexByte(rest, '(')
+	closeP := strings.IndexByte(rest, ')')
+	if open < 0 || closeP < open {
+		return nil, p.errf("malformed function header %q", header)
+	}
+	name := strings.TrimSpace(rest[:open])
+	if name == "" || !isIdent(name) {
+		return nil, p.errf("bad function name %q", name)
+	}
+	var params []string
+	if s := strings.TrimSpace(rest[open+1 : closeP]); s != "" {
+		for _, f := range strings.Split(s, ",") {
+			f = strings.TrimSpace(f)
+			if !isIdent(f) {
+				return nil, p.errf("bad parameter name %q", f)
+			}
+			params = append(params, f)
+		}
+	}
+	if tail := strings.TrimSpace(rest[closeP+1:]); tail != "{" {
+		return nil, p.errf("expected '{' after function header, got %q", tail)
+	}
+
+	bd := ir.NewBuilder(name, params...)
+	sawBlock := false
+	for {
+		line := p.next()
+		if line == "" {
+			return nil, p.errf("unexpected end of input in function %q", name)
+		}
+		if line == "}" {
+			break
+		}
+		if label, ok := strings.CutSuffix(line, ":"); ok && isIdent(label) {
+			bd.Block(label)
+			sawBlock = true
+			continue
+		}
+		if !sawBlock {
+			return nil, p.errf("statement %q before any block label", line)
+		}
+		if err := p.statement(bd, line); err != nil {
+			return nil, err
+		}
+	}
+	return bd.Finish()
+}
+
+func (p *parser) statement(bd *ir.Builder, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "jmp":
+		if len(fields) != 2 || !isIdent(fields[1]) {
+			return p.errf("malformed jmp %q", line)
+		}
+		bd.Jump(fields[1])
+		return nil
+	case "br":
+		if len(fields) != 4 || !isIdent(fields[2]) || !isIdent(fields[3]) {
+			return p.errf("malformed br %q", line)
+		}
+		cond, err := p.operand(fields[1])
+		if err != nil {
+			return err
+		}
+		bd.Branch(cond, fields[2], fields[3])
+		return nil
+	case "ret":
+		switch len(fields) {
+		case 1:
+			bd.RetVoid()
+			return nil
+		case 2:
+			v, err := p.operand(fields[1])
+			if err != nil {
+				return err
+			}
+			bd.Ret(v)
+			return nil
+		}
+		return p.errf("malformed ret %q", line)
+	case "print":
+		if len(fields) != 2 {
+			return p.errf("malformed print %q", line)
+		}
+		v, err := p.operand(fields[1])
+		if err != nil {
+			return err
+		}
+		bd.Print(v)
+		return nil
+	case "nop":
+		if len(fields) != 1 {
+			return p.errf("malformed nop %q", line)
+		}
+		bd.Nop()
+		return nil
+	}
+
+	// Assignment: dst = a [op b]
+	if len(fields) >= 3 && fields[1] == "=" {
+		dst := fields[0]
+		if !isIdent(dst) {
+			return p.errf("bad destination %q", dst)
+		}
+		switch len(fields) {
+		case 3:
+			src, err := p.operand(fields[2])
+			if err != nil {
+				return err
+			}
+			bd.Copy(dst, src)
+			return nil
+		case 5:
+			a, err := p.operand(fields[2])
+			if err != nil {
+				return err
+			}
+			op, ok := ir.OpFromString(fields[3])
+			if !ok {
+				return p.errf("unknown operator %q", fields[3])
+			}
+			b, err := p.operand(fields[4])
+			if err != nil {
+				return err
+			}
+			bd.BinOp(dst, op, a, b)
+			return nil
+		}
+		return p.errf("malformed assignment %q (operands must be space separated)", line)
+	}
+	return p.errf("unrecognized statement %q", line)
+}
+
+func (p *parser) operand(s string) (ir.Operand, error) {
+	if isIdent(s) {
+		return ir.Var(s), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return ir.Operand{}, p.errf("bad operand %q", s)
+	}
+	return ir.Const(v), nil
+}
+
+// isIdent reports whether s is a valid identifier: a letter or '_' followed
+// by letters, digits, '_' or '.', and not a reserved word. '.' is allowed so
+// that synthetic split-block names round-trip.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch s {
+	case "func", "jmp", "br", "ret", "print", "nop":
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PrintFunctions renders fns in parseable form separated by blank lines.
+func PrintFunctions(fns []*ir.Function) string {
+	var b strings.Builder
+	for i, f := range fns {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,216 @@
+package textir
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/ir"
+)
+
+const diamondSrc = `
+# the canonical partially redundant diamond
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b   # redundant along then
+  ret y
+}
+`
+
+func TestParseDiamond(t *testing.T) {
+	f, err := ParseFunction(diamondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "diamond" || len(f.Params) != 3 {
+		t.Fatalf("header wrong: %s %v", f.Name, f.Params)
+	}
+	if f.NumBlocks() != 4 || f.Entry().Name != "entry" {
+		t.Fatalf("blocks wrong: %d", f.NumBlocks())
+	}
+	then := f.BlockByName("then")
+	if len(then.Instrs) != 1 || then.Instrs[0].String() != "x = a + b" {
+		t.Fatalf("then wrong: %v", then.Instrs)
+	}
+	join := f.BlockByName("join")
+	if join.Term.Kind != ir.Ret || !join.Term.HasVal || join.Term.Val.Name != "y" {
+		t.Fatalf("join term wrong: %v", join.Term)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := ParseFunction(diamondSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := f.String()
+	g, err := ParseFunction(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, printed)
+	}
+	if g.String() != printed {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", printed, g.String())
+	}
+}
+
+func TestParseAllStatementForms(t *testing.T) {
+	src := `
+func all(a) {
+entry:
+  x = a + 1
+  y = x
+  z = -5
+  w = x % y
+  print w
+  print 7
+  nop
+  br x pos neg
+pos:
+  ret x
+neg:
+  ret
+}
+`
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := f.Entry()
+	if len(e.Instrs) != 7 {
+		t.Fatalf("entry instrs = %d", len(e.Instrs))
+	}
+	if e.Instrs[2].Kind != ir.Copy || e.Instrs[2].A.Value != -5 {
+		t.Errorf("negative constant copy wrong: %v", e.Instrs[2])
+	}
+	if e.Instrs[3].Op != ir.Mod {
+		t.Errorf("mod parsed as %v", e.Instrs[3].Op)
+	}
+	if f.BlockByName("neg").Term.HasVal {
+		t.Error("bare ret has value")
+	}
+	// Round-trip again.
+	if _, err := ParseFunction(f.String()); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestParseMultipleFunctions(t *testing.T) {
+	src := `
+func one() {
+e:
+  ret
+}
+func two(x) {
+e:
+  ret x
+}
+`
+	fns, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 || fns[0].Name != "one" || fns[1].Name != "two" {
+		t.Fatalf("parsed %d functions", len(fns))
+	}
+	if _, err := Parse(PrintFunctions(fns)); err != nil {
+		t.Fatalf("multi round trip: %v", err)
+	}
+}
+
+func TestParseAllOperators(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("func ops(a, b) {\nentry:\n")
+	for _, op := range ir.Ops() {
+		b.WriteString("  x = a " + op.String() + " b\n")
+	}
+	b.WriteString("  ret x\n}\n")
+	f, err := ParseFunction(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Entry().Instrs) != len(ir.Ops()) {
+		t.Fatalf("instrs = %d", len(f.Entry().Instrs))
+	}
+	for i, op := range ir.Ops() {
+		if f.Entry().Instrs[i].Op != op {
+			t.Errorf("instr %d op = %v, want %v", i, f.Entry().Instrs[i].Op, op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no functions"},
+		{"not func", "banana {", "expected 'func'"},
+		{"bad header", "func f( {", "malformed function header"},
+		{"bad name", "func 9f() {", "bad function name"},
+		{"bad param", "func f(9x) {", "bad parameter"},
+		{"missing brace", "func f()\ne:\n ret\n}", "expected '{'"},
+		{"eof", "func f() {\ne:\n  ret", "unexpected end"},
+		{"stmt before label", "func f() {\n  ret\n}", "before any block"},
+		{"bad jmp", "func f() {\ne:\n  jmp\n}", "malformed jmp"},
+		{"bad br", "func f() {\ne:\n  br c e\n}", "malformed br"},
+		{"bad ret", "func f() {\ne:\n  ret a b\n}", "malformed ret"},
+		{"bad print", "func f() {\ne:\n  print\n}", "malformed print"},
+		{"bad nop", "func f() {\ne:\n  nop 3\n}", "malformed nop"},
+		{"bad op", "func f() {\ne:\n  x = a ** b\n  ret\n}", "unknown operator"},
+		{"bad operand", "func f() {\ne:\n  x = 12z\n  ret\n}", "bad operand"},
+		{"bad dst", "func f() {\ne:\n  9x = a\n  ret\n}", "bad destination"},
+		{"long assign", "func f() {\ne:\n  x = a + b + c\n  ret\n}", "malformed assignment"},
+		{"gibberish", "func f() {\ne:\n  woof woof\n  ret\n}", "unrecognized statement"},
+		{"undefined target", "func f() {\ne:\n  jmp nowhere\n}", "undefined block"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	src := "func f() {\ne:\n  woof\n  ret\n}"
+	_, err := Parse(src)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	good := []string{"a", "A", "_", "a1", "a_b", "a.b.split", "xYz_9"}
+	bad := []string{"", "9a", ".a", "a-b", "a b", "func", "jmp", "br", "ret", "print", "nop", "a+"}
+	for _, s := range good {
+		if !isIdent(s) {
+			t.Errorf("isIdent(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isIdent(s) {
+			t.Errorf("isIdent(%q) = true", s)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "  # leading comment\n\nfunc f() {   # trailing\ne:\n\n   ret   # done\n}\n#tail"
+	if _, err := ParseFunction(src); err != nil {
+		t.Fatal(err)
+	}
+}

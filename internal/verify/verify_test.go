@@ -1,0 +1,217 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"lazycm/internal/gcse"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/mr"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+const diamondSrc = `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = a + b
+  ret y
+}`
+
+func TestEquivalentAcceptsIdentity(t *testing.T) {
+	f := parse(t, diamondSrc)
+	if err := Equivalent(f, f.Clone(), 1, 8); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalentDetectsChange(t *testing.T) {
+	f := parse(t, diamondSrc)
+	g := f.Clone()
+	// Corrupt: join returns a constant instead of y.
+	g.BlockByName("join").Term = ir.Terminator{Kind: ir.Ret, HasVal: true, Val: ir.Const(999)}
+	g.Recompute()
+	if err := Equivalent(f, g, 1, 8); err == nil {
+		t.Error("corrupted program accepted as equivalent")
+	}
+}
+
+func TestNeverWorseDetectsSpeculation(t *testing.T) {
+	f := parse(t, diamondSrc)
+	g := f.Clone()
+	// Speculative insertion: compute a+b in entry too (the else path now
+	// evaluates it where the original did not... both paths still evaluate
+	// once at join, so entry+join = 2 > 1).
+	g.Entry().Append(ir.NewBinOp("h", ir.Add, ir.Var("a"), ir.Var("b")))
+	g.Recompute()
+	if err := NeverWorse(f, g, 1, 8); err == nil {
+		t.Error("speculative insertion accepted")
+	}
+}
+
+func TestTempsDefinedAccepts(t *testing.T) {
+	res, err := lcm.Transform(parse(t, diamondSrc), lcm.LCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TempsDefined(res.F, res.TempFor); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTempsDefinedDetectsMissingDef(t *testing.T) {
+	// t is read at join but defined only on the then arm.
+	f := parse(t, `
+func f(a, b, c) {
+entry:
+  br c then else
+then:
+  t = a + b
+  jmp join
+else:
+  jmp join
+join:
+  y = t
+  ret y
+}`)
+	tempFor := map[ir.Expr]string{{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}: "t"}
+	err := TempsDefined(f, tempFor)
+	if err == nil || !strings.Contains(err.Error(), "may be read undefined") {
+		t.Errorf("partial definition accepted: %v", err)
+	}
+}
+
+func TestTempsDefinedNoTemps(t *testing.T) {
+	if err := TempsDefined(parse(t, diamondSrc), nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllTransformationsOnRandomPrograms is the in-tree version of
+// experiment T1: every transformation in the module, on a fleet of random
+// programs, passes the full battery.
+func TestAllTransformationsOnRandomPrograms(t *testing.T) {
+	const numPrograms = 60
+	const runsPerProgram = 4
+	for seed := int64(0); seed < numPrograms; seed++ {
+		f := randprog.ForSeed(seed)
+
+		for _, mode := range []lcm.Mode{lcm.BCM, lcm.ALCM, lcm.LCM} {
+			res, err := lcm.Transform(f, mode)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, mode, err)
+			}
+			tr := Transformation{Name: mode.String(), F: res.F, TempFor: res.TempFor}
+			if err := Check(f, tr, seed*1000, runsPerProgram); err != nil {
+				t.Fatalf("seed %d: %v\noriginal:\n%s\ntransformed:\n%s", seed, err, f, res.F)
+			}
+		}
+
+		mrRes, err := mr.Transform(f)
+		if err != nil {
+			t.Fatalf("seed %d MR: %v", seed, err)
+		}
+		if err := Check(f, Transformation{Name: "MR", F: mrRes.F, TempFor: mrRes.TempFor}, seed*1000, runsPerProgram); err != nil {
+			t.Fatalf("seed %d: %v\noriginal:\n%s\ntransformed:\n%s", seed, err, f, mrRes.F)
+		}
+
+		gcseRes, err := gcse.Transform(f)
+		if err != nil {
+			t.Fatalf("seed %d GCSE: %v", seed, err)
+		}
+		if err := Check(f, Transformation{Name: "GCSE", F: gcseRes.F, TempFor: gcseRes.TempFor}, seed*1000, runsPerProgram); err != nil {
+			t.Fatalf("seed %d: %v\noriginal:\n%s\ntransformed:\n%s", seed, err, f, gcseRes.F)
+		}
+	}
+}
+
+// TestComputationalOptimalityOnRandomPrograms is the in-tree version of
+// experiment T2's core claim: BCM, ALCM and LCM are mutually as good (all
+// computationally optimal), and none is worse than MR or GCSE.
+func TestComputationalOptimalityOnRandomPrograms(t *testing.T) {
+	const numPrograms = 40
+	for seed := int64(0); seed < numPrograms; seed++ {
+		f := randprog.ForSeed(seed)
+		bcm, err := lcm.Transform(f, lcm.BCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alcm, err := lcm.Transform(f, lcm.ALCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lzy, err := lcm.Transform(f, lcm.LCM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mrRes, err := mr.Transform(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gcseRes, err := gcse.Transform(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := seed * 7777
+		// LCM == BCM == ALCM (mutual domination).
+		if err := AsGoodAs(f, lzy.F, bcm.F, s, 4); err != nil {
+			t.Fatalf("seed %d: LCM worse than BCM: %v", seed, err)
+		}
+		if err := AsGoodAs(f, bcm.F, lzy.F, s, 4); err != nil {
+			t.Fatalf("seed %d: BCM worse than LCM: %v", seed, err)
+		}
+		if err := AsGoodAs(f, alcm.F, lzy.F, s, 4); err != nil {
+			t.Fatalf("seed %d: ALCM worse than LCM: %v", seed, err)
+		}
+		// LCM ≤ MR ≤ original; LCM ≤ GCSE.
+		if err := AsGoodAs(f, lzy.F, mrRes.F, s, 4); err != nil {
+			t.Fatalf("seed %d: LCM worse than MR: %v\n%s\nLCM:\n%s\nMR:\n%s", seed, err, f, lzy.F, mrRes.F)
+		}
+		if err := AsGoodAs(f, mrRes.F, f, s, 4); err != nil {
+			t.Fatalf("seed %d: MR worse than original: %v", seed, err)
+		}
+		if err := AsGoodAs(f, lzy.F, gcseRes.F, s, 4); err != nil {
+			t.Fatalf("seed %d: LCM worse than GCSE: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckReportsInvalidFunction(t *testing.T) {
+	f := parse(t, diamondSrc)
+	bad := f.Clone()
+	bad.Blocks[1], bad.Blocks[2] = bad.Blocks[2], bad.Blocks[1] // stale IDs
+	err := Check(f, Transformation{Name: "bad", F: bad}, 1, 2)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("invalid function accepted: %v", err)
+	}
+}
+
+func TestAsGoodAsDirection(t *testing.T) {
+	f := parse(t, diamondSrc)
+	lzy, err := lcm.Transform(f, lcm.LCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original is NOT as good as LCM when the then-arm runs (2 evals
+	// vs 1): with c=1 among the sampled args this must be detected.
+	if err := AsGoodAs(f, f, lzy.F, 3, 16); err == nil {
+		t.Error("original judged as good as LCM; sampler may be too weak")
+	}
+}
