@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check build vet test race fuzz bench
+
+# Tier-1 gate: everything CI and pre-commit must hold.
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the parser and the hardened pipeline.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/textir
+	$(GO) test -run=NONE -fuzz=FuzzPipeline -fuzztime=30s ./internal/textir
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -108,7 +108,9 @@ func BenchmarkLCMAnalyze(b *testing.B) {
 		g := nodes.Build(clone, u)
 		b.Run(fmt.Sprintf("depth=%d/stmts=%d/exprs=%d", depth, clone.NumInstrs(), u.Size()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_ = lcm.Analyze(g)
+				if _, err := lcm.Analyze(g); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

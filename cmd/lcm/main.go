@@ -1,6 +1,6 @@
 // Command lcm is the optimizer driver: it reads a function in the textual
-// IR, applies a partial-redundancy-elimination transformation, and prints
-// the result.
+// IR, applies a partial-redundancy-elimination transformation through the
+// hardened pass pipeline, and prints the result.
 //
 // Usage:
 //
@@ -10,7 +10,7 @@
 //
 // Flags:
 //
-//	-mode lcm|alcm|bcm|mr|gcse|sr  transformation to apply (default lcm)
+//	-mode lcm|alcm|bcm|mr|gcse|sr|opt  transformation to apply (default lcm)
 //	-predicates                  print the LCM predicate table per expression
 //	-dot                         print the transformed CFG in Graphviz DOT
 //	-stats                       print analysis and edit statistics
@@ -18,6 +18,20 @@
 //	-canonical                   identify commutated commutative expressions
 //	-run a,b,c                   run original and transformed on the given
 //	                             arguments and print both outcomes
+//	-fallback                    on pass failure, emit the original function
+//	                             instead of failing
+//	-fuel N                      node-visit budget per data-flow fixpoint
+//	                             (0 = unlimited)
+//	-verify                      re-check each transformed function against
+//	                             its original on random inputs
+//
+// Exit codes:
+//
+//	0  every function optimized
+//	1  error (including pass failure without -fallback)
+//	2  invalid input: unknown mode, unparsable program, or a function
+//	   failing IR validation
+//	3  a pass failed and -fallback emitted the original function
 package main
 
 import (
@@ -35,29 +49,50 @@ import (
 	"lazycm/internal/lcm"
 	"lazycm/internal/mr"
 	"lazycm/internal/nodes"
+	"lazycm/internal/opt"
+	"lazycm/internal/pipeline"
 	"lazycm/internal/props"
 	"lazycm/internal/sr"
 	"lazycm/internal/textir"
 )
 
+// Exit codes. Scripts can distinguish "optimized" from "survived on the
+// fallback path" from "the input itself was bad".
+const (
+	exitOptimized = 0
+	exitError     = 1
+	exitInvalid   = 2
+	exitFellBack  = 3
+)
+
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "lcm:", err)
-		os.Exit(1)
 	}
+	os.Exit(code)
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	fs := flag.NewFlagSet("lcm", flag.ContinueOnError)
-	mode := fs.String("mode", "lcm", "transformation: lcm, alcm, bcm, mr, gcse, or sr")
+	mode := fs.String("mode", "lcm", "transformation: lcm, alcm, bcm, mr, gcse, sr, or opt")
 	predicates := fs.Bool("predicates", false, "print the LCM predicate table")
 	dot := fs.Bool("dot", false, "print the transformed CFG in Graphviz DOT")
 	stats := fs.Bool("stats", false, "print analysis and edit statistics")
 	simplify := fs.Bool("simplify", false, "clean up the CFG after transforming (merge trivial blocks)")
 	canonical := fs.Bool("canonical", false, "identify commutated expressions (a+b ≡ b+a) in lcm/alcm/bcm modes")
 	runArgs := fs.String("run", "", "comma-separated integer arguments to execute with")
+	fallback := fs.Bool("fallback", false, "on pass failure, emit the original function instead of failing")
+	fuel := fs.Int("fuel", 0, "node-visit budget per data-flow fixpoint (0 = unlimited)")
+	verifyFlag := fs.Bool("verify", false, "re-check each transformed function against its original on random inputs")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitInvalid, err
+	}
+
+	// Validate the mode before touching any input, and name the allowed
+	// set in the error.
+	if _, ok := pipeline.ForMode(*mode); !ok {
+		return exitInvalid, fmt.Errorf("unknown mode %q (valid: %s)", *mode, strings.Join(pipeline.ModeNames(), ", "))
 	}
 
 	var src []byte
@@ -68,27 +103,33 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case 1:
 		src, err = os.ReadFile(fs.Arg(0))
 	default:
-		return fmt.Errorf("at most one input file expected")
+		return exitError, fmt.Errorf("at most one input file expected")
 	}
 	if err != nil {
-		return err
+		return exitError, err
 	}
 	fns, err := textir.Parse(string(src))
 	if err != nil {
-		return err
+		return exitInvalid, err
 	}
+	code := exitOptimized
 	for i, f := range fns {
 		if i > 0 {
 			fmt.Fprintln(stdout)
 		}
-		if err := optimizeOne(f, opts{
+		c, err := optimizeOne(f, opts{
 			mode: *mode, predicates: *predicates, dot: *dot, stats: *stats,
 			simplify: *simplify, canonical: *canonical, runArgs: *runArgs,
-		}, stdout); err != nil {
-			return fmt.Errorf("%s: %w", f.Name, err)
+			fallback: *fallback, fuel: *fuel, verify: *verifyFlag,
+		}, stdout)
+		if err != nil {
+			return c, fmt.Errorf("%s: %w", f.Name, err)
+		}
+		if c > code {
+			code = c
 		}
 	}
-	return nil
+	return code, nil
 }
 
 type opts struct {
@@ -96,71 +137,55 @@ type opts struct {
 	predicates, dot, stats, simplify bool
 	canonical                        bool
 	runArgs                          string
+	fallback                         bool
+	fuel                             int
+	verify                           bool
 }
 
-func optimizeOne(f *ir.Function, o opts, stdout io.Writer) error {
-
-	var out *ir.Function
-	var tempFor map[ir.Expr]string
+func optimizeOne(f *ir.Function, o opts, stdout io.Writer) (int, error) {
+	// The mode-specific transform runs as a pipeline pass so a panic, an
+	// invalid result, or a busted fixpoint is contained; the statistics
+	// are captured through the closure.
 	var statLines []string
-	switch o.mode {
-	case "lcm", "alcm", "bcm":
-		m := map[string]lcm.Mode{"lcm": lcm.LCM, "alcm": lcm.ALCM, "bcm": lcm.BCM}[o.mode]
-		res, err := lcm.TransformWith(f, m, o.canonical)
-		if err != nil {
-			return err
-		}
-		out, tempFor = res.F, res.TempFor
-		statLines = append(statLines,
-			fmt.Sprintf("mode: %s", res.Mode),
-			fmt.Sprintf("insertions: %d, replacements: %d, critical edges split: %d",
-				res.Inserted, res.Replaced, res.EdgesSplit),
-			fmt.Sprintf("static computations: %d before, %d after",
-				lcm.StaticComputations(f), lcm.StaticComputations(res.F)),
-			fmt.Sprintf("analysis vector ops: %d", res.Analysis.TotalVectorOps()))
-		for _, s := range res.Analysis.Stats {
-			statLines = append(statLines, "  "+s.String())
-		}
-	case "mr":
-		res, err := mr.Transform(f)
-		if err != nil {
-			return err
-		}
-		out, tempFor = res.F, res.TempFor
-		statLines = append(statLines,
-			"mode: Morel–Renvoise",
-			fmt.Sprintf("insertions: %d, deletions: %d, saves: %d", res.Inserted, res.Deleted, res.Saved),
-			fmt.Sprintf("analysis vector ops: %d (bidirectional passes: %d)",
-				res.TotalVectorOps(), res.Bidir.Passes))
-	case "sr":
-		res, err := sr.Transform(f)
-		if err != nil {
-			return err
-		}
-		out = res.F
-		statLines = append(statLines,
-			"mode: strength reduction",
-			fmt.Sprintf("reduced: %d, recurrence updates: %d, preheaders: %d",
-				res.Reduced, res.Updates, res.Preheaders))
-	case "gcse":
-		res, err := gcse.Transform(f)
-		if err != nil {
-			return err
-		}
-		out, tempFor = res.F, res.TempFor
-		statLines = append(statLines,
-			"mode: GCSE",
-			fmt.Sprintf("replacements: %d, saves: %d", res.Replaced, res.Saved))
-	default:
-		return fmt.Errorf("unknown mode %q", o.mode)
+	var tempFor map[ir.Expr]string
+	pass := pipeline.Pass{
+		Name: o.mode,
+		Run: func(g *ir.Function, po pipeline.Options) (*ir.Function, map[ir.Expr]string, error) {
+			out, tf, lines, err := transform(g, o.mode, po)
+			if err != nil {
+				return nil, nil, err
+			}
+			statLines, tempFor = lines, tf
+			return out, tf, nil
+		},
 	}
+	res, err := pipeline.Run(f, []pipeline.Pass{pass}, pipeline.Options{
+		Fuel: o.fuel, Canonical: o.canonical, Verify: o.verify,
+	})
+	if err != nil {
+		return exitInvalid, err
+	}
+	status := exitOptimized
+	if res.FellBack() {
+		if !o.fallback {
+			return exitError, res.Failures[0]
+		}
+		// Degrade: ship the original function, annotated with what went
+		// wrong, and report it in the exit code.
+		status = exitFellBack
+		statLines, tempFor = nil, nil
+		for _, d := range res.Diagnostics() {
+			fmt.Fprintln(stdout, "# fallback:", d)
+		}
+	}
+	out := res.F
 
 	if o.simplify {
 		out.Simplify()
 	}
 	if o.predicates {
 		if err := printPredicates(stdout, f); err != nil {
-			return err
+			return exitError, err
 		}
 	}
 	if o.dot {
@@ -184,22 +209,91 @@ func optimizeOne(f *ir.Function, o opts, stdout io.Writer) error {
 	if o.runArgs != "" {
 		argv, err := parseArgs(o.runArgs)
 		if err != nil {
-			return err
+			return exitInvalid, err
 		}
 		before, _, err := interp.Run(f, interp.Options{Args: argv})
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		after, _, err := interp.Run(out, interp.Options{Args: argv})
 		if err != nil {
-			return err
+			return exitError, err
 		}
 		fmt.Fprintf(stdout, "# original:    %s\n# transformed: %s\n", before, after)
 		if !before.ObservablyEqual(after) {
-			return fmt.Errorf("transformed program behaves differently")
+			return exitError, fmt.Errorf("transformed program behaves differently")
 		}
 	}
-	return nil
+	return status, nil
+}
+
+// transform applies one mode to f and reports the result, the inserted
+// temporaries, and the human-readable statistics lines.
+func transform(f *ir.Function, mode string, po pipeline.Options) (*ir.Function, map[ir.Expr]string, []string, error) {
+	switch mode {
+	case "lcm", "alcm", "bcm":
+		m, _ := lcm.ParseMode(mode)
+		res, err := lcm.TransformOpts(f, m, lcm.Options{Canonical: po.Canonical, Fuel: po.Fuel})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lines := []string{
+			fmt.Sprintf("mode: %s", res.Mode),
+			fmt.Sprintf("insertions: %d, replacements: %d, critical edges split: %d",
+				res.Inserted, res.Replaced, res.EdgesSplit),
+			fmt.Sprintf("static computations: %d before, %d after",
+				lcm.StaticComputations(f), lcm.StaticComputations(res.F)),
+			fmt.Sprintf("analysis vector ops: %d", res.Analysis.TotalVectorOps()),
+		}
+		for _, s := range res.Analysis.Stats {
+			lines = append(lines, "  "+s.String())
+		}
+		return res.F, res.TempFor, lines, nil
+	case "mr":
+		res, err := mr.TransformFuel(f, po.Fuel)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lines := []string{
+			"mode: Morel–Renvoise",
+			fmt.Sprintf("insertions: %d, deletions: %d, saves: %d", res.Inserted, res.Deleted, res.Saved),
+			fmt.Sprintf("analysis vector ops: %d (bidirectional passes: %d)",
+				res.TotalVectorOps(), res.Bidir.Passes),
+		}
+		return res.F, res.TempFor, lines, nil
+	case "sr":
+		res, err := sr.Transform(f)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lines := []string{
+			"mode: strength reduction",
+			fmt.Sprintf("reduced: %d, recurrence updates: %d, preheaders: %d",
+				res.Reduced, res.Updates, res.Preheaders),
+		}
+		return res.F, nil, lines, nil
+	case "gcse":
+		res, err := gcse.TransformFuel(f, po.Fuel)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lines := []string{
+			"mode: GCSE",
+			fmt.Sprintf("replacements: %d, saves: %d", res.Replaced, res.Saved),
+		}
+		return res.F, res.TempFor, lines, nil
+	case "opt":
+		res, err := opt.PipelineOpts(f, opt.Options{Fuel: po.Fuel})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		lines := []string{
+			"mode: opt (LCM + copy propagation + DCE to fixpoint)",
+			fmt.Sprintf("rounds: %d", len(res.Rounds)),
+		}
+		return res.F, nil, lines, nil
+	}
+	return nil, nil, nil, fmt.Errorf("unknown mode %q", mode)
 }
 
 func parseArgs(s string) ([]int64, error) {
@@ -225,7 +319,10 @@ func printPredicates(w io.Writer, f *ir.Function) error {
 	graph.SplitCriticalEdges(clone)
 	u := props.Collect(clone)
 	g := nodes.Build(clone, u)
-	a := lcm.Analyze(g)
+	a, err := lcm.Analyze(g)
+	if err != nil {
+		return err
+	}
 	mark := func(b bool) byte {
 		if b {
 			return 'X'

@@ -15,8 +15,12 @@ const testdata = "../../testdata"
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var out strings.Builder
-	if err := run(args, strings.NewReader(""), &out); err != nil {
+	code, err := run(args, strings.NewReader(""), &out)
+	if err != nil {
 		t.Fatalf("run(%v): %v", args, err)
+	}
+	if code != exitOptimized {
+		t.Fatalf("run(%v): exit code %d", args, code)
 	}
 	return out.String()
 }
@@ -56,7 +60,7 @@ func TestGolden(t *testing.T) {
 func TestStdinInput(t *testing.T) {
 	var out strings.Builder
 	src := "func f(a) {\ne:\n  x = a + 1\n  ret x\n}\n"
-	if err := run(nil, strings.NewReader(src), &out); err != nil {
+	if _, err := run(nil, strings.NewReader(src), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "x = a + 1") {
@@ -99,16 +103,88 @@ func TestErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out strings.Builder
-		if err := run(args, strings.NewReader(""), &out); err == nil {
+		code, err := run(args, strings.NewReader(""), &out)
+		if err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+		if code == exitOptimized {
+			t.Errorf("run(%v) exit code 0, want nonzero", args)
 		}
 	}
 }
 
 func TestBadProgramRejected(t *testing.T) {
 	var out strings.Builder
-	if err := run(nil, strings.NewReader("not a program"), &out); err == nil {
+	code, err := run(nil, strings.NewReader("not a program"), &out)
+	if err == nil {
 		t.Error("garbage input accepted")
+	}
+	if code != exitInvalid {
+		t.Errorf("exit code %d, want %d (invalid input)", code, exitInvalid)
+	}
+}
+
+// TestInvalidModeNamesAllowedSet: the mode is rejected before any input
+// is read, and the error names every accepted mode.
+func TestInvalidModeNamesAllowedSet(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-mode", "bogus"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if code != exitInvalid {
+		t.Errorf("exit code %d, want %d", code, exitInvalid)
+	}
+	for _, m := range []string{"lcm", "alcm", "bcm", "mr", "gcse", "sr", "opt"} {
+		if !strings.Contains(err.Error(), m) {
+			t.Errorf("error does not name mode %q: %v", m, err)
+		}
+	}
+}
+
+// TestFuelExhaustionExitCodes: a starved fixpoint fails the pass. Without
+// -fallback that is an error; with it, the CLI emits the original
+// function and exits with the distinct fell-back code.
+func TestFuelExhaustionExitCodes(t *testing.T) {
+	in := filepath.Join(testdata, "diamond.ir")
+	var out strings.Builder
+	code, err := run([]string{"-fuel", "1", in}, strings.NewReader(""), &out)
+	if err == nil || code != exitError {
+		t.Fatalf("starved run: code %d, err %v; want %d and error", code, err, exitError)
+	}
+
+	out.Reset()
+	code, err = run([]string{"-fuel", "1", "-fallback", in}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitFellBack {
+		t.Fatalf("exit code %d, want %d (fell back)", code, exitFellBack)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# fallback:") {
+		t.Errorf("missing fallback diagnostic:\n%s", s)
+	}
+	// The emitted function is the original: the redundant computation in
+	// join is still a binop, not a temp copy.
+	if !strings.Contains(s, "y = a + b") {
+		t.Errorf("fallback output is not the original function:\n%s", s)
+	}
+}
+
+// TestVerifyFlag: -verify re-checks the output and accepts a correct
+// transformation.
+func TestVerifyFlag(t *testing.T) {
+	out := runCLI(t, "-verify", filepath.Join(testdata, "diamond.ir"))
+	if !strings.Contains(out, "ret") {
+		t.Errorf("missing output:\n%s", out)
+	}
+}
+
+func TestOptMode(t *testing.T) {
+	out := runCLI(t, "-mode", "opt", "-stats", filepath.Join(testdata, "diamond.ir"))
+	if !strings.Contains(out, "rounds:") {
+		t.Errorf("missing opt stats:\n%s", out)
 	}
 }
 
@@ -146,10 +222,10 @@ func TestSimplifyFlag(t *testing.T) {
 func TestCanonicalFlag(t *testing.T) {
 	src := "func f(a, b, p) {\nentry:\n  br p t e\nt:\n  x = a + b\n  jmp j\ne:\n  jmp j\nj:\n  y = b + a\n  ret y\n}\n"
 	var plain, canon strings.Builder
-	if err := run([]string{"-stats"}, strings.NewReader(src), &plain); err != nil {
+	if _, err := run([]string{"-stats"}, strings.NewReader(src), &plain); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-stats", "-canonical"}, strings.NewReader(src), &canon); err != nil {
+	if _, err := run([]string{"-stats", "-canonical"}, strings.NewReader(src), &canon); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(plain.String(), "insertions: 2") {
@@ -175,7 +251,7 @@ e:
 }
 `
 	var out strings.Builder
-	if err := run([]string{"-stats"}, strings.NewReader(src), &out); err != nil {
+	if _, err := run([]string{"-stats"}, strings.NewReader(src), &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

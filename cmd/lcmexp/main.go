@@ -12,6 +12,14 @@
 //
 //	-programs N   random programs per theorem experiment (default 100)
 //	-runs N       inputs per program (default 4)
+//	-fallback     contain a crashing experiment and continue with the rest
+//
+// Exit codes:
+//
+//	0  every selected experiment completed
+//	1  error (including an experiment failure without -fallback)
+//	2  invalid usage: bad flags or no matching experiment ids
+//	3  at least one experiment failed under -fallback; the others ran
 package main
 
 import (
@@ -22,28 +30,45 @@ import (
 	"strings"
 
 	"lazycm/internal/exp"
+	"lazycm/internal/pipeline"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "lcmexp:", err)
-		os.Exit(1)
-	}
+// Exit codes, mirroring cmd/lcm.
+const (
+	exitOK       = 0
+	exitError    = 1
+	exitInvalid  = 2
+	exitFellBack = 3
+)
+
+type experiment struct {
+	id  string
+	gen func() *exp.Report
 }
 
-func run(args []string, w io.Writer) error {
+// testExperiments lets the tests append deliberately failing experiments
+// to exercise the containment path.
+var testExperiments []experiment
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcmexp:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, w io.Writer) (int, error) {
 	fs := flag.NewFlagSet("lcmexp", flag.ContinueOnError)
 	fs.SetOutput(w)
 	programs := fs.Int("programs", 100, "random programs per theorem experiment")
 	runs := fs.Int("runs", 4, "inputs per program")
+	fallback := fs.Bool("fallback", false, "contain a crashing experiment and continue with the rest")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return exitInvalid, err
 	}
 
-	all := []struct {
-		id  string
-		gen func() *exp.Report
-	}{
+	all := []experiment{
 		{"f1", exp.Figure1},
 		{"f2", exp.Figure2},
 		{"f3", exp.Figure3},
@@ -61,21 +86,41 @@ func run(args []string, w io.Writer) error {
 		{"t7", func() *exp.Report { return exp.T7Canonicalization(*programs, *runs) }},
 		{"t8", func() *exp.Report { return exp.T8StrengthReduction([]int64{1, 10, 100, 1000}) }},
 	}
+	all = append(all, testExperiments...)
 
 	want := map[string]bool{}
 	for _, id := range fs.Args() {
 		want[strings.ToLower(id)] = true
 	}
-	ran := 0
+	ran, failed := 0, 0
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		fmt.Fprintln(w, e.gen().String())
 		ran++
+		// Experiments call into the same optimizer code paths the pipeline
+		// hardens; Guard gives the driver the same panic containment, so
+		// one broken experiment cannot take down a full regeneration run.
+		var rep *exp.Report
+		pe := pipeline.Guard(e.id, func() error {
+			rep = e.gen()
+			return nil
+		})
+		switch {
+		case pe == nil:
+			fmt.Fprintln(w, rep.String())
+		case *fallback:
+			failed++
+			fmt.Fprintf(w, "== %s: FAILED ==\n%v\n\n", strings.ToUpper(e.id), pe)
+		default:
+			return exitError, pe
+		}
 	}
 	if ran == 0 {
-		return fmt.Errorf("no experiments matched %v (known: f1–f5, t1–t8, t3b, t4b, t5b)", fs.Args())
+		return exitInvalid, fmt.Errorf("no experiments matched %v (known: f1–f5, t1–t8, t3b, t4b, t5b)", fs.Args())
 	}
-	return nil
+	if failed > 0 {
+		return exitFellBack, nil
+	}
+	return exitOK, nil
 }

@@ -3,12 +3,18 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"lazycm/internal/exp"
 )
 
 func TestAllFigures(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"f1", "f2", "f3", "f4", "f5"}, &out); err != nil {
+	code, err := run([]string{"f1", "f2", "f3", "f4", "f5"}, &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if code != exitOK {
+		t.Fatalf("exit code %d", code)
 	}
 	s := out.String()
 	for _, id := range []string{"== F1:", "== F2:", "== F3:", "== F4:", "== F5:"} {
@@ -20,7 +26,7 @@ func TestAllFigures(t *testing.T) {
 
 func TestSelectedTheorems(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-programs", "5", "-runs", "2", "t1", "t5", "t5b"}, &out); err != nil {
+	if _, err := run([]string{"-programs", "5", "-runs", "2", "t1", "t5", "t5b"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -36,7 +42,7 @@ func TestSelectedTheorems(t *testing.T) {
 
 func TestCaseInsensitiveIDs(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"F3"}, &out); err != nil {
+	if _, err := run([]string{"F3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "== F3:") {
@@ -46,14 +52,60 @@ func TestCaseInsensitiveIDs(t *testing.T) {
 
 func TestUnknownID(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"f9"}, &out); err == nil {
+	code, err := run([]string{"f9"}, &out)
+	if err == nil {
 		t.Error("unknown experiment id accepted")
+	}
+	if code != exitInvalid {
+		t.Errorf("exit code %d, want %d", code, exitInvalid)
 	}
 }
 
 func TestBadFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-programs", "x"}, &out); err == nil {
+	code, err := run([]string{"-programs", "x"}, &out)
+	if err == nil {
 		t.Error("bad flag accepted")
+	}
+	if code != exitInvalid {
+		t.Errorf("exit code %d, want %d", code, exitInvalid)
+	}
+}
+
+// TestCrashingExperimentContained: with -fallback a panicking experiment
+// is reported as FAILED and the remaining experiments still run; without
+// it, the run stops with an error — but never an uncontained panic.
+func TestCrashingExperimentContained(t *testing.T) {
+	testExperiments = []experiment{{
+		id: "tboom",
+		gen: func() *exp.Report {
+			panic("experiment exploded")
+		},
+	}}
+	defer func() { testExperiments = nil }()
+
+	var out strings.Builder
+	code, err := run([]string{"-fallback", "tboom", "f1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitFellBack {
+		t.Fatalf("exit code %d, want %d", code, exitFellBack)
+	}
+	s := out.String()
+	if !strings.Contains(s, "TBOOM: FAILED") || !strings.Contains(s, "experiment exploded") {
+		t.Errorf("missing failure report:\n%s", s)
+	}
+	if !strings.Contains(s, "== F1:") {
+		t.Errorf("surviving experiment did not run:\n%s", s)
+	}
+
+	out.Reset()
+	code, err = run([]string{"tboom"}, &out)
+	if err == nil {
+		t.Fatal("crash not surfaced as an error")
+	}
+	if code != exitError {
+		t.Errorf("exit code %d, want %d", code, exitError)
 	}
 }

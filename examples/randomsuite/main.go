@@ -90,7 +90,11 @@ func main() {
 
 		sum := func(res *lcm.Result) int {
 			t := 0
-			for _, v := range live.TempLifetimes(res.F, res.TempFor) {
+			life, err := live.TempLifetimes(res.F, res.TempFor)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, v := range life {
 				t += v
 			}
 			return t

@@ -55,7 +55,11 @@ func main() {
 			log.Fatal(err)
 		}
 		total := 0
-		for _, v := range live.TempLifetimes(res.F, res.TempFor) {
+		life, err := live.TempLifetimes(res.F, res.TempFor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, v := range life {
 			total += v
 		}
 		fmt.Printf("%-6s %10d %12d %15d\n", mode, res.Inserted, res.Replaced, total)

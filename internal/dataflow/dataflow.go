@@ -10,10 +10,31 @@
 package dataflow
 
 import (
+	"errors"
 	"fmt"
 
 	"lazycm/internal/bitvec"
 )
+
+// ErrFuelExhausted reports that a solver ran out of its node-visit budget
+// before reaching a fixed point. Callers test for it with errors.Is; the
+// concrete error carries the problem name and the budget.
+var ErrFuelExhausted = errors.New("dataflow: fuel exhausted before fixpoint")
+
+// FuelError is the concrete error returned when a Problem's Fuel budget is
+// exhausted. It unwraps to ErrFuelExhausted.
+type FuelError struct {
+	// Problem is the name of the problem that ran dry.
+	Problem string
+	// Fuel is the node-visit budget that was exceeded.
+	Fuel int
+}
+
+func (e *FuelError) Error() string {
+	return fmt.Sprintf("dataflow: %s: fuel exhausted after %d node visits before fixpoint", e.Problem, e.Fuel)
+}
+
+func (e *FuelError) Unwrap() error { return ErrFuelExhausted }
 
 // Graph is the directed graph a problem is solved over. Nodes are dense
 // indices 0..NumNodes()-1.
@@ -93,6 +114,25 @@ type Problem struct {
 	Gen, Kill *bitvec.Matrix
 	// Boundary is the meet input at boundary nodes.
 	Boundary Boundary
+	// Fuel bounds the solver's node visits; 0 means unlimited. A problem
+	// whose fixpoint is not reached within Fuel visits fails with a
+	// FuelError instead of iterating further, so a buggy (non-monotone)
+	// transfer function cannot spin the process.
+	Fuel int
+}
+
+// check validates the problem's shape against the graph. It is the shared
+// precondition of both solvers.
+func (p *Problem) check(g Graph) error {
+	n := g.NumNodes()
+	if p.Gen == nil || p.Kill == nil {
+		return fmt.Errorf("dataflow: %s: nil gen/kill matrix", p.Name)
+	}
+	if p.Gen.Rows() != n || p.Kill.Rows() != n || p.Gen.Cols() != p.Width || p.Kill.Cols() != p.Width {
+		return fmt.Errorf("dataflow: %s: gen %dx%d / kill %dx%d do not match graph (%d nodes) and width %d",
+			p.Name, p.Gen.Rows(), p.Gen.Cols(), p.Kill.Rows(), p.Kill.Cols(), n, p.Width)
+	}
+	return nil
 }
 
 // Result holds the fixpoint solution and solver statistics.
@@ -131,11 +171,15 @@ func (s Stats) String() string {
 // order is reverse postorder for forward problems and postorder for
 // backward ones, computed over reachable nodes; nodes unreachable in the
 // iteration direction keep their initial value.
-func Solve(g Graph, p *Problem) *Result {
-	n := g.NumNodes()
-	if p.Gen.Rows() != n || p.Kill.Rows() != n || p.Gen.Cols() != p.Width || p.Kill.Cols() != p.Width {
-		panic(fmt.Sprintf("dataflow: %s: gen/kill dimensions do not match graph (%d nodes) and width %d", p.Name, n, p.Width))
+//
+// Solve fails with a descriptive error when the gen/kill matrices do not
+// match the graph and width, and with a FuelError when p.Fuel is positive
+// and exhausted before the fixed point.
+func Solve(g Graph, p *Problem) (*Result, error) {
+	if err := p.check(g); err != nil {
+		return nil, err
 	}
+	n := g.NumNodes()
 	res := &Result{
 		In:  bitvec.NewMatrix(n, p.Width),
 		Out: bitvec.NewMatrix(n, p.Width),
@@ -162,6 +206,9 @@ func Solve(g Graph, p *Problem) *Result {
 		changed := false
 		for _, node := range order {
 			res.Stats.NodeVisits++
+			if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
+				return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+			}
 			var flowIn, flowOut *bitvec.Vector
 			var degree int
 			if p.Dir == Forward {
@@ -215,7 +262,7 @@ func Solve(g Graph, p *Problem) *Result {
 			res.Stats.VectorOps++
 		}
 		if !changed {
-			return res
+			return res, nil
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -45,8 +46,18 @@ func availProblem(meet Meet) *Problem {
 	return &Problem{Name: "avail", Dir: Forward, Meet: meet, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty}
 }
 
+// mustSolve runs Solve and fails the test on error.
+func mustSolve(t *testing.T, g Graph, p *Problem) *Result {
+	t.Helper()
+	res, err := Solve(g, p)
+	if err != nil {
+		t.Fatalf("Solve(%s): %v", p.Name, err)
+	}
+	return res
+}
+
 func TestForwardMust(t *testing.T) {
-	res := Solve(diamondG(), availProblem(Must))
+	res := mustSolve(t, diamondG(), availProblem(Must))
 	if res.In.Get(3, 0) {
 		t.Error("Must: expr available at join despite missing on one path")
 	}
@@ -59,7 +70,7 @@ func TestForwardMust(t *testing.T) {
 }
 
 func TestForwardMay(t *testing.T) {
-	res := Solve(diamondG(), availProblem(May))
+	res := mustSolve(t, diamondG(), availProblem(May))
 	if !res.In.Get(3, 0) {
 		t.Error("May: expr partially available at join")
 	}
@@ -75,7 +86,7 @@ func TestKill(t *testing.T) {
 	kill := bitvec.NewMatrix(3, 1)
 	gen.Set(0, 0)
 	kill.Set(1, 0)
-	res := Solve(g, &Problem{Name: "k", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
+	res := mustSolve(t, g, &Problem{Name: "k", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
 	if !res.In.Get(1, 0) {
 		t.Error("IN(1) should see gen from 0")
 	}
@@ -92,13 +103,13 @@ func TestBackwardMust(t *testing.T) {
 	kill := bitvec.NewMatrix(4, 1)
 	gen.Set(1, 0)
 	gen.Set(2, 0)
-	res := Solve(g, &Problem{Name: "ant", Dir: Backward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
+	res := mustSolve(t, g, &Problem{Name: "ant", Dir: Backward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
 	if !res.Out.Get(0, 0) {
 		t.Error("anticipatable on both arms but OUT(0) unset")
 	}
 	gen2 := bitvec.NewMatrix(4, 1)
 	gen2.Set(1, 0)
-	res2 := Solve(g, &Problem{Name: "ant2", Dir: Backward, Meet: Must, Width: 1, Gen: gen2, Kill: kill, Boundary: BoundaryEmpty})
+	res2 := mustSolve(t, g, &Problem{Name: "ant2", Dir: Backward, Meet: Must, Width: 1, Gen: gen2, Kill: kill, Boundary: BoundaryEmpty})
 	if res2.Out.Get(0, 0) {
 		t.Error("anticipatable on one arm only but OUT(0) set")
 	}
@@ -110,7 +121,7 @@ func TestBoundaryFullBackward(t *testing.T) {
 	g := newSliceGraph(3, [][2]int{{0, 1}, {1, 2}})
 	gen := bitvec.NewMatrix(3, 2)
 	kill := bitvec.NewMatrix(3, 2)
-	res := Solve(g, &Problem{Name: "b", Dir: Backward, Meet: Must, Width: 2, Gen: gen, Kill: kill, Boundary: BoundaryFull})
+	res := mustSolve(t, g, &Problem{Name: "b", Dir: Backward, Meet: Must, Width: 2, Gen: gen, Kill: kill, Boundary: BoundaryFull})
 	for n := 0; n < 3; n++ {
 		if res.In.Row(n).Count() != 2 || res.Out.Row(n).Count() != 2 {
 			t.Errorf("node %d not saturated: in=%v out=%v", n, res.In.Row(n), res.Out.Row(n))
@@ -125,7 +136,7 @@ func TestLoopFixpoint(t *testing.T) {
 	gen := bitvec.NewMatrix(4, 1)
 	kill := bitvec.NewMatrix(4, 1)
 	gen.Set(0, 0)
-	res := Solve(g, &Problem{Name: "loop", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
+	res := mustSolve(t, g, &Problem{Name: "loop", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
 	for n := 1; n < 4; n++ {
 		if !res.In.Get(n, 0) {
 			t.Errorf("IN(%d) lost availability in loop", n)
@@ -134,7 +145,7 @@ func TestLoopFixpoint(t *testing.T) {
 	// Now kill inside the loop at node 2: nothing after 2 (and via the
 	// back edge, nothing at 1 either on the second pass) stays available.
 	kill.Set(2, 0)
-	res = Solve(g, &Problem{Name: "loop2", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
+	res = mustSolve(t, g, &Problem{Name: "loop2", Dir: Forward, Meet: Must, Width: 1, Gen: gen, Kill: kill, Boundary: BoundaryEmpty})
 	if res.In.Get(1, 0) {
 		t.Error("IN(1) should be killed via back edge")
 	}
@@ -144,7 +155,7 @@ func TestLoopFixpoint(t *testing.T) {
 }
 
 func TestStatsPopulated(t *testing.T) {
-	res := Solve(diamondG(), availProblem(Must))
+	res := mustSolve(t, diamondG(), availProblem(Must))
 	s := res.Stats
 	if s.Name != "avail" || s.Passes < 2 || s.NodeVisits < 8 || s.VectorOps == 0 {
 		t.Errorf("stats implausible: %+v", s)
@@ -160,20 +171,46 @@ func TestStatsPopulated(t *testing.T) {
 	}
 }
 
-func TestDimensionMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on dimension mismatch")
-		}
-	}()
-	Solve(diamondG(), &Problem{Name: "bad", Width: 1, Gen: bitvec.NewMatrix(3, 1), Kill: bitvec.NewMatrix(4, 1)})
+func TestDimensionMismatchError(t *testing.T) {
+	_, err := Solve(diamondG(), &Problem{Name: "bad", Width: 1, Gen: bitvec.NewMatrix(3, 1), Kill: bitvec.NewMatrix(4, 1)})
+	if err == nil {
+		t.Fatal("no error on dimension mismatch")
+	}
+	if _, err := Solve(diamondG(), &Problem{Name: "nil", Width: 1}); err == nil {
+		t.Fatal("no error on nil gen/kill")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	p := availProblem(Must)
+	p.Fuel = 3 // the diamond needs at least 2 sweeps x 4 nodes
+	_, err := Solve(diamondG(), p)
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("Solve: want ErrFuelExhausted, got %v", err)
+	}
+	var fe *FuelError
+	if !errors.As(err, &fe) || fe.Problem != "avail" || fe.Fuel != 3 {
+		t.Fatalf("FuelError fields wrong: %+v", err)
+	}
+	if _, err := SolveWorklist(diamondG(), p); !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("SolveWorklist: want ErrFuelExhausted, got %v", err)
+	}
+
+	// With enough fuel both solvers converge and the budget is inert.
+	p.Fuel = 1 << 20
+	if _, err := Solve(diamondG(), p); err != nil {
+		t.Fatalf("ample fuel: %v", err)
+	}
+	if _, err := SolveWorklist(diamondG(), p); err != nil {
+		t.Fatalf("ample fuel (worklist): %v", err)
+	}
 }
 
 func TestSolveDeterministic(t *testing.T) {
 	p := availProblem(Must)
-	a := Solve(diamondG(), p)
+	a := mustSolve(t, diamondG(), p)
 	for i := 0; i < 5; i++ {
-		b := Solve(diamondG(), p)
+		b := mustSolve(t, diamondG(), p)
 		if !a.In.Equal(b.In) || !a.Out.Equal(b.Out) || a.Stats != b.Stats {
 			t.Fatal("solver nondeterministic")
 		}
@@ -239,7 +276,10 @@ func TestQuickFixpointIsFixed(t *testing.T) {
 			for _, meet := range []Meet{Must, May} {
 				bound := Boundary(r.Intn(2))
 				p := &Problem{Name: "q", Dir: dir, Meet: meet, Width: w, Gen: gen, Kill: kill, Boundary: bound}
-				res := Solve(g, p)
+				res, err := Solve(g, p)
+				if err != nil {
+					return false
+				}
 				if !satisfies(g, p, res) {
 					return false
 				}

@@ -10,11 +10,13 @@ import "lazycm/internal/bitvec"
 // round-robin sweeps in (reverse) postorder touch every node each pass but
 // have perfect locality; the worklist touches only awakened nodes but pays
 // queue overhead.
-func SolveWorklist(g Graph, p *Problem) *Result {
-	n := g.NumNodes()
-	if p.Gen.Rows() != n || p.Kill.Rows() != n || p.Gen.Cols() != p.Width || p.Kill.Cols() != p.Width {
-		panic("dataflow: " + p.Name + ": gen/kill dimensions do not match graph")
+// Like Solve, it fails with a descriptive error on mismatched gen/kill
+// dimensions and with a FuelError when p.Fuel is positive and exhausted.
+func SolveWorklist(g Graph, p *Problem) (*Result, error) {
+	if err := p.check(g); err != nil {
+		return nil, err
 	}
+	n := g.NumNodes()
 	res := &Result{
 		In:  bitvec.NewMatrix(n, p.Width),
 		Out: bitvec.NewMatrix(n, p.Width),
@@ -47,6 +49,9 @@ func SolveWorklist(g Graph, p *Problem) *Result {
 		queue = queue[1:]
 		queued[node] = false
 		res.Stats.NodeVisits++
+		if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
+			return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+		}
 
 		var flowIn, flowOut *bitvec.Vector
 		var degree int
@@ -116,5 +121,5 @@ func SolveWorklist(g Graph, p *Problem) *Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }

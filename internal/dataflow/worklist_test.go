@@ -40,8 +40,11 @@ func TestWorklistAgreesWithRoundRobin(t *testing.T) {
 			for _, meet := range []Meet{Must, May} {
 				for _, bound := range []Boundary{BoundaryEmpty, BoundaryFull} {
 					p := &Problem{Name: "w", Dir: dir, Meet: meet, Width: w, Gen: gen, Kill: kill, Boundary: bound}
-					a := Solve(g, p)
-					b := SolveWorklist(g, p)
+					a, errA := Solve(g, p)
+					b, errB := SolveWorklist(g, p)
+					if errA != nil || errB != nil {
+						return false
+					}
 					if !a.In.Equal(b.In) || !a.Out.Equal(b.Out) {
 						return false
 					}
@@ -55,27 +58,34 @@ func TestWorklistAgreesWithRoundRobin(t *testing.T) {
 	}
 }
 
+func mustSolveWorklist(t *testing.T, g Graph, p *Problem) *Result {
+	t.Helper()
+	res, err := SolveWorklist(g, p)
+	if err != nil {
+		t.Fatalf("SolveWorklist(%s): %v", p.Name, err)
+	}
+	return res
+}
+
 func TestWorklistStats(t *testing.T) {
-	res := SolveWorklist(diamondG(), availProblem(Must))
+	res := mustSolveWorklist(t, diamondG(), availProblem(Must))
 	if res.Stats.NodeVisits < 4 || res.Stats.VectorOps == 0 {
 		t.Errorf("stats implausible: %+v", res.Stats)
 	}
 }
 
-func TestWorklistDimensionPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic on dimension mismatch")
-		}
-	}()
-	SolveWorklist(diamondG(), &Problem{Name: "bad", Width: 1, Gen: bitvec.NewMatrix(3, 1), Kill: bitvec.NewMatrix(4, 1)})
+func TestWorklistDimensionError(t *testing.T) {
+	_, err := SolveWorklist(diamondG(), &Problem{Name: "bad", Width: 1, Gen: bitvec.NewMatrix(3, 1), Kill: bitvec.NewMatrix(4, 1)})
+	if err == nil {
+		t.Fatal("no error on dimension mismatch")
+	}
 }
 
 func TestWorklistDeterministic(t *testing.T) {
 	p := availProblem(Must)
-	a := SolveWorklist(diamondG(), p)
+	a := mustSolveWorklist(t, diamondG(), p)
 	for i := 0; i < 5; i++ {
-		b := SolveWorklist(diamondG(), p)
+		b := mustSolveWorklist(t, diamondG(), p)
 		if !a.In.Equal(b.In) || a.Stats != b.Stats {
 			t.Fatal("worklist solver nondeterministic")
 		}
@@ -107,12 +117,16 @@ func BenchmarkSolverStrategies(b *testing.B) {
 	p := &Problem{Name: "bench", Dir: Forward, Meet: Must, Width: w, Gen: gen, Kill: kill}
 	b.Run("roundrobin", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			Solve(g, p)
+			if _, err := Solve(g, p); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("worklist", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			SolveWorklist(g, p)
+			if _, err := SolveWorklist(g, p); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -93,7 +93,30 @@ func analyzed(src string) (*ir.Function, *nodes.Graph, *lcm.Analysis) {
 	graph.SplitCriticalEdges(f)
 	u := props.Collect(f)
 	g := nodes.Build(f, u)
-	return f, g, lcm.Analyze(g)
+	a, err := lcm.Analyze(g)
+	if err != nil {
+		panic(err)
+	}
+	return f, g, a
+}
+
+// mustPlacement and mustLifetimes panic on error: figure generation runs
+// on fixed known-good inputs, and the guarded experiment driver converts
+// any panic into a contained failure report.
+func mustPlacement(a *lcm.Analysis, mode lcm.Mode) *lcm.Placement {
+	p, err := a.Placement(mode)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustLifetimes(f *ir.Function, tempFor map[ir.Expr]string) map[string]int {
+	life, err := live.TempLifetimes(f, tempFor)
+	if err != nil {
+		panic(err)
+	}
+	return life
 }
 
 func mark(b bool) string {
@@ -165,7 +188,7 @@ func Figure2() *Report {
 		Headers: []string{"node", "DSAFE", "USAFE", "SAFE"},
 	}
 	safeCount, insertInSafe, insertTotal := 0, 0, 0
-	p := a.Placement(lcm.LCM)
+	p := mustPlacement(a, lcm.LCM)
 	for id := 0; id < g.NumNodes(); id++ {
 		ds, us := a.DSafe.Get(id, ei), a.USafe.Get(id, ei)
 		if ds || us {
@@ -201,7 +224,7 @@ func Figure3() *Report {
 	r.AddRow("replacements", res.Replaced)
 	r.AddRow("static computations before", lcm.StaticComputations(f))
 	r.AddRow("static computations after", lcm.StaticComputations(res.F))
-	life := live.TempLifetimes(res.F, res.TempFor)
+	life := mustLifetimes(res.F, res.TempFor)
 	total := 0
 	for _, v := range life {
 		total += v
@@ -230,7 +253,7 @@ func Figure4() *Report {
 		if err != nil {
 			panic(err)
 		}
-		life := live.TempLifetimes(res.F, res.TempFor)
+		life := mustLifetimes(res.F, res.TempFor)
 		total := 0
 		for _, v := range life {
 			total += v

@@ -57,11 +57,22 @@ func T3bRegisterPressure(programs int, budgets []int) *Report {
 		for _, name := range order {
 			fn := fns[name]
 			a := acc[name]
-			full := regalloc.Allocate(fn, 1<<16)
+			full, err := regalloc.Allocate(fn, 1<<16)
+			if err != nil {
+				panic(err)
+			}
 			a.pressure += full.MaxPressure
-			a.minRegs += regalloc.MinRegisters(fn)
+			minRegs, err := regalloc.MinRegisters(fn)
+			if err != nil {
+				panic(err)
+			}
+			a.minRegs += minRegs
 			for i, k := range budgets {
-				a.spills[i] += len(regalloc.Allocate(fn, k).Spilled)
+				al, err := regalloc.Allocate(fn, k)
+				if err != nil {
+					panic(err)
+				}
+				a.spills[i] += len(al.Spilled)
 			}
 			switch name {
 			case "BCM":

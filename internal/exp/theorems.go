@@ -7,7 +7,6 @@ import (
 	"lazycm/internal/interp"
 	"lazycm/internal/ir"
 	"lazycm/internal/lcm"
-	"lazycm/internal/live"
 	"lazycm/internal/mr"
 	"lazycm/internal/props"
 	"lazycm/internal/randprog"
@@ -172,7 +171,7 @@ func T3Lifetimes(programs int) *Report {
 		all := transformAll(f)
 		sum := func(res *lcm.Result) int {
 			t := 0
-			for _, v := range live.TempLifetimes(res.F, res.TempFor) {
+			for _, v := range mustLifetimes(res.F, res.TempFor) {
 				t += v
 			}
 			return t

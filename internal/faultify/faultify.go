@@ -1,0 +1,263 @@
+// Package faultify injects known classes of compiler bugs into IR
+// functions. It exists to prove, in tests, that the hardened pipeline's
+// safety nets actually hold: every fault class here is required to be
+// detected by ir.Validate, verify.TempsDefined or verify.Equivalent —
+// the three checks pipeline.Run interposes between passes. A fault class
+// that no checker detects is a hole in the containment story and fails
+// the test suite.
+//
+// Each Fault mutates a function the way a buggy transformation would:
+// retargeting an edge outside the function, forgetting Recompute after a
+// CFG edit, emitting a read of a temporary that is never defined,
+// flipping an operator, dropping a statement. The Class field names the
+// cheapest checker expected to catch it.
+package faultify
+
+import (
+	"lazycm/internal/ir"
+)
+
+// Class names the checker a fault class is expected to trip.
+type Class string
+
+const (
+	// Structural faults are caught by ir.Validate.
+	Structural Class = "structural"
+	// Temps faults are caught by verify.TempsDefined (the function stays
+	// structurally valid but reads an undefined PRE temporary).
+	Temps Class = "temps"
+	// Semantic faults are caught by verify.Equivalent (the function stays
+	// structurally valid but computes different values).
+	Semantic Class = "semantic"
+)
+
+// Fault is one injectable bug class.
+type Fault struct {
+	// Name identifies the fault class.
+	Name string
+	// Class is the checker expected to detect the fault.
+	Class Class
+	// Apply mutates f in place. It returns the expression→temporary map
+	// the fault pretends its "pass" produced (nil for most classes) and
+	// false when the fault does not apply to this function (e.g. no
+	// branch to corrupt).
+	Apply func(f *ir.Function) (map[ir.Expr]string, bool)
+}
+
+// firstBinOp returns the location of the first BinOp statement.
+func firstBinOp(f *ir.Function) (*ir.Block, int, bool) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Kind == ir.BinOp {
+				return b, i, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// firstJump returns the first block ending in an unconditional jump.
+func firstJump(f *ir.Function) (*ir.Block, bool) {
+	for _, b := range f.Blocks {
+		if b.Term.Kind == ir.Jump {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// observedBinOp returns the location of the last BinOp whose destination
+// is read afterwards in the same block (by a later statement or the
+// terminator), i.e. a computation whose removal or corruption is
+// observable to the interpreter.
+func observedBinOp(f *ir.Function) (*ir.Block, int, bool) {
+	var scratch []string
+	reads := func(vs []string, v string) bool {
+		for _, u := range vs {
+			if u == v {
+				return true
+			}
+		}
+		return false
+	}
+	for bi := len(f.Blocks) - 1; bi >= 0; bi-- {
+		b := f.Blocks[bi]
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			if in.Kind != ir.BinOp {
+				continue
+			}
+			if reads(b.Term.UsedVars(scratch[:0]), in.Dst) {
+				return b, i, true
+			}
+			for j := i + 1; j < len(b.Instrs); j++ {
+				if reads(b.Instrs[j].UsedVars(scratch[:0]), in.Dst) {
+					return b, i, true
+				}
+				if b.Instrs[j].Defs() == in.Dst {
+					break
+				}
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// All returns the full fault taxonomy, one entry per class of bug the
+// pipeline's checkers must catch.
+func All() []Fault {
+	return []Fault{
+		{
+			// A terminator targeting a block that is not part of the
+			// function — the result of splicing in a block without
+			// registering it.
+			Name: "dangling-edge", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, ok := firstJump(f)
+				if !ok {
+					return nil, false
+				}
+				phantom := &ir.Block{Name: "phantom", Term: ir.Terminator{Kind: ir.Ret}}
+				b.Term.Then = phantom
+				return nil, true
+			},
+		},
+		{
+			// Block IDs out of sync with Blocks order — a pass reordered
+			// or inserted blocks and forgot Recompute, so every analysis
+			// indexes the wrong state row.
+			Name: "stale-ids", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				if len(f.Blocks) < 2 {
+					return nil, false
+				}
+				f.Blocks[0].ID, f.Blocks[1].ID = f.Blocks[1].ID, f.Blocks[0].ID
+				return nil, true
+			},
+		},
+		{
+			// An edge retargeted inside the function without Recompute:
+			// IDs stay dense, but the predecessor lists no longer match
+			// the terminators. Only the pipeline's edge cross-check
+			// (ir.Validate, the free function) sees this.
+			Name: "stale-preds", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, ok := firstJump(f)
+				if !ok || b.Term.Then == f.Entry() {
+					return nil, false
+				}
+				// Retarget the jump to the entry block and do NOT
+				// Recompute. Entry stays reachable and keeps its path to
+				// the exit, so the method-level checks all pass; only the
+				// pipeline's terminator/predecessor cross-check notices
+				// the stale lists.
+				b.Term.Then = f.Entry()
+				return nil, true
+			},
+		},
+		{
+			// A block no path from entry reaches — dead scaffolding a
+			// pass created and never wired in.
+			Name: "unreachable-block", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				orphan := f.AddBlock(f.FreshBlockName("orphan"))
+				orphan.Term = ir.Terminator{Kind: ir.Ret}
+				f.Recompute()
+				return nil, true
+			},
+		},
+		{
+			// A block from which no return is reachable — an infinite
+			// self-loop replacing the exit, violating the paper's
+			// requirement that every node lie on an entry→exit path.
+			Name: "no-exit", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				for _, b := range f.Blocks {
+					if b.Term.Kind == ir.Ret {
+						b.Term = ir.Terminator{Kind: ir.Jump, Then: b}
+						f.Recompute()
+						return nil, true
+					}
+				}
+				return nil, false
+			},
+		},
+		{
+			// A terminator whose kind is not Jump/Branch/Ret — memory
+			// corruption or an uninitialized struct escaping a builder.
+			Name: "bad-terminator", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				f.Blocks[len(f.Blocks)-1].Term = ir.Terminator{Kind: ir.TermKind(99)}
+				return nil, true
+			},
+		},
+		{
+			// A statement with an impossible kind or missing destination.
+			Name: "bad-instr", Class: Structural,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, i, ok := firstBinOp(f)
+				if !ok {
+					return nil, false
+				}
+				b.Instrs[i].Dst = ""
+				return nil, true
+			},
+		},
+		{
+			// A PRE rewrite that replaces a computation with a read of a
+			// temporary no insertion ever defines — wrong placement
+			// points, the classic code-motion bug.
+			Name: "undefined-temp", Class: Temps,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, i, ok := firstBinOp(f)
+				if !ok {
+					return nil, false
+				}
+				e, _ := b.Instrs[i].Expr()
+				tmp := f.FreshVarName("t")
+				b.Instrs[i] = ir.NewCopy(b.Instrs[i].Dst, ir.Var(tmp))
+				return map[ir.Expr]string{e: tmp}, true
+			},
+		},
+		{
+			// A structurally perfect function computing the wrong value:
+			// one operator flipped.
+			Name: "wrong-operator", Class: Semantic,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, i, ok := observedBinOp(f)
+				if !ok {
+					return nil, false
+				}
+				if b.Instrs[i].Op == ir.Add {
+					b.Instrs[i].Op = ir.Sub
+				} else {
+					b.Instrs[i].Op = ir.Add
+				}
+				return nil, true
+			},
+		},
+		{
+			// A defining statement silently deleted — downstream reads
+			// see a stale or zero value.
+			Name: "dropped-instr", Class: Semantic,
+			Apply: func(f *ir.Function) (map[ir.Expr]string, bool) {
+				b, i, ok := observedBinOp(f)
+				if !ok {
+					return nil, false
+				}
+				b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+				return nil, true
+			},
+		},
+	}
+}
+
+// ByName returns the named fault. The boolean is false for unknown names.
+func ByName(name string) (Fault, bool) {
+	for _, ft := range All() {
+		if ft.Name == name {
+			return ft, true
+		}
+	}
+	return Fault{}, false
+}

@@ -1,0 +1,158 @@
+package faultify
+
+import (
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+// The canonical diamond with a loop back-edge candidate: every fault in
+// the taxonomy applies to it.
+const victimSrc = `
+func victim(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  print x
+  jmp join
+else:
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}
+`
+
+func victim(t *testing.T) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(victimSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestNoFalsePositives: the unfaulted victim passes every checker the
+// pipeline runs, so any detection below is attributable to the fault.
+func TestNoFalsePositives(t *testing.T) {
+	f := victim(t)
+	if err := ir.Validate(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Equivalent(f, f.Clone(), 1, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEveryFaultClassIsDetected applies each fault to a fresh victim and
+// requires its designated checker to fire — and the cheaper checkers to
+// stay silent, proving the class labels are tight.
+func TestEveryFaultClassIsDetected(t *testing.T) {
+	if len(All()) < 10 {
+		t.Fatalf("taxonomy shrank: %d faults", len(All()))
+	}
+	for _, ft := range All() {
+		ft := ft
+		t.Run(ft.Name, func(t *testing.T) {
+			orig := victim(t)
+			f := orig.Clone()
+			tempFor, ok := ft.Apply(f)
+			if !ok {
+				t.Fatalf("fault %s does not apply to the victim", ft.Name)
+			}
+			structural := ir.Validate(f)
+			switch ft.Class {
+			case Structural:
+				if structural == nil {
+					t.Fatal("ir.Validate missed a structural fault")
+				}
+			case Temps:
+				if structural != nil {
+					t.Fatalf("temps fault should be structurally valid: %v", structural)
+				}
+				if err := verify.TempsDefined(f, tempFor); err == nil {
+					t.Fatal("verify.TempsDefined missed an undefined temp")
+				}
+			case Semantic:
+				if structural != nil {
+					t.Fatalf("semantic fault should be structurally valid: %v", structural)
+				}
+				if err := verify.TempsDefined(f, tempFor); err != nil {
+					t.Fatalf("semantic fault should pass TempsDefined: %v", err)
+				}
+				if err := verify.Equivalent(orig, f, 11, 16); err == nil {
+					t.Fatal("verify.Equivalent missed a semantic fault")
+				}
+			default:
+				t.Fatalf("unknown class %q", ft.Class)
+			}
+		})
+	}
+}
+
+// TestStalePredsNeedsFreeValidate documents why ir.Validate exists as a
+// free function: the method-level checks accept a function whose cached
+// predecessor lists no longer match its terminators; only the pipeline's
+// edge cross-check rejects it.
+func TestStalePredsNeedsFreeValidate(t *testing.T) {
+	ft, ok := ByName("stale-preds")
+	if !ok {
+		t.Fatal("stale-preds missing from taxonomy")
+	}
+	f := victim(t)
+	if _, ok := ft.Apply(f); !ok {
+		t.Fatal("fault does not apply")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("method Validate should accept stale preds, got: %v", err)
+	}
+	if err := ir.Validate(f); err == nil {
+		t.Fatal("free ir.Validate should reject stale preds")
+	}
+}
+
+// TestPipelineContainsEveryFault runs each fault as if a buggy pass had
+// produced it and requires the pipeline to discard the output and fall
+// back to the original function.
+func TestPipelineContainsEveryFault(t *testing.T) {
+	for _, ft := range All() {
+		ft := ft
+		t.Run(ft.Name, func(t *testing.T) {
+			orig := victim(t)
+			buggy := pipeline.Pass{
+				Name: ft.Name,
+				Run: func(f *ir.Function, o pipeline.Options) (*ir.Function, map[ir.Expr]string, error) {
+					tempFor, ok := ft.Apply(f)
+					if !ok {
+						t.Fatal("fault does not apply")
+					}
+					return f, tempFor, nil
+				},
+			}
+			res, err := pipeline.Run(orig, []pipeline.Pass{buggy}, pipeline.Options{Verify: true, Seed: 11, Runs: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.FellBack() {
+				t.Fatalf("pipeline shipped a %s-faulted function", ft.Name)
+			}
+			if res.F.String() != orig.String() {
+				t.Fatal("fallback is not the original function")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("wrong-operator"); !ok {
+		t.Fatal("wrong-operator missing")
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}

@@ -38,6 +38,12 @@ type Result struct {
 
 // Transform applies GCSE to a clone of f.
 func Transform(f *ir.Function) (*Result, error) {
+	return TransformFuel(f, 0)
+}
+
+// TransformFuel is Transform with a node-visit budget on the availability
+// analysis; 0 means unlimited.
+func TransformFuel(f *ir.Function, fuel int) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gcse: input invalid: %w", err)
 	}
@@ -57,11 +63,14 @@ func Transform(f *ir.Function) (*Result, error) {
 		gen.CopyFrom(g.Comp.Row(i))
 		gen.And(g.Transp.Row(i))
 	}
-	avail := dataflow.Solve(g, &dataflow.Problem{
+	avail, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "gcse-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: usafeGen, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("gcse: %w", err)
+	}
 
 	res := &Result{F: clone, TempFor: make(map[ir.Expr]string), Stats: avail.Stats}
 

@@ -111,6 +111,53 @@ func (f *Function) Validate() error {
 	return nil
 }
 
+// Validate is the invariant checker the hardened pipeline runs between
+// passes. It performs every check of (*Function).Validate and additionally
+// cross-checks the cached predecessor lists against the actual terminator
+// edges — the stale state left behind when a pass mutates the CFG and
+// forgets to call Recompute. Keeping the stricter check out of the method
+// lets builders validate half-wired functions; the pipeline always demands
+// full consistency.
+func Validate(f *Function) error {
+	if f == nil {
+		return fmt.Errorf("ir: nil function")
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	// Recount edges: every successor edge must appear exactly once in the
+	// target's predecessor list, and no predecessor list may hold an edge
+	// that no terminator justifies.
+	want := make(map[[2]int]int) // (pred ID, succ ID) -> multiplicity
+	for _, b := range f.Blocks {
+		for i, n := 0, b.NumSuccs(); i < n; i++ {
+			want[[2]int{b.ID, b.Succ(i).ID}]++
+		}
+	}
+	got := make(map[[2]int]int, len(want))
+	for _, b := range f.Blocks {
+		for _, p := range b.Preds() {
+			if p == nil {
+				return fmt.Errorf("ir: %s.%s has nil predecessor entry", f.Name, b.Name)
+			}
+			got[[2]int{p.ID, b.ID}]++
+		}
+	}
+	for e, n := range want {
+		if got[e] != n {
+			return fmt.Errorf("ir: %s: edge %s->%s appears %d times in terminators but %d times in predecessor lists; call Recompute",
+				f.Name, f.Blocks[e[0]].Name, f.Blocks[e[1]].Name, n, got[e])
+		}
+	}
+	for e, n := range got {
+		if want[e] != n {
+			return fmt.Errorf("ir: %s: predecessor list of %s claims %d edges from %s but terminators provide %d; call Recompute",
+				f.Name, f.Blocks[e[1]].Name, n, f.Blocks[e[0]].Name, want[e])
+		}
+	}
+	return nil
+}
+
 func validateInstr(in Instr) error {
 	switch in.Kind {
 	case BinOp:

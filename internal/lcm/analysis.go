@@ -36,6 +36,7 @@ package lcm
 
 import (
 	"fmt"
+	"strings"
 
 	"lazycm/internal/bitvec"
 	"lazycm/internal/dataflow"
@@ -55,6 +56,26 @@ const (
 	// insertions.
 	LCM
 )
+
+// Modes lists the valid placement modes.
+func Modes() []Mode { return []Mode{BCM, ALCM, LCM} }
+
+// Valid reports whether m is a defined placement mode.
+func (m Mode) Valid() bool { return m == BCM || m == ALCM || m == LCM }
+
+// ParseMode resolves a case-insensitive mode name ("bcm", "alcm", "lcm")
+// to its Mode. The second result is false for unknown names.
+func ParseMode(s string) (Mode, bool) {
+	switch strings.ToLower(s) {
+	case "bcm":
+		return BCM, true
+	case "alcm":
+		return ALCM, true
+	case "lcm":
+		return LCM, true
+	}
+	return Mode(-1), false
+}
 
 // String names the mode.
 func (m Mode) String() string {
@@ -102,8 +123,16 @@ func (a *Analysis) TotalVectorOps() int {
 	return total
 }
 
-// Analyze computes all six predicates over g.
-func Analyze(g *nodes.Graph) *Analysis {
+// Analyze computes all six predicates over g with no fuel bound.
+func Analyze(g *nodes.Graph) (*Analysis, error) {
+	return AnalyzeFuel(g, 0)
+}
+
+// AnalyzeFuel computes all six predicates over g. A positive fuel bounds
+// each of the four data-flow problems to that many node visits; a problem
+// that fails to converge within the budget aborts the analysis with an
+// error wrapping dataflow.ErrFuelExhausted.
+func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 	n := g.NumNodes()
 	w := g.U.Size()
 	a := &Analysis{G: g, U: g.U}
@@ -120,11 +149,14 @@ func Analyze(g *nodes.Graph) *Analysis {
 	// Down-safety: backward, must.
 	//   DSAFE(n) = COMP(n) ∨ (TRANSP(n) ∧ ∏_{m∈succ(n)} DSAFE(m))
 	// with DSAFE ≡ false at the exit node.
-	dsafeRes := dataflow.Solve(g, &dataflow.Problem{
+	dsafeRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: g.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("lcm: %w", err)
+	}
 	a.DSafe = dsafeRes.In
 	a.Stats = append(a.Stats, dsafeRes.Stats)
 
@@ -139,11 +171,14 @@ func Analyze(g *nodes.Graph) *Analysis {
 		row.CopyFrom(g.Comp.Row(i))
 		row.And(g.Transp.Row(i))
 	}
-	usafeRes := dataflow.Solve(g, &dataflow.Problem{
+	usafeRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: usafeGen, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("lcm: %w", err)
+	}
 	a.USafe = usafeRes.In
 	a.Stats = append(a.Stats, usafeRes.Stats)
 
@@ -185,11 +220,14 @@ func Analyze(g *nodes.Graph) *Analysis {
 		row.CopyFrom(a.Earliest.Row(i))
 		row.AndNot(g.Comp.Row(i))
 	}
-	delayRes := dataflow.Solve(g, &dataflow.Problem{
+	delayRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "delay", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: delayGen, Kill: g.Comp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("lcm: %w", err)
+	}
 	a.Delay = bitvec.NewMatrix(n, w)
 	for i := 0; i < n; i++ {
 		row := a.Delay.Row(i)
@@ -227,15 +265,18 @@ func Analyze(g *nodes.Graph) *Analysis {
 	//   ISOLATED(n) = ∏_{m∈succ(n)} (LATEST(m) ∨ (¬COMP(m) ∧ ISOLATED(m)))
 	// with ISOLATED ≡ true at the exit node. In flow form the node value
 	// is the OUT side; the IN transfer is IN = LATEST ∨ (OUT ∧ ¬COMP).
-	isoRes := dataflow.Solve(g, &dataflow.Problem{
+	isoRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "isolated", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: a.Latest, Kill: g.Comp,
-		Boundary: dataflow.BoundaryFull,
+		Boundary: dataflow.BoundaryFull, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("lcm: %w", err)
+	}
 	a.Isolated = isoRes.Out
 	a.Stats = append(a.Stats, isoRes.Stats)
 
-	return a
+	return a, nil
 }
 
 // Placement is a code-motion decision: which expressions to insert before
@@ -249,8 +290,13 @@ type Placement struct {
 	Replace *bitvec.Matrix
 }
 
-// Placement derives the insert/replace decision for the given mode.
-func (a *Analysis) Placement(mode Mode) *Placement {
+// Placement derives the insert/replace decision for the given mode. An
+// unknown mode is a returned error, not a panic: the hardened CLIs
+// validate modes up front and the pipeline surfaces the error.
+func (a *Analysis) Placement(mode Mode) (*Placement, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("lcm: invalid mode %d (valid: bcm, alcm, lcm)", int(mode))
+	}
 	n := a.G.NumNodes()
 	w := a.U.Size()
 	p := &Placement{Mode: mode, Insert: bitvec.NewMatrix(n, w), Replace: bitvec.NewMatrix(n, w)}
@@ -273,9 +319,7 @@ func (a *Analysis) Placement(mode Mode) *Placement {
 			rep.And(a.Isolated.Row(i))
 			rep.Not()
 			rep.And(a.G.Comp.Row(i))
-		default:
-			panic(fmt.Sprintf("lcm: invalid mode %d", int(mode)))
 		}
 	}
-	return p
+	return p, nil
 }

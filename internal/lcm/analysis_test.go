@@ -20,7 +20,21 @@ func prep(t *testing.T, src string) (*ir.Function, *nodes.Graph, *Analysis) {
 	graph.SplitCriticalEdges(f)
 	u := props.Collect(f)
 	g := nodes.Build(f, u)
-	return f, g, Analyze(g)
+	a, err := Analyze(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, g, a
+}
+
+// place derives a placement, failing the test on error.
+func place(t *testing.T, a *Analysis, mode Mode) *Placement {
+	t.Helper()
+	p, err := a.Placement(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // stmtNode returns the node index of instruction idx in the named block.
@@ -140,7 +154,7 @@ func TestDiamondPlacements(t *testing.T) {
 	joinY := stmtNode(t, f, g, "join", 0)
 	elseTerm := g.TermOf(f.BlockByName("else"))
 
-	bcm := a.Placement(BCM)
+	bcm := place(t, a, BCM)
 	if !bcm.Insert.Get(g.EntryNode(), e) {
 		t.Error("BCM must insert at entry")
 	}
@@ -148,7 +162,7 @@ func TestDiamondPlacements(t *testing.T) {
 		t.Error("BCM must replace both computations")
 	}
 
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	if !lcm.Insert.Get(thenX, e) || !lcm.Insert.Get(elseTerm, e) {
 		t.Error("LCM must insert at the two latest points")
 	}
@@ -159,7 +173,7 @@ func TestDiamondPlacements(t *testing.T) {
 		t.Error("LCM must replace both computations")
 	}
 
-	alcm := a.Placement(ALCM)
+	alcm := place(t, a, ALCM)
 	if !alcm.Insert.Equal(a.Latest) {
 		t.Error("ALCM insertions must equal LATEST")
 	}
@@ -207,7 +221,7 @@ exit:
 	if a.Latest.Get(bodyX, ei) {
 		t.Error("LATEST inside loop body: not hoisted")
 	}
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	if !lcm.Insert.Get(entryTerm, ei) || !lcm.Replace.Get(bodyX, ei) {
 		t.Error("LCM placement did not hoist the invariant")
 	}
@@ -246,7 +260,7 @@ exit:
 	if !a.Earliest.Get(bodyX, ei) {
 		t.Error("earliest must stay at the body computation")
 	}
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	head := f.BlockByName("head")
 	for n := g.FirstOf(head); n <= g.TermOf(head); n++ {
 		if lcm.Insert.Get(n, ei) {
@@ -282,11 +296,11 @@ no:
 	if !a.Isolated.Get(yesX, e) {
 		t.Fatal("ISOLATED(yes computation) = false")
 	}
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	if lcm.Insert.Get(yesX, e) || lcm.Replace.Get(yesX, e) {
 		t.Error("LCM must leave the isolated computation untouched")
 	}
-	alcm := a.Placement(ALCM)
+	alcm := place(t, a, ALCM)
 	if !alcm.Insert.Get(yesX, e) || !alcm.Replace.Get(yesX, e) {
 		t.Error("ALCM should produce the isolated copy")
 	}
@@ -308,7 +322,7 @@ e:
 	if !a.USafe.Get(y, e) {
 		t.Error("second computation must be up-safe")
 	}
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	if !lcm.Insert.Get(x, e) {
 		t.Error("LCM inserts before the first computation")
 	}
@@ -340,7 +354,7 @@ e:
 	if !a.Earliest.Get(w, e) {
 		t.Error("second computation must restart as earliest")
 	}
-	lcm := a.Placement(LCM)
+	lcm := place(t, a, LCM)
 	// Both computations are isolated single uses: nothing to do at all.
 	if lcm.Insert.Row(w).Get(e) && !lcm.Replace.Get(w, e) {
 		t.Error("inconsistent placement at second computation")
@@ -372,14 +386,53 @@ func TestModeString(t *testing.T) {
 	}
 }
 
-func TestPlacementInvalidModePanics(t *testing.T) {
+func TestPlacementInvalidModeError(t *testing.T) {
 	_, _, a := prep(t, diamondSrc)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid mode did not panic")
+	if _, err := a.Placement(Mode(42)); err == nil {
+		t.Fatal("invalid mode did not error")
+	}
+	if _, err := TransformOpts(mustParse(t, diamondSrc), Mode(42), Options{}); err == nil {
+		t.Fatal("TransformOpts with invalid mode did not error")
+	}
+}
+
+func mustParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseMode(t *testing.T) {
+	for name, want := range map[string]Mode{"bcm": BCM, "ALCM": ALCM, "Lcm": LCM} {
+		got, ok := ParseMode(name)
+		if !ok || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", name, got, ok)
 		}
-	}()
-	a.Placement(Mode(42))
+	}
+	if _, ok := ParseMode("mr"); ok {
+		t.Error("ParseMode accepted a non-LCM mode name")
+	}
+	for _, m := range Modes() {
+		if !m.Valid() {
+			t.Errorf("mode %v reported invalid", m)
+		}
+	}
+	if Mode(42).Valid() {
+		t.Error("Mode(42) reported valid")
+	}
+}
+
+func TestAnalyzeFuelExhaustion(t *testing.T) {
+	_, g, _ := prep(t, diamondSrc)
+	if _, err := AnalyzeFuel(g, 1); err == nil {
+		t.Fatal("fuel 1 should exhaust on the diamond")
+	}
+	if _, err := AnalyzeFuel(g, 1<<20); err != nil {
+		t.Fatalf("ample fuel: %v", err)
+	}
 }
 
 // TestDelayWithinDownSafe: every delayed node must be down-safe — the

@@ -32,17 +32,34 @@ type Result struct {
 	EdgesSplit int
 }
 
+// Options tunes a transformation run beyond the placement mode.
+type Options struct {
+	// Canonical identifies commutated forms of commutative operators
+	// (a+b ≡ b+a) in the expression universe, exposing strictly more
+	// redundancies than the paper's purely lexical model — the extension
+	// measured by experiment T7.
+	Canonical bool
+	// Fuel bounds each data-flow problem to that many node visits;
+	// 0 means unlimited. See dataflow.Problem.Fuel.
+	Fuel int
+}
+
 // Transform applies the given placement mode to a clone of f and returns
 // the result. The input function must be valid; the output is valid too.
 func Transform(f *ir.Function, mode Mode) (*Result, error) {
-	return TransformWith(f, mode, false)
+	return TransformOpts(f, mode, Options{})
 }
 
-// TransformWith is Transform with an option: when canonical is true, the
-// expression universe identifies commutated forms of commutative
-// operators (a+b ≡ b+a), exposing strictly more redundancies than the
-// paper's purely lexical model — the extension measured by experiment T7.
+// TransformWith is Transform with the canonical-universe option.
 func TransformWith(f *ir.Function, mode Mode, canonical bool) (*Result, error) {
+	return TransformOpts(f, mode, Options{Canonical: canonical})
+}
+
+// TransformOpts is Transform with full options.
+func TransformOpts(f *ir.Function, mode Mode, o Options) (*Result, error) {
+	if !mode.Valid() {
+		return nil, fmt.Errorf("lcm: invalid mode %d (valid: bcm, alcm, lcm)", int(mode))
+	}
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("lcm: input invalid: %w", err)
 	}
@@ -50,14 +67,20 @@ func TransformWith(f *ir.Function, mode Mode, canonical bool) (*Result, error) {
 	split := graph.SplitCriticalEdges(clone)
 
 	var u *props.Universe
-	if canonical {
+	if o.Canonical {
 		u = props.CollectCanonical(clone)
 	} else {
 		u = props.Collect(clone)
 	}
 	g := nodes.Build(clone, u)
-	a := Analyze(g)
-	p := a.Placement(mode)
+	a, err := AnalyzeFuel(g, o.Fuel)
+	if err != nil {
+		return nil, err
+	}
+	p, err := a.Placement(mode)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		F: clone, Mode: mode, Analysis: a, Placement: p,

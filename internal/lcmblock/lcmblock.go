@@ -79,7 +79,14 @@ func (a *Analysis) TotalVectorOps() int {
 
 // Analyze computes the edge-LCM predicates for f (which should already be
 // LCSE-normalized; Transform takes care of that).
-func Analyze(f *ir.Function) *Analysis {
+func Analyze(f *ir.Function) (*Analysis, error) {
+	return AnalyzeFuel(f, 0)
+}
+
+// AnalyzeFuel is Analyze with a node-visit budget per data-flow problem
+// and the same budget (in block visits) on the LATER fixpoint; 0 means
+// unlimited.
+func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
@@ -93,16 +100,22 @@ func Analyze(f *ir.Function) *Analysis {
 		row.Not()
 	}
 
-	ant := dataflow.Solve(g, &dataflow.Problem{
+	ant, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-ant", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: local.Antloc, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
-	av := dataflow.Solve(g, &dataflow.Problem{
+	if err != nil {
+		return nil, fmt.Errorf("lcmblock: %w", err)
+	}
+	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("lcmblock: %w", err)
+	}
 
 	a := &Analysis{
 		U: u, Local: local,
@@ -151,10 +164,16 @@ func Analyze(f *ir.Function) *Analysis {
 		inEdges[e.To.ID] = append(inEdges[e.To.ID], x)
 	}
 	rpo := graph.ReversePostorder(f)
+	visits := 0
 	for {
 		a.LaterPasses++
 		changed := false
 		for _, b := range rpo {
+			visits++
+			if fuel > 0 && visits > fuel {
+				return nil, fmt.Errorf("lcmblock: later fixpoint: %w",
+					&dataflow.FuelError{Problem: "blk-later", Fuel: fuel})
+			}
 			// LATERIN(b) = ∏ incoming LATER. Every block has at least one
 			// incoming edge (entry has the virtual one; others are
 			// reachable).
@@ -206,7 +225,7 @@ func Analyze(f *ir.Function) *Analysis {
 		row.CopyFrom(local.Antloc.Row(b))
 		row.AndNot(a.LaterIn.Row(b))
 	}
-	return a
+	return a, nil
 }
 
 // Result is the outcome of the edge-LCM transformation.
@@ -233,7 +252,10 @@ func Transform(f *ir.Function) (*Result, error) {
 		return nil, fmt.Errorf("lcmblock: %w", err)
 	}
 	clone := pre.F
-	a := Analyze(clone)
+	a, err := Analyze(clone)
+	if err != nil {
+		return nil, err
+	}
 	u := a.U
 	w := u.Size()
 

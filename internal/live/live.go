@@ -6,6 +6,7 @@
 package live
 
 import (
+	"fmt"
 	"sort"
 
 	"lazycm/internal/bitvec"
@@ -32,7 +33,7 @@ type Info struct {
 // Compute solves liveness for f. If vars is nil, all variables of f are
 // tracked; otherwise only the given ones. Variables in vars that f never
 // mentions are legal and simply never live.
-func Compute(f *ir.Function, vars []string) *Info {
+func Compute(f *ir.Function, vars []string) (*Info, error) {
 	if vars == nil {
 		vars = f.Vars()
 	}
@@ -74,15 +75,18 @@ func Compute(f *ir.Function, vars []string) *Info {
 		}
 	}
 
-	res := dataflow.Solve(g, &dataflow.Problem{
+	res, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "liveness", Dir: dataflow.Backward, Meet: dataflow.May,
 		Width: w, Gen: use, Kill: def,
 		Boundary: dataflow.BoundaryEmpty,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
 	info.LiveIn = res.In
 	info.LiveOut = res.Out
 	info.Stats = res.Stats
-	return info
+	return info, nil
 }
 
 // LiveBefore reports whether v is live immediately before node id.
@@ -129,9 +133,9 @@ func (i *Info) TotalLiveRange(vars []string) int {
 // TempLifetimes measures, for a PRE result with the given expression→temp
 // mapping, the live range of each temporary. The returned map is keyed by
 // the temporary name.
-func TempLifetimes(f *ir.Function, tempFor map[ir.Expr]string) map[string]int {
+func TempLifetimes(f *ir.Function, tempFor map[ir.Expr]string) (map[string]int, error) {
 	if len(tempFor) == 0 {
-		return map[string]int{}
+		return map[string]int{}, nil
 	}
 	var temps []string
 	for _, t := range tempFor {
@@ -139,10 +143,13 @@ func TempLifetimes(f *ir.Function, tempFor map[ir.Expr]string) map[string]int {
 	}
 	// Deterministic order for reproducible stats.
 	sort.Strings(temps)
-	info := Compute(f, temps)
+	info, err := Compute(f, temps)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]int, len(temps))
 	for _, t := range temps {
 		out[t] = info.LiveRange(t)
 	}
-	return out
+	return out, nil
 }

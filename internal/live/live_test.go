@@ -8,6 +8,24 @@ import (
 	"lazycm/internal/textir"
 )
 
+func mustCompute(t *testing.T, f *ir.Function, vars []string) *Info {
+	t.Helper()
+	info, err := Compute(f, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func mustTempLifetimes(t *testing.T, f *ir.Function, tempFor map[ir.Expr]string) map[string]int {
+	t.Helper()
+	life, err := TempLifetimes(f, tempFor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return life
+}
+
 func parse(t *testing.T, src string) *ir.Function {
 	t.Helper()
 	f, err := textir.ParseFunction(src)
@@ -26,7 +44,7 @@ e:
   print y
   ret
 }`)
-	info := Compute(f, nil)
+	info := mustCompute(t, f, nil)
 	g := info.G
 	e := f.Entry()
 	n0 := g.FirstOf(e) // x = a + b
@@ -60,7 +78,7 @@ a:
 b:
   ret 0
 }`)
-	info := Compute(f, nil)
+	info := mustCompute(t, f, nil)
 	g := info.G
 	if !info.LiveBefore(g.TermOf(f.Entry()), "c") {
 		t.Error("branch condition dead at branch")
@@ -89,7 +107,7 @@ body:
 exit:
   ret i
 }`)
-	info := Compute(f, nil)
+	info := mustCompute(t, f, nil)
 	g := info.G
 	head := f.BlockByName("head")
 	// i is live around the whole loop.
@@ -109,7 +127,7 @@ e:
   print x
   ret
 }`)
-	info := Compute(f, []string{"x", "nosuch"})
+	info := mustCompute(t, f, []string{"x", "nosuch"})
 	if len(info.Vars) != 2 {
 		t.Fatalf("Vars = %v", info.Vars)
 	}
@@ -159,8 +177,8 @@ join:
 	if err != nil {
 		t.Fatal(err)
 	}
-	bcmLife := TempLifetimes(bcmRes.F, bcmRes.TempFor)
-	lcmLife := TempLifetimes(lcmRes.F, lcmRes.TempFor)
+	bcmLife := mustTempLifetimes(t, bcmRes.F, bcmRes.TempFor)
+	lcmLife := mustTempLifetimes(t, lcmRes.F, lcmRes.TempFor)
 	bcmTotal, lcmTotal := 0, 0
 	for _, v := range bcmLife {
 		bcmTotal += v
@@ -176,7 +194,7 @@ join:
 
 func TestTempLifetimesEmpty(t *testing.T) {
 	f := parse(t, "func f() {\ne:\n  ret\n}")
-	if got := TempLifetimes(f, nil); len(got) != 0 {
+	if got := mustTempLifetimes(t, f, nil); len(got) != 0 {
 		t.Errorf("TempLifetimes(no temps) = %v", got)
 	}
 }
@@ -188,7 +206,7 @@ e:
   x = a + 1
   ret a
 }`)
-	info := Compute(f, nil)
+	info := mustCompute(t, f, nil)
 	if info.LiveRange("x") != 0 {
 		t.Errorf("dead x has live range %d", info.LiveRange("x"))
 	}

@@ -67,7 +67,17 @@ type Analysis struct {
 }
 
 // Analyze computes MR's global predicates for f.
-func Analyze(f *ir.Function) *Analysis {
+func Analyze(f *ir.Function) (*Analysis, error) {
+	return AnalyzeFuel(f, 0)
+}
+
+// AnalyzeFuel is Analyze with a node-visit budget per data-flow problem
+// and the same budget (in block visits) on the bidirectional
+// placement-possible fixpoint; 0 means unlimited. The bidirectional system
+// is exactly where a bound earns its keep: unlike the unidirectional
+// problems, its convergence argument is subtler, and a bug in the transfer
+// functions would otherwise spin forever.
+func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
@@ -81,16 +91,22 @@ func Analyze(f *ir.Function) *Analysis {
 		row.Not()
 	}
 
-	av := dataflow.Solve(g, &dataflow.Problem{
+	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
-	pav := dataflow.Solve(g, &dataflow.Problem{
+	if err != nil {
+		return nil, fmt.Errorf("mr: %w", err)
+	}
+	pav, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-pavail", Dir: dataflow.Forward, Meet: dataflow.May,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("mr: %w", err)
+	}
 
 	a := &Analysis{
 		U: u, Local: local,
@@ -113,11 +129,17 @@ func Analyze(f *ir.Function) *Analysis {
 	}
 	tmp := bitvec.New(w)
 	acc := bitvec.New(w)
+	visits := 0
 	for {
 		a.Passes++
 		changed := false
 		for _, b := range f.Blocks {
 			i := b.ID
+			visits++
+			if fuel > 0 && visits > fuel {
+				return nil, fmt.Errorf("mr: placement-possible fixpoint: %w",
+					&dataflow.FuelError{Problem: "mr-pp", Fuel: fuel})
+			}
 			// PPOUT
 			if b.NumSuccs() == 0 {
 				acc.ClearAll()
@@ -176,16 +198,24 @@ func Analyze(f *ir.Function) *Analysis {
 		del.CopyFrom(local.Antloc.Row(i))
 		del.And(a.PPIn.Row(i))
 	}
-	return a
+	return a, nil
 }
 
 // Transform applies the MR transformation to a clone of f.
 func Transform(f *ir.Function) (*Result, error) {
+	return TransformFuel(f, 0)
+}
+
+// TransformFuel is Transform with AnalyzeFuel's budget; 0 means unlimited.
+func TransformFuel(f *ir.Function, fuel int) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("mr: input invalid: %w", err)
 	}
 	clone := f.Clone()
-	a := Analyze(clone)
+	a, err := AnalyzeFuel(clone, fuel)
+	if err != nil {
+		return nil, err
+	}
 	u := a.U
 	n := clone.NumBlocks()
 	w := u.Size()

@@ -74,12 +74,15 @@ func PropagateCopies(f *ir.Function) int {
 // whose destination is dead immediately after the assignment. Print
 // statements and terminators are never removed. It returns the number of
 // statements deleted.
-func EliminateDeadCode(f *ir.Function) int {
+func EliminateDeadCode(f *ir.Function) (int, error) {
 	removed := 0
 	for {
 		u := props.Collect(f)
 		g := nodes.Build(f, u)
-		info := live.Compute(f, nil)
+		info, err := live.Compute(f, nil)
+		if err != nil {
+			return removed, fmt.Errorf("opt: dce liveness: %w", err)
+		}
 		changedThisRound := 0
 		for _, b := range f.Blocks {
 			var kept []ir.Instr
@@ -98,7 +101,7 @@ func EliminateDeadCode(f *ir.Function) int {
 			b.Instrs = kept
 		}
 		if changedThisRound == 0 {
-			return removed
+			return removed, nil
 		}
 		removed += changedThisRound
 		f.Recompute()
@@ -118,25 +121,53 @@ type RoundStats struct {
 	Inserted, Replaced, CopiesPropagated, DeadRemoved int
 }
 
+// Options tunes the reapplication driver.
+type Options struct {
+	// MaxRounds bounds the [LCM, copy propagation, DCE] reapplication
+	// loop. Zero or negative means the DefaultMaxRounds cap — the loop is
+	// always bounded, so a pass that keeps "improving" a function forever
+	// (an oscillation bug) terminates with the rounds exhausted rather
+	// than spinning.
+	MaxRounds int
+	// Fuel bounds each data-flow problem inside every round; 0 means
+	// unlimited.
+	Fuel int
+}
+
+// DefaultMaxRounds is the reapplication cap used when Options.MaxRounds
+// is unset.
+const DefaultMaxRounds = 16
+
 // Pipeline runs up to maxRounds of [LCM, copy propagation, DCE] over a
 // clone of f, stopping early when a round changes nothing. This realizes
 // the paper's reapplication story for second-order redundancies.
 func Pipeline(f *ir.Function, maxRounds int) (*PipelineResult, error) {
+	return PipelineOpts(f, Options{MaxRounds: maxRounds})
+}
+
+// PipelineOpts is Pipeline with full options.
+func PipelineOpts(f *ir.Function, o Options) (*PipelineResult, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("opt: input invalid: %w", err)
 	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = DefaultMaxRounds
+	}
 	cur := f.Clone()
 	res := &PipelineResult{}
-	for round := 0; round < maxRounds; round++ {
+	for round := 0; round < o.MaxRounds; round++ {
 		var rs RoundStats
-		lres, err := lcm.Transform(cur, lcm.LCM)
+		lres, err := lcm.TransformOpts(cur, lcm.LCM, lcm.Options{Fuel: o.Fuel})
 		if err != nil {
 			return nil, err
 		}
 		cur = lres.F
 		rs.Inserted, rs.Replaced = lres.Inserted, lres.Replaced
 		rs.CopiesPropagated = PropagateCopies(cur)
-		rs.DeadRemoved = EliminateDeadCode(cur)
+		rs.DeadRemoved, err = EliminateDeadCode(cur)
+		if err != nil {
+			return nil, err
+		}
 		cur.Simplify()
 		cur.Recompute()
 		if err := cur.Validate(); err != nil {

@@ -123,7 +123,10 @@ e:
   nop
   ret x
 }`)
-	n := EliminateDeadCode(f)
+	n, err := EliminateDeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 2 {
 		t.Fatalf("removed = %d, want 2 (dead y and nop)\n%s", n, f)
 	}
@@ -141,7 +144,10 @@ e:
   y = z * 2
   ret a
 }`)
-	n := EliminateDeadCode(f)
+	n, err := EliminateDeadCode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 2 {
 		t.Fatalf("removed = %d, want 2\n%s", n, f)
 	}
@@ -162,7 +168,9 @@ body:
 exit:
   ret
 }`)
-	EliminateDeadCode(f)
+	if _, err := EliminateDeadCode(f); err != nil {
+		t.Fatal(err)
+	}
 	out, _, err := interp.Run(f, interp.Options{Args: []int64{7, 3}})
 	if err != nil {
 		t.Fatal(err)

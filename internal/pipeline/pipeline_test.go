@@ -1,0 +1,237 @@
+package pipeline
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+	"lazycm/internal/verify"
+)
+
+const diamondSrc = `
+func diamond(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}
+`
+
+func parse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunAppliesPasses(t *testing.T) {
+	f := parse(t, diamondSrc)
+	res, err := Run(f, []Pass{LCMPass(lcm.LCM), CleanupPass()}, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FellBack() || len(res.Failures) != 0 {
+		t.Fatalf("unexpected fallback: %v", res.Diagnostics())
+	}
+	if got := strings.Join(res.Applied, ","); got != "lcm,cleanup" {
+		t.Fatalf("Applied = %q", got)
+	}
+	if err := verify.Equivalent(f, res.F, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidInput(t *testing.T) {
+	f := parse(t, diamondSrc)
+	f.Blocks[0].Term.Then = &ir.Block{Name: "phantom"} // dangling edge
+	_, err := Run(f, []Pass{OptPass()}, Options{})
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("want ErrInvalidInput, got %v", err)
+	}
+	if _, err := Run(nil, nil, Options{}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("nil function: want ErrInvalidInput, got %v", err)
+	}
+}
+
+// TestPanickingPassFallsBack is the acceptance check of the hardened
+// pipeline: a pass that panics must yield the original function, not a
+// crash, and the panic must surface as a structured diagnostic.
+func TestPanickingPassFallsBack(t *testing.T) {
+	f := parse(t, diamondSrc)
+	boom := Pass{
+		Name: "boom",
+		Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+			panic("kaboom")
+		},
+	}
+	res, err := Run(f, []Pass{boom}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() || len(res.Failures) != 1 {
+		t.Fatalf("panic not contained: %+v", res)
+	}
+	pe := res.Failures[0]
+	if pe.Pass != "boom" || pe.Stage != StageRun || pe.PanicValue != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PassError wrong: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+	if res.F.String() != f.String() {
+		t.Fatalf("fallback is not the original function:\n%s", res.F)
+	}
+}
+
+// TestPanicDoesNotAbortLaterPasses: after a contained failure the
+// pipeline continues from the last-known-good function.
+func TestPanicDoesNotAbortLaterPasses(t *testing.T) {
+	f := parse(t, diamondSrc)
+	boom := Pass{Name: "boom", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		panic("kaboom")
+	}}
+	lcmPass, _ := ForMode("lcm")
+	res, err := Run(f, []Pass{boom, lcmPass}, Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 || len(res.Applied) != 1 || res.Applied[0] != "lcm" {
+		t.Fatalf("continuation wrong: applied=%v failures=%v", res.Applied, res.Diagnostics())
+	}
+	if err := verify.Equivalent(f, res.F, 3, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptingPassIsRejected: a pass returning a structurally invalid
+// function must be caught by post-validation and discarded.
+func TestCorruptingPassIsRejected(t *testing.T) {
+	f := parse(t, diamondSrc)
+	corrupt := Pass{Name: "corrupt", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		g.Blocks[1].Term.Then = &ir.Block{Name: "phantom"} // dangling edge, preds stale
+		return g, nil, nil
+	}}
+	res, err := Run(f, []Pass{corrupt}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() || res.Failures[0].Stage != StagePostValidate {
+		t.Fatalf("corruption not caught at post-validate: %+v", res.Failures)
+	}
+	if res.F.String() != f.String() {
+		t.Fatal("corrupted function shipped")
+	}
+}
+
+// TestMiscompilingPassIsRejected: a structurally valid but semantically
+// wrong output must be caught by the verify stage when enabled.
+func TestMiscompilingPassIsRejected(t *testing.T) {
+	f := parse(t, diamondSrc)
+	miscompile := Pass{Name: "miscompile", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		// Flip + to - in the join block: valid IR, wrong behaviour.
+		b := g.BlockByName("join")
+		b.Instrs[0].Op = ir.Sub
+		return g, nil, nil
+	}}
+	res, err := Run(f, []Pass{miscompile}, Options{Verify: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() || res.Failures[0].Stage != StageVerify {
+		t.Fatalf("miscompile not caught at verify: %+v", res.Failures)
+	}
+	if res.F.String() != f.String() {
+		t.Fatal("miscompiled function shipped")
+	}
+}
+
+// TestUndefinedTempIsRejected: a pass claiming a temporary it never
+// defines must fail the TempsDefined post-check.
+func TestUndefinedTempIsRejected(t *testing.T) {
+	f := parse(t, diamondSrc)
+	bad := Pass{Name: "badtemp", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		// Rewrite y = a + b to read a temp that is never assigned.
+		b := g.BlockByName("join")
+		b.Instrs[0] = ir.NewCopy("y", ir.Var("t0"))
+		e := ir.Expr{Op: ir.Add, A: ir.Var("a"), B: ir.Var("b")}
+		return g, map[ir.Expr]string{e: "t0"}, nil
+	}}
+	res, err := Run(f, []Pass{bad}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() || res.Failures[0].Stage != StagePostValidate {
+		t.Fatalf("undefined temp not caught: %+v", res.Failures)
+	}
+}
+
+// TestFuelExhaustionFallsBack: with a starvation budget the optimizing
+// pass fails with a bounded error and the pipeline returns the original.
+func TestFuelExhaustionFallsBack(t *testing.T) {
+	f := parse(t, diamondSrc)
+	lcmPass, _ := ForMode("lcm")
+	res, err := Run(f, []Pass{lcmPass}, Options{Fuel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack() {
+		t.Fatal("fuel 1 did not exhaust")
+	}
+	if res.F.String() != f.String() {
+		t.Fatal("fallback is not the original")
+	}
+}
+
+// TestAllModesOnRandomPrograms: every standard pass, run through the
+// pipeline with verification, either applies cleanly or falls back — and
+// the survivor is always equivalent to the input.
+func TestAllModesOnRandomPrograms(t *testing.T) {
+	for _, name := range ModeNames() {
+		p, ok := ForMode(name)
+		if !ok {
+			t.Fatalf("ForMode(%q) unknown", name)
+		}
+		for seed := int64(0); seed < 12; seed++ {
+			f := randprog.ForSeed(seed)
+			res, err := Run(f, []Pass{p}, Options{Verify: true, Seed: seed, Runs: 4})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.FellBack() {
+				// A fallback is legal (e.g. sr finds nothing to do and
+				// errors) but the survivor must still be the input.
+				continue
+			}
+			if err := verify.Equivalent(f, res.F, seed, 4); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if pe := Guard("ok", func() error { return nil }); pe != nil {
+		t.Fatalf("Guard on success: %v", pe)
+	}
+	pe := Guard("bad", func() error { return errors.New("nope") })
+	if pe == nil || pe.Pass != "bad" || pe.PanicValue != nil {
+		t.Fatalf("Guard on error: %+v", pe)
+	}
+	pe = Guard("explode", func() error { panic(42) })
+	if pe == nil || pe.PanicValue != 42 || len(pe.Stack) == 0 {
+		t.Fatalf("Guard on panic: %+v", pe)
+	}
+}

@@ -37,8 +37,9 @@ type Allocation struct {
 	NumVars int
 }
 
-// Allocate colors the variables of f with k registers.
-func Allocate(f *ir.Function, k int) *Allocation {
+// Allocate colors the variables of f with k registers. It fails only when
+// the liveness analysis does (a malformed function).
+func Allocate(f *ir.Function, k int) (*Allocation, error) {
 	vars := f.Vars()
 	idx := make(map[string]int, len(vars))
 	for i, v := range vars {
@@ -47,10 +48,13 @@ func Allocate(f *ir.Function, k int) *Allocation {
 	n := len(vars)
 	a := &Allocation{K: k, Register: make(map[string]int), NumVars: n}
 	if n == 0 {
-		return a
+		return a, nil
 	}
 
-	info := live.Compute(f, vars)
+	info, err := live.Compute(f, vars)
+	if err != nil {
+		return nil, err
+	}
 	g := info.G
 
 	// Interference graph as adjacency sets.
@@ -171,25 +175,29 @@ func Allocate(f *ir.Function, k int) *Allocation {
 		}
 	}
 	sort.Strings(a.Spilled)
-	return a
+	return a, nil
 }
 
 // MinRegisters returns the smallest K for which f colors without spills
 // (by doubling then binary search). The result is bounded by the number of
 // variables.
-func MinRegisters(f *ir.Function) int {
+func MinRegisters(f *ir.Function) (int, error) {
 	n := len(f.Vars())
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
 	lo, hi := 1, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if len(Allocate(f, mid).Spilled) == 0 {
+		a, err := Allocate(f, mid)
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Spilled) == 0 {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	return lo
+	return lo, nil
 }

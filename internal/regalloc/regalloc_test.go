@@ -9,6 +9,24 @@ import (
 	"lazycm/internal/textir"
 )
 
+func mustAllocate(t *testing.T, f *ir.Function, k int) *Allocation {
+	t.Helper()
+	a, err := Allocate(f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustMinRegisters(t *testing.T, f *ir.Function) int {
+	t.Helper()
+	k, err := MinRegisters(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 func parse(t *testing.T, src string) *ir.Function {
 	t.Helper()
 	f, err := textir.ParseFunction(src)
@@ -28,7 +46,7 @@ e:
   y = x * 2
   ret y
 }`)
-	al := Allocate(f, 2)
+	al := mustAllocate(t, f, 2)
 	if len(al.Spilled) != 0 {
 		t.Fatalf("spilled with 2 regs: %v", al.Spilled)
 	}
@@ -46,7 +64,7 @@ func TestColoringValid(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		f := randprog.ForSeed(seed)
 		k := 4
-		al := Allocate(f, k)
+		al := mustAllocate(t, f, k)
 		for v, c := range al.Register {
 			if c < 0 || c >= k {
 				t.Fatalf("seed %d: color %d out of range for %s", seed, c, v)
@@ -73,11 +91,11 @@ e:
   s3 = s1 + s2
   ret s3
 }`)
-	al3 := Allocate(f, 3)
+	al3 := mustAllocate(t, f, 3)
 	if len(al3.Spilled) == 0 {
 		t.Errorf("no spills with 3 registers despite pressure %d", al3.MaxPressure)
 	}
-	al8 := Allocate(f, 8)
+	al8 := mustAllocate(t, f, 8)
 	if len(al8.Spilled) != 0 {
 		t.Errorf("spills with 8 registers: %v", al8.Spilled)
 	}
@@ -94,15 +112,15 @@ e:
   y = x * 2
   ret y
 }`)
-	k := MinRegisters(f)
+	k := mustMinRegisters(t, f)
 	if k < 2 || k > 3 {
 		t.Errorf("MinRegisters = %d", k)
 	}
-	if got := Allocate(f, k); len(got.Spilled) != 0 {
+	if got := mustAllocate(t, f, k); len(got.Spilled) != 0 {
 		t.Errorf("MinRegisters=%d still spills", k)
 	}
 	if k > 1 {
-		if got := Allocate(f, k-1); len(got.Spilled) == 0 {
+		if got := mustAllocate(t, f, k-1); len(got.Spilled) == 0 {
 			t.Errorf("MinRegisters not minimal: %d-1 also works", k)
 		}
 	}
@@ -110,20 +128,20 @@ e:
 
 func TestEmptyFunction(t *testing.T) {
 	f := parse(t, "func f() {\ne:\n  ret\n}")
-	al := Allocate(f, 4)
+	al := mustAllocate(t, f, 4)
 	if al.NumVars != 0 || len(al.Spilled) != 0 || al.MaxPressure != 0 {
 		t.Errorf("empty allocation wrong: %+v", al)
 	}
-	if MinRegisters(f) != 0 {
+	if mustMinRegisters(t, f) != 0 {
 		t.Error("MinRegisters on empty != 0")
 	}
 }
 
 func TestDeterministic(t *testing.T) {
 	f := randprog.ForSeed(3)
-	a := Allocate(f, 4)
+	a := mustAllocate(t, f, 4)
 	for i := 0; i < 10; i++ {
-		b := Allocate(f, 4)
+		b := mustAllocate(t, f, 4)
 		if len(a.Spilled) != len(b.Spilled) || a.MaxPressure != b.MaxPressure {
 			t.Fatal("nondeterministic allocation")
 		}
@@ -166,11 +184,11 @@ join:
 	if err != nil {
 		t.Fatal(err)
 	}
-	kb, kl := MinRegisters(bcm.F), MinRegisters(lzy.F)
+	kb, kl := mustMinRegisters(t, bcm.F), mustMinRegisters(t, lzy.F)
 	if kl > kb {
 		t.Errorf("LCM needs more registers (%d) than BCM (%d)", kl, kb)
 	}
-	pb, pl := Allocate(bcm.F, 64).MaxPressure, Allocate(lzy.F, 64).MaxPressure
+	pb, pl := mustAllocate(t, bcm.F, 64).MaxPressure, mustAllocate(t, lzy.F, 64).MaxPressure
 	if pl > pb {
 		t.Errorf("LCM pressure %d exceeds BCM pressure %d", pl, pb)
 	}

@@ -1,10 +1,15 @@
 package textir
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/pipeline"
 	"lazycm/internal/randprog"
+	"lazycm/internal/verify"
 )
 
 // FuzzParse feeds arbitrary text to the parser: it must never panic, and
@@ -31,6 +36,50 @@ func FuzzParse(f *testing.F) {
 		}
 		if got := PrintFunctions(fns2); got != printed {
 			t.Fatalf("print not stable:\n%s\nvs\n%s", printed, got)
+		}
+	})
+}
+
+// FuzzPipeline drives the full hardened pipeline with arbitrary parsed
+// input: whatever the parser accepts, the pipeline must either optimize,
+// reject as invalid, or fall back — no panic may escape, the surviving
+// function must always validate, and on the happy path it must behave
+// like the input.
+func FuzzPipeline(f *testing.F) {
+	f.Add("func f(a, b) {\ne:\n  x = a + b\n  y = a + b\n  ret y\n}", 0)
+	f.Add("func f(a, b, c) {\nentry:\n  br c t e\nt:\n  x = a + b\n  jmp j\ne:\n  jmp j\nj:\n  y = a + b\n  ret y\n}", 100)
+	f.Add("func f() {\ne:\n  jmp e\n}", 0) // no exit: invalid input
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(randprog.ForSeed(seed).String(), int(seed))
+	}
+	f.Fuzz(func(t *testing.T, src string, fuel int) {
+		fns, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if fuel < 0 {
+			fuel = -fuel
+		}
+		passes := []pipeline.Pass{pipeline.LCMPass(lcm.LCM), pipeline.MRPass(), pipeline.OptPass(), pipeline.CleanupPass()}
+		for _, fn := range fns {
+			res, err := pipeline.Run(fn, passes, pipeline.Options{
+				Fuel: fuel % 512, MaxRounds: 2, Verify: true, Runs: 2,
+			})
+			if err != nil {
+				if !errors.Is(err, pipeline.ErrInvalidInput) {
+					t.Fatalf("unexpected error kind: %v\n%s", err, fn)
+				}
+				continue
+			}
+			if res.F == nil {
+				t.Fatalf("pipeline returned nil function\n%s", fn)
+			}
+			if verr := ir.Validate(res.F); verr != nil {
+				t.Fatalf("pipeline shipped an invalid function: %v\n%s", verr, res.F)
+			}
+			if err := verify.Equivalent(fn, res.F, 1, 2); err != nil {
+				t.Fatalf("pipeline shipped a misbehaving function: %v\n%s", err, res.F)
+			}
 		}
 	})
 }

@@ -132,11 +132,14 @@ func TempsDefined(f *ir.Function, tempFor map[ir.Expr]string) error {
 			}
 		}
 	}
-	res := dataflow.Solve(g, &dataflow.Problem{
+	res, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "definite-assignment", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: def, Kill: bitvec.NewMatrix(n, w),
 		Boundary: dataflow.BoundaryEmpty,
 	})
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
 
 	var scratch []string
 	for id, nd := range g.Nodes {
