@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench serve
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -24,3 +24,7 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Run the optimization server (see the lcmd section in README.md).
+serve:
+	$(GO) run ./cmd/lcmd

@@ -22,6 +22,9 @@
 //	                             instead of failing
 //	-fuel N                      node-visit budget per data-flow fixpoint
 //	                             (0 = unlimited)
+//	-timeout D                   wall-clock budget for the whole run
+//	                             (e.g. 500ms, 2s; 0 = unlimited); fixpoints
+//	                             poll the deadline at iteration boundaries
 //	-verify                      re-check each transformed function against
 //	                             its original on random inputs
 //
@@ -32,9 +35,12 @@
 //	2  invalid input: unknown mode, unparsable program, or a function
 //	   failing IR validation
 //	3  a pass failed and -fallback emitted the original function
+//	4  deadline exceeded: -timeout expired before the transformation
+//	   finished (with -fallback the original function is still emitted)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +69,7 @@ const (
 	exitError     = 1
 	exitInvalid   = 2
 	exitFellBack  = 3
+	exitDeadline  = 4
 )
 
 func main() {
@@ -84,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	runArgs := fs.String("run", "", "comma-separated integer arguments to execute with")
 	fallback := fs.Bool("fallback", false, "on pass failure, emit the original function instead of failing")
 	fuel := fs.Int("fuel", 0, "node-visit budget per data-flow fixpoint (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
 	verifyFlag := fs.Bool("verify", false, "re-check each transformed function against its original on random inputs")
 	if err := fs.Parse(args); err != nil {
 		return exitInvalid, err
@@ -112,6 +120,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	if err != nil {
 		return exitInvalid, err
 	}
+	// One deadline covers the whole run, shared by every function: the
+	// fixpoints inside each pass poll it at iteration boundaries.
+	ctx := context.Context(nil)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
 	code := exitOptimized
 	for i, f := range fns {
 		if i > 0 {
@@ -120,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 		c, err := optimizeOne(f, opts{
 			mode: *mode, predicates: *predicates, dot: *dot, stats: *stats,
 			simplify: *simplify, canonical: *canonical, runArgs: *runArgs,
-			fallback: *fallback, fuel: *fuel, verify: *verifyFlag,
+			fallback: *fallback, fuel: *fuel, verify: *verifyFlag, ctx: ctx,
 		}, stdout)
 		if err != nil {
 			return c, fmt.Errorf("%s: %w", f.Name, err)
@@ -140,6 +156,7 @@ type opts struct {
 	fallback                         bool
 	fuel                             int
 	verify                           bool
+	ctx                              context.Context
 }
 
 func optimizeOne(f *ir.Function, o opts, stdout io.Writer) (int, error) {
@@ -160,19 +177,26 @@ func optimizeOne(f *ir.Function, o opts, stdout io.Writer) (int, error) {
 		},
 	}
 	res, err := pipeline.Run(f, []pipeline.Pass{pass}, pipeline.Options{
-		Fuel: o.fuel, Canonical: o.canonical, Verify: o.verify,
+		Fuel: o.fuel, Canonical: o.canonical, Verify: o.verify, Ctx: o.ctx,
 	})
 	if err != nil {
 		return exitInvalid, err
 	}
 	status := exitOptimized
 	if res.FellBack() {
+		// A deadline expiry is reported as its own exit code; it is not a
+		// bug in a pass, just the caller's budget running out.
+		if res.Canceled() {
+			status = exitDeadline
+		}
 		if !o.fallback {
-			return exitError, res.Failures[0]
+			return max(status, exitError), res.Failures[0]
 		}
 		// Degrade: ship the original function, annotated with what went
 		// wrong, and report it in the exit code.
-		status = exitFellBack
+		if status != exitDeadline {
+			status = exitFellBack
+		}
 		statLines, tempFor = nil, nil
 		for _, d := range res.Diagnostics() {
 			fmt.Fprintln(stdout, "# fallback:", d)
@@ -233,7 +257,7 @@ func transform(f *ir.Function, mode string, po pipeline.Options) (*ir.Function, 
 	switch mode {
 	case "lcm", "alcm", "bcm":
 		m, _ := lcm.ParseMode(mode)
-		res, err := lcm.TransformOpts(f, m, lcm.Options{Canonical: po.Canonical, Fuel: po.Fuel})
+		res, err := lcm.TransformOpts(f, m, lcm.Options{Canonical: po.Canonical, Fuel: po.Fuel, Ctx: po.Ctx})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -250,7 +274,7 @@ func transform(f *ir.Function, mode string, po pipeline.Options) (*ir.Function, 
 		}
 		return res.F, res.TempFor, lines, nil
 	case "mr":
-		res, err := mr.TransformFuel(f, po.Fuel)
+		res, err := mr.TransformOpts(f, mr.Options{Fuel: po.Fuel, Ctx: po.Ctx})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -273,7 +297,7 @@ func transform(f *ir.Function, mode string, po pipeline.Options) (*ir.Function, 
 		}
 		return res.F, nil, lines, nil
 	case "gcse":
-		res, err := gcse.TransformFuel(f, po.Fuel)
+		res, err := gcse.TransformOpts(f, gcse.Options{Fuel: po.Fuel, Ctx: po.Ctx})
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -283,7 +307,7 @@ func transform(f *ir.Function, mode string, po pipeline.Options) (*ir.Function, 
 		}
 		return res.F, res.TempFor, lines, nil
 	case "opt":
-		res, err := opt.PipelineOpts(f, opt.Options{Fuel: po.Fuel})
+		res, err := opt.PipelineOpts(f, opt.Options{Fuel: po.Fuel, Ctx: po.Ctx})
 		if err != nil {
 			return nil, nil, nil, err
 		}

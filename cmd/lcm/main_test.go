@@ -172,6 +172,42 @@ func TestFuelExhaustionExitCodes(t *testing.T) {
 	}
 }
 
+// TestTimeoutExitCodes: an expired -timeout yields the documented exit
+// code 4, and with -fallback still emits the original function.
+func TestTimeoutExitCodes(t *testing.T) {
+	in := filepath.Join(testdata, "diamond.ir")
+	var out strings.Builder
+	code, err := run([]string{"-timeout", "1ns", in}, strings.NewReader(""), &out)
+	if err == nil || code != exitDeadline {
+		t.Fatalf("expired run: code %d, err %v; want %d and error", code, err, exitDeadline)
+	}
+
+	out.Reset()
+	code, err = run([]string{"-timeout", "1ns", "-fallback", in}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != exitDeadline {
+		t.Fatalf("exit code %d, want %d (deadline with fallback)", code, exitDeadline)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# fallback:") || !strings.Contains(s, "canceled") {
+		t.Errorf("missing cancellation diagnostic:\n%s", s)
+	}
+	if !strings.Contains(s, "y = a + b") {
+		t.Errorf("fallback output is not the original function:\n%s", s)
+	}
+}
+
+// TestGenerousTimeoutStillOptimizes: a timeout that does not expire leaves
+// the happy path untouched.
+func TestGenerousTimeoutStillOptimizes(t *testing.T) {
+	out := runCLI(t, "-timeout", "30s", filepath.Join(testdata, "diamond.ir"))
+	if !strings.Contains(out, "ret") {
+		t.Errorf("missing output:\n%s", out)
+	}
+}
+
 // TestVerifyFlag: -verify re-checks the output and accepts a correct
 // transformation.
 func TestVerifyFlag(t *testing.T) {

@@ -1,0 +1,103 @@
+// Command lcmd serves the lazy-code-motion optimizer over HTTP/JSON.
+//
+// Usage:
+//
+//	lcmd [flags]
+//
+// Endpoints:
+//
+//	POST /optimize  {"program": "...", "mode": "lcm", "timeout_ms": 500}
+//	                → {"program": "...", "applied": [...], ...}
+//	GET  /healthz   pool and outcome counters; 503 while draining
+//
+// Flags:
+//
+//	-addr A          listen address (default :8657)
+//	-workers N       optimization worker pool size (default GOMAXPROCS)
+//	-queue N         admission queue capacity; a full queue sheds load
+//	                 with 429 + Retry-After (default 4×workers)
+//	-timeout D       default per-request budget (default 5s)
+//	-max-timeout D   cap on client-requested budgets (default 4×timeout)
+//	-fuel N          default node-visit budget per fixpoint (0 = unlimited)
+//	-verify          re-check every pass output on random interpreted runs
+//	-quarantine DIR  capture inputs that fault or fall back as .ir seeds
+//	                 ("" disables; default testdata/crashers)
+//	-drain D         grace period for in-flight work on SIGTERM/SIGINT
+//	                 (default 30s)
+//
+// The service wraps the hardened pass pipeline: every request runs under
+// its own deadline (threaded into each data-flow fixpoint), panics are
+// contained per request, and a faulting pass degrades that one response
+// to the validated input instead of killing the server. On SIGTERM the
+// server stops admitting work (503), finishes what is in flight, and
+// exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+func main() {
+	fs := flag.NewFlagSet("lcmd", flag.ExitOnError)
+	addr := fs.String("addr", ":8657", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "optimization worker pool size")
+	queue := fs.Int("queue", 0, "admission queue capacity (0 = 4×workers)")
+	timeout := fs.Duration("timeout", DefaultTimeout, "default per-request budget")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested budgets (0 = 4×timeout)")
+	fuel := fs.Int("fuel", 0, "default node-visit budget per fixpoint (0 = unlimited)")
+	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
+	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
+	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
+	_ = fs.Parse(os.Args[1:])
+
+	srv := NewServer(Config{
+		Workers:    *workers,
+		Queue:      *queue,
+		Timeout:    *timeout,
+		MaxTimeout: *maxTimeout,
+		Fuel:       *fuel,
+		Verify:     *verify,
+		Quarantine: *quarantine,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("lcmd: listening on %s (%d workers, queue %d)", *addr, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("lcmd: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new work first, let in-flight handlers finish
+	// within the grace period, then stop the worker pool.
+	log.Printf("lcmd: draining (up to %v)...", *drain)
+	srv.BeginDrain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("lcmd: forced shutdown: %v", err)
+		_ = httpSrv.Close()
+	}
+	srv.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "lcmd:", err)
+		os.Exit(1)
+	}
+	log.Printf("lcmd: drained, bye")
+}

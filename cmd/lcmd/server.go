@@ -1,0 +1,442 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+)
+
+// Config tunes the optimization service.
+type Config struct {
+	// Workers is the size of the optimization worker pool; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Queue is the number of requests that may wait for a worker beyond
+	// the ones in flight; 0 means 4×Workers. When the queue is full the
+	// service sheds load with 429 + Retry-After instead of queueing
+	// unboundedly.
+	Queue int
+	// Timeout is the per-request budget applied when the client does not
+	// ask for one; 0 means DefaultTimeout.
+	Timeout time.Duration
+	// MaxTimeout caps client-requested budgets (timeout_ms), so one
+	// client cannot park a worker indefinitely; 0 means 4×Timeout.
+	MaxTimeout time.Duration
+	// Fuel is the default node-visit budget per data-flow fixpoint;
+	// 0 means unlimited. A client may lower effort further per request.
+	Fuel int
+	// Verify re-checks every pass output against its input on random
+	// interpreted runs (requests may also opt in individually).
+	Verify bool
+	// Quarantine is the directory where inputs that fault or fall back
+	// are captured as regression seeds; "" disables capture.
+	Quarantine string
+
+	// hook, when non-nil, runs on the worker goroutine before each job;
+	// tests use it to hold workers busy deterministically.
+	hook func()
+}
+
+// DefaultTimeout is the per-request budget when neither the server
+// configuration nor the client names one.
+const DefaultTimeout = 5 * time.Second
+
+// maxBody bounds request bodies; a program larger than this is rejected
+// before any parsing work.
+const maxBody = 4 << 20
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Workers
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 4 * c.Timeout
+	}
+	return c
+}
+
+// Server is a resilient optimization service over the hardened pipeline:
+// a bounded worker pool with admission control, per-request deadlines
+// enforced through the context threaded into every fixpoint, per-request
+// panic isolation, and quarantine capture of any input that faults or
+// falls back.
+type Server struct {
+	cfg   Config
+	jobs  chan *job
+	wg    sync.WaitGroup
+	start time.Time
+
+	draining atomic.Bool
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	requests  atomic.Int64 // admitted optimize requests
+	optimized atomic.Int64 // clean 200s
+	fellBack  atomic.Int64 // 200s that shipped a fallback
+	canceled  atomic.Int64 // deadline/cancel results
+	invalid   atomic.Int64 // parse or validation rejections
+	shed      atomic.Int64 // 429s from a full queue
+	panics    atomic.Int64 // contained pass/driver panics
+}
+
+// NewServer builds the service and starts its worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, jobs: make(chan *job, cfg.Queue), start: time.Now()}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface: POST /optimize and GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// BeginDrain flips the server into draining mode: new requests are
+// rejected with 503 + Retry-After while in-flight work completes.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops the worker pool. It must be called only after every HTTP
+// handler has returned (http.Server.Shutdown or httptest.Server.Close),
+// since handlers enqueue into the pool.
+func (s *Server) Close() {
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// optimizeRequest is the JSON body of POST /optimize.
+type optimizeRequest struct {
+	// Program is the textual-IR source (one or more functions).
+	Program string `json:"program"`
+	// Mode is the transformation to apply (lcm, alcm, bcm, mr, gcse, sr,
+	// opt); empty means lcm.
+	Mode string `json:"mode,omitempty"`
+	// Fuel overrides the server's default node-visit budget per fixpoint
+	// when positive.
+	Fuel int `json:"fuel,omitempty"`
+	// TimeoutMS is the client's budget for this request in milliseconds;
+	// it is capped by the server's MaxTimeout. 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Verify opts this request into behavioural re-verification.
+	Verify bool `json:"verify,omitempty"`
+	// Canonical identifies commutated commutative expressions.
+	Canonical bool `json:"canonical,omitempty"`
+}
+
+// optimizeResponse is the JSON body of every /optimize outcome. On
+// success Program holds the optimized source; on fallback or cancellation
+// it holds the last-known-good source (ultimately the validated input) —
+// never a partial rewrite.
+type optimizeResponse struct {
+	Program     string   `json:"program,omitempty"`
+	Functions   int      `json:"functions,omitempty"`
+	Applied     []string `json:"applied,omitempty"`
+	FellBack    bool     `json:"fell_back,omitempty"`
+	Canceled    bool     `json:"canceled,omitempty"`
+	Diagnostics []string `json:"diagnostics,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	// Kind classifies failures: "parse", "invalid", "mode", "deadline",
+	// "panic", "overload", "draining".
+	Kind        string `json:"kind,omitempty"`
+	Quarantined string `json:"quarantined,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+}
+
+// outcome pairs an HTTP status with its JSON body.
+type outcome struct {
+	status int
+	body   optimizeResponse
+}
+
+// job is one admitted request waiting for (or being processed by) a
+// worker. done is buffered so a worker can always complete a job even
+// when the handler has already given up on its deadline — that is what
+// keeps cancellation leak-free.
+type job struct {
+	ctx   context.Context
+	req   optimizeRequest
+	done  chan outcome
+	start time.Time
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, optimizeResponse{
+			Error: "server is draining", Kind: "draining", ElapsedMS: msSince(start),
+		})
+		return
+	}
+	var req optimizeRequest
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, optimizeResponse{
+			Error: fmt.Sprintf("bad request body: %v", err), Kind: "parse", ElapsedMS: msSince(start),
+		})
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "lcm"
+	}
+	if _, ok := pipeline.ForMode(mode); !ok {
+		writeJSON(w, http.StatusBadRequest, optimizeResponse{
+			Error: fmt.Sprintf("unknown mode %q (valid: %s)", mode, strings.Join(pipeline.ModeNames(), ", ")),
+			Kind:  "mode", ElapsedMS: msSince(start),
+		})
+		return
+	}
+	req.Mode = mode
+
+	// Per-request budget: the server default unless the client asks for
+	// less; client requests are capped so no request parks a worker
+	// beyond MaxTimeout.
+	budget := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	budget = min(budget, s.cfg.MaxTimeout)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+
+	j := &job{ctx: ctx, req: req, done: make(chan outcome, 1), start: start}
+	select {
+	case s.jobs <- j:
+		s.queued.Add(1)
+		s.requests.Add(1)
+	default:
+		// Admission control: a full queue sheds load instead of building
+		// an unbounded backlog.
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, optimizeResponse{
+			Error: "optimization queue is full", Kind: "overload", ElapsedMS: msSince(start),
+		})
+		return
+	}
+
+	select {
+	case out := <-j.done:
+		out.body.ElapsedMS = msSince(start)
+		writeJSON(w, out.status, out.body)
+	case <-ctx.Done():
+		// The deadline fired while the job was queued or in flight. The
+		// worker observes the same context at its next iteration boundary,
+		// abandons the work, and does the canceled-counter accounting; the
+		// buffered done channel lets it finish without a receiver, so
+		// nothing leaks.
+		writeJSON(w, http.StatusGatewayTimeout, optimizeResponse{
+			Error: fmt.Sprintf("request abandoned: %v", ctx.Err()), Kind: "deadline",
+			Canceled: true, ElapsedMS: msSince(start),
+		})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"workers":        s.cfg.Workers,
+		"queue_capacity": s.cfg.Queue,
+		"queue_depth":    s.queued.Load(),
+		"inflight":       s.inflight.Load(),
+		"uptime_ms":      time.Since(s.start).Milliseconds(),
+		"requests":       s.requests.Load(),
+		"optimized":      s.optimized.Load(),
+		"fell_back":      s.fellBack.Load(),
+		"canceled":       s.canceled.Load(),
+		"invalid":        s.invalid.Load(),
+		"shed":           s.shed.Load(),
+		"panics":         s.panics.Load(),
+	})
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.queued.Add(-1)
+		s.inflight.Add(1)
+		if s.cfg.hook != nil {
+			s.cfg.hook()
+		}
+		out := s.process(j)
+		s.inflight.Add(-1)
+		s.account(out)
+		j.done <- out
+	}
+}
+
+// account maintains the outcome counters the soak test audits.
+func (s *Server) account(out outcome) {
+	switch {
+	case out.body.Canceled:
+		s.canceled.Add(1)
+	case out.status == http.StatusBadRequest:
+		s.invalid.Add(1)
+	case out.status == http.StatusInternalServerError:
+		s.panics.Add(1)
+	case out.body.FellBack:
+		s.fellBack.Add(1)
+	case out.status == http.StatusOK:
+		s.optimized.Add(1)
+	}
+}
+
+// process runs one request end to end under panic isolation. It never
+// panics and never returns a partial rewrite: the program it reports is
+// the pipeline's last-known-good function set.
+func (s *Server) process(j *job) outcome {
+	if err := j.ctx.Err(); err != nil {
+		return outcome{http.StatusGatewayTimeout, optimizeResponse{
+			Error: fmt.Sprintf("abandoned before work started: %v", err), Kind: "deadline", Canceled: true,
+		}}
+	}
+	var out outcome
+	perr := pipeline.Guard("optimize", func() error {
+		out = s.optimize(j)
+		return nil
+	})
+	if perr != nil {
+		// A panic escaped the pipeline's own containment (e.g. in the
+		// parser or printer). Contain it here, quarantine the input, and
+		// keep the worker alive.
+		q := s.quarantine(j.req.Program)
+		return outcome{http.StatusInternalServerError, optimizeResponse{
+			Error: perr.Error(), Kind: "panic", Quarantined: q,
+		}}
+	}
+	return out
+}
+
+func (s *Server) optimize(j *job) outcome {
+	fns, err := textir.Parse(j.req.Program)
+	if err != nil {
+		return outcome{http.StatusBadRequest, optimizeResponse{
+			Error: err.Error(), Kind: "parse",
+		}}
+	}
+	if len(fns) == 0 {
+		return outcome{http.StatusBadRequest, optimizeResponse{
+			Error: "no functions in program", Kind: "parse",
+		}}
+	}
+	pass, _ := pipeline.ForMode(j.req.Mode)
+	fuel := s.cfg.Fuel
+	if j.req.Fuel > 0 {
+		fuel = j.req.Fuel
+	}
+	opts := pipeline.Options{
+		Fuel:      fuel,
+		Canonical: j.req.Canonical,
+		Verify:    s.cfg.Verify || j.req.Verify,
+		Ctx:       j.ctx,
+	}
+
+	resp := optimizeResponse{Functions: len(fns)}
+	outs := make([]*ir.Function, 0, len(fns))
+	canceled := false
+	for _, f := range fns {
+		res, err := pipeline.Run(f, []pipeline.Pass{pass}, opts)
+		if err != nil {
+			if errors.Is(err, pipeline.ErrInvalidInput) {
+				return outcome{http.StatusBadRequest, optimizeResponse{
+					Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "invalid",
+				}}
+			}
+			return outcome{http.StatusInternalServerError, optimizeResponse{
+				Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "panic",
+			}}
+		}
+		// Whatever happened, res.F is validated: the optimized function,
+		// or the last-known-good fallback (ultimately the input clone).
+		outs = append(outs, res.F)
+		resp.Applied = append(resp.Applied, res.Applied...)
+		if res.FellBack() {
+			resp.Diagnostics = append(resp.Diagnostics, res.Diagnostics()...)
+			if res.Canceled() {
+				canceled = true
+				break // the shared deadline is gone; later functions would only repeat it
+			}
+			resp.FellBack = true
+		}
+	}
+	resp.Program = textir.PrintFunctions(outs)
+
+	if canceled {
+		resp.Canceled = true
+		resp.Error = "deadline exceeded during optimization"
+		resp.Kind = "deadline"
+		return outcome{http.StatusGatewayTimeout, resp}
+	}
+	if resp.FellBack {
+		// A fallback means some pass faulted on this input: capture it so
+		// failures under load become regression seeds.
+		resp.Quarantined = s.quarantine(j.req.Program)
+	}
+	return outcome{http.StatusOK, resp}
+}
+
+// quarantine captures a faulting input in the configured directory, named
+// by content hash so duplicates collapse. It returns the file path, or ""
+// when capture is disabled or failed (capture must never take the request
+// down with it).
+func (s *Server) quarantine(program string) string {
+	if s.cfg.Quarantine == "" || program == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(program))
+	path := filepath.Join(s.cfg.Quarantine, "crash-"+hex.EncodeToString(sum[:8])+".ir")
+	if _, err := os.Stat(path); err == nil {
+		return path // already captured
+	}
+	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
+		return ""
+	}
+	if err := os.WriteFile(path, []byte(program), 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func msSince(t time.Time) int64 {
+	return time.Since(t).Milliseconds()
+}

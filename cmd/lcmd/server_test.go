@@ -1,0 +1,375 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+const diamond = `func f(a, b, p) {
+entry:
+  br p t e
+t:
+  x = a + b
+  jmp j
+e:
+  y = a + b
+  jmp j
+j:
+  z = a + b
+  ret z
+}
+`
+
+// newTestServer wires a Server behind httptest. Teardown order matters:
+// the HTTP server closes first (waiting for handlers), then the worker
+// pool, mirroring the production drain sequence.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postOptimize(t *testing.T, ts *httptest.Server, req optimizeRequest) (int, optimizeResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out optimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("bad response body: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getHealthz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, h
+}
+
+func bigProgram(t *testing.T) string {
+	t.Helper()
+	f := randprog.Generate(randprog.Config{
+		Seed: 7, MaxDepth: 6, MaxItems: 5, MaxStmts: 8, Vars: 12, Params: 4, MaxTrips: 4,
+	})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("generated function invalid: %v", err)
+	}
+	return textir.PrintFunctions([]*ir.Function{f})
+}
+
+func TestOptimizeHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, out := postOptimize(t, ts, optimizeRequest{Program: diamond})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %+v", code, out)
+	}
+	if out.FellBack || out.Canceled || out.Error != "" {
+		t.Fatalf("clean request degraded: %+v", out)
+	}
+	if len(out.Applied) == 0 || out.Applied[0] != "lcm" {
+		t.Errorf("applied = %v, want [lcm]", out.Applied)
+	}
+	// LCM hoists the fully redundant a+b: the join recomputation is gone.
+	if strings.Count(out.Program, "a + b") >= strings.Count(diamond, "a + b") {
+		t.Errorf("program not optimized:\n%s", out.Program)
+	}
+	// The result must parse and validate: never a partial rewrite.
+	fns, err := textir.Parse(out.Program)
+	if err != nil {
+		t.Fatalf("response program does not parse: %v", err)
+	}
+	for _, f := range fns {
+		if err := f.Validate(); err != nil {
+			t.Errorf("response function invalid: %v", err)
+		}
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  optimizeRequest
+		kind string
+	}{
+		{"garbage program", optimizeRequest{Program: "not a program"}, "parse"},
+		{"empty program", optimizeRequest{Program: ""}, "parse"},
+		{"unknown mode", optimizeRequest{Program: diamond, Mode: "bogus"}, "mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := postOptimize(t, ts, tc.req)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400 (%+v)", code, out)
+			}
+			if out.Kind != tc.kind {
+				t.Errorf("kind = %q, want %q (%+v)", out.Kind, tc.kind, out)
+			}
+		})
+	}
+	// A non-JSON body is rejected the same way.
+	resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", strings.NewReader("{{{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-JSON body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestOptimizeDeadline: a 1ms client budget on a large generated function
+// comes back promptly as 504 with the deadline classified, not a hung
+// worker or a partial rewrite.
+func TestOptimizeDeadline(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	start := time.Now()
+	code, out := postOptimize(t, ts, optimizeRequest{Program: bigProgram(t), TimeoutMS: 1})
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%+v)", code, out)
+	}
+	if !out.Canceled || out.Kind != "deadline" {
+		t.Errorf("not classified as deadline: %+v", out)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline not honored promptly: %v", elapsed)
+	}
+	// If the worker got far enough to ship a body, it must be valid IR.
+	if out.Program != "" {
+		if _, err := textir.Parse(out.Program); err != nil {
+			t.Errorf("canceled response carries unparseable program: %v", err)
+		}
+	}
+}
+
+// TestLoadShedding: with one worker held busy and a one-slot queue full,
+// the next request is shed with 429 + Retry-After instead of queueing
+// unboundedly; releasing the worker lets the admitted jobs finish.
+func TestLoadShedding(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 1, Queue: 1, Timeout: time.Minute,
+		hook: func() { <-release },
+	})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	type result struct {
+		code int
+		out  optimizeResponse
+	}
+	results := make(chan result, 2)
+	post := func() {
+		code, out := postOptimize(t, ts, optimizeRequest{Program: diamond})
+		results <- result{code, out}
+	}
+
+	go post() // occupies the single worker
+	waitFor(t, func() bool { return s.inflight.Load() == 1 })
+	go post() // fills the single queue slot
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	code, out := postOptimize(t, ts, optimizeRequest{Program: diamond})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%+v)", code, out)
+	}
+	if out.Kind != "overload" {
+		t.Errorf("kind = %q, want overload", out.Kind)
+	}
+	if s.shed.Load() != 1 {
+		t.Errorf("shed counter = %d, want 1", s.shed.Load())
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Errorf("admitted request failed: %d %+v", r.code, r.out)
+		}
+	}
+}
+
+// TestRetryAfterHeader: shed responses tell clients when to come back.
+func TestRetryAfterHeader(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s, ts := newTestServer(t, Config{
+		Workers: 1, Queue: 1, Timeout: time.Minute,
+		hook: func() { <-release },
+	})
+	body, _ := json.Marshal(optimizeRequest{Program: diamond})
+	post := func() {
+		resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+	go post()
+	waitFor(t, func() bool { return s.inflight.Load() == 1 })
+	go post()
+	waitFor(t, func() bool { return s.queued.Load() == 1 })
+
+	resp, err := ts.Client().Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+}
+
+// TestFallbackQuarantine: an input that makes a pass fail (here via a
+// starved fuel budget) still gets a 200 with the validated original
+// function, and the offending input is captured as a regression seed.
+func TestFallbackQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Quarantine: dir})
+	code, out := postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 with fallback (%+v)", code, out)
+	}
+	if !out.FellBack {
+		t.Fatalf("fuel-starved request did not fall back: %+v", out)
+	}
+	if len(out.Diagnostics) == 0 {
+		t.Error("fallback without diagnostics")
+	}
+	// The shipped program is the validated original.
+	if !strings.Contains(out.Program, "z = a + b") {
+		t.Errorf("fallback did not ship the original function:\n%s", out.Program)
+	}
+	if out.Quarantined == "" {
+		t.Fatal("fallback input was not quarantined")
+	}
+	got, err := os.ReadFile(out.Quarantined)
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if string(got) != diamond {
+		t.Errorf("quarantine captured wrong content:\n%s", got)
+	}
+
+	// The same input quarantines to the same file: duplicates collapse.
+	_, out2 := postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})
+	if out2.Quarantined != out.Quarantined {
+		t.Errorf("duplicate crasher got a new file: %q vs %q", out2.Quarantined, out.Quarantined)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("quarantine dir has %d entries, want 1", len(entries))
+	}
+}
+
+// TestDrainRejectsNewWork: once draining, /optimize sheds with 503 and
+// /healthz reports the state with the same status code.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	code, out := postOptimize(t, ts, optimizeRequest{Program: diamond})
+	if code != http.StatusServiceUnavailable || out.Kind != "draining" {
+		t.Errorf("draining optimize: %d %+v, want 503/draining", code, out)
+	}
+	hcode, h := getHealthz(t, ts)
+	if hcode != http.StatusServiceUnavailable || h["status"] != "draining" {
+		t.Errorf("draining healthz: %d %v", hcode, h["status"])
+	}
+}
+
+// TestHealthzCounters: outcome counters add up after a mixed workload.
+func TestHealthzCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postOptimize(t, ts, optimizeRequest{Program: diamond})                    // optimized
+	postOptimize(t, ts, optimizeRequest{Program: diamond, Mode: "gcse"})     // optimized
+	postOptimize(t, ts, optimizeRequest{Program: "garbage"})                 // invalid
+	postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})          // fell back
+	postOptimize(t, ts, optimizeRequest{Program: bigProgram(t), TimeoutMS: 1}) // canceled
+
+	// The canceled job is counted by its worker, which may lag the 504
+	// response; poll until accounting settles.
+	waitFor(t, func() bool {
+		_, h := getHealthz(t, ts)
+		return h["canceled"].(float64) >= 1
+	})
+	_, h := getHealthz(t, ts)
+	if h["status"] != "ok" {
+		t.Errorf("status = %v", h["status"])
+	}
+	if got := h["requests"].(float64); got != 5 {
+		t.Errorf("requests = %v, want 5", got)
+	}
+	if got := h["optimized"].(float64); got != 2 {
+		t.Errorf("optimized = %v, want 2", got)
+	}
+	if got := h["invalid"].(float64); got != 1 {
+		t.Errorf("invalid = %v, want 1", got)
+	}
+	if got := h["fell_back"].(float64); got != 1 {
+		t.Errorf("fell_back = %v, want 1", got)
+	}
+}
+
+// TestModesOverHTTP: every registered mode is reachable through the API.
+func TestModesOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, mode := range []string{"lcm", "alcm", "bcm", "mr", "gcse", "sr", "opt"} {
+		code, out := postOptimize(t, ts, optimizeRequest{Program: diamond, Mode: mode})
+		if code != http.StatusOK || out.Error != "" {
+			t.Errorf("mode %s: status %d, %+v", mode, code, out)
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazycm/internal/faultify"
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+// TestSoakConcurrentRequests hammers the server from many goroutines with
+// a mix of valid, invalid, fault-injected and deadline-doomed inputs.
+// Under -race this is the tentpole's stress gate: no panic escapes, every
+// response carries a known status, the outcome counters balance exactly
+// against admissions, and the pool drains without leaking goroutines.
+func TestSoakConcurrentRequests(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := NewServer(Config{Workers: 4, Queue: 8, Timeout: 2 * time.Second, Quarantine: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	closed := false
+	shutdown := func() {
+		if !closed {
+			closed = true
+			ts.Close()
+			s.Close()
+		}
+	}
+	defer shutdown()
+
+	big := bigProgram(t)
+	faults := faultify.All()
+
+	const goroutines = 8
+	const perG = 20
+	var c200, c400, c429, c504, cOther atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				var req optimizeRequest
+				switch i % 6 {
+				case 0:
+					req = optimizeRequest{Program: diamond}
+				case 1:
+					// A budget far below the work: must come back as 504,
+					// promptly, without wedging a worker.
+					req = optimizeRequest{Program: big, TimeoutMS: 1}
+				case 2:
+					req = optimizeRequest{Program: "garbage {{{"}
+				case 3:
+					// A buggy-compiler mutation of a random program: the
+					// server may optimize, reject or fall back — never die.
+					f := randprog.Generate(randprog.Config{
+						Seed: rng.Int63(), MaxDepth: 3, MaxItems: 3, MaxStmts: 4,
+						Vars: 6, Params: 3, MaxTrips: 3,
+					})
+					faults[rng.Intn(len(faults))].Apply(f)
+					req = optimizeRequest{Program: textir.PrintFunctions([]*ir.Function{f})}
+				case 4:
+					req = optimizeRequest{Program: diamond, Fuel: 1}
+				default:
+					f := randprog.Generate(randprog.Config{
+						Seed: rng.Int63(), MaxDepth: 3, MaxItems: 3, MaxStmts: 4,
+						Vars: 6, Params: 3, MaxTrips: 3,
+					})
+					req = optimizeRequest{Program: textir.PrintFunctions([]*ir.Function{f}), Verify: true}
+				}
+				start := time.Now()
+				code, out := postOptimize(t, ts, req)
+				if elapsed := time.Since(start); elapsed > 15*time.Second {
+					t.Errorf("request took %v, cancellation/budget bound broken", elapsed)
+				}
+				switch code {
+				case http.StatusOK:
+					c200.Add(1)
+					if out.Program == "" {
+						t.Errorf("200 without a program: %+v", out)
+					}
+				case http.StatusBadRequest:
+					c400.Add(1)
+				case http.StatusTooManyRequests:
+					c429.Add(1)
+				case http.StatusGatewayTimeout:
+					c504.Add(1)
+				default:
+					cOther.Add(1)
+					t.Errorf("unexpected status %d: %+v", code, out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	shutdown() // full drain: every admitted job is processed and accounted
+
+	sent := int64(goroutines * perG)
+	if got := c200.Load() + c400.Load() + c429.Load() + c504.Load() + cOther.Load(); got != sent {
+		t.Errorf("responses %d != requests sent %d", got, sent)
+	}
+	if s.panics.Load() != 0 {
+		t.Errorf("panics escaped into the request guard: %d", s.panics.Load())
+	}
+	// Admission accounting: everything not shed was admitted...
+	admitted := sent - c429.Load()
+	if got := s.requests.Load(); got != admitted {
+		t.Errorf("server admitted %d, client saw %d non-shed responses", got, admitted)
+	}
+	if got := s.shed.Load(); got != c429.Load() {
+		t.Errorf("server shed %d, client saw %d 429s", got, c429.Load())
+	}
+	// ...and after the drain, every admitted job landed in exactly one
+	// outcome bucket.
+	sum := s.optimized.Load() + s.fellBack.Load() + s.canceled.Load() +
+		s.invalid.Load() + s.panics.Load()
+	if sum != admitted {
+		t.Errorf("outcome counters sum to %d, want %d (optimized=%d fell_back=%d canceled=%d invalid=%d panics=%d)",
+			sum, admitted, s.optimized.Load(), s.fellBack.Load(), s.canceled.Load(),
+			s.invalid.Load(), s.panics.Load())
+	}
+	if s.queued.Load() != 0 || s.inflight.Load() != 0 {
+		t.Errorf("drained pool still reports queued=%d inflight=%d", s.queued.Load(), s.inflight.Load())
+	}
+
+	// The drained server must not leak goroutines: workers exited with
+	// Close, handler goroutines with ts.Close. Allow slack for the test
+	// runtime's own background goroutines.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+5 })
+}

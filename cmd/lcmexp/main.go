@@ -13,6 +13,8 @@
 //	-programs N   random programs per theorem experiment (default 100)
 //	-runs N       inputs per program (default 4)
 //	-fallback     contain a crashing experiment and continue with the rest
+//	-timeout D    wall-clock budget for the whole regeneration (e.g. 30s,
+//	              2m; 0 = unlimited), checked between experiments
 //
 // Exit codes:
 //
@@ -20,9 +22,11 @@
 //	1  error (including an experiment failure without -fallback)
 //	2  invalid usage: bad flags or no matching experiment ids
 //	3  at least one experiment failed under -fallback; the others ran
+//	4  deadline exceeded: -timeout expired with experiments still pending
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +43,7 @@ const (
 	exitError    = 1
 	exitInvalid  = 2
 	exitFellBack = 3
+	exitDeadline = 4
 )
 
 type experiment struct {
@@ -64,8 +69,15 @@ func run(args []string, w io.Writer) (int, error) {
 	programs := fs.Int("programs", 100, "random programs per theorem experiment")
 	runs := fs.Int("runs", 4, "inputs per program")
 	fallback := fs.Bool("fallback", false, "contain a crashing experiment and continue with the rest")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole regeneration (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return exitInvalid, err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	all := []experiment{
@@ -96,6 +108,12 @@ func run(args []string, w io.Writer) (int, error) {
 	for _, e := range all {
 		if len(want) > 0 && !want[e.id] {
 			continue
+		}
+		// The budget is checked between experiments: a regeneration that
+		// blows its deadline stops cleanly at the next boundary instead of
+		// grinding through the remaining figures.
+		if err := ctx.Err(); err != nil {
+			return exitDeadline, fmt.Errorf("timeout expired before %s: %w", e.id, err)
 		}
 		ran++
 		// Experiments call into the same optimizer code paths the pipeline

@@ -109,3 +109,31 @@ func TestCrashingExperimentContained(t *testing.T) {
 		t.Errorf("exit code %d, want %d", code, exitError)
 	}
 }
+
+// TestTimeoutExitCode: an already-expired -timeout stops the regeneration
+// at the first experiment boundary with the documented exit code 4.
+func TestTimeoutExitCode(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-timeout", "1ns", "f1", "f2"}, &out)
+	if err == nil {
+		t.Fatal("expired timeout did not report an error")
+	}
+	if code != exitDeadline {
+		t.Fatalf("exit code %d, want %d", code, exitDeadline)
+	}
+	if strings.Contains(out.String(), "== F2:") {
+		t.Errorf("experiment ran past the deadline:\n%s", out.String())
+	}
+}
+
+// TestGenerousTimeoutCompletes: a non-expiring timeout changes nothing.
+func TestGenerousTimeoutCompletes(t *testing.T) {
+	var out strings.Builder
+	code, err := run([]string{"-timeout", "5m", "f1"}, &out)
+	if err != nil || code != exitOK {
+		t.Fatalf("code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "== F1:") {
+		t.Errorf("missing report:\n%s", out.String())
+	}
+}

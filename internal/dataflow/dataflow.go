@@ -10,6 +10,7 @@
 package dataflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,6 +21,49 @@ import (
 // before reaching a fixed point. Callers test for it with errors.Is; the
 // concrete error carries the problem name and the budget.
 var ErrFuelExhausted = errors.New("dataflow: fuel exhausted before fixpoint")
+
+// ErrCanceled reports that a fixpoint was abandoned because its context
+// was canceled or its deadline expired. Callers test for it with
+// errors.Is; the concrete *CancelError also unwraps to the context's own
+// error, so errors.Is(err, context.DeadlineExceeded) distinguishes a
+// deadline from an explicit cancel.
+var ErrCanceled = errors.New("dataflow: canceled before fixpoint")
+
+// CancelError is the concrete error returned when a fixpoint observes a
+// done context. It unwraps to both ErrCanceled and the context error
+// (context.Canceled or context.DeadlineExceeded).
+type CancelError struct {
+	// Problem is the name of the fixpoint that was abandoned.
+	Problem string
+	// Err is the context's error.
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("dataflow: %s: canceled before fixpoint: %v", e.Problem, e.Err)
+}
+
+func (e *CancelError) Unwrap() []error { return []error{ErrCanceled, e.Err} }
+
+// Canceled wraps a done context's error for the named fixpoint, or
+// returns nil when ctx is nil or still live. Fixpoint loops outside this
+// package (the MR placement-possible system, the block-level LATER
+// system, the opt reapplication rounds) use it so every cancellation in
+// the tree is the same structured error.
+func Canceled(ctx context.Context, problem string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelError{Problem: problem, Err: err}
+	}
+	return nil
+}
+
+// cancelInterval is how many node visits may pass between context checks
+// inside a sweep, bounding cancellation latency on very large graphs
+// without paying a context poll per node.
+const cancelInterval = 256
 
 // FuelError is the concrete error returned when a Problem's Fuel budget is
 // exhausted. It unwraps to ErrFuelExhausted.
@@ -119,6 +163,11 @@ type Problem struct {
 	// FuelError instead of iterating further, so a buggy (non-monotone)
 	// transfer function cannot spin the process.
 	Fuel int
+	// Ctx, when non-nil, lets the caller abandon the solve: the solvers
+	// poll it at iteration boundaries (each sweep, and every
+	// cancelInterval node visits within a sweep) and fail with a
+	// *CancelError once it is done. Nil means "never canceled".
+	Ctx context.Context
 }
 
 // check validates the problem's shape against the graph. It is the shared
@@ -173,8 +222,9 @@ func (s Stats) String() string {
 // iteration direction keep their initial value.
 //
 // Solve fails with a descriptive error when the gen/kill matrices do not
-// match the graph and width, and with a FuelError when p.Fuel is positive
-// and exhausted before the fixed point.
+// match the graph and width, with a FuelError when p.Fuel is positive and
+// exhausted before the fixed point, and with a CancelError when p.Ctx is
+// done before the fixed point.
 func Solve(g Graph, p *Problem) (*Result, error) {
 	if err := p.check(g); err != nil {
 		return nil, err
@@ -202,12 +252,20 @@ func Solve(g Graph, p *Problem) (*Result, error) {
 	meetIn := bitvec.New(p.Width)
 
 	for {
+		if err := Canceled(p.Ctx, p.Name); err != nil {
+			return nil, err
+		}
 		res.Stats.Passes++
 		changed := false
 		for _, node := range order {
 			res.Stats.NodeVisits++
 			if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
 				return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+			}
+			if res.Stats.NodeVisits%cancelInterval == 0 {
+				if err := Canceled(p.Ctx, p.Name); err != nil {
+					return nil, err
+				}
 			}
 			var flowIn, flowOut *bitvec.Vector
 			var degree int

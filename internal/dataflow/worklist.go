@@ -11,7 +11,8 @@ import "lazycm/internal/bitvec"
 // have perfect locality; the worklist touches only awakened nodes but pays
 // queue overhead.
 // Like Solve, it fails with a descriptive error on mismatched gen/kill
-// dimensions and with a FuelError when p.Fuel is positive and exhausted.
+// dimensions, with a FuelError when p.Fuel is positive and exhausted, and
+// with a CancelError when p.Ctx is done before the fixpoint.
 func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 	if err := p.check(g); err != nil {
 		return nil, err
@@ -44,6 +45,9 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 	res.Stats.Passes = 1 // one conceptual pass; NodeVisits carries the cost
 
 	meetIn := bitvec.New(p.Width)
+	if err := Canceled(p.Ctx, p.Name); err != nil {
+		return nil, err
+	}
 	for len(queue) > 0 {
 		node := queue[0]
 		queue = queue[1:]
@@ -51,6 +55,11 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 		res.Stats.NodeVisits++
 		if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
 			return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+		}
+		if res.Stats.NodeVisits%cancelInterval == 0 {
+			if err := Canceled(p.Ctx, p.Name); err != nil {
+				return nil, err
+			}
 		}
 
 		var flowIn, flowOut *bitvec.Vector

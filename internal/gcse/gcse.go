@@ -14,6 +14,7 @@
 package gcse
 
 import (
+	"context"
 	"fmt"
 
 	"lazycm/internal/bitvec"
@@ -22,6 +23,17 @@ import (
 	"lazycm/internal/nodes"
 	"lazycm/internal/props"
 )
+
+// Options tunes a transformation run.
+type Options struct {
+	// Fuel bounds the availability analysis in node visits; 0 means
+	// unlimited.
+	Fuel int
+	// Ctx, when non-nil, is polled at iteration boundaries of the
+	// availability fixpoint; once done the run fails with an error
+	// unwrapping to dataflow.ErrCanceled. Nil means "never canceled".
+	Ctx context.Context
+}
 
 // Result is the outcome of the GCSE transformation.
 type Result struct {
@@ -38,12 +50,17 @@ type Result struct {
 
 // Transform applies GCSE to a clone of f.
 func Transform(f *ir.Function) (*Result, error) {
-	return TransformFuel(f, 0)
+	return TransformOpts(f, Options{})
 }
 
 // TransformFuel is Transform with a node-visit budget on the availability
 // analysis; 0 means unlimited.
 func TransformFuel(f *ir.Function, fuel int) (*Result, error) {
+	return TransformOpts(f, Options{Fuel: fuel})
+}
+
+// TransformOpts is Transform with full options (fuel and cancellation).
+func TransformOpts(f *ir.Function, o Options) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("gcse: input invalid: %w", err)
 	}
@@ -66,7 +83,7 @@ func TransformFuel(f *ir.Function, fuel int) (*Result, error) {
 	avail, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "gcse-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: usafeGen, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: o.Fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("gcse: %w", err)

@@ -123,9 +123,10 @@ func (a *Analysis) TotalVectorOps() int {
 	return total
 }
 
-// Analyze computes all six predicates over g with no fuel bound.
+// Analyze computes all six predicates over g with no fuel bound and no
+// cancellation.
 func Analyze(g *nodes.Graph) (*Analysis, error) {
-	return AnalyzeFuel(g, 0)
+	return AnalyzeOpts(g, Options{})
 }
 
 // AnalyzeFuel computes all six predicates over g. A positive fuel bounds
@@ -133,8 +134,18 @@ func Analyze(g *nodes.Graph) (*Analysis, error) {
 // that fails to converge within the budget aborts the analysis with an
 // error wrapping dataflow.ErrFuelExhausted.
 func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
+	return AnalyzeOpts(g, Options{Fuel: fuel})
+}
+
+// AnalyzeOpts is Analyze with full options: o.Fuel bounds each data-flow
+// problem and o.Ctx, when non-nil, is polled at iteration boundaries so a
+// canceled or expired context aborts the analysis with an error wrapping
+// dataflow.ErrCanceled (o.Canonical is irrelevant here — the universe is
+// fixed by g).
+func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	n := g.NumNodes()
 	w := g.U.Size()
+	fuel := o.Fuel
 	a := &Analysis{G: g, U: g.U}
 
 	// Shared kill vector: expressions killed by a node are those with a
@@ -152,7 +163,7 @@ func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 	dsafeRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: g.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcm: %w", err)
@@ -174,7 +185,7 @@ func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 	usafeRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: usafeGen, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcm: %w", err)
@@ -223,7 +234,7 @@ func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 	delayRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "delay", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: delayGen, Kill: g.Comp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcm: %w", err)
@@ -268,7 +279,7 @@ func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 	isoRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "isolated", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: a.Latest, Kill: g.Comp,
-		Boundary: dataflow.BoundaryFull, Fuel: fuel,
+		Boundary: dataflow.BoundaryFull, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcm: %w", err)

@@ -1,6 +1,7 @@
 package lcm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -42,6 +43,11 @@ type Options struct {
 	// Fuel bounds each data-flow problem to that many node visits;
 	// 0 means unlimited. See dataflow.Problem.Fuel.
 	Fuel int
+	// Ctx, when non-nil, lets the caller abandon the transformation: the
+	// four data-flow problems poll it at iteration boundaries and the
+	// whole run fails with an error unwrapping to dataflow.ErrCanceled.
+	// Nil means "never canceled". See dataflow.Problem.Ctx.
+	Ctx context.Context
 }
 
 // Transform applies the given placement mode to a clone of f and returns
@@ -73,7 +79,7 @@ func TransformOpts(f *ir.Function, mode Mode, o Options) (*Result, error) {
 		u = props.Collect(clone)
 	}
 	g := nodes.Build(clone, u)
-	a, err := AnalyzeFuel(g, o.Fuel)
+	a, err := AnalyzeOpts(g, o)
 	if err != nil {
 		return nil, err
 	}

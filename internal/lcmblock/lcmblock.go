@@ -26,6 +26,7 @@
 package lcmblock
 
 import (
+	"context"
 	"fmt"
 
 	"lazycm/internal/bitvec"
@@ -77,16 +78,33 @@ func (a *Analysis) TotalVectorOps() int {
 	return t
 }
 
+// Options tunes an analysis or transformation run.
+type Options struct {
+	// Fuel bounds each data-flow problem (node visits) and the LATER
+	// fixpoint (block visits); 0 means unlimited.
+	Fuel int
+	// Ctx, when non-nil, is polled at iteration boundaries of every
+	// fixpoint; once done the run fails with an error unwrapping to
+	// dataflow.ErrCanceled. Nil means "never canceled".
+	Ctx context.Context
+}
+
 // Analyze computes the edge-LCM predicates for f (which should already be
 // LCSE-normalized; Transform takes care of that).
 func Analyze(f *ir.Function) (*Analysis, error) {
-	return AnalyzeFuel(f, 0)
+	return AnalyzeOpts(f, Options{})
 }
 
 // AnalyzeFuel is Analyze with a node-visit budget per data-flow problem
 // and the same budget (in block visits) on the LATER fixpoint; 0 means
 // unlimited.
 func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
+	return AnalyzeOpts(f, Options{Fuel: fuel})
+}
+
+// AnalyzeOpts is Analyze with full options (fuel and cancellation).
+func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
+	fuel := o.Fuel
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
@@ -103,7 +121,7 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	ant, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-ant", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: local.Antloc, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcmblock: %w", err)
@@ -111,7 +129,7 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcmblock: %w", err)
@@ -166,6 +184,9 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	rpo := graph.ReversePostorder(f)
 	visits := 0
 	for {
+		if err := dataflow.Canceled(o.Ctx, "blk-later"); err != nil {
+			return nil, err
+		}
 		a.LaterPasses++
 		changed := false
 		for _, b := range rpo {
@@ -247,12 +268,17 @@ type Result struct {
 
 // Transform applies LCSE and then edge-based LCM to a clone of f.
 func Transform(f *ir.Function) (*Result, error) {
+	return TransformOpts(f, Options{})
+}
+
+// TransformOpts is Transform with full options (fuel and cancellation).
+func TransformOpts(f *ir.Function, o Options) (*Result, error) {
 	pre, err := lcse.Transform(f)
 	if err != nil {
 		return nil, fmt.Errorf("lcmblock: %w", err)
 	}
 	clone := pre.F
-	a, err := Analyze(clone)
+	a, err := AnalyzeOpts(clone, o)
 	if err != nil {
 		return nil, err
 	}

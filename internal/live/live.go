@@ -6,6 +6,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,6 +35,14 @@ type Info struct {
 // tracked; otherwise only the given ones. Variables in vars that f never
 // mentions are legal and simply never live.
 func Compute(f *ir.Function, vars []string) (*Info, error) {
+	return ComputeCtx(nil, f, vars)
+}
+
+// ComputeCtx is Compute with cancellation: a non-nil ctx is polled at the
+// liveness solver's iteration boundaries, and once done the computation
+// fails with an error unwrapping to dataflow.ErrCanceled. A nil ctx means
+// "never canceled".
+func ComputeCtx(ctx context.Context, f *ir.Function, vars []string) (*Info, error) {
 	if vars == nil {
 		vars = f.Vars()
 	}
@@ -78,7 +87,7 @@ func Compute(f *ir.Function, vars []string) (*Info, error) {
 	res, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "liveness", Dir: dataflow.Backward, Meet: dataflow.May,
 		Width: w, Gen: use, Kill: def,
-		Boundary: dataflow.BoundaryEmpty,
+		Boundary: dataflow.BoundaryEmpty, Ctx: ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)

@@ -20,6 +20,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 
 	"lazycm/internal/bitvec"
@@ -28,6 +29,18 @@ import (
 	"lazycm/internal/props"
 	"lazycm/internal/rewrite"
 )
+
+// Options tunes an MR analysis or transformation run.
+type Options struct {
+	// Fuel bounds each unidirectional data-flow problem (in node visits)
+	// and the bidirectional placement-possible fixpoint (in block visits);
+	// 0 means unlimited.
+	Fuel int
+	// Ctx, when non-nil, is polled at iteration boundaries of every
+	// fixpoint; once done the run fails with an error unwrapping to
+	// dataflow.ErrCanceled. Nil means "never canceled".
+	Ctx context.Context
+}
 
 // Result is the outcome of the MR transformation.
 type Result struct {
@@ -68,7 +81,7 @@ type Analysis struct {
 
 // Analyze computes MR's global predicates for f.
 func Analyze(f *ir.Function) (*Analysis, error) {
-	return AnalyzeFuel(f, 0)
+	return AnalyzeOpts(f, Options{})
 }
 
 // AnalyzeFuel is Analyze with a node-visit budget per data-flow problem
@@ -78,6 +91,15 @@ func Analyze(f *ir.Function) (*Analysis, error) {
 // problems, its convergence argument is subtler, and a bug in the transfer
 // functions would otherwise spin forever.
 func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
+	return AnalyzeOpts(f, Options{Fuel: fuel})
+}
+
+// AnalyzeOpts is Analyze with full options. The same reasoning that makes
+// the bidirectional system the right place for a fuel bound makes it the
+// right place for cancellation: it is the most iteration-hungry fixpoint
+// in the tree, so o.Ctx is polled every sweep.
+func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
+	fuel := o.Fuel
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
@@ -94,7 +116,7 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: %w", err)
@@ -102,7 +124,7 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	pav, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-pavail", Dir: dataflow.Forward, Meet: dataflow.May,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: %w", err)
@@ -131,6 +153,9 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 	acc := bitvec.New(w)
 	visits := 0
 	for {
+		if err := dataflow.Canceled(o.Ctx, "mr-pp"); err != nil {
+			return nil, err
+		}
 		a.Passes++
 		changed := false
 		for _, b := range f.Blocks {
@@ -203,16 +228,21 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 
 // Transform applies the MR transformation to a clone of f.
 func Transform(f *ir.Function) (*Result, error) {
-	return TransformFuel(f, 0)
+	return TransformOpts(f, Options{})
 }
 
 // TransformFuel is Transform with AnalyzeFuel's budget; 0 means unlimited.
 func TransformFuel(f *ir.Function, fuel int) (*Result, error) {
+	return TransformOpts(f, Options{Fuel: fuel})
+}
+
+// TransformOpts is Transform with full options (fuel and cancellation).
+func TransformOpts(f *ir.Function, o Options) (*Result, error) {
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("mr: input invalid: %w", err)
 	}
 	clone := f.Clone()
-	a, err := AnalyzeFuel(clone, fuel)
+	a, err := AnalyzeOpts(clone, o)
 	if err != nil {
 		return nil, err
 	}

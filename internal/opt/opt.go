@@ -9,8 +9,10 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/ir"
 	"lazycm/internal/lcm"
 	"lazycm/internal/live"
@@ -75,11 +77,22 @@ func PropagateCopies(f *ir.Function) int {
 // statements and terminators are never removed. It returns the number of
 // statements deleted.
 func EliminateDeadCode(f *ir.Function) (int, error) {
+	return EliminateDeadCodeCtx(nil, f)
+}
+
+// EliminateDeadCodeCtx is EliminateDeadCode with cancellation: a non-nil
+// ctx is polled once per elimination round (the DCE loop is itself a
+// fixpoint) and inside each round's liveness solve. A nil ctx means
+// "never canceled".
+func EliminateDeadCodeCtx(ctx context.Context, f *ir.Function) (int, error) {
 	removed := 0
 	for {
+		if err := dataflow.Canceled(ctx, "opt-dce"); err != nil {
+			return removed, err
+		}
 		u := props.Collect(f)
 		g := nodes.Build(f, u)
-		info, err := live.Compute(f, nil)
+		info, err := live.ComputeCtx(ctx, f, nil)
 		if err != nil {
 			return removed, fmt.Errorf("opt: dce liveness: %w", err)
 		}
@@ -132,6 +145,10 @@ type Options struct {
 	// Fuel bounds each data-flow problem inside every round; 0 means
 	// unlimited.
 	Fuel int
+	// Ctx, when non-nil, is polled at round boundaries and inside every
+	// fixpoint of every round; once done the run fails with an error
+	// unwrapping to dataflow.ErrCanceled. Nil means "never canceled".
+	Ctx context.Context
 }
 
 // DefaultMaxRounds is the reapplication cap used when Options.MaxRounds
@@ -156,15 +173,18 @@ func PipelineOpts(f *ir.Function, o Options) (*PipelineResult, error) {
 	cur := f.Clone()
 	res := &PipelineResult{}
 	for round := 0; round < o.MaxRounds; round++ {
+		if err := dataflow.Canceled(o.Ctx, "opt-rounds"); err != nil {
+			return nil, err
+		}
 		var rs RoundStats
-		lres, err := lcm.TransformOpts(cur, lcm.LCM, lcm.Options{Fuel: o.Fuel})
+		lres, err := lcm.TransformOpts(cur, lcm.LCM, lcm.Options{Fuel: o.Fuel, Ctx: o.Ctx})
 		if err != nil {
 			return nil, err
 		}
 		cur = lres.F
 		rs.Inserted, rs.Replaced = lres.Inserted, lres.Replaced
 		rs.CopiesPropagated = PropagateCopies(cur)
-		rs.DeadRemoved, err = EliminateDeadCode(cur)
+		rs.DeadRemoved, err = EliminateDeadCodeCtx(o.Ctx, cur)
 		if err != nil {
 			return nil, err
 		}

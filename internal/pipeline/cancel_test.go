@@ -1,0 +1,114 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lazycm/internal/dataflow"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+)
+
+// TestRunCanceledBeforeAnyPass: a context that is already done yields the
+// validated input unchanged — a Result, not an error — with a single
+// StageCanceled failure and no applied passes.
+func TestRunCanceledBeforeAnyPass(t *testing.T) {
+	f := parse(t, diamondSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(f, []Pass{LCMPass(lcm.LCM), MRPass()}, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatalf("Run under canceled ctx must still return a Result: %v", err)
+	}
+	if !res.Canceled() {
+		t.Fatal("Result.Canceled() = false under a canceled context")
+	}
+	if len(res.Applied) != 0 {
+		t.Errorf("passes applied under a canceled context: %v", res.Applied)
+	}
+	if len(res.Failures) != 1 || res.Failures[0].Stage != StageCanceled {
+		t.Errorf("want exactly one StageCanceled failure, got %v", res.Diagnostics())
+	}
+	if !errors.Is(res.Failures[0].Err, dataflow.ErrCanceled) {
+		t.Errorf("failure does not unwrap to dataflow.ErrCanceled: %v", res.Failures[0].Err)
+	}
+	if err := ir.Validate(res.F); err != nil {
+		t.Errorf("surviving function invalid: %v", err)
+	}
+	if res.F.String() != f.String() {
+		t.Errorf("surviving function is not the input:\n%s\nvs\n%s", res.F, f)
+	}
+}
+
+// TestRunCanceledMidPipeline: cancellation between passes keeps the output
+// of the passes that completed (last-known-good), discards the rest, and
+// runs no further passes.
+func TestRunCanceledMidPipeline(t *testing.T) {
+	f := parse(t, diamondSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var afterFirst *ir.Function
+	first := Pass{Name: "first", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		afterFirst = g
+		return g, nil, nil
+	}}
+	boom := Pass{Name: "boom", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		cancel() // the caller gives up while this pass runs
+		return nil, nil, dataflow.Canceled(ctx, "boom-fixpoint")
+	}}
+	never := Pass{Name: "never", Run: func(g *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		t.Error("pass after cancellation was executed")
+		return g, nil, nil
+	}}
+	res, err := Run(f, []Pass{first, boom, never}, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled() || !res.FellBack() {
+		t.Fatalf("want canceled fallback result, got applied=%v failures=%v", res.Applied, res.Diagnostics())
+	}
+	if len(res.Applied) != 1 || res.Applied[0] != "first" {
+		t.Errorf("applied = %v, want [first]", res.Applied)
+	}
+	if res.F != afterFirst {
+		t.Error("surviving function is not the last-known-good output")
+	}
+}
+
+// TestRunDeadlineOnLargeFunction: a tiny deadline on a large generated
+// function is honored promptly — the canceled run returns well within a
+// generous bound and ships the validated input rather than a partial
+// rewrite.
+func TestRunDeadlineOnLargeFunction(t *testing.T) {
+	f := randprog.Generate(randprog.Config{
+		Seed: 7, MaxDepth: 6, MaxItems: 5, MaxStmts: 8, Vars: 12, Params: 4, MaxTrips: 4,
+	})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("generated function invalid: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(f, []Pass{LCMPass(lcm.LCM), MRPass(), OptPass()}, Options{Ctx: ctx, Verify: true, Runs: 2})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation not honored within bound: took %v", elapsed)
+	}
+	if err := ir.Validate(res.F); err != nil {
+		t.Errorf("surviving function invalid after deadline: %v", err)
+	}
+	// Whether or not a pass squeezed through before the deadline, a
+	// canceled result must carry the deadline error.
+	if res.Canceled() {
+		last := res.Failures[len(res.Failures)-1]
+		if !errors.Is(last.Err, context.DeadlineExceeded) {
+			t.Errorf("canceled failure does not unwrap to DeadlineExceeded: %v", last.Err)
+		}
+	}
+}

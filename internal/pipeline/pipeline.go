@@ -23,7 +23,12 @@
 //     the pipeline keeps the last-known-good function, records the
 //     diagnostic, and continues with the next pass; Options.Verify
 //     additionally re-checks every surviving pass output against its
-//     input with verify.Equivalent on a battery of random inputs.
+//     input with verify.Equivalent on a battery of random inputs;
+//  5. cancellation — Options.Ctx is polled before every pass and at the
+//     iteration boundaries of every fixpoint inside each pass, so a
+//     caller's deadline or cancel abandons the work promptly; the
+//     canceled pass is discarded like any other failure and the
+//     last-known-good function survives.
 //
 // The result is a system that degrades to "no optimization" instead of
 // crashing or miscompiling — the property production compilers buy with
@@ -31,11 +36,13 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
 	"strings"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/gcse"
 	"lazycm/internal/ir"
 	"lazycm/internal/lcm"
@@ -62,6 +69,10 @@ const (
 	// StageVerify is the optional behavioural re-verification of the
 	// output against the pass's input.
 	StageVerify Stage = "verify"
+	// StageCanceled marks a pass abandoned because Options.Ctx was done —
+	// either the pass itself returned a cancellation error from a fixpoint,
+	// or the pipeline observed the done context before starting the pass.
+	StageCanceled Stage = "canceled"
 )
 
 // PassError is one contained pass failure: which pass, at which stage,
@@ -118,6 +129,13 @@ type Options struct {
 	// means DefaultVerifyRuns.
 	Seed int64
 	Runs int
+	// Ctx, when non-nil, makes the run cancellable: it is polled before
+	// every pass and at the iteration boundaries of every fixpoint inside
+	// each pass. Cancellation composes with the fallback machinery — the
+	// canceled pass is discarded like any other failure, no further passes
+	// run, and Result.F is still the last-known-good function. Nil means
+	// "never canceled".
+	Ctx context.Context
 }
 
 // DefaultVerifyRuns is the verification battery size used when
@@ -138,6 +156,18 @@ type Result struct {
 // FellBack reports whether at least one pass failed and was discarded.
 func (r *Result) FellBack() bool { return len(r.Failures) > 0 }
 
+// Canceled reports whether the run was cut short by Options.Ctx. The
+// returned function is still valid — it is the output of the last pass
+// that completed before the cancellation.
+func (r *Result) Canceled() bool {
+	for _, f := range r.Failures {
+		if f.Stage == StageCanceled {
+			return true
+		}
+	}
+	return false
+}
+
 // Diagnostics renders the failures as one line each, for CLI output.
 func (r *Result) Diagnostics() []string {
 	out := make([]string, len(r.Failures))
@@ -153,6 +183,13 @@ func (r *Result) Diagnostics() []string {
 // pass's output, records a *PassError, and continues with the
 // last-known-good function, so Run returns a non-nil Result for every
 // valid input.
+//
+// When Options.Ctx is done — before a pass starts or mid-pass, observed
+// at a fixpoint's iteration boundary — the run stops: the in-flight
+// pass's partial output is discarded exactly like any other failure, a
+// StageCanceled failure is recorded, no further passes run, and Result.F
+// is the last-known-good function. Cancellation therefore never ships a
+// partial rewrite.
 func Run(f *ir.Function, passes []Pass, o Options) (*Result, error) {
 	if f == nil {
 		return nil, fmt.Errorf("%w: nil function", ErrInvalidInput)
@@ -162,8 +199,17 @@ func Run(f *ir.Function, passes []Pass, o Options) (*Result, error) {
 	}
 	res := &Result{F: f.Clone()}
 	for _, p := range passes {
+		if err := dataflow.Canceled(o.Ctx, p.Name); err != nil {
+			res.Failures = append(res.Failures, &PassError{Pass: p.Name, Stage: StageCanceled, Err: err})
+			break
+		}
 		out, perr := runOne(res.F, p, o)
 		if perr != nil {
+			if errors.Is(perr.Err, dataflow.ErrCanceled) {
+				perr.Stage = StageCanceled
+				res.Failures = append(res.Failures, perr)
+				break
+			}
 			res.Failures = append(res.Failures, perr)
 			continue
 		}
@@ -248,7 +294,7 @@ func LCMPass(mode lcm.Mode) Pass {
 	return Pass{
 		Name: strings.ToLower(mode.String()),
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := lcm.TransformOpts(f, mode, lcm.Options{Canonical: o.Canonical, Fuel: o.Fuel})
+			res, err := lcm.TransformOpts(f, mode, lcm.Options{Canonical: o.Canonical, Fuel: o.Fuel, Ctx: o.Ctx})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -262,7 +308,7 @@ func MRPass() Pass {
 	return Pass{
 		Name: "mr",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := mr.TransformFuel(f, o.Fuel)
+			res, err := mr.TransformOpts(f, mr.Options{Fuel: o.Fuel, Ctx: o.Ctx})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -276,7 +322,7 @@ func GCSEPass() Pass {
 	return Pass{
 		Name: "gcse",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := gcse.TransformFuel(f, o.Fuel)
+			res, err := gcse.TransformOpts(f, gcse.Options{Fuel: o.Fuel, Ctx: o.Ctx})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -305,7 +351,7 @@ func OptPass() Pass {
 	return Pass{
 		Name: "opt",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := opt.PipelineOpts(f, opt.Options{MaxRounds: o.MaxRounds, Fuel: o.Fuel})
+			res, err := opt.PipelineOpts(f, opt.Options{MaxRounds: o.MaxRounds, Fuel: o.Fuel, Ctx: o.Ctx})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -321,7 +367,7 @@ func CleanupPass() Pass {
 		Name: "cleanup",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
 			opt.PropagateCopies(f)
-			if _, err := opt.EliminateDeadCode(f); err != nil {
+			if _, err := opt.EliminateDeadCodeCtx(o.Ctx, f); err != nil {
 				return nil, nil, err
 			}
 			f.Simplify()

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"lazycm/internal/dataflow"
+	"lazycm/internal/faultify"
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/randprog"
+)
+
+// TestSoakConcurrentRun hammers Run itself from many goroutines with
+// valid, fault-injected, fuel-starved and deadline-doomed inputs. Under
+// -race this checks the library-level contract the lcmd server builds
+// on: Run is safe to call concurrently, no panic escapes, a canceled run
+// is classified as such, and whatever ships always validates.
+func TestSoakConcurrentRun(t *testing.T) {
+	passes := []Pass{
+		LCMPass(lcm.LCM), MRPass(), GCSEPass(), OptPass(), CleanupPass(),
+	}
+	faults := faultify.All()
+	const goroutines = 8
+	const perG = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				f := randprog.Generate(randprog.Config{
+					Seed: rng.Int63(), MaxDepth: 2, MaxItems: 3, MaxStmts: 3,
+					Vars: 6, Params: 3, MaxTrips: 2,
+				})
+				opts := Options{Verify: true, Runs: 2, MaxRounds: 2}
+				var cancel context.CancelFunc
+				switch i % 4 {
+				case 1:
+					// A buggy-compiler mutation: Run must reject it or
+					// contain the failing pass, never corrupt the result.
+					faults[rng.Intn(len(faults))].Apply(f)
+				case 2:
+					// A deadline somewhere between "already expired" and
+					// "mid-pipeline".
+					var ctx context.Context
+					ctx, cancel = context.WithTimeout(context.Background(),
+						time.Duration(rng.Intn(3))*time.Millisecond)
+					opts.Ctx = ctx
+				case 3:
+					opts.Fuel = 1 + rng.Intn(64)
+				}
+				start := time.Now()
+				res, err := Run(f, passes, opts)
+				if cancel != nil {
+					cancel()
+					cancel = nil
+					// Only deadlined runs have a promptness contract; an
+					// unconstrained run may legitimately grind.
+					if elapsed := time.Since(start); elapsed > 10*time.Second {
+						t.Errorf("Run took %v past its deadline, cancellation bound broken", elapsed)
+					}
+				}
+				if err != nil {
+					if !errors.Is(err, ErrInvalidInput) {
+						t.Errorf("non-containment error kind: %v", err)
+					}
+					continue
+				}
+				if verr := ir.Validate(res.F); verr != nil {
+					t.Errorf("Run shipped an invalid function: %v", verr)
+				}
+				if res.Canceled() {
+					last := res.Failures[len(res.Failures)-1]
+					if !errors.Is(last.Err, dataflow.ErrCanceled) {
+						t.Errorf("canceled result's failure does not unwrap to ErrCanceled: %v", last.Err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

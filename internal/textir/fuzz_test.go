@@ -24,6 +24,11 @@ func FuzzParse(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(randprog.ForSeed(seed).String())
 	}
+	// Every checked-in program — corpus and quarantined crashers alike —
+	// seeds the fuzzer, so a captured regression keeps mutating forever.
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed.Src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		fns, err := Parse(src)
 		if err != nil {
@@ -51,6 +56,9 @@ func FuzzPipeline(f *testing.F) {
 	f.Add("func f() {\ne:\n  jmp e\n}", 0) // no exit: invalid input
 	for seed := int64(0); seed < 4; seed++ {
 		f.Add(randprog.ForSeed(seed).String(), int(seed))
+	}
+	for i, seed := range corpusSeeds(f) {
+		f.Add(seed.Src, i)
 	}
 	f.Fuzz(func(t *testing.T, src string, fuel int) {
 		fns, err := Parse(src)
