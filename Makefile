@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench serve
+.PHONY: check build vet test race fuzz bench serve triage
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -28,3 +28,9 @@ bench:
 # Run the optimization server (see the lcmd section in README.md).
 serve:
 	$(GO) run ./cmd/lcmd
+
+# Corpus hygiene gate: every crasher in testdata/crashers must be
+# minimal, signatures must be unique, and recorded sidecars must match
+# what actually replays. Fix failures with: go run ./cmd/lcmtriage
+triage:
+	$(GO) run ./cmd/lcmtriage -check -dir testdata/crashers

@@ -6,9 +6,11 @@
 //
 // Endpoints:
 //
-//	POST /optimize  {"program": "...", "mode": "lcm", "timeout_ms": 500}
-//	                → {"program": "...", "applied": [...], ...}
-//	GET  /healthz   pool and outcome counters; 503 while draining
+//	POST /optimize        {"program": "...", "mode": "lcm", "timeout_ms": 500}
+//	                      → {"program": "...", "applied": [...], ...}
+//	POST /optimize/batch  whole-module optimization with per-function
+//	                      fault isolation: one result entry per function
+//	GET  /healthz         pool and outcome counters; 503 while draining
 //
 // Flags:
 //
@@ -24,6 +26,10 @@
 //	                 ("" disables; default testdata/crashers)
 //	-drain D         grace period for in-flight work on SIGTERM/SIGINT
 //	                 (default 30s)
+//	-triage          maintenance mode: instead of serving, replay the
+//	                 quarantine directory, minimize and dedupe the
+//	                 crashers, promote one file per defect, then exit
+//	                 (see cmd/lcmtriage for the full triage CLI)
 //
 // The service wraps the hardened pass pipeline: every request runs under
 // its own deadline (threaded into each data-flow fixpoint), panics are
@@ -45,6 +51,8 @@ import (
 	"runtime"
 	"syscall"
 	"time"
+
+	"lazycm/internal/triage"
 )
 
 func main() {
@@ -58,7 +66,22 @@ func main() {
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
 	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
+	triageMode := fs.Bool("triage", false, "promote the quarantine directory instead of serving")
 	_ = fs.Parse(os.Args[1:])
+
+	if *triageMode {
+		if *quarantine == "" {
+			log.Fatal("lcmd: -triage needs a -quarantine directory")
+		}
+		proms, err := triage.Promote(*quarantine, triage.PromoteOptions{
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("lcmd: triage: %v", err)
+		}
+		log.Printf("lcmd: triage done, %d promotion(s) in %s", len(proms), *quarantine)
+		return
+	}
 
 	srv := NewServer(Config{
 		Workers:    *workers,

@@ -19,6 +19,7 @@ import (
 	"lazycm/internal/ir"
 	"lazycm/internal/pipeline"
 	"lazycm/internal/textir"
+	"lazycm/internal/triage"
 )
 
 // Config tunes the optimization service.
@@ -47,9 +48,10 @@ type Config struct {
 	// are captured as regression seeds; "" disables capture.
 	Quarantine string
 
-	// hook, when non-nil, runs on the worker goroutine before each job;
-	// tests use it to hold workers busy deterministically.
-	hook func()
+	// hook, when non-nil, runs on the worker goroutine before each job,
+	// inside the per-request panic guard; tests use it to hold workers
+	// busy deterministically or to panic on a chosen input.
+	hook func(optimizeRequest)
 }
 
 // DefaultTimeout is the per-request budget when neither the server
@@ -91,13 +93,14 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 
-	requests  atomic.Int64 // admitted optimize requests
-	optimized atomic.Int64 // clean 200s
-	fellBack  atomic.Int64 // 200s that shipped a fallback
-	canceled  atomic.Int64 // deadline/cancel results
-	invalid   atomic.Int64 // parse or validation rejections
-	shed      atomic.Int64 // 429s from a full queue
-	panics    atomic.Int64 // contained pass/driver panics
+	requests    atomic.Int64 // admitted work items (a batch item counts like a request)
+	optimized   atomic.Int64 // clean 200s
+	fellBack    atomic.Int64 // 200s that shipped a fallback
+	canceled    atomic.Int64 // deadline/cancel results
+	invalid     atomic.Int64 // parse or validation rejections
+	shed        atomic.Int64 // work items shed by admission control
+	panics      atomic.Int64 // contained pass/driver panics
+	quarantined atomic.Int64 // distinct crashers captured (duplicates collapse)
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -111,10 +114,12 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP surface: POST /optimize and GET /healthz.
+// Handler returns the HTTP surface: POST /optimize, POST /optimize/batch
+// and GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("POST /optimize/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -186,62 +191,92 @@ type job struct {
 	start time.Time
 }
 
-func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, optimizeResponse{
-			Error: "server is draining", Kind: "draining", ElapsedMS: msSince(start),
-		})
-		return
-	}
+// reject writes a load-control response. Every rejection a client can
+// cure by retrying — shed load (429) and draining (503) — carries the
+// same Retry-After contract, so retry loops need exactly one code path.
+func reject(w http.ResponseWriter, status int, kind, msg string, start time.Time) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, status, optimizeResponse{Error: msg, Kind: kind, ElapsedMS: msSince(start)})
+}
+
+// decodeOptimize reads and vets the shared request shape of /optimize and
+// /optimize/batch: body size cap, JSON decode, mode defaulting and
+// validation. It writes the 400 itself and reports false on failure.
+func (s *Server) decodeOptimize(w http.ResponseWriter, r *http.Request, start time.Time) (optimizeRequest, bool) {
 	var req optimizeRequest
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, optimizeResponse{
 			Error: fmt.Sprintf("bad request body: %v", err), Kind: "parse", ElapsedMS: msSince(start),
 		})
-		return
+		return req, false
 	}
-	mode := req.Mode
-	if mode == "" {
-		mode = "lcm"
+	if req.Mode == "" {
+		req.Mode = "lcm"
 	}
-	if _, ok := pipeline.ForMode(mode); !ok {
+	if _, ok := pipeline.ForMode(req.Mode); !ok {
 		writeJSON(w, http.StatusBadRequest, optimizeResponse{
-			Error: fmt.Sprintf("unknown mode %q (valid: %s)", mode, strings.Join(pipeline.ModeNames(), ", ")),
+			Error: fmt.Sprintf("unknown mode %q (valid: %s)", req.Mode, strings.Join(pipeline.ModeNames(), ", ")),
 			Kind:  "mode", ElapsedMS: msSince(start),
 		})
-		return
+		return req, false
 	}
-	req.Mode = mode
+	return req, true
+}
 
-	// Per-request budget: the server default unless the client asks for
-	// less; client requests are capped so no request parks a worker
-	// beyond MaxTimeout.
+// budgetFor resolves the request's wall-clock budget: the server default
+// unless the client asks for less; client requests are capped so no
+// request parks a worker beyond MaxTimeout.
+func (s *Server) budgetFor(req optimizeRequest) time.Duration {
 	budget := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
 		budget = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	budget = min(budget, s.cfg.MaxTimeout)
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	return min(budget, s.cfg.MaxTimeout)
+}
+
+// admit atomically reserves n queue slots, or none at all when fewer
+// than n are free. Single requests and batches go through the same
+// reservation, so a batch item is accounted exactly like a request and a
+// batch is admitted in full or shed in full — it can never wedge half
+// its functions into the queue. A successful reservation guarantees the
+// subsequent channel sends cannot block: jobs resident in the channel
+// never exceed the reserved count, which never exceeds the capacity.
+func (s *Server) admit(n int64) bool {
+	for {
+		q := s.queued.Load()
+		if q+n > int64(s.cfg.Queue) {
+			return false
+		}
+		if s.queued.CompareAndSwap(q, q+n) {
+			s.requests.Add(n)
+			return true
+		}
+	}
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
+		return
+	}
+	req, ok := s.decodeOptimize(w, r, start)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.budgetFor(req))
 	defer cancel()
 
 	j := &job{ctx: ctx, req: req, done: make(chan outcome, 1), start: start}
-	select {
-	case s.jobs <- j:
-		s.queued.Add(1)
-		s.requests.Add(1)
-	default:
+	if !s.admit(1) {
 		// Admission control: a full queue sheds load instead of building
 		// an unbounded backlog.
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, optimizeResponse{
-			Error: "optimization queue is full", Kind: "overload", ElapsedMS: msSince(start),
-		})
+		reject(w, http.StatusTooManyRequests, "overload", "optimization queue is full", start)
 		return
 	}
+	s.jobs <- j
 
 	select {
 	case out := <-j.done:
@@ -258,6 +293,112 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Canceled: true, ElapsedMS: msSince(start),
 		})
 	}
+}
+
+// batchResult is one function's outcome inside a batch response: the
+// standard optimize response plus the function's name and the HTTP
+// status it would have received as a single request.
+type batchResult struct {
+	Name   string `json:"name,omitempty"`
+	Status int    `json:"status"`
+	optimizeResponse
+}
+
+// batchResponse is the JSON body of POST /optimize/batch. Results holds
+// one entry per function of the submitted module, in module order; the
+// aggregate counters classify them. The batch as a whole answers 200
+// whenever it was admitted and processed — failure is per item, which is
+// the point: one broken function must not poison its neighbors.
+type batchResponse struct {
+	Functions int           `json:"functions"`
+	Optimized int           `json:"optimized"`
+	FellBack  int           `json:"fell_back"`
+	Failed    int           `json:"failed"`
+	Results   []batchResult `json:"results"`
+	Error     string        `json:"error,omitempty"`
+	Kind      string        `json:"kind,omitempty"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// handleBatch optimizes a whole module with per-function fault isolation:
+// the module is split once, each function becomes its own job with its
+// own slice of the batch deadline, runs under its own panic guard, and
+// quarantines its own source on failure. Admission reserves one queue
+// slot per function, so a batch cannot starve single requests beyond its
+// size and the counters balance item-for-item.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
+		return
+	}
+	req, ok := s.decodeOptimize(w, r, start)
+	if !ok {
+		return
+	}
+	// Split structurally, not strictly: a function body the strict parser
+	// rejects still becomes its own item (and its own per-item error)
+	// instead of failing the whole module.
+	mod, err := textir.ParseModule(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, optimizeResponse{
+			Error: err.Error(), Kind: "parse", ElapsedMS: msSince(start),
+		})
+		return
+	}
+	n := len(mod.Funcs)
+	if !s.admit(int64(n)) {
+		s.shed.Add(int64(n))
+		reject(w, http.StatusTooManyRequests, "overload",
+			fmt.Sprintf("optimization queue cannot hold %d functions", n), start)
+		return
+	}
+
+	budget := s.budgetFor(req)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	// Every function gets an equal slice of the batch budget, so one
+	// pathological function exhausts its own slice, not the batch's.
+	slice := max(budget/time.Duration(n), time.Millisecond)
+
+	jobs := make([]*job, n)
+	for i, fn := range mod.Funcs {
+		ictx, icancel := context.WithTimeout(ctx, slice)
+		defer icancel()
+		ireq := req
+		ireq.Program = fn.String()
+		jobs[i] = &job{ctx: ictx, req: ireq, done: make(chan outcome, 1), start: time.Now()}
+		s.jobs <- jobs[i]
+	}
+
+	resp := batchResponse{Functions: n, Results: make([]batchResult, 0, n)}
+	for i, j := range jobs {
+		var out outcome
+		select {
+		case out = <-j.done:
+		case <-ctx.Done():
+			// The whole batch's deadline is gone; report this item as
+			// abandoned. Its worker observes the same context, does the
+			// canceled accounting, and completes into the buffered channel.
+			out = outcome{http.StatusGatewayTimeout, optimizeResponse{
+				Error: fmt.Sprintf("batch abandoned: %v", ctx.Err()), Kind: "deadline", Canceled: true,
+			}}
+		}
+		out.body.ElapsedMS = msSince(j.start)
+		resp.Results = append(resp.Results, batchResult{
+			Name: mod.Funcs[i].Name, Status: out.status, optimizeResponse: out.body,
+		})
+		switch {
+		case out.status == http.StatusOK && !out.body.FellBack:
+			resp.Optimized++
+		case out.status == http.StatusOK:
+			resp.FellBack++
+		default:
+			resp.Failed++
+		}
+	}
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -281,6 +422,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"invalid":        s.invalid.Load(),
 		"shed":           s.shed.Load(),
 		"panics":         s.panics.Load(),
+		"quarantined":    s.quarantined.Load(),
 	})
 }
 
@@ -289,9 +431,6 @@ func (s *Server) worker() {
 	for j := range s.jobs {
 		s.queued.Add(-1)
 		s.inflight.Add(1)
-		if s.cfg.hook != nil {
-			s.cfg.hook()
-		}
 		out := s.process(j)
 		s.inflight.Add(-1)
 		s.account(out)
@@ -326,6 +465,12 @@ func (s *Server) process(j *job) outcome {
 	}
 	var out outcome
 	perr := pipeline.Guard("optimize", func() error {
+		// The test hook runs inside the guard: even a hook that panics is
+		// contained like any other per-request fault, which is how the
+		// tests prove a worker survives an arbitrary panic on its goroutine.
+		if s.cfg.hook != nil {
+			s.cfg.hook(j.req)
+		}
 		out = s.optimize(j)
 		return nil
 	})
@@ -333,7 +478,7 @@ func (s *Server) process(j *job) outcome {
 		// A panic escaped the pipeline's own containment (e.g. in the
 		// parser or printer). Contain it here, quarantine the input, and
 		// keep the worker alive.
-		q := s.quarantine(j.req.Program)
+		q := s.quarantine(j.req)
 		return outcome{http.StatusInternalServerError, optimizeResponse{
 			Error: perr.Error(), Kind: "panic", Quarantined: q,
 		}}
@@ -354,12 +499,8 @@ func (s *Server) optimize(j *job) outcome {
 		}}
 	}
 	pass, _ := pipeline.ForMode(j.req.Mode)
-	fuel := s.cfg.Fuel
-	if j.req.Fuel > 0 {
-		fuel = j.req.Fuel
-	}
 	opts := pipeline.Options{
-		Fuel:      fuel,
+		Fuel:      s.effectiveFuel(j.req),
 		Canonical: j.req.Canonical,
 		Verify:    s.cfg.Verify || j.req.Verify,
 		Ctx:       j.ctx,
@@ -404,31 +545,64 @@ func (s *Server) optimize(j *job) outcome {
 	if resp.FellBack {
 		// A fallback means some pass faulted on this input: capture it so
 		// failures under load become regression seeds.
-		resp.Quarantined = s.quarantine(j.req.Program)
+		resp.Quarantined = s.quarantine(j.req)
 	}
 	return outcome{http.StatusOK, resp}
 }
 
-// quarantine captures a faulting input in the configured directory, named
-// by content hash so duplicates collapse. It returns the file path, or ""
-// when capture is disabled or failed (capture must never take the request
-// down with it).
-func (s *Server) quarantine(program string) string {
-	if s.cfg.Quarantine == "" || program == "" {
+// quarantine captures a faulting input in the configured directory as a
+// self-describing crasher: a "# replay:" directive line recording the
+// pipeline configuration the failure was observed under (mode, fuel,
+// verify — a fuel-starved crasher reproduces only under its fuel), then
+// the program. Files are named by content hash and created with O_EXCL,
+// so concurrent captures of the same defect collapse to one file and one
+// count. It returns the file path, or "" when capture is disabled or
+// failed (capture must never take the request down with it).
+func (s *Server) quarantine(req optimizeRequest) string {
+	if s.cfg.Quarantine == "" || req.Program == "" {
 		return ""
 	}
-	sum := sha256.Sum256([]byte(program))
-	path := filepath.Join(s.cfg.Quarantine, "crash-"+hex.EncodeToString(sum[:8])+".ir")
-	if _, err := os.Stat(path); err == nil {
-		return path // already captured
+	d := triage.Directives{
+		Mode:      req.Mode,
+		Fuel:      s.effectiveFuel(req),
+		Verify:    s.cfg.Verify || req.Verify,
+		Canonical: req.Canonical,
 	}
+	var b strings.Builder
+	b.WriteString("# replay: " + d.String() + "\n\n")
+	b.WriteString(req.Program)
+	if !strings.HasSuffix(req.Program, "\n") {
+		b.WriteByte('\n')
+	}
+	content := b.String()
+
+	sum := sha256.Sum256([]byte(content))
+	path := filepath.Join(s.cfg.Quarantine, "crash-"+hex.EncodeToString(sum[:8])+".ir")
 	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
 		return ""
 	}
-	if err := os.WriteFile(path, []byte(program), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return path // already captured: no second file, no second count
+		}
 		return ""
 	}
+	defer f.Close()
+	if _, err := f.WriteString(content); err != nil {
+		os.Remove(path)
+		return ""
+	}
+	s.quarantined.Add(1)
 	return path
+}
+
+// effectiveFuel resolves the fixpoint budget a request runs under.
+func (s *Server) effectiveFuel(req optimizeRequest) int {
+	if req.Fuel > 0 {
+		return req.Fuel
+	}
+	return s.cfg.Fuel
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -13,6 +13,7 @@ import (
 	"lazycm/internal/ir"
 	"lazycm/internal/randprog"
 	"lazycm/internal/textir"
+	"lazycm/internal/triage"
 )
 
 const diamond = `func f(a, b, p) {
@@ -180,7 +181,7 @@ func TestLoadShedding(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 1, Queue: 1, Timeout: time.Minute,
-		hook: func() { <-release },
+		hook: func(optimizeRequest) { <-release },
 	})
 	defer func() {
 		select {
@@ -231,7 +232,7 @@ func TestRetryAfterHeader(t *testing.T) {
 	defer close(release)
 	s, ts := newTestServer(t, Config{
 		Workers: 1, Queue: 1, Timeout: time.Minute,
-		hook: func() { <-release },
+		hook: func(optimizeRequest) { <-release },
 	})
 	body, _ := json.Marshal(optimizeRequest{Program: diamond})
 	post := func() {
@@ -255,6 +256,56 @@ func TestRetryAfterHeader(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("429 without Retry-After header")
+	}
+}
+
+// TestRetryAfterParity: both retryable rejections — shed load (429) and
+// draining (503) — carry the Retry-After header, on the single and the
+// batch endpoint alike, so client retry loops need one code path.
+func TestRetryAfterParity(t *testing.T) {
+	body, _ := json.Marshal(optimizeRequest{Program: diamond})
+	post := func(ts *httptest.Server, path string) *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// 503: draining.
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	for _, path := range []string{"/optimize", "/optimize/batch"} {
+		resp := post(ts, path)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s 503 without Retry-After header", path)
+		}
+	}
+
+	// 429: queue full.
+	release := make(chan struct{})
+	defer close(release)
+	s2, ts2 := newTestServer(t, Config{
+		Workers: 1, Queue: 1, Timeout: time.Minute,
+		hook: func(optimizeRequest) { <-release },
+	})
+	asyncOptimize(ts2, diamond)
+	waitFor(t, func() bool { return s2.inflight.Load() == 1 })
+	asyncOptimize(ts2, diamond)
+	waitFor(t, func() bool { return s2.queued.Load() == 1 })
+	for _, path := range []string{"/optimize", "/optimize/batch"} {
+		resp := post(ts2, path)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s with full queue: status %d, want 429", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s 429 without Retry-After header", path)
+		}
 	}
 }
 
@@ -285,14 +336,33 @@ func TestFallbackQuarantine(t *testing.T) {
 	if err != nil {
 		t.Fatalf("quarantine file missing: %v", err)
 	}
-	if string(got) != diamond {
-		t.Errorf("quarantine captured wrong content:\n%s", got)
+	// The capture is self-describing: replay directives record the
+	// configuration the failure was observed under, then the verbatim
+	// program.
+	if !strings.HasSuffix(string(got), diamond) {
+		t.Errorf("quarantine did not capture the program verbatim:\n%s", got)
 	}
+	d := triage.ParseDirectives(string(got))
+	if d.Mode != "lcm" || d.Fuel != 1 || d.Verify {
+		t.Errorf("replay directives = %+v, want mode=lcm fuel=1 verify=false", d)
+	}
+	// And it reproduces: replaying under its own directives yields the
+	// fuel-exhaustion signature.
+	if sig, reproduces := triage.Replay(string(got), d, time.Second); !reproduces || sig.String() != "lcm-run-fuel" {
+		t.Errorf("capture does not reproduce: %s reproduces=%v", sig, reproduces)
+	}
+}
 
-	// The same input quarantines to the same file: duplicates collapse.
+// TestQuarantineDedupe: the same defect captured twice yields one file
+// and one count — the content hash names the file, O_EXCL arbitrates the
+// race, and the counter moves only on a genuinely new capture.
+func TestQuarantineDedupe(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Quarantine: dir})
+	_, out1 := postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})
 	_, out2 := postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})
-	if out2.Quarantined != out.Quarantined {
-		t.Errorf("duplicate crasher got a new file: %q vs %q", out2.Quarantined, out.Quarantined)
+	if out1.Quarantined == "" || out2.Quarantined != out1.Quarantined {
+		t.Fatalf("duplicate crasher got a new file: %q vs %q", out2.Quarantined, out1.Quarantined)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -300,6 +370,22 @@ func TestFallbackQuarantine(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Errorf("quarantine dir has %d entries, want 1", len(entries))
+	}
+	if got := s.quarantined.Load(); got != 1 {
+		t.Errorf("quarantined counter = %d, want 1", got)
+	}
+	// A different defect (different fuel ⇒ different directives) is a new
+	// capture even for the same program text.
+	_, out3 := postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 2})
+	if out3.Quarantined == "" || out3.Quarantined == out1.Quarantined {
+		t.Fatalf("distinct defect collapsed into the same file: %q", out3.Quarantined)
+	}
+	if got := s.quarantined.Load(); got != 2 {
+		t.Errorf("quarantined counter = %d, want 2", got)
+	}
+	_, h := getHealthz(t, ts)
+	if got := h["quarantined"].(float64); got != 2 {
+		t.Errorf("healthz quarantined = %v, want 2", got)
 	}
 }
 

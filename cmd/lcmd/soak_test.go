@@ -37,10 +37,19 @@ func TestSoakConcurrentRequests(t *testing.T) {
 
 	big := bigProgram(t)
 	faults := faultify.All()
+	// A 3-function batch module: one healthy, one the strict parser
+	// rejects, one healthy. Fault isolation must hold for every copy
+	// under concurrency.
+	batchModule := diamond + "\nfunc hole(a) {\ne:\n  zzz junk statement\n}\n\nfunc tail(q) {\ne:\n  out = q + q\n  print out\n  ret out\n}\n"
+	const batchN = 3
 
 	const goroutines = 8
-	const perG = 20
+	const perG = 21
 	var c200, c400, c429, c504, cOther atomic.Int64
+	// Item-level admission accounting: a batch admits (or sheds) one item
+	// per function, so the server-side counters are audited against items,
+	// not HTTP round trips.
+	var itemsAdmitted, itemsShed atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
@@ -48,6 +57,26 @@ func TestSoakConcurrentRequests(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < perG; i++ {
+				if i%7 == 6 {
+					// Batch lane: per-item isolation under load.
+					code, out := postBatch(t, ts, optimizeRequest{Program: batchModule})
+					switch code {
+					case http.StatusOK:
+						itemsAdmitted.Add(batchN)
+						if len(out.Results) != batchN {
+							t.Errorf("batch returned %d results, want %d", len(out.Results), batchN)
+						}
+						if out.Optimized+out.FellBack+out.Failed != batchN {
+							t.Errorf("batch aggregates do not cover the module: %+v", out)
+						}
+					case http.StatusTooManyRequests:
+						itemsShed.Add(batchN)
+					default:
+						cOther.Add(1)
+						t.Errorf("unexpected batch status %d: %+v", code, out)
+					}
+					continue
+				}
 				var req optimizeRequest
 				switch i % 6 {
 				case 0:
@@ -84,15 +113,19 @@ func TestSoakConcurrentRequests(t *testing.T) {
 				switch code {
 				case http.StatusOK:
 					c200.Add(1)
+					itemsAdmitted.Add(1)
 					if out.Program == "" {
 						t.Errorf("200 without a program: %+v", out)
 					}
 				case http.StatusBadRequest:
 					c400.Add(1)
+					itemsAdmitted.Add(1)
 				case http.StatusTooManyRequests:
 					c429.Add(1)
+					itemsShed.Add(1)
 				case http.StatusGatewayTimeout:
 					c504.Add(1)
+					itemsAdmitted.Add(1)
 				default:
 					cOther.Add(1)
 					t.Errorf("unexpected status %d: %+v", code, out)
@@ -103,28 +136,31 @@ func TestSoakConcurrentRequests(t *testing.T) {
 	wg.Wait()
 	shutdown() // full drain: every admitted job is processed and accounted
 
-	sent := int64(goroutines * perG)
-	if got := c200.Load() + c400.Load() + c429.Load() + c504.Load() + cOther.Load(); got != sent {
-		t.Errorf("responses %d != requests sent %d", got, sent)
+	singles := int64(goroutines * perG * 6 / 7)
+	if got := c200.Load() + c400.Load() + c429.Load() + c504.Load(); got != singles {
+		t.Errorf("responses %d != single requests sent %d", got, singles)
+	}
+	if cOther.Load() != 0 {
+		t.Errorf("unexpected statuses: %d", cOther.Load())
 	}
 	if s.panics.Load() != 0 {
 		t.Errorf("panics escaped into the request guard: %d", s.panics.Load())
 	}
-	// Admission accounting: everything not shed was admitted...
-	admitted := sent - c429.Load()
-	if got := s.requests.Load(); got != admitted {
-		t.Errorf("server admitted %d, client saw %d non-shed responses", got, admitted)
+	// Admission accounting, item for item: a batch item counts exactly
+	// like a single request on both sides of the gate...
+	if got := s.requests.Load(); got != itemsAdmitted.Load() {
+		t.Errorf("server admitted %d items, client accounted %d", got, itemsAdmitted.Load())
 	}
-	if got := s.shed.Load(); got != c429.Load() {
-		t.Errorf("server shed %d, client saw %d 429s", got, c429.Load())
+	if got := s.shed.Load(); got != itemsShed.Load() {
+		t.Errorf("server shed %d items, client accounted %d", got, itemsShed.Load())
 	}
-	// ...and after the drain, every admitted job landed in exactly one
+	// ...and after the drain, every admitted item landed in exactly one
 	// outcome bucket.
 	sum := s.optimized.Load() + s.fellBack.Load() + s.canceled.Load() +
 		s.invalid.Load() + s.panics.Load()
-	if sum != admitted {
+	if sum != itemsAdmitted.Load() {
 		t.Errorf("outcome counters sum to %d, want %d (optimized=%d fell_back=%d canceled=%d invalid=%d panics=%d)",
-			sum, admitted, s.optimized.Load(), s.fellBack.Load(), s.canceled.Load(),
+			sum, itemsAdmitted.Load(), s.optimized.Load(), s.fellBack.Load(), s.canceled.Load(),
 			s.invalid.Load(), s.panics.Load())
 	}
 	if s.queued.Load() != 0 || s.inflight.Load() != 0 {

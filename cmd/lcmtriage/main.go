@@ -1,0 +1,105 @@
+// Command lcmtriage curates a crasher corpus: it replays, minimizes,
+// deduplicates and promotes the raw captures the lcmd quarantine
+// accumulates, and audits the promoted corpus in CI.
+//
+// Usage:
+//
+//	lcmtriage [flags]
+//
+// Modes:
+//
+//	(default)   promote: replay every *.ir capture in -dir, minimize the
+//	            ones that still reproduce, dedupe them by failure
+//	            signature, and write one crash-<signature>.ir per defect
+//	            to -out (with a README entry); raw captures are deleted
+//	            unless -keep is set
+//	-check      audit only: fail if any reproducing crasher is not
+//	            minimal, two crashers share a signature, or a recorded
+//	            "# signature:" sidecar disagrees with what replays
+//
+// Flags:
+//
+//	-dir D      directory of crasher captures (default testdata/crashers)
+//	-out D      promotion target directory (default: same as -dir)
+//	-check      audit without modifying anything
+//	-budget N   reducer replay budget per crasher (default 400)
+//	-timeout D  wall-clock bound per replay (default 2s)
+//	-keep       keep raw captures after promotion
+//	-q          suppress progress output
+//
+// Exit status: 0 on success, 1 when -check finds issues, 2 on usage or
+// I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lazycm/internal/triage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("lcmtriage", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "testdata/crashers", "directory of crasher captures")
+	out := fs.String("out", "", "promotion target directory (default: same as -dir)")
+	check := fs.Bool("check", false, "audit the corpus without modifying it")
+	budget := fs.Int("budget", triage.DefaultOracleBudget, "reducer replay budget per crasher")
+	timeout := fs.Duration("timeout", triage.DefaultTimeout, "wall-clock bound per replay")
+	keep := fs.Bool("keep", false, "keep raw captures after promotion")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if st, err := os.Stat(*dir); err != nil || !st.IsDir() {
+		fmt.Fprintf(stderr, "lcmtriage: %s is not a directory\n", *dir)
+		return 2
+	}
+
+	if *check {
+		issues, notes, err := triage.Check(*dir, triage.CheckOptions{Budget: *budget, Timeout: *timeout})
+		if err != nil {
+			fmt.Fprintf(stderr, "lcmtriage: %v\n", err)
+			return 2
+		}
+		for _, n := range notes {
+			fmt.Fprintf(stdout, "note: %s\n", n)
+		}
+		for _, is := range issues {
+			fmt.Fprintf(stdout, "FAIL: %s\n", is)
+		}
+		if len(issues) > 0 {
+			fmt.Fprintf(stdout, "lcmtriage: %d issue(s) in %s\n", len(issues), *dir)
+			return 1
+		}
+		fmt.Fprintf(stdout, "lcmtriage: %s is clean\n", *dir)
+		return 0
+	}
+
+	opt := triage.PromoteOptions{OutDir: *out, Budget: *budget, Timeout: *timeout, Keep: *keep}
+	if !*quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+	proms, err := triage.Promote(*dir, opt)
+	if err != nil {
+		fmt.Fprintf(stderr, "lcmtriage: %v\n", err)
+		return 2
+	}
+	promoted, duplicates := 0, 0
+	for _, p := range proms {
+		if p.DupOf != "" {
+			duplicates++
+		} else {
+			promoted++
+		}
+	}
+	fmt.Fprintf(stdout, "lcmtriage: %d promoted, %d duplicates collapsed\n", promoted, duplicates)
+	return 0
+}

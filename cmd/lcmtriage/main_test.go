@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lazycm/internal/triage"
+)
+
+const fuelCrasher = `func f(a, b, p) {
+entry:
+  br p t e
+t:
+  x = a + b
+  jmp j
+e:
+  y = a + b
+  jmp j
+j:
+  z = a + b
+  ret z
+}
+`
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPromoteThenCheck(t *testing.T) {
+	dir := t.TempDir()
+	d := triage.Directives{Mode: "lcm", Fuel: 1}
+	write(t, dir, "raw.ir", "# replay: "+d.String()+"\n\n"+fuelCrasher)
+
+	if code := run([]string{"-dir", dir, "-q"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("promote exit = %d, want 0", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crash-lcm-run-fuel.ir")); err != nil {
+		t.Fatalf("promotion missing: %v", err)
+	}
+	if code := run([]string{"-dir", dir, "-check"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("check exit = %d, want 0 on a curated corpus", code)
+	}
+
+	// A second witness of the same defect makes the corpus dirty: check
+	// must fail until it is promoted away.
+	variant := strings.ReplaceAll(fuelCrasher, "func f(", "func other(")
+	write(t, dir, "dup.ir", "# replay: "+d.String()+"\n\n"+variant)
+	if code := run([]string{"-dir", dir, "-check"}, os.Stdout, os.Stderr); code != 1 {
+		t.Fatalf("check exit = %d, want 1 on a duplicate", code)
+	}
+	if code := run([]string{"-dir", dir, "-q"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("re-promote exit = %d", code)
+	}
+	if code := run([]string{"-dir", dir, "-check"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("check exit after re-promote = %d, want 0", code)
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if code := run([]string{"-dir", "/no/such/dir"}, os.Stdout, os.Stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

@@ -14,6 +14,8 @@
 package faultify
 
 import (
+	"fmt"
+
 	"lazycm/internal/ir"
 )
 
@@ -250,6 +252,23 @@ func All() []Fault {
 			},
 		},
 	}
+}
+
+// RunFunc adapts the fault to the pass-body shape the hardened pipeline
+// expects (without importing it): apply the fault to f in place and
+// report the mutated function plus the pretend expression→temporary map,
+// exactly as the buggy transformation the fault impersonates would. It
+// errors when the fault has nothing to corrupt in f — which is the
+// property the crash-triage reducer leans on: a minimization step that
+// shrinks a program past the fault's attachment point changes the
+// failure signature and is rejected, so every fault class stays
+// reproducible on the minimized program.
+func (ft Fault) RunFunc(f *ir.Function) (*ir.Function, map[ir.Expr]string, error) {
+	tempFor, ok := ft.Apply(f)
+	if !ok {
+		return nil, nil, fmt.Errorf("faultify: %s does not apply to %s", ft.Name, f.Name)
+	}
+	return f, tempFor, nil
 }
 
 // ByName returns the named fault. The boolean is false for unknown names.

@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"lazycm/internal/dataflow"
+)
+
+// StageInput marks a failure of the input function itself: pipeline.Run
+// rejected it with ErrInvalidInput before any pass ran. It appears only
+// in signatures (Run reports the condition as an error, not a PassError).
+const StageInput Stage = "input"
+
+// Signature is the structured identity of one contained failure: which
+// pass, at which lifecycle stage, which class of error, and — for panics
+// and free-form errors — a stable hash of the panic frames or normalized
+// message. Two failures with equal signatures are taken to witness the
+// same defect; the triage subsystem dedupes quarantined crashers by it
+// and names promoted regression files after it.
+type Signature struct {
+	// Pass is the failing pass name; empty for input-validation and
+	// parse-level failures.
+	Pass string
+	// Stage is the lifecycle stage that failed (run, post-validate,
+	// verify, canceled, input — or parse, assigned by the triage layer).
+	Stage Stage
+	// Class refines the stage: panic, fuel, deadline, cancel, validate,
+	// inequivalent, invalid, syntax, error.
+	Class string
+	// Frame is an 8-hex-digit hash: for panics, of the topmost
+	// non-runtime, non-containment stack frames; for free-form errors, of
+	// the normalized message. Empty when the class alone identifies the
+	// defect (fuel, deadline, cancel, inequivalent).
+	Frame string
+}
+
+// String renders the signature in its canonical, filename-safe form,
+// e.g. "lcm-run-panic-1a2b3c4d" or "input-invalid". Promoted crashers
+// are named crash-<this>.ir.
+func (s Signature) String() string {
+	parts := make([]string, 0, 4)
+	for _, p := range []string{s.Pass, string(s.Stage), s.Class, s.Frame} {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "-")
+}
+
+// IsZero reports whether the signature is empty (no failure).
+func (s Signature) IsZero() bool { return s == Signature{} }
+
+// Signature classifies the contained failure. The classification depends
+// only on stable properties — stage, sentinel error identity, panic call
+// chain, normalized message — so the same defect reproduces the same
+// signature across runs and across textually different victim programs.
+func (e *PassError) Signature() Signature {
+	sig := Signature{Pass: e.Pass, Stage: e.Stage}
+	switch {
+	case e.PanicValue != nil:
+		sig.Class = "panic"
+		sig.Frame = frameHash(e.Stack)
+	case errors.Is(e.Err, dataflow.ErrCanceled):
+		if errors.Is(e.Err, context.DeadlineExceeded) {
+			sig.Class = "deadline"
+		} else {
+			sig.Class = "cancel"
+		}
+	case errors.Is(e.Err, dataflow.ErrFuelExhausted):
+		sig.Class = "fuel"
+	case e.Stage == StagePostValidate:
+		sig.Class = "validate"
+		sig.Frame = HashText(Normalize(errText(e.Err)))
+	case e.Stage == StageVerify:
+		sig.Class = "inequivalent"
+	default:
+		sig.Class = "error"
+		sig.Frame = HashText(Normalize(errText(e.Err)))
+	}
+	return sig
+}
+
+// FirstFailure returns the run's first contained failure, or nil when
+// every pass succeeded.
+func (r *Result) FirstFailure() *PassError {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return r.Failures[0]
+}
+
+// RunSignature classifies the outcome of a Run call. The boolean is
+// false when the run completed without any contained failure (there is
+// nothing to triage).
+func RunSignature(res *Result, err error) (Signature, bool) {
+	if err != nil {
+		if errors.Is(err, ErrInvalidInput) {
+			return Signature{Stage: StageInput, Class: "invalid", Frame: HashText(Normalize(err.Error()))}, true
+		}
+		return Signature{Stage: StageRun, Class: "error", Frame: HashText(Normalize(err.Error()))}, true
+	}
+	if pe := res.FirstFailure(); pe != nil {
+		return pe.Signature(), true
+	}
+	return Signature{}, false
+}
+
+func errText(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Normalize rewrites the volatile parts of a diagnostic message — digit
+// runs and quoted fragments, which typically carry block names, line
+// numbers, counts and values — into fixed placeholders, so two textually
+// different witnesses of the same defect normalize to the same string.
+func Normalize(msg string) string {
+	var b strings.Builder
+	b.Grow(len(msg))
+	inDigits := false
+	inQuote := byte(0)
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+				b.WriteByte('Q')
+			}
+			continue
+		}
+		switch {
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c >= '0' && c <= '9':
+			if !inDigits {
+				b.WriteByte('N')
+			}
+			inDigits = true
+			continue
+		default:
+			b.WriteByte(c)
+		}
+		inDigits = false
+	}
+	return b.String()
+}
+
+// HashText returns an 8-hex-digit FNV-1a hash of s, the frame/message
+// fingerprint format used inside signatures.
+func HashText(s string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return fmt.Sprintf("%08x", h.Sum32())
+}
+
+// frameHash fingerprints a recovered panic by the function names of its
+// topmost meaningful frames. Runtime frames, the containment scaffolding
+// of this package, and argument values are excluded, so the hash is
+// stable across builds and across victim programs: it identifies where
+// the code panicked, not what it panicked with.
+func frameHash(stack []byte) string {
+	var frames []string
+	for _, line := range strings.Split(string(stack), "\n") {
+		if line == "" || line[0] == '\t' || line[0] == ' ' {
+			continue
+		}
+		if strings.HasPrefix(line, "goroutine ") {
+			continue
+		}
+		name := line
+		if i := strings.LastIndex(name, "("); i > 0 {
+			name = name[:i]
+		}
+		name = strings.TrimPrefix(name, "created by ")
+		switch {
+		case strings.HasPrefix(name, "runtime"),
+			strings.HasPrefix(name, "panic"),
+			strings.HasPrefix(name, "testing."),
+			strings.Contains(name, "internal/pipeline."):
+			continue
+		}
+		frames = append(frames, name)
+		if len(frames) == 4 {
+			break
+		}
+	}
+	return HashText(strings.Join(frames, "|"))
+}

@@ -1,0 +1,249 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/textir"
+)
+
+const sigVictim = `
+func victim(a, b, c) {
+entry:
+  br c then else
+then:
+  x = a + b
+  jmp join
+else:
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}
+`
+
+func sigParse(t *testing.T, src string) *ir.Function {
+	t.Helper()
+	f, err := textir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func passOf(run func(f *ir.Function) error) Pass {
+	return Pass{Name: "probe", Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
+		if err := run(f); err != nil {
+			return nil, nil, err
+		}
+		return f, nil, nil
+	}}
+}
+
+// TestSignatureClasses drives one failure of each class through Run and
+// checks the structured signature that comes out.
+func TestSignatureClasses(t *testing.T) {
+	t.Run("panic", func(t *testing.T) {
+		res, err := Run(sigParse(t, sigVictim), []Pass{passOf(func(*ir.Function) error { panic("boom") })}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok {
+			t.Fatal("panic run reported no failure")
+		}
+		if sig.Pass != "probe" || sig.Stage != StageRun || sig.Class != "panic" || sig.Frame == "" {
+			t.Fatalf("bad panic signature: %+v", sig)
+		}
+		if !strings.HasPrefix(sig.String(), "probe-run-panic-") {
+			t.Errorf("String() = %q", sig)
+		}
+	})
+
+	t.Run("fuel", func(t *testing.T) {
+		res, err := Run(sigParse(t, sigVictim), []Pass{LCMPass(lcm.LCM)}, Options{Fuel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok {
+			t.Fatal("fuel-starved run reported no failure")
+		}
+		if sig.Class != "fuel" || sig.Pass != "lcm" {
+			t.Fatalf("bad fuel signature: %+v", sig)
+		}
+		if sig.String() != "lcm-run-fuel" {
+			t.Errorf("String() = %q, want lcm-run-fuel", sig)
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		res, err := Run(sigParse(t, sigVictim), []Pass{LCMPass(lcm.LCM)}, Options{Ctx: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok || sig.Stage != StageCanceled || sig.Class != "deadline" {
+			t.Fatalf("bad deadline signature: %+v ok=%v", sig, ok)
+		}
+	})
+
+	t.Run("cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		res, err := Run(sigParse(t, sigVictim), []Pass{LCMPass(lcm.LCM)}, Options{Ctx: ctx})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok || sig.Stage != StageCanceled || sig.Class != "cancel" {
+			t.Fatalf("bad cancel signature: %+v ok=%v", sig, ok)
+		}
+	})
+
+	t.Run("post-validate", func(t *testing.T) {
+		res, err := Run(sigParse(t, sigVictim), []Pass{passOf(func(f *ir.Function) error {
+			f.Blocks[0].Term = Terminator(t)
+			return nil
+		})}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok || sig.Stage != StagePostValidate || sig.Class != "validate" || sig.Frame == "" {
+			t.Fatalf("bad validate signature: %+v ok=%v", sig, ok)
+		}
+	})
+
+	t.Run("verify", func(t *testing.T) {
+		res, err := Run(sigParse(t, sigVictim), []Pass{passOf(func(f *ir.Function) error {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].Kind == ir.BinOp {
+						b.Instrs[i].Op = ir.Sub // flip every binop: the returned y changes
+					}
+				}
+			}
+			return nil
+		})}, Options{Verify: true, Seed: 3, Runs: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok || sig.Stage != StageVerify || sig.Class != "inequivalent" {
+			t.Fatalf("bad verify signature: %+v ok=%v", sig, ok)
+		}
+	})
+
+	t.Run("invalid-input", func(t *testing.T) {
+		bad := &ir.Function{Name: "f"}
+		_, err := Run(bad, nil, Options{})
+		if err == nil {
+			t.Fatal("invalid input accepted")
+		}
+		sig, ok := RunSignature(nil, err)
+		if !ok || sig.Stage != StageInput || sig.Class != "invalid" {
+			t.Fatalf("bad input signature: %+v ok=%v", sig, ok)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		res, err := Run(sigParse(t, sigVictim), []Pass{LCMPass(lcm.LCM)}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig, ok := RunSignature(res, nil); ok {
+			t.Fatalf("clean run produced signature %v", sig)
+		}
+	})
+}
+
+// Terminator returns a structurally invalid terminator for fault tests.
+func Terminator(t *testing.T) ir.Terminator {
+	t.Helper()
+	return ir.Terminator{Kind: ir.TermKind(77)}
+}
+
+// TestSignatureStability: the same defect witnessed by two textually
+// different programs yields the same signature; different defects yield
+// different ones.
+func TestSignatureStability(t *testing.T) {
+	// Panic from inside package ir (Succ out of range), the realistic shape
+	// of a buggy pass: frames outside the containment scaffolding.
+	boom := passOf(func(f *ir.Function) error {
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.Ret {
+				b.Succ(5) // panics: successor index out of range
+			}
+		}
+		return nil
+	})
+	sigOf := func(src string, p Pass) Signature {
+		res, err := Run(sigParse(t, src), []Pass{p}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, ok := RunSignature(res, nil)
+		if !ok {
+			t.Fatal("no failure")
+		}
+		return sig
+	}
+	other := `
+func g(p, q) {
+e:
+  z = p * q
+  ret z
+}
+`
+	a, b := sigOf(sigVictim, boom), sigOf(other, boom)
+	if a != b {
+		t.Errorf("same defect, different signatures: %v vs %v", a, b)
+	}
+	// A different panic site must land a different frame hash.
+	nested := passOf(func(f *ir.Function) error {
+		empty := &ir.Function{Name: "x"}
+		empty.Entry() // panics: function has no blocks
+		return nil
+	})
+	if c := sigOf(sigVictim, nested); c.Frame == a.Frame {
+		t.Errorf("different panic sites share frame hash %q", c.Frame)
+	}
+}
+
+// TestNormalize: volatile message parts collapse, stable parts survive.
+func TestNormalize(t *testing.T) {
+	a := Normalize(`ir: f.join12 has stale ID 12 (want 3)`)
+	b := Normalize(`ir: f.join7 has stale ID 7 (want 4)`)
+	if a != b {
+		t.Errorf("normalized messages differ: %q vs %q", a, b)
+	}
+	if Normalize(`x "foo" y`) != Normalize(`x "bar" y`) {
+		t.Error("quoted fragments not collapsed")
+	}
+	if Normalize("unreachable block") == Normalize("duplicate block") {
+		t.Error("distinct messages collapsed")
+	}
+}
+
+// TestPassErrorSignatureErrors: plain errors classify as "error" with a
+// message fingerprint.
+func TestPassErrorSignatureErrors(t *testing.T) {
+	pe := &PassError{Pass: "p", Stage: StageRun, Err: errors.New("bad thing 42")}
+	sig := pe.Signature()
+	if sig.Class != "error" || sig.Frame == "" {
+		t.Fatalf("bad signature: %+v", sig)
+	}
+	pe2 := &PassError{Pass: "p", Stage: StageRun, Err: errors.New("bad thing 43")}
+	if pe2.Signature() != sig {
+		t.Error("digit-only difference changed the signature")
+	}
+}

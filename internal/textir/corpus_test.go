@@ -1,16 +1,10 @@
 package textir
 
 import (
-	"errors"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
-
-	"lazycm/internal/ir"
-	"lazycm/internal/lcm"
-	"lazycm/internal/pipeline"
-	"lazycm/internal/verify"
 )
 
 // corpusSeeds returns every checked-in textual-IR program, keyed by path:
@@ -43,40 +37,6 @@ func corpusSeeds(tb testing.TB) []struct{ Path, Src string } {
 	return seeds
 }
 
-// TestCrasherReplay replays the whole corpus — crucially including every
-// quarantined crasher — through the full hardened pipeline. A crasher is
-// allowed to be rejected or to fall back; it is not allowed to panic, to
-// ship an invalid function, or to ship one that misbehaves.
-func TestCrasherReplay(t *testing.T) {
-	passes := []pipeline.Pass{
-		pipeline.LCMPass(lcm.LCM), pipeline.MRPass(), pipeline.GCSEPass(),
-		pipeline.OptPass(), pipeline.CleanupPass(),
-	}
-	for _, seed := range corpusSeeds(t) {
-		t.Run(filepath.Base(seed.Path), func(t *testing.T) {
-			fns, err := Parse(seed.Src)
-			if err != nil {
-				// Unparseable crashers stay in quarantine for the parser
-				// fuzzer; the pipeline has nothing to replay.
-				t.Skipf("not parseable: %v", err)
-			}
-			for _, fn := range fns {
-				res, err := pipeline.Run(fn, passes, pipeline.Options{
-					Verify: true, Runs: 2, MaxRounds: 2,
-				})
-				if err != nil {
-					if !errors.Is(err, pipeline.ErrInvalidInput) {
-						t.Fatalf("non-containment error kind: %v\n%s", err, fn)
-					}
-					continue
-				}
-				if verr := ir.Validate(res.F); verr != nil {
-					t.Fatalf("replay shipped an invalid function: %v\n%s", verr, res.F)
-				}
-				if eerr := verify.Equivalent(fn, res.F, 1, 2); eerr != nil {
-					t.Fatalf("replay shipped a misbehaving function: %v\n%s", eerr, res.F)
-				}
-			}
-		})
-	}
-}
+// TestCrasherReplay lives in replay_test.go (package textir_test): it
+// leans on internal/triage for signature checking, which this package
+// cannot import without a cycle.

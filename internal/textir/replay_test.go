@@ -1,0 +1,103 @@
+package textir_test
+
+// This file is an external test package so it can drive the corpus
+// through internal/triage (which imports textir): the in-package tests
+// cannot, or the import would cycle.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/lcm"
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+	"lazycm/internal/triage"
+	"lazycm/internal/verify"
+)
+
+// replaySeeds mirrors corpusSeeds from the in-package tests: every
+// checked-in program plus every quarantined or promoted crasher.
+func replaySeeds(tb testing.TB) []struct{ Path, Src string } {
+	tb.Helper()
+	var seeds []struct{ Path, Src string }
+	for _, pat := range []string{
+		filepath.Join("..", "..", "testdata", "*.ir"),
+		filepath.Join("..", "..", "testdata", "crashers", "*.ir"),
+	} {
+		paths, err := filepath.Glob(pat)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			seeds = append(seeds, struct{ Path, Src string }{p, string(src)})
+		}
+	}
+	if len(seeds) == 0 {
+		tb.Fatal("no corpus seeds found under ../../testdata")
+	}
+	return seeds
+}
+
+// TestCrasherReplay replays the whole corpus — crucially including every
+// quarantined crasher — through the full hardened pipeline. A crasher is
+// allowed to be rejected or to fall back; it is not allowed to panic, to
+// ship an invalid function, or to ship one that misbehaves. Promoted
+// crashers carry a "# signature:" sidecar, and for those the replay must
+// witness exactly the recorded defect (or none, once the defect is
+// fixed) — a different signature means the evidence drifted and the file
+// needs re-triage.
+func TestCrasherReplay(t *testing.T) {
+	passes := []pipeline.Pass{
+		pipeline.LCMPass(lcm.LCM), pipeline.MRPass(), pipeline.GCSEPass(),
+		pipeline.OptPass(), pipeline.CleanupPass(),
+	}
+	for _, seed := range replaySeeds(t) {
+		t.Run(filepath.Base(seed.Path), func(t *testing.T) {
+			if recorded, ok := triage.RecordedSignature(seed.Src); ok {
+				d := triage.ParseDirectives(seed.Src)
+				sig, reproduces := triage.Replay(seed.Src, d, 10*time.Second)
+				if reproduces && sig.String() != recorded {
+					t.Fatalf("signature drift: recorded %s, replays as %s (directives %s)",
+						recorded, sig, d.String())
+				}
+				if !reproduces {
+					t.Logf("recorded %s now replays clean (fixed defect, kept as regression seed)", recorded)
+				}
+			}
+
+			fns, err := textir.Parse(seed.Src)
+			if err != nil {
+				// Unparseable crashers stay in quarantine for the parser
+				// fuzzer; the pipeline has nothing to replay.
+				t.Skipf("not parseable: %v", err)
+			}
+			for _, fn := range fns {
+				res, err := pipeline.Run(fn, passes, pipeline.Options{
+					Verify: true, Runs: 2, MaxRounds: 2,
+				})
+				if err != nil {
+					if !errors.Is(err, pipeline.ErrInvalidInput) {
+						t.Fatalf("non-containment error kind: %v\n%s", err, fn)
+					}
+					continue
+				}
+				if verr := ir.Validate(res.F); verr != nil {
+					t.Fatalf("replay shipped an invalid function: %v\n%s", verr, res.F)
+				}
+				if eerr := verify.Equivalent(fn, res.F, 1, 2); eerr != nil {
+					t.Fatalf("replay shipped a misbehaving function: %v\n%s", eerr, res.F)
+				}
+			}
+		})
+	}
+}

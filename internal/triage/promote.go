@@ -1,0 +1,289 @@
+package triage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+)
+
+// Entry is one crasher file as the triage scanner sees it.
+type Entry struct {
+	// Path is the file's location.
+	Path string
+	// Src is the raw file content, sidecar lines included.
+	Src string
+	// D are the replay directives (from the file, or defaults).
+	D Directives
+	// Recorded is the sidecar signature, "" when the file has none.
+	Recorded string
+	// Sig is the signature the file actually replays to now.
+	Sig pipeline.Signature
+	// Reproduces reports whether the file still fails at all.
+	Reproduces bool
+}
+
+// Scan loads every .ir file under dir and replays each one to classify
+// it. Files are returned in name order, so every downstream decision
+// (dedupe winners, report order) is deterministic.
+func Scan(dir string, timeout time.Duration) ([]*Entry, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.ir"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	entries := make([]*Entry, 0, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		e := &Entry{Path: p, Src: string(src), D: ParseDirectives(string(src))}
+		e.Recorded, _ = RecordedSignature(e.Src)
+		e.Sig, e.Reproduces = Replay(e.Src, e.D, timeout)
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// PromoteOptions tunes Promote.
+type PromoteOptions struct {
+	// OutDir receives promoted crashers; "" means promote in place (the
+	// scanned directory itself).
+	OutDir string
+	// Budget is the reducer's oracle budget per crasher (0 = default).
+	Budget int
+	// Timeout bounds each replay (0 = DefaultTimeout).
+	Timeout time.Duration
+	// Keep prevents deletion of raw captures after promotion; by default
+	// a promoted or deduplicated raw file is removed ("moved" into the
+	// corpus).
+	Keep bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Promotion describes what happened to one raw crasher.
+type Promotion struct {
+	// Source is the raw capture; Dest the promoted corpus file.
+	Source, Dest string
+	// Sig is the failure signature (also Dest's basename stem).
+	Sig string
+	// FromBytes/ToBytes measure the reduction.
+	FromBytes, ToBytes int
+	// DupOf names the already-promoted file this capture duplicated,
+	// "" when this capture became the promoted representative.
+	DupOf string
+}
+
+// Promote curates dir: every raw crasher that still reproduces is
+// minimized by Reduce, deduplicated by signature, and written to OutDir
+// as crash-<signature>.ir with "# signature:" and "# replay:" sidecar
+// lines; OutDir/README.md gains one entry per new promotion. Files that
+// replay clean (fixed defects kept as regression seeds) and files
+// already promoted (sidecar matches, name matches) are left untouched.
+func Promote(dir string, opt PromoteOptions) ([]Promotion, error) {
+	outDir := opt.OutDir
+	if outDir == "" {
+		outDir = dir
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries, err := Scan(dir, opt.Timeout)
+	if err != nil {
+		return nil, err
+	}
+
+	// Existing promoted representatives claim their signatures first, so
+	// re-running Promote is idempotent and dedupe prefers the corpus copy.
+	seen := map[string]string{} // signature → promoted path
+	for _, e := range entries {
+		if e.Reproduces && e.Recorded == e.Sig.String() && e.Path == promotedPath(dir, e.Sig) {
+			seen[e.Sig.String()] = e.Path
+		}
+	}
+	if outDir != dir {
+		outEntries, err := Scan(outDir, opt.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range outEntries {
+			if e.Reproduces && e.Recorded == e.Sig.String() && e.Path == promotedPath(outDir, e.Sig) {
+				seen[e.Sig.String()] = e.Path
+			}
+		}
+	}
+
+	var promotions []Promotion
+	for _, e := range entries {
+		if !e.Reproduces {
+			logf("%s: replays clean, leaving as regression seed", filepath.Base(e.Path))
+			continue
+		}
+		sig := e.Sig.String()
+		if seen[sig] == e.Path {
+			continue // already the promoted representative
+		}
+		if rep, ok := seen[sig]; ok {
+			// Duplicate of an already-promoted defect.
+			promotions = append(promotions, Promotion{
+				Source: e.Path, Dest: rep, Sig: sig,
+				FromBytes: len(e.Src), ToBytes: len(e.Src), DupOf: rep,
+			})
+			if !opt.Keep {
+				if err := os.Remove(e.Path); err != nil {
+					return promotions, err
+				}
+			}
+			logf("%s: duplicate of %s (%s), dropped", filepath.Base(e.Path), filepath.Base(rep), sig)
+			continue
+		}
+
+		reduced, stats := Reduce(e.Src, e.Sig, ReplayOracle(e.D, opt.Timeout), ReduceOptions{MaxOracleCalls: opt.Budget})
+		dest := promotedPath(outDir, e.Sig)
+		content := ComposeCrasher(sig, e.D, reduced)
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return promotions, err
+		}
+		if err := os.WriteFile(dest, []byte(content), 0o644); err != nil {
+			return promotions, err
+		}
+		if err := appendReadmeEntry(outDir, e.Sig, filepath.Base(e.Path), stats); err != nil {
+			return promotions, err
+		}
+		seen[sig] = dest
+		promotions = append(promotions, Promotion{
+			Source: e.Path, Dest: dest, Sig: sig,
+			FromBytes: stats.FromBytes, ToBytes: stats.ToBytes,
+		})
+		if !opt.Keep && e.Path != dest {
+			if err := os.Remove(e.Path); err != nil {
+				return promotions, err
+			}
+		}
+		logf("%s: promoted to %s (%d→%d bytes, %d replays)",
+			filepath.Base(e.Path), filepath.Base(dest), stats.FromBytes, stats.ToBytes, stats.OracleCalls)
+	}
+	return promotions, nil
+}
+
+// promotedPath names the corpus file for a signature.
+func promotedPath(dir string, sig pipeline.Signature) string {
+	return filepath.Join(dir, "crash-"+sig.String()+".ir")
+}
+
+// readmeMarker is the heading Promote appends entries under in the
+// corpus README; it is created on first promotion if absent.
+const readmeMarker = "## Promoted crashers"
+
+// appendReadmeEntry records a promotion in dir/README.md, once per
+// promoted file.
+func appendReadmeEntry(dir string, sig pipeline.Signature, source string, stats ReduceStats) error {
+	path := filepath.Join(dir, "README.md")
+	name := "crash-" + sig.String() + ".ir"
+	existing, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if strings.Contains(string(existing), "`"+name+"`") {
+		return nil
+	}
+	var b strings.Builder
+	b.Write(existing)
+	if !strings.Contains(string(existing), readmeMarker) {
+		if len(existing) > 0 && !strings.HasSuffix(string(existing), "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteString("\n" + readmeMarker + "\n\n")
+	}
+	fmt.Fprintf(&b, "- `%s` — signature `%s`; minimized from `%s` (%d→%d bytes)\n",
+		name, sig.String(), source, stats.FromBytes, stats.ToBytes)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// CheckOptions tunes Check.
+type CheckOptions struct {
+	// Budget is the reducer's oracle budget per crasher (0 = default).
+	Budget int
+	// Timeout bounds each replay (0 = DefaultTimeout).
+	Timeout time.Duration
+}
+
+// Issue is one corpus-hygiene violation found by Check.
+type Issue struct {
+	Path    string
+	Problem string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.Path, i.Problem) }
+
+// Check audits a crasher corpus without modifying it, the CI gate behind
+// `make triage`:
+//
+//   - two crashers witnessing the same failure signature is a duplicate
+//     (one of them should have been deduped away);
+//   - a reproducing crasher the reducer can still shrink is not minimal;
+//   - a recorded "# signature:" sidecar that disagrees with what the
+//     file actually replays to is signature drift (the defect morphed —
+//     re-promote to refresh the evidence).
+//
+// Files that replay clean are fixed defects kept as regression seeds;
+// they are reported in notes, never as issues.
+func Check(dir string, opt CheckOptions) (issues []Issue, notes []string, err error) {
+	entries, err := Scan(dir, opt.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	bySig := map[string][]*Entry{}
+	for _, e := range entries {
+		if !e.Reproduces {
+			if e.Recorded != "" {
+				notes = append(notes, fmt.Sprintf("%s: recorded %s now replays clean (fixed; keep as regression seed)", e.Path, e.Recorded))
+			}
+			continue
+		}
+		sig := e.Sig.String()
+		bySig[sig] = append(bySig[sig], e)
+		if e.Recorded != "" && e.Recorded != sig {
+			issues = append(issues, Issue{e.Path, fmt.Sprintf("signature drift: recorded %s, replays as %s", e.Recorded, sig)})
+		}
+		reduced, stats := Reduce(e.Src, e.Sig, ReplayOracle(e.D, opt.Timeout), ReduceOptions{MaxOracleCalls: opt.Budget})
+		if canon := canonicalBody(e.Src); len(reduced) < len(canon) {
+			issues = append(issues, Issue{e.Path, fmt.Sprintf("not minimal: reducible %d→%d bytes (run the triage promoter)", len(canon), stats.ToBytes)})
+		}
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		es := bySig[sig]
+		if len(es) > 1 {
+			names := make([]string, len(es))
+			for i, e := range es {
+				names[i] = filepath.Base(e.Path)
+			}
+			issues = append(issues, Issue{es[0].Path, fmt.Sprintf("duplicate signature %s shared by %s", sig, strings.Join(names, ", "))})
+		}
+	}
+	return issues, notes, nil
+}
+
+// canonicalBody is the size baseline for minimality: the program as the
+// loose module model prints it, comments and sidecars stripped. Raw
+// bytes are the baseline for inputs with no module structure.
+func canonicalBody(src string) string {
+	m, err := textir.ParseModule(src)
+	if err != nil {
+		return src
+	}
+	return m.String()
+}

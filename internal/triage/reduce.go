@@ -1,0 +1,194 @@
+package triage
+
+import (
+	"strings"
+
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+)
+
+// ReduceOptions tunes the delta-debugging reducer.
+type ReduceOptions struct {
+	// MaxOracleCalls bounds the total number of candidate replays; 0
+	// means DefaultOracleBudget. The reducer is greedy, so exhausting the
+	// budget still returns the best (smallest reproducing) program found.
+	MaxOracleCalls int
+}
+
+// DefaultOracleBudget is the reducer's replay budget when unset.
+const DefaultOracleBudget = 400
+
+// ReduceStats reports what a reduction did.
+type ReduceStats struct {
+	// OracleCalls is the number of candidate replays performed.
+	OracleCalls int
+	// Accepted is the number of reduction steps that preserved the
+	// signature and were kept.
+	Accepted int
+	// FromBytes and ToBytes are the program sizes before and after.
+	FromBytes, ToBytes int
+}
+
+// Reduce shrinks src to a smaller program that still reproduces the
+// target failure signature under the oracle. It delta-debugs over the
+// textual-IR grammar, coarse to fine: drop whole functions, drop blocks
+// (re-pointing terminators through the dropped node), drop instruction
+// lines, simplify terminators (br→jmp→ret), simplify operands
+// (variables→0). Every accepted step is re-validated by the oracle, so
+// the result — whatever the budget — reproduces exactly the target
+// signature. Inputs the loose module parser cannot structure (raw junk
+// that still crashes the strict parser) fall back to plain line-level
+// reduction.
+//
+// The returned program is at most as large as the canonicalized input;
+// when no reduction preserves the signature, it is the canonicalized
+// input itself.
+func Reduce(src string, target pipeline.Signature, oracle Oracle, opt ReduceOptions) (string, ReduceStats) {
+	budget := opt.MaxOracleCalls
+	if budget <= 0 {
+		budget = DefaultOracleBudget
+	}
+	stats := ReduceStats{FromBytes: len(src)}
+
+	m, err := textir.ParseModule(src)
+	if err != nil {
+		out := reduceLines(src, target, oracle, budget, &stats)
+		stats.ToBytes = len(out)
+		return out, stats
+	}
+
+	// Canonicalize (strip comments, normalize whitespace) and make sure
+	// the canonical form still reproduces; if not, the failure lives in
+	// the raw bytes and reduction must not touch them.
+	cur := m.String()
+	if cur != src {
+		stats.OracleCalls++
+		if sig, ok := oracle(cur); !ok || sig != target {
+			stats.ToBytes = len(src)
+			return src, stats
+		}
+	}
+
+	try := func(cand *textir.Module) bool {
+		if stats.OracleCalls >= budget {
+			return false
+		}
+		txt := cand.String()
+		if len(txt) > len(cur) || txt == cur {
+			return false
+		}
+		stats.OracleCalls++
+		if sig, ok := oracle(txt); ok && sig == target {
+			cur = txt
+			stats.Accepted++
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && stats.OracleCalls < budget; {
+		changed = false
+
+		// 1. Drop whole functions (multi-function modules).
+		for i := 0; len(m.Funcs) > 1 && i < len(m.Funcs); {
+			cand := m.Clone()
+			cand.DropFunc(i)
+			if try(cand) {
+				m = cand
+				changed = true
+				continue // the next function shifted into slot i
+			}
+			i++
+		}
+
+		// 2. Drop blocks, re-pointing terminators through the hole.
+		for fi := 0; fi < len(m.Funcs); fi++ {
+			for bi := 0; bi < len(m.Funcs[fi].Blocks); {
+				cand := m.Clone()
+				cand.Funcs[fi].DropBlock(bi)
+				if try(cand) {
+					m = cand
+					changed = true
+					continue
+				}
+				bi++
+			}
+		}
+
+		// 3. Drop individual lines (loose lines first, then block lines).
+		for fi := 0; fi < len(m.Funcs); fi++ {
+			for li := 0; li < len(m.Funcs[fi].Loose); {
+				cand := m.Clone()
+				f := cand.Funcs[fi]
+				f.Loose = append(f.Loose[:li:li], f.Loose[li+1:]...)
+				if try(cand) {
+					m = cand
+					changed = true
+					continue
+				}
+				li++
+			}
+			for bi := 0; bi < len(m.Funcs[fi].Blocks); bi++ {
+				for li := 0; li < len(m.Funcs[fi].Blocks[bi].Lines); {
+					cand := m.Clone()
+					b := cand.Funcs[fi].Blocks[bi]
+					b.Lines = append(b.Lines[:li:li], b.Lines[li+1:]...)
+					if try(cand) {
+						m = cand
+						changed = true
+						continue
+					}
+					li++
+				}
+			}
+		}
+
+		// 4. Simplify terminators, 5. simplify operands — line rewrites.
+		for fi := 0; fi < len(m.Funcs); fi++ {
+			for bi := 0; bi < len(m.Funcs[fi].Blocks); bi++ {
+				for li := 0; li < len(m.Funcs[fi].Blocks[bi].Lines); li++ {
+					line := m.Funcs[fi].Blocks[bi].Lines[li]
+					cands := append(textir.SimplifyTermCandidates(line), textir.SimplifyOperandCandidates(line)...)
+					for _, repl := range cands {
+						cand := m.Clone()
+						cand.Funcs[fi].Blocks[bi].Lines[li] = repl
+						if try(cand) {
+							m = cand
+							changed = true
+							break // the line changed; recompute its candidates
+						}
+					}
+				}
+			}
+		}
+	}
+
+	stats.ToBytes = len(cur)
+	return cur, stats
+}
+
+// reduceLines is the fallback for inputs with no parseable module
+// structure: greedily drop one raw line at a time while the signature
+// survives.
+func reduceLines(src string, target pipeline.Signature, oracle Oracle, budget int, stats *ReduceStats) string {
+	lines := strings.Split(src, "\n")
+	for changed := true; changed && stats.OracleCalls < budget; {
+		changed = false
+		for i := 0; i < len(lines) && len(lines) > 1; {
+			cand := append(append([]string(nil), lines[:i]...), lines[i+1:]...)
+			txt := strings.Join(cand, "\n")
+			stats.OracleCalls++
+			if sig, ok := oracle(txt); ok && sig == target {
+				lines = cand
+				stats.Accepted++
+				changed = true
+				continue
+			}
+			i++
+			if stats.OracleCalls >= budget {
+				break
+			}
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,257 @@
+// Package triage turns the raw quarantine directory the optimization
+// service accumulates into a curated crasher corpus. The service captures
+// every input that faults, falls back or panics (cmd/lcmd's -quarantine
+// flag); this package is the maintenance half of that loop:
+//
+//   - Replay runs a captured input through the hardened pipeline under
+//     the capture's own "# replay:" directives and classifies the outcome
+//     as a structured pipeline.Signature — stage, error class, panic
+//     frame hash — the identity of the defect it witnesses;
+//   - Reduce delta-debugs the input over the textual-IR grammar (drop
+//     functions, drop blocks, drop instructions, simplify terminators and
+//     operands) to the smallest program that still reproduces the same
+//     signature;
+//   - Promote dedupes crashers by signature and moves one minimized
+//     representative per defect into the corpus as a signature-named,
+//     sidecar-annotated regression file;
+//   - Check audits a corpus in CI: every reproducing crasher must be
+//     minimal, signatures must be unique, and recorded sidecars must
+//     match what actually replays.
+//
+// The papers this reproduction leans on (lospre, certified GCSE/LICM)
+// earn trust in redundancy elimination through reproducible failure
+// evidence; a minimized, deduplicated crasher with a recorded signature
+// is exactly that evidence.
+package triage
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"lazycm/internal/lcm"
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+)
+
+// StageParse marks failures of the textual parser (including builder and
+// validation errors surfaced through it): the input never reached the
+// pipeline.
+const StageParse = pipeline.Stage("parse")
+
+// DefaultTimeout bounds one replay of one crasher. A crasher whose
+// defect needs longer than this to fire is reported as a deadline
+// signature — still stable, still reducible.
+const DefaultTimeout = 2 * time.Second
+
+// Directives are the replay conditions captured alongside a quarantined
+// input: the pipeline configuration under which the failure was
+// observed. They round-trip through a "# replay:" comment line, so a
+// crasher file is self-describing.
+type Directives struct {
+	// Mode is a pipeline mode name (lcm, alcm, bcm, mr, gcse, sr, opt) or
+	// "battery", the full standard pass sequence used by TestCrasherReplay.
+	Mode string
+	// Fuel is the node-visit budget per fixpoint; 0 means unlimited.
+	Fuel int
+	// Verify enables behavioural re-verification of every pass output.
+	Verify bool
+	// Canonical enables commutative canonicalization.
+	Canonical bool
+	// Runs is the verification battery size (0 = pipeline default).
+	Runs int
+	// MaxRounds bounds the opt pass reapplication loop (0 = default).
+	MaxRounds int
+}
+
+// DefaultDirectives is the replay configuration assumed when a file
+// carries no "# replay:" line: the full battery with verification, the
+// settings TestCrasherReplay has always used.
+func DefaultDirectives() Directives {
+	return Directives{Mode: "battery", Verify: true, Runs: 2, MaxRounds: 2}
+}
+
+// String renders the directives as the "# replay:" line payload.
+func (d Directives) String() string {
+	parts := []string{"mode=" + d.Mode}
+	if d.Fuel > 0 {
+		parts = append(parts, "fuel="+strconv.Itoa(d.Fuel))
+	}
+	parts = append(parts, "verify="+strconv.FormatBool(d.Verify))
+	if d.Canonical {
+		parts = append(parts, "canonical=true")
+	}
+	if d.Runs > 0 {
+		parts = append(parts, "runs="+strconv.Itoa(d.Runs))
+	}
+	if d.MaxRounds > 0 {
+		parts = append(parts, "rounds="+strconv.Itoa(d.MaxRounds))
+	}
+	return strings.Join(parts, " ")
+}
+
+// sidecar comment prefixes inside crasher files. '#' lines are
+// transparent to the textual-IR parser, so annotated crashers remain
+// directly replayable programs.
+const (
+	sigPrefix    = "# signature:"
+	replayPrefix = "# replay:"
+)
+
+// ParseDirectives extracts the "# replay:" line from a crasher file, or
+// the defaults when none is present.
+func ParseDirectives(src string) Directives {
+	d := DefaultDirectives()
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, replayPrefix)
+		if !ok {
+			continue
+		}
+		for _, tok := range strings.Fields(rest) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				continue
+			}
+			switch k {
+			case "mode":
+				d.Mode = v
+			case "fuel":
+				d.Fuel, _ = strconv.Atoi(v)
+			case "verify":
+				d.Verify = v == "true"
+			case "canonical":
+				d.Canonical = v == "true"
+			case "runs":
+				d.Runs, _ = strconv.Atoi(v)
+			case "rounds":
+				d.MaxRounds, _ = strconv.Atoi(v)
+			}
+		}
+		break
+	}
+	return d
+}
+
+// RecordedSignature returns the "# signature:" sidecar of a crasher
+// file; ok is false when the file has none (a raw, unpromoted capture).
+func RecordedSignature(src string) (sig string, ok bool) {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, found := strings.CutPrefix(line, sigPrefix); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// ComposeCrasher assembles a promoted crasher file: signature sidecar,
+// replay directives, then the minimized program.
+func ComposeCrasher(sig string, d Directives, program string) string {
+	var b strings.Builder
+	b.WriteString(sigPrefix + " " + sig + "\n")
+	b.WriteString(replayPrefix + " " + d.String() + "\n")
+	if !strings.HasPrefix(program, "\n") {
+		b.WriteByte('\n')
+	}
+	b.WriteString(program)
+	if !strings.HasSuffix(program, "\n") {
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// batteryPasses is the standard replay sequence: the same passes
+// TestCrasherReplay has always run over the corpus.
+func batteryPasses() []pipeline.Pass {
+	return []pipeline.Pass{
+		pipeline.LCMPass(lcm.LCM), pipeline.MRPass(), pipeline.GCSEPass(),
+		pipeline.OptPass(), pipeline.CleanupPass(),
+	}
+}
+
+// passesFor resolves directives to a pass sequence.
+func passesFor(d Directives) ([]pipeline.Pass, error) {
+	if d.Mode == "" || d.Mode == "battery" {
+		return batteryPasses(), nil
+	}
+	p, ok := pipeline.ForMode(d.Mode)
+	if !ok {
+		return nil, fmt.Errorf("triage: unknown replay mode %q", d.Mode)
+	}
+	return []pipeline.Pass{p}, nil
+}
+
+// Replay runs src through the pipeline under the given directives and
+// classifies the outcome. The boolean reports whether the input
+// reproduces any failure at all: false means the program parses,
+// optimizes and verifies cleanly (nothing to triage). Replay never
+// panics; even a parser panic is contained and classified.
+func Replay(src string, d Directives, timeout time.Duration) (sig pipeline.Signature, reproduces bool) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	perr := pipeline.Guard("replay", func() error {
+		sig, reproduces = replay(src, d, timeout)
+		return nil
+	})
+	if perr != nil {
+		return perr.Signature(), true
+	}
+	return sig, reproduces
+}
+
+func replay(src string, d Directives, timeout time.Duration) (pipeline.Signature, bool) {
+	fns, err := textir.Parse(src)
+	if err != nil {
+		return ParseSignature(err), true
+	}
+	passes, err := passesFor(d)
+	if err != nil {
+		return pipeline.Signature{Stage: StageParse, Class: "mode"}, true
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	opts := pipeline.Options{
+		Fuel: d.Fuel, Canonical: d.Canonical, Verify: d.Verify,
+		Runs: d.Runs, MaxRounds: d.MaxRounds, Ctx: ctx,
+	}
+	for _, fn := range fns {
+		res, err := pipeline.Run(fn, passes, opts)
+		if sig, ok := pipeline.RunSignature(res, err); ok {
+			return sig, true
+		}
+	}
+	return pipeline.Signature{}, false
+}
+
+// ParseSignature classifies a textual-IR parse failure: pure syntax
+// errors (reported with a line number by the parser) versus
+// builder/validation rejections of a syntactically well-formed program.
+// The frame fingerprint hashes the normalized message, so two witnesses
+// of the same parse defect — different names, different line numbers —
+// collapse to one signature.
+func ParseSignature(err error) pipeline.Signature {
+	class := "invalid"
+	if _, ok := err.(*textir.ParseError); ok {
+		class = "syntax"
+	}
+	return pipeline.Signature{
+		Stage: StageParse, Class: class,
+		Frame: pipeline.HashText(pipeline.Normalize(err.Error())),
+	}
+}
+
+// Oracle is the reproduction predicate the reducer drives: it replays a
+// candidate program and reports its failure signature, if any.
+type Oracle func(src string) (pipeline.Signature, bool)
+
+// ReplayOracle returns the standard oracle: replay under fixed
+// directives with a per-call timeout.
+func ReplayOracle(d Directives, timeout time.Duration) Oracle {
+	return func(src string) (pipeline.Signature, bool) {
+		return Replay(src, d, timeout)
+	}
+}

@@ -1,0 +1,415 @@
+package triage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lazycm/internal/faultify"
+	"lazycm/internal/ir"
+	"lazycm/internal/pipeline"
+	"lazycm/internal/textir"
+)
+
+// cleanSrc optimizes and verifies without incident under every replay
+// configuration used here.
+const cleanSrc = `
+func diamond(a, b, p) {
+entry:
+  br p then else
+then:
+  x = a + b
+  print x
+  jmp join
+else:
+  nop
+  jmp join
+join:
+  y = a + b
+  ret y
+}
+`
+
+// fuelDirectives reproduce the fuel-exhaustion defect: the LCM fixpoints
+// cannot finish a single node visit.
+func fuelDirectives() Directives {
+	return Directives{Mode: "lcm", Fuel: 1}
+}
+
+const fuelSig = "lcm-run-fuel"
+
+func TestReplayClean(t *testing.T) {
+	if sig, reproduces := Replay(cleanSrc, DefaultDirectives(), 0); reproduces {
+		t.Fatalf("clean program reproduced %s", sig)
+	}
+}
+
+func TestReplaySyntax(t *testing.T) {
+	sig, reproduces := Replay("func f( {\n", DefaultDirectives(), 0)
+	if !reproduces {
+		t.Fatal("junk did not reproduce")
+	}
+	if sig.Stage != StageParse || sig.Class != "syntax" {
+		t.Fatalf("sig = %s, want parse-syntax-*", sig)
+	}
+}
+
+func TestReplayInvalid(t *testing.T) {
+	// Syntactically fine, semantically rejected: jump to a missing label.
+	sig, reproduces := Replay("func f() {\ne:\n  jmp nowhere\n}\n", DefaultDirectives(), 0)
+	if !reproduces {
+		t.Fatal("invalid program did not reproduce")
+	}
+	if sig.Stage != StageParse || sig.Class != "invalid" {
+		t.Fatalf("sig = %s, want parse-invalid-*", sig)
+	}
+}
+
+func TestReplayFuel(t *testing.T) {
+	sig, reproduces := Replay(cleanSrc, fuelDirectives(), 0)
+	if !reproduces {
+		t.Fatal("fuel starvation did not reproduce")
+	}
+	if sig.String() != fuelSig {
+		t.Fatalf("sig = %s, want %s", sig, fuelSig)
+	}
+}
+
+func TestReplayUnknownMode(t *testing.T) {
+	sig, reproduces := Replay(cleanSrc, Directives{Mode: "no-such-mode"}, 0)
+	if !reproduces || sig.Class != "mode" {
+		t.Fatalf("sig = %s reproduces=%v, want a mode failure", sig, reproduces)
+	}
+}
+
+func TestDirectivesRoundTrip(t *testing.T) {
+	d := Directives{Mode: "lcm", Fuel: 7, Verify: true, Canonical: true, Runs: 3, MaxRounds: 2}
+	file := ComposeCrasher("lcm-run-fuel", d, cleanSrc)
+	if got := ParseDirectives(file); got != d {
+		t.Errorf("directives round trip: got %+v, want %+v", got, d)
+	}
+	sig, ok := RecordedSignature(file)
+	if !ok || sig != "lcm-run-fuel" {
+		t.Errorf("recorded signature = %q ok=%v", sig, ok)
+	}
+	if _, ok := RecordedSignature(cleanSrc); ok {
+		t.Error("unannotated source claims a recorded signature")
+	}
+	// Sidecar lines are comments: the annotated file is still a program.
+	if _, err := textir.Parse(file); err != nil {
+		t.Errorf("annotated crasher does not parse: %v", err)
+	}
+}
+
+// TestReduceFuelCrasher: the reducer must strip the bystander function
+// and dead weight from a fuel crasher while the signature survives, and
+// the ISSUE-level contract — result smaller or equal, same signature —
+// must hold.
+func TestReduceFuelCrasher(t *testing.T) {
+	src := cleanSrc + `
+func bystander(q) {
+e:
+  print q
+  ret
+}
+`
+	d := fuelDirectives()
+	oracle := ReplayOracle(d, time.Second)
+	target, ok := oracle(src)
+	if !ok || target.String() != fuelSig {
+		t.Fatalf("seed does not reproduce %s: %s ok=%v", fuelSig, target, ok)
+	}
+	reduced, stats := Reduce(src, target, oracle, ReduceOptions{})
+	if got, ok := oracle(reduced); !ok || got != target {
+		t.Fatalf("reduced program lost the signature: %s ok=%v\n%s", got, ok, reduced)
+	}
+	if len(reduced) > len(src) {
+		t.Fatalf("reduction grew the program: %d > %d", len(reduced), len(src))
+	}
+	// Fuel exhaustion fires on any function, so the minimal witness is a
+	// single trivial function — the reducer must get down to one.
+	if got := strings.Count(reduced, "func "); got != 1 {
+		t.Errorf("reduced program has %d functions, want 1:\n%s", got, reduced)
+	}
+	if len(reduced) > len(src)/2 {
+		t.Errorf("reduction too weak: %d of %d bytes survive:\n%s", len(reduced), len(src), reduced)
+	}
+	if stats.Accepted == 0 || stats.OracleCalls == 0 {
+		t.Errorf("stats look dead: %+v", stats)
+	}
+	t.Logf("reduced %d → %d bytes in %d replays:\n%s", stats.FromBytes, stats.ToBytes, stats.OracleCalls, reduced)
+}
+
+// TestReduceUnparseable: inputs the loose model rejects still shrink via
+// the raw line fallback.
+func TestReduceUnparseable(t *testing.T) {
+	src := "garbage line one\ngarbage line two\nfunc f( {\nmore garbage\n"
+	oracle := ReplayOracle(DefaultDirectives(), time.Second)
+	target, ok := oracle(src)
+	if !ok {
+		t.Fatal("garbage does not reproduce")
+	}
+	reduced, _ := Reduce(src, target, oracle, ReduceOptions{})
+	if got, ok := oracle(reduced); !ok || got != target {
+		t.Fatalf("line-level reduction lost the signature: %s ok=%v", got, ok)
+	}
+	if len(reduced) > len(src) {
+		t.Fatalf("line-level reduction grew the input")
+	}
+}
+
+// TestReduceBudget: the oracle budget is a hard bound.
+func TestReduceBudget(t *testing.T) {
+	calls := 0
+	oracle := func(string) (pipeline.Signature, bool) {
+		calls++
+		return pipeline.Signature{Class: "x"}, true
+	}
+	Reduce(cleanSrc, pipeline.Signature{Class: "x"}, oracle, ReduceOptions{MaxOracleCalls: 5})
+	if calls > 5 {
+		t.Fatalf("oracle called %d times, budget 5", calls)
+	}
+}
+
+// buggyPass wraps a faultify fault as the buggy transformation it
+// impersonates, so the pipeline's containment (and therefore Replay's
+// classification) sees it exactly as it would a real compiler bug.
+func buggyPass(ft faultify.Fault) pipeline.Pass {
+	return pipeline.Pass{
+		Name: "buggy-" + ft.Name,
+		Run: func(f *ir.Function, _ pipeline.Options) (*ir.Function, map[ir.Expr]string, error) {
+			return ft.RunFunc(f)
+		},
+	}
+}
+
+// faultOracle replays candidates through a pipeline whose only pass is
+// the injected fault.
+func faultOracle(ft faultify.Fault) Oracle {
+	return func(src string) (pipeline.Signature, bool) {
+		var sig pipeline.Signature
+		var reproduces bool
+		perr := pipeline.Guard("fault-replay", func() error {
+			fns, err := textir.Parse(src)
+			if err != nil {
+				sig, reproduces = ParseSignature(err), true
+				return nil
+			}
+			for _, fn := range fns {
+				res, err := pipeline.Run(fn, []pipeline.Pass{buggyPass(ft)}, pipeline.Options{Verify: true, Runs: 2})
+				if s, ok := pipeline.RunSignature(res, err); ok {
+					sig, reproduces = s, true
+					return nil
+				}
+			}
+			return nil
+		})
+		if perr != nil {
+			return perr.Signature(), true
+		}
+		return sig, reproduces
+	}
+}
+
+// TestReducePreservesEveryFaultClass is the acceptance criterion from the
+// issue: for every injected fault class, minimizing a crasher that
+// witnesses it must keep the fault reproducible — same signature, program
+// no larger.
+func TestReducePreservesEveryFaultClass(t *testing.T) {
+	for _, ft := range faultify.All() {
+		ft := ft
+		t.Run(ft.Name, func(t *testing.T) {
+			oracle := faultOracle(ft)
+			target, ok := oracle(cleanSrc)
+			if !ok {
+				t.Fatalf("fault %s does not reproduce on the victim", ft.Name)
+			}
+			reduced, stats := Reduce(cleanSrc, target, oracle, ReduceOptions{MaxOracleCalls: 200})
+			got, ok := oracle(reduced)
+			if !ok {
+				t.Fatalf("fault no longer reproduces after reduction:\n%s", reduced)
+			}
+			if got != target {
+				t.Fatalf("signature drifted: %s → %s\n%s", target, got, reduced)
+			}
+			if len(reduced) > len(cleanSrc) {
+				t.Fatalf("reduction grew the program")
+			}
+			t.Logf("%s: %s, %d → %d bytes", ft.Name, target, stats.FromBytes, stats.ToBytes)
+		})
+	}
+}
+
+// variantA and variantB are hand-made witnesses of the same defect (fuel
+// exhaustion under lcm): different names, different shapes, one signature.
+const variantA = `# captured by lcmd
+func first(a, b, p) {
+entry:
+  br p left right
+left:
+  u = a + b
+  jmp out
+right:
+  v = a * b
+  jmp out
+out:
+  w = a + b
+  ret w
+}
+`
+
+const variantB = `func second(m, n) {
+top:
+  t1 = m - n
+  t2 = m - n
+  print t1
+  print t2
+  ret t2
+}
+`
+
+func writeCrasher(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPromoteDedupe is the other acceptance criterion: two variants of
+// one defect collapse into a single promoted, minimized, signature-named
+// crasher, and re-promoting is a no-op.
+func TestPromoteDedupe(t *testing.T) {
+	dir := t.TempDir()
+	d := fuelDirectives()
+	writeCrasher(t, dir, "a.ir", ComposeCrasher("", d, variantA))
+	writeCrasher(t, dir, "b.ir", ComposeCrasher("", d, variantB))
+	writeCrasher(t, dir, "clean.ir", cleanSrc) // fixed defect: untouched
+
+	proms, err := Promote(dir, PromoteOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proms) != 2 {
+		t.Fatalf("got %d promotions, want 2: %+v", len(proms), proms)
+	}
+	var dups int
+	for _, p := range proms {
+		if p.Sig != fuelSig {
+			t.Errorf("promotion signature = %s, want %s", p.Sig, fuelSig)
+		}
+		if p.DupOf != "" {
+			dups++
+		}
+	}
+	if dups != 1 {
+		t.Fatalf("want exactly 1 duplicate, got %d", dups)
+	}
+
+	names, _ := filepath.Glob(filepath.Join(dir, "*.ir"))
+	for i := range names {
+		names[i] = filepath.Base(names[i])
+	}
+	want := "crash-" + fuelSig + ".ir"
+	if len(names) != 2 || names[0] != "clean.ir" || names[1] != want {
+		t.Fatalf("corpus after promotion = %v, want [clean.ir %s]", names, want)
+	}
+
+	// The promoted file is self-describing and still reproduces.
+	src, err := os.ReadFile(filepath.Join(dir, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := RecordedSignature(string(src))
+	if !ok || rec != fuelSig {
+		t.Fatalf("promoted sidecar = %q ok=%v", rec, ok)
+	}
+	if sig, reproduces := Replay(string(src), ParseDirectives(string(src)), time.Second); !reproduces || sig.String() != fuelSig {
+		t.Fatalf("promoted crasher replays as %s reproduces=%v", sig, reproduces)
+	}
+
+	// README gained exactly one entry for the promoted defect.
+	readme, err := os.ReadFile(filepath.Join(dir, "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(readme), "`"+want+"`"); got != 1 {
+		t.Fatalf("README mentions %s %d times, want 1:\n%s", want, got, readme)
+	}
+
+	// Idempotence: a second run finds nothing to do.
+	proms, err = Promote(dir, PromoteOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proms) != 0 {
+		t.Fatalf("second promotion not a no-op: %+v", proms)
+	}
+}
+
+func TestPromoteKeep(t *testing.T) {
+	dir := t.TempDir()
+	raw := writeCrasher(t, dir, "raw.ir", ComposeCrasher("", fuelDirectives(), variantB))
+	if _, err := Promote(dir, PromoteOptions{Timeout: time.Second, Keep: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(raw); err != nil {
+		t.Fatalf("Keep did not preserve the raw capture: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "crash-"+fuelSig+".ir")); err != nil {
+		t.Fatalf("promotion missing: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	d := fuelDirectives()
+
+	// Start from a healthy corpus: promote one variant.
+	writeCrasher(t, dir, "a.ir", ComposeCrasher("", d, variantB))
+	if _, err := Promote(dir, PromoteOptions{Timeout: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	issues, notes, err := Check(dir, CheckOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 0 {
+		t.Fatalf("healthy corpus has issues: %v", issues)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("healthy corpus has notes: %v", notes)
+	}
+
+	// A second witness of the same signature: duplicate.
+	writeCrasher(t, dir, "dup.ir", ComposeCrasher(fuelSig, d, variantA))
+	// A sidecar that does not match what replays: drift.
+	writeCrasher(t, dir, "drift.ir", ComposeCrasher("lcm-run-panic-deadbeef", Directives{Mode: "lcm", Fuel: 2}, variantB))
+	// A fixed defect: clean replay with a sidecar → note, not issue.
+	writeCrasher(t, dir, "fixed.ir", ComposeCrasher(fuelSig, DefaultDirectives(), cleanSrc))
+
+	issues, notes, err = Check(dir, CheckOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var problems []string
+	for _, is := range issues {
+		problems = append(problems, is.String())
+	}
+	joined := strings.Join(problems, "\n")
+	if !strings.Contains(joined, "duplicate signature "+fuelSig) {
+		t.Errorf("duplicate not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "signature drift") {
+		t.Errorf("drift not reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "not minimal") {
+		t.Errorf("non-minimal dup not reported:\n%s", joined)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "replays clean") {
+		t.Errorf("fixed crasher note missing: %v", notes)
+	}
+}
