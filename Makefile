@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench serve triage
+.PHONY: check build vet test race fuzz bench bench-json serve triage
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -24,6 +24,14 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable benchmark numbers: ns/op and allocs/op per benchmark,
+# written to BENCH_lcm.json (see the Performance section in README.md).
+# Override BENCHTIME for stabler numbers, e.g.
+#   make bench-json BENCHTIME=100x
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) run ./cmd/lcmbench -benchtime $(BENCHTIME) -o BENCH_lcm.json ./...
 
 # Run the optimization server (see the lcmd section in README.md).
 serve:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/exp"
 	"lazycm/internal/gcse"
 	"lazycm/internal/graph"
@@ -25,6 +26,7 @@ import (
 func reportOnce(b *testing.B, gen func() *exp.Report) {
 	b.Helper()
 	b.Log("\n" + gen().String())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = gen()
@@ -107,8 +109,44 @@ func BenchmarkLCMAnalyze(b *testing.B) {
 		u := props.Collect(clone)
 		g := nodes.Build(clone, u)
 		b.Run(fmt.Sprintf("depth=%d/stmts=%d/exprs=%d", depth, clone.NumInstrs(), u.Size()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lcm.Analyze(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveScratch isolates the shared-arena win: the same LCM
+// analysis with a fresh allocation set per call ("fresh") versus one
+// scratch arena reused across calls ("scratch"), as the server's workers
+// and the experiment drivers use it. The allocs/op gap is the point.
+func BenchmarkSolveScratch(b *testing.B) {
+	for _, depth := range []int{3, 5} {
+		f, err := textir.ParseFunction(sizedProgram(depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		clone := f.Clone()
+		graph.SplitCriticalEdges(clone)
+		u := props.Collect(clone)
+		g := nodes.Build(clone, u)
+		b.Run(fmt.Sprintf("depth=%d/fresh", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := lcm.Analyze(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("depth=%d/scratch", depth), func(b *testing.B) {
+			sc := dataflow.NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -123,6 +161,7 @@ func BenchmarkLCMTransform(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("depth=%d/stmts=%d", depth, f.NumInstrs()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := lcm.Transform(f, lcm.LCM); err != nil {
 					b.Fatal(err)
@@ -139,6 +178,7 @@ func BenchmarkMRTransform(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("depth=%d/stmts=%d", depth, f.NumInstrs()), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := mr.Transform(f); err != nil {
 					b.Fatal(err)
@@ -153,6 +193,7 @@ func BenchmarkGCSETransform(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := gcse.Transform(f); err != nil {
 			b.Fatal(err)
@@ -163,6 +204,7 @@ func BenchmarkGCSETransform(b *testing.B) {
 func BenchmarkParsePrintRoundTrip(b *testing.B) {
 	src := sizedProgram(4)
 	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f, err := textir.ParseFunction(src)
 		if err != nil {
@@ -173,6 +215,7 @@ func BenchmarkParsePrintRoundTrip(b *testing.B) {
 }
 
 func BenchmarkRandProgGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = randprog.ForSeed(int64(i))
 	}

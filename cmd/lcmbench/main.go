@@ -1,0 +1,174 @@
+// Command lcmbench runs the repository's Go benchmarks and distills the
+// result into a machine-readable BENCH_lcm.json: one record per
+// benchmark with ns/op, B/op and allocs/op. CI runs it with
+// -benchtime=1x as a smoke pass and uploads the JSON as an artifact;
+// locally, longer benchtimes give stable numbers to diff across
+// commits (see the Performance section in README.md).
+//
+// Usage:
+//
+//	lcmbench [-bench regex] [-benchtime d] [-o file] [-input file] [pkg...]
+//
+// Flags:
+//
+//	-bench R      benchmark regex passed to go test (default ".")
+//	-benchtime D  per-benchmark budget passed to go test (default 1x)
+//	-o FILE       output path (default BENCH_lcm.json)
+//	-input FILE   parse an existing `go test -bench` output file instead
+//	              of running the benchmarks ("-" reads stdin)
+//
+// Remaining arguments are the packages to benchmark (default: ./... ).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchResult is one benchmark's measurements. Fields that a benchmark
+// did not report (MB/s without SetBytes, allocs without -benchmem) stay
+// zero and are omitted.
+type benchResult struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, exactly as go test printed it.
+	Name string `json:"name"`
+	// Package is the import path from the preceding "pkg:" line.
+	Package string `json:"package,omitempty"`
+	Runs    int64  `json:"runs"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+}
+
+// benchFile is the BENCH_lcm.json document.
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchtime  string        `json:"benchtime,omitempty"`
+	Generated  string        `json:"generated,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. It tolerates interleaved log lines, tracks "pkg:" headers to
+// attribute results, and ignores lines it does not recognize.
+func parseBench(r io.Reader) ([]benchResult, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []benchResult
+	pkg := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name runs ns/op-value "ns/op" [value unit]...
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Name: fields[0], Package: pkg, Runs: runs, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "B/op":
+				res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "MB/s":
+				res.MBPerSec, _ = strconv.ParseFloat(val, 64)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("lcmbench", flag.ExitOnError)
+	bench := fs.String("bench", ".", "benchmark regex passed to go test")
+	benchtime := fs.String("benchtime", "1x", "per-benchmark budget passed to go test")
+	out := fs.String("o", "BENCH_lcm.json", "output path")
+	input := fs.String("input", "", "parse an existing go test -bench output file instead of running (\"-\" = stdin)")
+	_ = fs.Parse(os.Args[1:])
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+
+	var src io.Reader
+	switch *input {
+	case "":
+		args := append([]string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}, pkgs...)
+		cmd := exec.Command("go", args...)
+		var buf strings.Builder
+		// Stream to stderr so long runs stay observable while the full
+		// output is captured for parsing.
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("lcmbench: go %s: %v", strings.Join(args, " "), err)
+		}
+		src = strings.NewReader(buf.String())
+	case "-":
+		src = os.Stdin
+	default:
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatalf("lcmbench: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	results, err := parseBench(src)
+	if err != nil {
+		log.Fatalf("lcmbench: parse: %v", err)
+	}
+	if len(results) == 0 {
+		log.Fatal("lcmbench: no benchmark results found")
+	}
+	doc := benchFile{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  *benchtime,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("lcmbench: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("lcmbench: %v", err)
+	}
+	fmt.Printf("lcmbench: wrote %d benchmark(s) to %s\n", len(results), *out)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample is real `go test -bench -benchmem` output shape: pkg headers,
+// noise lines, sub-benchmarks, a SetBytes benchmark with MB/s, and a
+// line without -benchmem columns.
+const sample = `goos: linux
+goarch: amd64
+pkg: lazycm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkLCMAnalyze/depth=1/stmts=9/exprs=4-8         	  126920	      9271 ns/op	   18488 B/op	     211 allocs/op
+BenchmarkParsePrintRoundTrip-8                        	    1352	    884322 ns/op	  64.66 MB/s	  522134 B/op	    9295 allocs/op
+BenchmarkBare-8                                       	     100	     12345 ns/op
+--- BENCH: BenchmarkFigure1
+    bench_test.go:28: ignored log line
+PASS
+pkg: lazycm/cmd/lcmd
+BenchmarkBatchServer/latency/parallel-8               	       3	  12053926 ns/op	  259461 B/op	    5762 allocs/op
+ok  	lazycm/cmd/lcmd	0.700s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(got), got)
+	}
+	first := got[0]
+	if first.Name != "BenchmarkLCMAnalyze/depth=1/stmts=9/exprs=4-8" ||
+		first.Package != "lazycm" || first.Runs != 126920 ||
+		first.NsPerOp != 9271 || first.BytesPerOp != 18488 || first.AllocsPerOp != 211 {
+		t.Errorf("first result mismatch: %+v", first)
+	}
+	rt := got[1]
+	if rt.MBPerSec != 64.66 || rt.AllocsPerOp != 9295 {
+		t.Errorf("throughput result mismatch: %+v", rt)
+	}
+	bare := got[2]
+	if bare.NsPerOp != 12345 || bare.BytesPerOp != 0 || bare.AllocsPerOp != 0 {
+		t.Errorf("bare result mismatch: %+v", bare)
+	}
+	last := got[3]
+	if last.Package != "lazycm/cmd/lcmd" || last.Name != "BenchmarkBatchServer/latency/parallel-8" {
+		t.Errorf("package attribution lost: %+v", last)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"lazycm/internal/conc"
+	"lazycm/internal/textir"
+)
+
+// batchResult is one function's outcome inside a batch response: the
+// standard optimize response plus the function's name and the HTTP
+// status it would have received as a single request.
+type batchResult struct {
+	Name   string `json:"name,omitempty"`
+	Status int    `json:"status"`
+	optimizeResponse
+}
+
+// batchResponse is the JSON body of POST /optimize/batch. Results holds
+// one entry per function of the submitted module, in module order; the
+// aggregate counters classify them. The batch as a whole answers 200
+// whenever it was admitted and processed — failure is per item, which is
+// the point: one broken function must not poison its neighbors.
+type batchResponse struct {
+	Functions int           `json:"functions"`
+	Optimized int           `json:"optimized"`
+	FellBack  int           `json:"fell_back"`
+	Failed    int           `json:"failed"`
+	Results   []batchResult `json:"results"`
+	Error     string        `json:"error,omitempty"`
+	Kind      string        `json:"kind,omitempty"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// batchBudget divides a batch's wall-clock budget among its items at
+// dispatch time rather than up front. Each item's slice is its fair
+// share of the time actually left:
+//
+//	slice = left × min(lanes, remaining) / remaining
+//
+// With `remaining` items still to dispatch across `lanes` concurrent
+// lanes, the items drain in about remaining/lanes sequential waves, so
+// one wave's fair share of the remaining time is left/(remaining/lanes).
+// For a single lane and a fresh budget this reduces to the classic
+// budget/n split; the difference is that time an early item did not use
+// is redistributed to later items instead of expiring with it. One
+// pathological item still exhausts only its own slice — the division is
+// what keeps a batch's failure modes per-item.
+type batchBudget struct {
+	mu        sync.Mutex
+	deadline  time.Time
+	remaining int // items not yet dispatched
+	lanes     int // concurrent dispatch lanes
+}
+
+func newBatchBudget(deadline time.Time, items, lanes int) *batchBudget {
+	return &batchBudget{deadline: deadline, remaining: items, lanes: lanes}
+}
+
+// next returns the deadline slice for the next dispatched item. It is
+// never less than a millisecond, so even an expired batch produces
+// well-formed per-item contexts (which cancel immediately through the
+// parent anyway).
+func (b *batchBudget) next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rem := b.remaining
+	b.remaining--
+	if rem < 1 {
+		rem = 1
+	}
+	lanes := min(b.lanes, rem)
+	slice := time.Until(b.deadline) * time.Duration(lanes) / time.Duration(rem)
+	return max(slice, time.Millisecond)
+}
+
+// handleBatch optimizes a whole module with per-function fault isolation:
+// the module is split once, each function becomes its own job with its
+// own slice of the batch deadline, runs under its own panic guard, and
+// quarantines its own source on failure. Admission reserves one queue
+// slot per function, so a batch cannot starve single requests beyond its
+// size and the counters balance item-for-item.
+//
+// Items are dispatched to the worker pool from up to Config.BatchParallel
+// concurrent lanes, so a batch keeps several workers busy at once instead
+// of trickling jobs one handler-side wait at a time. Results are
+// collected per index and assembled in module order — parallelism is
+// invisible in the response. Every item is dispatched even when the
+// batch deadline has already expired: the worker observes the dead
+// context, does the canceled accounting, and the queued counter drains
+// to zero, which is what keeps admission accounting item-exact.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.draining.Load() {
+		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
+		return
+	}
+	req, ok := s.decodeOptimize(w, r, start)
+	if !ok {
+		return
+	}
+	// Split structurally, not strictly: a function body the strict parser
+	// rejects still becomes its own item (and its own per-item error)
+	// instead of failing the whole module.
+	mod, err := textir.ParseModule(req.Program)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, optimizeResponse{
+			Error: err.Error(), Kind: "parse", ElapsedMS: msSince(start),
+		})
+		return
+	}
+	n := len(mod.Funcs)
+	if !s.admit(int64(n)) {
+		s.shed.Add(int64(n))
+		reject(w, http.StatusTooManyRequests, "overload",
+			fmt.Sprintf("optimization queue cannot hold %d functions", n), start)
+		return
+	}
+
+	budget := s.budgetFor(req)
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	lanes := min(s.cfg.BatchParallel, n)
+	bb := newBatchBudget(time.Now().Add(budget), n, lanes)
+
+	results := make([]outcome, n)
+	elapsed := make([]int64, n)
+	// conc.Parallel visits every index exactly once, and admit reserved n
+	// queue slots, so every send below is non-blocking and every admitted
+	// item reaches a worker — the accounting invariant does not depend on
+	// deadlines or lane scheduling.
+	_ = conc.Parallel(n, lanes, func(i int) error {
+		ictx, icancel := context.WithTimeout(ctx, bb.next())
+		defer icancel()
+		ireq := req
+		ireq.Program = mod.Funcs[i].String()
+		j := &job{ctx: ictx, req: ireq, done: make(chan outcome, 1), start: time.Now()}
+		s.jobs <- j
+		select {
+		case out := <-j.done:
+			results[i] = out
+		case <-ctx.Done():
+			// The whole batch's deadline is gone; report this item as
+			// abandoned. Its worker observes the same context, does the
+			// canceled accounting, and completes into the buffered channel.
+			results[i] = outcome{http.StatusGatewayTimeout, optimizeResponse{
+				Error: fmt.Sprintf("batch abandoned: %v", ctx.Err()), Kind: "deadline", Canceled: true,
+			}}
+		}
+		elapsed[i] = msSince(j.start)
+		return nil
+	})
+
+	resp := batchResponse{Functions: n, Results: make([]batchResult, 0, n)}
+	for i, out := range results {
+		out.body.ElapsedMS = elapsed[i]
+		resp.Results = append(resp.Results, batchResult{
+			Name: mod.Funcs[i].Name, Status: out.status, optimizeResponse: out.body,
+		})
+		switch {
+		case out.status == http.StatusOK && !out.body.FellBack:
+			resp.Optimized++
+		case out.status == http.StatusOK:
+			resp.FellBack++
+		default:
+			resp.Failed++
+		}
+	}
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"maps"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -14,7 +17,7 @@ import (
 	"lazycm/internal/triage"
 )
 
-func postBatch(t *testing.T, ts *httptest.Server, req optimizeRequest) (int, batchResponse) {
+func postBatch(t testing.TB, ts *httptest.Server, req optimizeRequest) (int, batchResponse) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -208,6 +211,110 @@ func asyncOptimize(ts *httptest.Server, program string) {
 			resp.Body.Close()
 		}
 	}()
+}
+
+// TestBatchParallelDeterminism: parallel dispatch is invisible in the
+// response. The same mixed module — healthy, unparseable and panicking
+// functions — run through a parallel server and a strictly serial one
+// yields the same results in the same (module) order, the same aggregate
+// counts, and byte-identical quarantine captures.
+func TestBatchParallelDeterminism(t *testing.T) {
+	hook := func(req optimizeRequest) {
+		if strings.Contains(req.Program, "boom") {
+			panic("injected worker fault")
+		}
+	}
+	dirPar, dirSer := t.TempDir(), t.TempDir()
+	sPar, tsPar := newTestServer(t, Config{Workers: 4, BatchParallel: 4, Quarantine: dirPar, hook: hook})
+	sSer, tsSer := newTestServer(t, Config{Workers: 1, BatchParallel: 1, Quarantine: dirSer, hook: hook})
+
+	codePar, outPar := postBatch(t, tsPar, optimizeRequest{Program: batchModule})
+	codeSer, outSer := postBatch(t, tsSer, optimizeRequest{Program: batchModule})
+	if codePar != http.StatusOK || codeSer != http.StatusOK {
+		t.Fatalf("statuses %d/%d, want 200/200", codePar, codeSer)
+	}
+	if len(outPar.Results) != len(outSer.Results) {
+		t.Fatalf("result counts %d != %d", len(outPar.Results), len(outSer.Results))
+	}
+	for i := range outPar.Results {
+		p, q := outPar.Results[i], outSer.Results[i]
+		if p.Name != q.Name {
+			t.Errorf("result %d: order diverged, %q vs %q", i, p.Name, q.Name)
+		}
+		if p.Status != q.Status || p.Program != q.Program || p.FellBack != q.FellBack || p.Kind != q.Kind {
+			t.Errorf("result %d (%s): parallel %+v != serial %+v", i, p.Name, p, q)
+		}
+	}
+	if outPar.Optimized != outSer.Optimized || outPar.FellBack != outSer.FellBack || outPar.Failed != outSer.Failed {
+		t.Errorf("aggregates diverged: parallel %d/%d/%d, serial %d/%d/%d",
+			outPar.Optimized, outPar.FellBack, outPar.Failed,
+			outSer.Optimized, outSer.FellBack, outSer.Failed)
+	}
+
+	// Both servers captured the same defects: identical file names
+	// (content-hashed) with identical bytes.
+	waitFor(t, func() bool { return sPar.quarantined.Load() == 1 && sSer.quarantined.Load() == 1 })
+	readDir := func(dir string) map[string]string {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[string]string{}
+		for _, e := range ents {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[e.Name()] = string(b)
+		}
+		return m
+	}
+	capPar, capSer := readDir(dirPar), readDir(dirSer)
+	if len(capPar) == 0 {
+		t.Error("no quarantine captures")
+	}
+	if !maps.Equal(capPar, capSer) {
+		t.Errorf("quarantine diverged:\nparallel %v\nserial %v", capPar, capSer)
+	}
+}
+
+// TestBatchDeadlineRedistribution: time an early item does not use must
+// flow to later items instead of expiring with it. One slow function at
+// the end of a module of fast ones succeeds only if it inherits the
+// budget its predecessors left behind — a fixed budget/n slice (the old
+// scheme) would cancel it.
+func TestBatchDeadlineRedistribution(t *testing.T) {
+	const hold = 600 * time.Millisecond
+	_, ts := newTestServer(t, Config{
+		Workers: 1, Queue: 16, BatchParallel: 1, CacheSize: -1,
+		hook: func(req optimizeRequest) {
+			if strings.Contains(req.Program, "slowpoke") {
+				time.Sleep(hold)
+			}
+		},
+	})
+	var b strings.Builder
+	for i := 0; i < 9; i++ {
+		fmt.Fprintf(&b, "func fast%d(a, b) {\ne:\n  x = a + b\n  y = a + b\n  print x\n  ret y\n}\n\n", i)
+	}
+	b.WriteString("func slowpoke(a, b) {\ne:\n  x = a + b\n  y = a + b\n  print x\n  ret y\n}\n")
+
+	// Ten items in 3s: a fixed split gives every item 300ms, under the
+	// 600ms the slow item needs. Redistribution hands it the ~2.9s the
+	// nine fast items left unspent.
+	code, out := postBatch(t, ts, optimizeRequest{Program: b.String(), TimeoutMS: 3000})
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d, want 200", code)
+	}
+	if out.Optimized != out.Functions || out.Failed != 0 {
+		t.Fatalf("optimized=%d failed=%d of %d, want all optimized (slow item starved?)",
+			out.Optimized, out.Failed, out.Functions)
+	}
+	last := out.Results[len(out.Results)-1]
+	if last.Name != "slowpoke" || last.Status != http.StatusOK || last.Canceled {
+		t.Errorf("slow item did not inherit unused budget: %+v", last)
+	}
 }
 
 // TestBatchDeadlineSlices: a starved batch budget is divided among the

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+// benchModule builds an all-healthy module of n moderately sized
+// functions, each with hoistable redundancy, so batch wall-clock is
+// dominated by real analysis work.
+func benchModule(tb testing.TB, n int) string {
+	tb.Helper()
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		f := randprog.Generate(randprog.Config{
+			Seed: int64(i + 1), MaxDepth: 4, MaxItems: 4, MaxStmts: 6,
+			Vars: 10, Params: 4, MaxTrips: 4,
+		})
+		one := textir.PrintFunctions([]*ir.Function{f})
+		b.WriteString(strings.Replace(one, "func ", fmt.Sprintf("func fn%d_", i), 1))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func benchBatch(b *testing.B, cfg Config, module string) {
+	cfg.Workers = 8
+	cfg.Queue = 64
+	cfg.Timeout = time.Minute // measure throughput, not deadline slicing
+	cfg.CacheSize = -1        // every iteration must do the work being measured
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code, out := postBatch(b, ts, optimizeRequest{Program: module})
+		if code != http.StatusOK || out.Optimized != out.Functions {
+			b.Fatalf("batch degraded: status %d, %d/%d optimized (failed=%d)",
+				code, out.Optimized, out.Functions, out.Failed)
+		}
+	}
+}
+
+// BenchmarkBatchServer measures a batch of 8 functions end to end over
+// HTTP, serial dispatch (BatchParallel=1, the pre-parallel behavior)
+// against full-width dispatch (8 lanes into 8 workers).
+//
+// The compute variants run real LCM pipelines, so their serial/parallel
+// ratio tracks the host's core count (on a single-core machine they tie).
+// The latency variants pin per-item cost to a 10ms worker-side stall on a
+// trivial program, isolating what the batch rewrite itself buys: with
+// serial dispatch the stalls serialize (~8×10ms per batch), with parallel
+// dispatch they overlap (~10ms), independent of core count.
+func BenchmarkBatchServer(b *testing.B) {
+	compute := benchModule(b, 8)
+	b.Run("compute/serial", func(b *testing.B) {
+		benchBatch(b, Config{BatchParallel: 1}, compute)
+	})
+	b.Run("compute/parallel", func(b *testing.B) {
+		benchBatch(b, Config{BatchParallel: 8}, compute)
+	})
+
+	var tiny strings.Builder
+	for i := 0; i < 8; i++ {
+		tiny.WriteString(strings.Replace(diamond, "func ", fmt.Sprintf("func fn%d_", i), 1))
+		tiny.WriteString("\n")
+	}
+	stall := func(optimizeRequest) { time.Sleep(10 * time.Millisecond) }
+	b.Run("latency/serial", func(b *testing.B) {
+		benchBatch(b, Config{BatchParallel: 1, hook: stall}, tiny.String())
+	})
+	b.Run("latency/parallel", func(b *testing.B) {
+		benchBatch(b, Config{BatchParallel: 8, hook: stall}, tiny.String())
+	})
+}

@@ -21,6 +21,11 @@
 //	-timeout D       default per-request budget (default 5s)
 //	-max-timeout D   cap on client-requested budgets (default 4×timeout)
 //	-fuel N          default node-visit budget per fixpoint (0 = unlimited)
+//	-batch-parallel N  concurrent dispatch lanes per /optimize/batch
+//	                 request (default workers; 1 = serial batches)
+//	-cache N         result-cache capacity in entries: identical
+//	                 (program, directives) requests replay their clean
+//	                 outcome (default 128; negative disables)
 //	-verify          re-check every pass output on random interpreted runs
 //	-quarantine DIR  capture inputs that fault or fall back as .ir seeds
 //	                 ("" disables; default testdata/crashers)
@@ -63,6 +68,8 @@ func main() {
 	timeout := fs.Duration("timeout", DefaultTimeout, "default per-request budget")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested budgets (0 = 4×timeout)")
 	fuel := fs.Int("fuel", 0, "default node-visit budget per fixpoint (0 = unlimited)")
+	batchParallel := fs.Int("batch-parallel", 0, "concurrent dispatch lanes per batch request (0 = workers)")
+	cacheSize := fs.Int("cache", 0, "result-cache capacity in entries (0 = default, negative disables)")
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
 	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
@@ -84,13 +91,15 @@ func main() {
 	}
 
 	srv := NewServer(Config{
-		Workers:    *workers,
-		Queue:      *queue,
-		Timeout:    *timeout,
-		MaxTimeout: *maxTimeout,
-		Fuel:       *fuel,
-		Verify:     *verify,
-		Quarantine: *quarantine,
+		Workers:       *workers,
+		Queue:         *queue,
+		Timeout:       *timeout,
+		MaxTimeout:    *maxTimeout,
+		Fuel:          *fuel,
+		Verify:        *verify,
+		Quarantine:    *quarantine,
+		BatchParallel: *batchParallel,
+		CacheSize:     *cacheSize,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

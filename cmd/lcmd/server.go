@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/ir"
 	"lazycm/internal/pipeline"
 	"lazycm/internal/textir"
@@ -47,6 +48,15 @@ type Config struct {
 	// Quarantine is the directory where inputs that fault or fall back
 	// are captured as regression seeds; "" disables capture.
 	Quarantine string
+	// BatchParallel bounds how many items of one /optimize/batch request
+	// are dispatched to the worker pool concurrently; 0 means Workers.
+	// 1 recovers strictly serial batch processing.
+	BatchParallel int
+	// CacheSize is the capacity of the content-addressed result cache:
+	// identical (program, directives) pairs replay their clean outcome
+	// without re-running the pipeline. 0 means DefaultCacheSize; negative
+	// disables caching.
+	CacheSize int
 
 	// hook, when non-nil, runs on the worker goroutine before each job,
 	// inside the per-request panic guard; tests use it to hold workers
@@ -62,6 +72,10 @@ const DefaultTimeout = 5 * time.Second
 // before any parsing work.
 const maxBody = 4 << 20
 
+// DefaultCacheSize is the result-cache capacity when Config.CacheSize is
+// unset.
+const DefaultCacheSize = 128
+
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -74,6 +88,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 4 * c.Timeout
+	}
+	if c.BatchParallel <= 0 {
+		c.BatchParallel = c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = DefaultCacheSize
 	}
 	return c
 }
@@ -88,6 +108,7 @@ type Server struct {
 	jobs  chan *job
 	wg    sync.WaitGroup
 	start time.Time
+	cache *resultCache // nil when caching is disabled
 
 	draining atomic.Bool
 	queued   atomic.Int64
@@ -101,12 +122,17 @@ type Server struct {
 	shed        atomic.Int64 // work items shed by admission control
 	panics      atomic.Int64 // contained pass/driver panics
 	quarantined atomic.Int64 // distinct crashers captured (duplicates collapse)
+	cacheHits   atomic.Int64 // results replayed from the content cache
+	cacheMisses atomic.Int64 // lookups that ran the pipeline
 }
 
 // NewServer builds the service and starts its worker pool.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg, jobs: make(chan *job, cfg.Queue), start: time.Now()}
+	s := &Server{
+		cfg: cfg, jobs: make(chan *job, cfg.Queue), start: time.Now(),
+		cache: newResultCache(cfg.CacheSize),
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -295,112 +321,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// batchResult is one function's outcome inside a batch response: the
-// standard optimize response plus the function's name and the HTTP
-// status it would have received as a single request.
-type batchResult struct {
-	Name   string `json:"name,omitempty"`
-	Status int    `json:"status"`
-	optimizeResponse
-}
-
-// batchResponse is the JSON body of POST /optimize/batch. Results holds
-// one entry per function of the submitted module, in module order; the
-// aggregate counters classify them. The batch as a whole answers 200
-// whenever it was admitted and processed — failure is per item, which is
-// the point: one broken function must not poison its neighbors.
-type batchResponse struct {
-	Functions int           `json:"functions"`
-	Optimized int           `json:"optimized"`
-	FellBack  int           `json:"fell_back"`
-	Failed    int           `json:"failed"`
-	Results   []batchResult `json:"results"`
-	Error     string        `json:"error,omitempty"`
-	Kind      string        `json:"kind,omitempty"`
-	ElapsedMS int64         `json:"elapsed_ms"`
-}
-
-// handleBatch optimizes a whole module with per-function fault isolation:
-// the module is split once, each function becomes its own job with its
-// own slice of the batch deadline, runs under its own panic guard, and
-// quarantines its own source on failure. Admission reserves one queue
-// slot per function, so a batch cannot starve single requests beyond its
-// size and the counters balance item-for-item.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	if s.draining.Load() {
-		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
-		return
-	}
-	req, ok := s.decodeOptimize(w, r, start)
-	if !ok {
-		return
-	}
-	// Split structurally, not strictly: a function body the strict parser
-	// rejects still becomes its own item (and its own per-item error)
-	// instead of failing the whole module.
-	mod, err := textir.ParseModule(req.Program)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, optimizeResponse{
-			Error: err.Error(), Kind: "parse", ElapsedMS: msSince(start),
-		})
-		return
-	}
-	n := len(mod.Funcs)
-	if !s.admit(int64(n)) {
-		s.shed.Add(int64(n))
-		reject(w, http.StatusTooManyRequests, "overload",
-			fmt.Sprintf("optimization queue cannot hold %d functions", n), start)
-		return
-	}
-
-	budget := s.budgetFor(req)
-	ctx, cancel := context.WithTimeout(r.Context(), budget)
-	defer cancel()
-	// Every function gets an equal slice of the batch budget, so one
-	// pathological function exhausts its own slice, not the batch's.
-	slice := max(budget/time.Duration(n), time.Millisecond)
-
-	jobs := make([]*job, n)
-	for i, fn := range mod.Funcs {
-		ictx, icancel := context.WithTimeout(ctx, slice)
-		defer icancel()
-		ireq := req
-		ireq.Program = fn.String()
-		jobs[i] = &job{ctx: ictx, req: ireq, done: make(chan outcome, 1), start: time.Now()}
-		s.jobs <- jobs[i]
-	}
-
-	resp := batchResponse{Functions: n, Results: make([]batchResult, 0, n)}
-	for i, j := range jobs {
-		var out outcome
-		select {
-		case out = <-j.done:
-		case <-ctx.Done():
-			// The whole batch's deadline is gone; report this item as
-			// abandoned. Its worker observes the same context, does the
-			// canceled accounting, and completes into the buffered channel.
-			out = outcome{http.StatusGatewayTimeout, optimizeResponse{
-				Error: fmt.Sprintf("batch abandoned: %v", ctx.Err()), Kind: "deadline", Canceled: true,
-			}}
-		}
-		out.body.ElapsedMS = msSince(j.start)
-		resp.Results = append(resp.Results, batchResult{
-			Name: mod.Funcs[i].Name, Status: out.status, optimizeResponse: out.body,
-		})
-		switch {
-		case out.status == http.StatusOK && !out.body.FellBack:
-			resp.Optimized++
-		case out.status == http.StatusOK:
-			resp.FellBack++
-		default:
-			resp.Failed++
-		}
-	}
-	resp.ElapsedMS = msSince(start)
-	writeJSON(w, http.StatusOK, resp)
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -423,15 +343,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"shed":           s.shed.Load(),
 		"panics":         s.panics.Load(),
 		"quarantined":    s.quarantined.Load(),
+		"cache_hits":     s.cacheHits.Load(),
+		"cache_misses":   s.cacheMisses.Load(),
+		"cache_entries":  s.cache.len(),
 	})
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
+	// Each worker owns one analysis arena for its whole lifetime: jobs on
+	// this goroutine reuse traversal orders and bit-vector storage across
+	// requests instead of reallocating them per fixpoint. Workers never
+	// share arenas, so there is no contention on the hot path.
+	sc := dataflow.NewScratch()
 	for j := range s.jobs {
 		s.queued.Add(-1)
 		s.inflight.Add(1)
-		out := s.process(j)
+		out := s.process(j, sc)
 		s.inflight.Add(-1)
 		s.account(out)
 		j.done <- out
@@ -457,7 +385,7 @@ func (s *Server) account(out outcome) {
 // process runs one request end to end under panic isolation. It never
 // panics and never returns a partial rewrite: the program it reports is
 // the pipeline's last-known-good function set.
-func (s *Server) process(j *job) outcome {
+func (s *Server) process(j *job, sc *dataflow.Scratch) outcome {
 	if err := j.ctx.Err(); err != nil {
 		return outcome{http.StatusGatewayTimeout, optimizeResponse{
 			Error: fmt.Sprintf("abandoned before work started: %v", err), Kind: "deadline", Canceled: true,
@@ -471,7 +399,7 @@ func (s *Server) process(j *job) outcome {
 		if s.cfg.hook != nil {
 			s.cfg.hook(j.req)
 		}
-		out = s.optimize(j)
+		out = s.optimize(j, sc)
 		return nil
 	})
 	if perr != nil {
@@ -486,7 +414,22 @@ func (s *Server) process(j *job) outcome {
 	return out
 }
 
-func (s *Server) optimize(j *job) outcome {
+func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
+	// Cache consult. Keyed on everything that determines the result
+	// (program, mode, effective fuel, effective verify, canonical), so a
+	// hit replays a byte-identical response. Only clean successes are ever
+	// stored (see the final return), so fallbacks keep re-executing and
+	// keep their quarantine side effects.
+	var key string
+	if s.cache != nil {
+		key = cacheKey(j.req, s.effectiveFuel(j.req), s.cfg.Verify || j.req.Verify)
+		if out, ok := s.cache.get(key); ok {
+			s.cacheHits.Add(1)
+			return out
+		}
+		s.cacheMisses.Add(1)
+	}
+
 	fns, err := textir.Parse(j.req.Program)
 	if err != nil {
 		return outcome{http.StatusBadRequest, optimizeResponse{
@@ -504,6 +447,7 @@ func (s *Server) optimize(j *job) outcome {
 		Canonical: j.req.Canonical,
 		Verify:    s.cfg.Verify || j.req.Verify,
 		Ctx:       j.ctx,
+		Scratch:   sc,
 	}
 
 	resp := optimizeResponse{Functions: len(fns)}
@@ -547,7 +491,14 @@ func (s *Server) optimize(j *job) outcome {
 		// failures under load become regression seeds.
 		resp.Quarantined = s.quarantine(j.req)
 	}
-	return outcome{http.StatusOK, resp}
+	out := outcome{http.StatusOK, resp}
+	if s.cache != nil && !resp.FellBack {
+		// Only clean 200s are cacheable: the outcome is then a pure
+		// function of the key. (Cancellations returned above depend on the
+		// request deadline; fallbacks must keep quarantining.)
+		s.cache.put(key, out)
+	}
+	return out
 }
 
 // quarantine captures a faulting input in the configured directory as a

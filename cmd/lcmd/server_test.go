@@ -77,7 +77,7 @@ func getHealthz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
 	return resp.StatusCode, h
 }
 
-func bigProgram(t *testing.T) string {
+func bigProgram(t testing.TB) string {
 	t.Helper()
 	f := randprog.Generate(randprog.Config{
 		Seed: 7, MaxDepth: 6, MaxItems: 5, MaxStmts: 8, Vars: 12, Params: 4, MaxTrips: 4,
@@ -407,10 +407,10 @@ func TestDrainRejectsNewWork(t *testing.T) {
 // TestHealthzCounters: outcome counters add up after a mixed workload.
 func TestHealthzCounters(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	postOptimize(t, ts, optimizeRequest{Program: diamond})                    // optimized
-	postOptimize(t, ts, optimizeRequest{Program: diamond, Mode: "gcse"})     // optimized
-	postOptimize(t, ts, optimizeRequest{Program: "garbage"})                 // invalid
-	postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})          // fell back
+	postOptimize(t, ts, optimizeRequest{Program: diamond})                     // optimized
+	postOptimize(t, ts, optimizeRequest{Program: diamond, Mode: "gcse"})       // optimized
+	postOptimize(t, ts, optimizeRequest{Program: "garbage"})                   // invalid
+	postOptimize(t, ts, optimizeRequest{Program: diamond, Fuel: 1})            // fell back
 	postOptimize(t, ts, optimizeRequest{Program: bigProgram(t), TimeoutMS: 1}) // canceled
 
 	// The canceled job is counted by its worker, which may lag the 504

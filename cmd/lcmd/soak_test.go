@@ -1,10 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -42,6 +44,15 @@ func TestSoakConcurrentRequests(t *testing.T) {
 	// under concurrency.
 	batchModule := diamond + "\nfunc hole(a) {\ne:\n  zzz junk statement\n}\n\nfunc tail(q) {\ne:\n  out = q + q\n  print out\n  ret out\n}\n"
 	const batchN = 3
+	// A wide all-healthy module: twice the worker count, so its lanes
+	// saturate the pool and parallel dispatch actually overlaps items of
+	// the same batch while single requests and other batches interleave.
+	var wide strings.Builder
+	const wideN = 8
+	for i := 0; i < wideN; i++ {
+		fmt.Fprintf(&wide, "func w%d(a, b) {\ne:\n  x = a + b\n  y = a + b\n  print x\n  ret y\n}\n\n", i)
+	}
+	wideModule := wide.String()
 
 	const goroutines = 8
 	const perG = 21
@@ -58,19 +69,27 @@ func TestSoakConcurrentRequests(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < perG; i++ {
 				if i%7 == 6 {
-					// Batch lane: per-item isolation under load.
-					code, out := postBatch(t, ts, optimizeRequest{Program: batchModule})
+					// Batch lanes: per-item isolation under load. Odd
+					// goroutines submit the wide all-healthy module, whose
+					// items dispatch concurrently and fill the whole pool;
+					// even ones the mixed module. Both must keep the
+					// item-exact accounting below.
+					module, modN := batchModule, batchN
+					if g%2 == 1 {
+						module, modN = wideModule, wideN
+					}
+					code, out := postBatch(t, ts, optimizeRequest{Program: module})
 					switch code {
 					case http.StatusOK:
-						itemsAdmitted.Add(batchN)
-						if len(out.Results) != batchN {
-							t.Errorf("batch returned %d results, want %d", len(out.Results), batchN)
+						itemsAdmitted.Add(int64(modN))
+						if len(out.Results) != modN {
+							t.Errorf("batch returned %d results, want %d", len(out.Results), modN)
 						}
-						if out.Optimized+out.FellBack+out.Failed != batchN {
+						if out.Optimized+out.FellBack+out.Failed != modN {
 							t.Errorf("batch aggregates do not cover the module: %+v", out)
 						}
 					case http.StatusTooManyRequests:
-						itemsShed.Add(batchN)
+						itemsShed.Add(int64(modN))
 					default:
 						cOther.Add(1)
 						t.Errorf("unexpected batch status %d: %+v", code, out)

@@ -1,0 +1,129 @@
+package bitvec
+
+// Fused bulk operations: each is the word-level fusion of two or three
+// primitive operations into a single pass over the words, writing the
+// receiver as the destination. The data-flow solvers and the LCM
+// predicate derivations are chains of exactly these shapes
+// (gen ∨ (x ∧ ¬kill), (a ∨ b) ∧ c, …); fusing them removes both the
+// extra memory sweeps and the temporary vectors the composed forms
+// materialize. Each fused op reports whether the destination changed,
+// so fixpoint solvers can drive their convergence test from it directly.
+
+// AndOf sets v = a ∧ b and reports whether v changed.
+func (v *Vector) AndOf(a, b *Vector) bool {
+	v.checkSame(a)
+	v.checkSame(b)
+	changed := false
+	for i := range v.words {
+		nw := a.words[i] & b.words[i]
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// OrOf sets v = a ∨ b and reports whether v changed.
+func (v *Vector) OrOf(a, b *Vector) bool {
+	v.checkSame(a)
+	v.checkSame(b)
+	changed := false
+	for i := range v.words {
+		nw := a.words[i] | b.words[i]
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// AndNotOf sets v = a ∧ ¬b and reports whether v changed.
+func (v *Vector) AndNotOf(a, b *Vector) bool {
+	v.checkSame(a)
+	v.checkSame(b)
+	changed := false
+	for i := range v.words {
+		nw := a.words[i] &^ b.words[i]
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// NotOf sets v = ¬a (complement within the vector's length) and reports
+// whether v changed.
+func (v *Vector) NotOf(a *Vector) bool {
+	v.checkSame(a)
+	changed := false
+	last := len(v.words) - 1
+	for i := range v.words {
+		nw := ^a.words[i]
+		if i == last {
+			if extra := v.n & wordMask; extra != 0 {
+				nw &= (1 << uint(extra)) - 1
+			}
+		}
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// OrAndNotOf sets v = gen ∨ (src ∧ ¬kill) and reports whether v changed.
+// This is the whole gen/kill transfer function of the data-flow framework
+// in one sweep; the solvers use it with v = the flow-out row and
+// src = the just-computed meet, eliminating the andnot/or/copy chain.
+func (v *Vector) OrAndNotOf(gen, src, kill *Vector) bool {
+	v.checkSame(gen)
+	v.checkSame(src)
+	v.checkSame(kill)
+	changed := false
+	for i := range v.words {
+		nw := gen.words[i] | (src.words[i] &^ kill.words[i])
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// OrAndOf sets v = (a ∨ b) ∧ c and reports whether v changed. The
+// EARLIEST derivation's per-predecessor term
+// (DSAFE(m) ∨ USAFE(m)) ∧ TRANSP(m) is this shape.
+func (v *Vector) OrAndOf(a, b, c *Vector) bool {
+	v.checkSame(a)
+	v.checkSame(b)
+	v.checkSame(c)
+	changed := false
+	for i := range v.words {
+		nw := (a.words[i] | b.words[i]) & c.words[i]
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// AndAndOf sets v = a ∧ b ∧ c and reports whether v changed.
+func (v *Vector) AndAndOf(a, b, c *Vector) bool {
+	v.checkSame(a)
+	v.checkSame(b)
+	v.checkSame(c)
+	changed := false
+	for i := range v.words {
+		nw := a.words[i] & b.words[i] & c.words[i]
+		if nw != v.words[i] {
+			changed = true
+			v.words[i] = nw
+		}
+	}
+	return changed
+}

@@ -1,0 +1,119 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVec returns a vector of length n with pseudo-random contents.
+func randVec(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// TestFusedMatchComposed proves each fused op equals its composition of
+// primitives, bit for bit, across lengths that exercise partial last
+// words, and that the changed report agrees with an Equal comparison.
+func TestFusedMatchComposed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 3, 63, 64, 65, 130, 257}
+	type op struct {
+		name     string
+		fused    func(dst, a, b, c *Vector) bool
+		composed func(a, b, c *Vector) *Vector
+	}
+	ops := []op{
+		{"AndOf", func(d, a, b, _ *Vector) bool { return d.AndOf(a, b) },
+			func(a, b, _ *Vector) *Vector { r := a.Copy(); r.And(b); return r }},
+		{"OrOf", func(d, a, b, _ *Vector) bool { return d.OrOf(a, b) },
+			func(a, b, _ *Vector) *Vector { r := a.Copy(); r.Or(b); return r }},
+		{"AndNotOf", func(d, a, b, _ *Vector) bool { return d.AndNotOf(a, b) },
+			func(a, b, _ *Vector) *Vector { r := a.Copy(); r.AndNot(b); return r }},
+		{"NotOf", func(d, a, _, _ *Vector) bool { return d.NotOf(a) },
+			func(a, _, _ *Vector) *Vector { r := a.Copy(); r.Not(); return r }},
+		{"OrAndNotOf", func(d, a, b, c *Vector) bool { return d.OrAndNotOf(a, b, c) },
+			func(a, b, c *Vector) *Vector { r := b.Copy(); r.AndNot(c); r.Or(a); return r }},
+		{"OrAndOf", func(d, a, b, c *Vector) bool { return d.OrAndOf(a, b, c) },
+			func(a, b, c *Vector) *Vector { r := a.Copy(); r.Or(b); r.And(c); return r }},
+		{"AndAndOf", func(d, a, b, c *Vector) bool { return d.AndAndOf(a, b, c) },
+			func(a, b, c *Vector) *Vector { r := a.Copy(); r.And(b); r.And(c); return r }},
+	}
+	for _, o := range ops {
+		for _, n := range lengths {
+			for trial := 0; trial < 20; trial++ {
+				a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+				dst := randVec(rng, n)
+				before := dst.Copy()
+				want := o.composed(a, b, c)
+				changed := o.fused(dst, a, b, c)
+				if !dst.Equal(want) {
+					t.Fatalf("%s n=%d: got %s, want %s", o.name, n, dst, want)
+				}
+				if changed != !before.Equal(want) {
+					t.Fatalf("%s n=%d: changed=%v but before=%s after=%s", o.name, n, changed, before, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedTrimInvariant: fused ops never set bits beyond Len, even when
+// complement is involved, so Count and IsEmpty stay truthful.
+func TestFusedTrimInvariant(t *testing.T) {
+	a := New(67)
+	dst := New(67)
+	dst.NotOf(a) // ¬∅ = full
+	if got := dst.Count(); got != 67 {
+		t.Fatalf("NotOf count = %d, want 67", got)
+	}
+	full := New(67)
+	full.SetAll()
+	dst2 := New(67)
+	dst2.OrAndNotOf(full, full, New(67))
+	if got := dst2.Count(); got != 67 {
+		t.Fatalf("OrAndNotOf count = %d, want 67", got)
+	}
+}
+
+// TestFusedLengthMismatchPanics: mixing lengths is a programming error.
+func TestFusedLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	New(8).OrAndNotOf(New(8), New(9), New(8))
+}
+
+// TestFusedAliasing: the destination may alias an operand — the solvers
+// rely on dst aliasing src in place-updates.
+func TestFusedAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, kill := randVec(rng, 100), randVec(rng, 100)
+	gen := randVec(rng, 100)
+	want := a.Copy()
+	want.AndNot(kill)
+	want.Or(gen)
+	got := a.Copy()
+	got.OrAndNotOf(gen, got, kill) // dst aliases src
+	if !got.Equal(want) {
+		t.Fatalf("aliased OrAndNotOf: got %s, want %s", got, want)
+	}
+}
+
+func TestMatrixClearAll(t *testing.T) {
+	m := NewMatrix(3, 70)
+	m.Set(0, 0)
+	m.Set(2, 69)
+	m.ClearAll()
+	for i := 0; i < 3; i++ {
+		if !m.Row(i).IsEmpty() {
+			t.Fatalf("row %d not cleared", i)
+		}
+	}
+}

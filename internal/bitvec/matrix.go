@@ -49,6 +49,14 @@ func (m *Matrix) Clear(row, col int) { m.Row(row).Clear(col) }
 // SetBool sets bit (row, col) to b.
 func (m *Matrix) SetBool(row, col int, b bool) { m.Row(row).SetBool(col, b) }
 
+// ClearAll clears every bit of every row, keeping the backing storage.
+// Scratch arenas use it to recycle matrices between analyses.
+func (m *Matrix) ClearAll() {
+	for _, v := range m.data {
+		v.ClearAll()
+	}
+}
+
 // Copy returns an independent copy of m.
 func (m *Matrix) Copy() *Matrix {
 	c := &Matrix{rows: m.rows, cols: m.cols, data: make([]*Vector, m.rows)}

@@ -1,0 +1,171 @@
+package dataflow
+
+import (
+	"sync"
+
+	"lazycm/internal/bitvec"
+)
+
+// Scratch is a reusable analysis arena: it caches the (reverse) postorder
+// traversal per graph and direction, and pools bit-vector matrices and
+// meet vectors so a sequence of solves — the four LCM problems, liveness,
+// repeated pipeline passes — stops reallocating its working state for
+// every analysis.
+//
+// A Scratch never changes what a solver computes, only where its storage
+// comes from: the cached order is exactly the order iterationOrder would
+// recompute (the traversal is deterministic for a fixed graph), and every
+// pooled matrix or vector is zeroed before reuse, which is the same state
+// a fresh allocation starts in. See DESIGN.md "Shared analysis scratch".
+//
+// Scratch is safe for concurrent use, so independent problems over the
+// same graph (DSAFE and USAFE) can share one arena while solving in
+// parallel. The zero value is not ready; use NewScratch.
+type Scratch struct {
+	mu     sync.Mutex
+	orders map[orderKey][]int
+	mats   map[matKey][]*bitvec.Matrix
+	vecs   map[int][]*bitvec.Vector
+}
+
+type orderKey struct {
+	g   Graph
+	dir Direction
+}
+
+type matKey struct{ rows, cols int }
+
+// maxOrderGraphs bounds the order cache: a scratch shared across many
+// graphs (a long batch) keeps only the most recent handful of traversals
+// rather than growing without bound.
+const maxOrderGraphs = 8
+
+// maxPooled bounds each pool bucket; beyond it, released storage is
+// dropped for the garbage collector instead of hoarded.
+const maxPooled = 16
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch {
+	return &Scratch{
+		orders: make(map[orderKey][]int),
+		mats:   make(map[matKey][]*bitvec.Matrix),
+		vecs:   make(map[int][]*bitvec.Vector),
+	}
+}
+
+// Order returns the iteration order for g in the given direction,
+// computing it on first use and serving the cached copy afterwards. The
+// returned slice is shared and must be treated as read-only; concurrent
+// solvers over the same graph read the same slice.
+func (s *Scratch) Order(g Graph, dir Direction) []int {
+	k := orderKey{g: g, dir: dir}
+	s.mu.Lock()
+	if o, ok := s.orders[k]; ok {
+		s.mu.Unlock()
+		return o
+	}
+	s.mu.Unlock()
+	// Compute outside the lock: traversal cost dominates, and two racing
+	// computations of the same deterministic order are harmless.
+	o := iterationOrder(g, dir)
+	s.mu.Lock()
+	if len(s.orders) >= 2*maxOrderGraphs { // both directions per graph
+		s.orders = make(map[orderKey][]int)
+	}
+	s.orders[k] = o
+	s.mu.Unlock()
+	return o
+}
+
+// Matrix returns a zeroed rows×cols matrix, recycling a released one when
+// the pool has a match.
+func (s *Scratch) Matrix(rows, cols int) *bitvec.Matrix {
+	k := matKey{rows: rows, cols: cols}
+	s.mu.Lock()
+	bucket := s.mats[k]
+	if n := len(bucket); n > 0 {
+		m := bucket[n-1]
+		s.mats[k] = bucket[:n-1]
+		s.mu.Unlock()
+		m.ClearAll()
+		return m
+	}
+	s.mu.Unlock()
+	return bitvec.NewMatrix(rows, cols)
+}
+
+// Release returns matrices to the pool for reuse. A released matrix must
+// no longer be referenced by the caller — the next Matrix call with the
+// same shape may hand it out zeroed. nil entries are ignored, so callers
+// can release unconditionally on error paths.
+func (s *Scratch) Release(ms ...*bitvec.Matrix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range ms {
+		if m == nil {
+			continue
+		}
+		k := matKey{rows: m.Rows(), cols: m.Cols()}
+		if len(s.mats[k]) < maxPooled {
+			s.mats[k] = append(s.mats[k], m)
+		}
+	}
+}
+
+// Vector returns a zeroed vector of length n from the pool.
+func (s *Scratch) Vector(n int) *bitvec.Vector {
+	s.mu.Lock()
+	bucket := s.vecs[n]
+	if l := len(bucket); l > 0 {
+		v := bucket[l-1]
+		s.vecs[n] = bucket[:l-1]
+		s.mu.Unlock()
+		v.ClearAll()
+		return v
+	}
+	s.mu.Unlock()
+	return bitvec.New(n)
+}
+
+// ReleaseVector returns vectors to the pool. Like Release, a released
+// vector must not be used again by the caller; nils are ignored.
+func (s *Scratch) ReleaseVector(vs ...*bitvec.Vector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if len(s.vecs[v.Len()]) < maxPooled {
+			s.vecs[v.Len()] = append(s.vecs[v.Len()], v)
+		}
+	}
+}
+
+// order resolves the iteration order for a problem: the scratch cache
+// when the problem carries one, a fresh traversal otherwise.
+func (p *Problem) order(g Graph) []int {
+	if p.Scratch != nil {
+		return p.Scratch.Order(g, p.Dir)
+	}
+	return iterationOrder(g, p.Dir)
+}
+
+// state allocates the solver's working state, drawing from the scratch
+// arena when available.
+func (p *Problem) state(n int) (in, out *bitvec.Matrix, meet *bitvec.Vector) {
+	if p.Scratch != nil {
+		return p.Scratch.Matrix(n, p.Width), p.Scratch.Matrix(n, p.Width), p.Scratch.Vector(p.Width)
+	}
+	return bitvec.NewMatrix(n, p.Width), bitvec.NewMatrix(n, p.Width), bitvec.New(p.Width)
+}
+
+// releaseState returns failed-solve state to the arena so error paths
+// (fuel, cancellation) do not leak pooled storage.
+func (p *Problem) releaseState(in, out *bitvec.Matrix, meet *bitvec.Vector) {
+	if p.Scratch == nil {
+		return
+	}
+	p.Scratch.Release(in, out)
+	p.Scratch.ReleaseVector(meet)
+}

@@ -18,10 +18,8 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 		return nil, err
 	}
 	n := g.NumNodes()
-	res := &Result{
-		In:  bitvec.NewMatrix(n, p.Width),
-		Out: bitvec.NewMatrix(n, p.Width),
-	}
+	in, out, meetIn := p.state(n)
+	res := &Result{In: in, Out: out}
 	res.Stats.Name = p.Name
 	if p.Meet == Must {
 		for i := 0; i < n; i++ {
@@ -35,7 +33,7 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 
 	// Seed the queue with every node in a good order and track membership
 	// so nodes are not queued twice.
-	order := iterationOrder(g, p.Dir)
+	order := p.order(g)
 	queue := make([]int, len(order))
 	copy(queue, order)
 	queued := make([]bool, n)
@@ -44,8 +42,8 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 	}
 	res.Stats.Passes = 1 // one conceptual pass; NodeVisits carries the cost
 
-	meetIn := bitvec.New(p.Width)
 	if err := Canceled(p.Ctx, p.Name); err != nil {
+		p.releaseState(in, out, meetIn)
 		return nil, err
 	}
 	for len(queue) > 0 {
@@ -54,10 +52,12 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 		queued[node] = false
 		res.Stats.NodeVisits++
 		if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
+			p.releaseState(in, out, meetIn)
 			return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
 		}
 		if res.Stats.NodeVisits%cancelInterval == 0 {
 			if err := Canceled(p.Ctx, p.Name); err != nil {
+				p.releaseState(in, out, meetIn)
 				return nil, err
 			}
 		}
@@ -101,14 +101,13 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 		flowIn.CopyFrom(meetIn)
 		res.Stats.VectorOps++
 
-		meetIn.AndNot(p.Kill.Row(node))
-		meetIn.Or(p.Gen.Row(node))
-		res.Stats.VectorOps += 2
-		if !flowOut.CopyFrom(meetIn) {
-			res.Stats.VectorOps++
+		// Fused transfer: flowOut = gen ∨ (flowIn ∧ ¬kill), accounted as
+		// the andnot/or/copy chain it replaces (see Solve).
+		changed := flowOut.OrAndNotOf(p.Gen.Row(node), flowIn, p.Kill.Row(node))
+		res.Stats.VectorOps += 3
+		if !changed {
 			continue
 		}
-		res.Stats.VectorOps++
 
 		// Awaken dependents.
 		var fanout int
@@ -129,6 +128,9 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 				queue = append(queue, dep)
 			}
 		}
+	}
+	if p.Scratch != nil {
+		p.Scratch.ReleaseVector(meetIn)
 	}
 	return res, nil
 }

@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"lazycm/internal/bitvec"
+	"lazycm/internal/conc"
 	"lazycm/internal/dataflow"
 	"lazycm/internal/nodes"
 	"lazycm/internal/props"
@@ -142,65 +143,103 @@ func AnalyzeFuel(g *nodes.Graph, fuel int) (*Analysis, error) {
 // canceled or expired context aborts the analysis with an error wrapping
 // dataflow.ErrCanceled (o.Canonical is irrelevant here — the universe is
 // fixed by g).
+//
+// All four data-flow problems and the derived predicates share one
+// dataflow.Scratch (o.Scratch, or a run-private one): the traversal order
+// is computed once per direction and the bit-vector working state is
+// recycled between problems instead of reallocated per analysis. The two
+// problems that depend on nothing but the graph's local predicates —
+// down-safety and up-safety — are solved concurrently; they read only
+// shared immutable inputs (COMP, TRANSP, ¬TRANSP) and write disjoint
+// results, and each still honors o.Fuel and o.Ctx on its own. None of
+// this changes what is computed: every fixpoint is the unique solution
+// of its own monotone system, solved in the same per-problem iteration
+// order as before (see DESIGN.md "Shared analysis scratch").
 func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	n := g.NumNodes()
 	w := g.U.Size()
 	fuel := o.Fuel
+	sc := o.Scratch
+	if sc == nil {
+		sc = dataflow.NewScratch()
+	}
 	a := &Analysis{G: g, U: g.U}
+	releaseRes := func(rs ...*dataflow.Result) {
+		for _, r := range rs {
+			if r != nil {
+				sc.Release(r.In, r.Out)
+			}
+		}
+	}
 
 	// Shared kill vector: expressions killed by a node are those with a
 	// redefined operand, i.e. ¬TRANSP.
-	notTransp := bitvec.NewMatrix(n, w)
+	notTransp := sc.Matrix(n, w)
 	for i := 0; i < n; i++ {
-		row := notTransp.Row(i)
-		row.CopyFrom(g.Transp.Row(i))
-		row.Not()
+		notTransp.Row(i).NotOf(g.Transp.Row(i))
+	}
+
+	// Gen for up-safety: COMP ∧ TRANSP, because a computation whose own
+	// assignment kills an operand (v = v ⊕ b) does not make the
+	// expression available.
+	usafeGen := sc.Matrix(n, w)
+	for i := 0; i < n; i++ {
+		usafeGen.Row(i).AndOf(g.Comp.Row(i), g.Transp.Row(i))
 	}
 
 	// Down-safety: backward, must.
 	//   DSAFE(n) = COMP(n) ∨ (TRANSP(n) ∧ ∏_{m∈succ(n)} DSAFE(m))
 	// with DSAFE ≡ false at the exit node.
-	dsafeRes, err := dataflow.Solve(g, &dataflow.Problem{
-		Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
-		Width: w, Gen: g.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+	//
+	// Up-safety: forward, must.
+	//   USAFE(n) = ∏_{m∈pred(n)} ((USAFE(m) ∨ COMP(m)) ∧ TRANSP(m))
+	// with USAFE ≡ false at the entry node.
+	//
+	// The two systems are independent — neither reads the other's
+	// solution — so they solve in parallel over the shared scratch.
+	var dsafeRes, usafeRes *dataflow.Result
+	var grp conc.Group
+	grp.Go(func() error {
+		var err error
+		dsafeRes, err = dataflow.Solve(g, &dataflow.Problem{
+			Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
+			Width: w, Gen: g.Comp, Kill: notTransp,
+			Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+		})
+		return err
 	})
-	if err != nil {
+	grp.Go(func() error {
+		var err error
+		usafeRes, err = dataflow.Solve(g, &dataflow.Problem{
+			Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
+			Width: w, Gen: usafeGen, Kill: notTransp,
+			Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+		})
+		return err
+	})
+	if err := grp.Wait(); err != nil {
+		releaseRes(dsafeRes, usafeRes)
+		sc.Release(notTransp, usafeGen)
 		return nil, fmt.Errorf("lcm: %w", err)
 	}
 	a.DSafe = dsafeRes.In
-	a.Stats = append(a.Stats, dsafeRes.Stats)
-
-	// Up-safety: forward, must.
-	//   USAFE(n) = ∏_{m∈pred(n)} ((USAFE(m) ∨ COMP(m)) ∧ TRANSP(m))
-	// with USAFE ≡ false at the entry node. Gen = COMP ∧ TRANSP because a
-	// computation whose own assignment kills an operand (v = v ⊕ b) does
-	// not make the expression available.
-	usafeGen := bitvec.NewMatrix(n, w)
-	for i := 0; i < n; i++ {
-		row := usafeGen.Row(i)
-		row.CopyFrom(g.Comp.Row(i))
-		row.And(g.Transp.Row(i))
-	}
-	usafeRes, err := dataflow.Solve(g, &dataflow.Problem{
-		Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
-		Width: w, Gen: usafeGen, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("lcm: %w", err)
-	}
 	a.USafe = usafeRes.In
-	a.Stats = append(a.Stats, usafeRes.Stats)
+	// Stats keep their documented order (dsafe, usafe, delay, isolated)
+	// regardless of which concurrent solve finished first.
+	a.Stats = append(a.Stats, dsafeRes.Stats, usafeRes.Stats)
+	sc.Release(dsafeRes.Out, usafeRes.Out, usafeGen)
 
 	// Earliestness (derived):
 	//   EARLIEST(n) = DSAFE(n) ∧ (pred(n) = ∅ ∨
 	//       ¬∏_{m∈pred(n)} (TRANSP(m) ∧ (DSAFE(m) ∨ USAFE(m))))
 	// A computation can be hoisted over predecessor m only if m does not
-	// change its value (TRANSP) and placing it at m is safe.
+	// change its value (TRANSP) and placing it at m is safe. The fused
+	// vector ops below compute the same predicates in fewer memory sweeps;
+	// Derived still counts the logical (unfused) operations so the T4
+	// efficiency currency stays comparable across implementations.
 	a.Earliest = bitvec.NewMatrix(n, w)
-	hoistable := bitvec.New(w)
-	tmp := bitvec.New(w)
+	hoistable := sc.Vector(w)
+	tmp := sc.Vector(w)
 	for i := 0; i < n; i++ {
 		row := a.Earliest.Row(i)
 		row.CopyFrom(a.DSafe.Row(i))
@@ -211,9 +250,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 		hoistable.SetAll()
 		for p := 0; p < g.NumPreds(i); p++ {
 			m := g.Pred(i, p)
-			tmp.CopyFrom(a.DSafe.Row(m))
-			tmp.Or(a.USafe.Row(m))
-			tmp.And(g.Transp.Row(m))
+			tmp.OrAndOf(a.DSafe.Row(m), a.USafe.Row(m), g.Transp.Row(m))
 			hoistable.And(tmp)
 			a.Derived += 4
 		}
@@ -225,27 +262,28 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	//   DELAY(n) = EARLIEST(n) ∨ ∏_{m∈pred(n)} (DELAY(m) ∧ ¬COMP(m))
 	// with the meet-input false at the entry node. In gen/kill form the
 	// transfer is OUT = (IN ∨ EARLIEST) ∧ ¬COMP.
-	delayGen := bitvec.NewMatrix(n, w)
+	delayGen := sc.Matrix(n, w)
 	for i := 0; i < n; i++ {
-		row := delayGen.Row(i)
-		row.CopyFrom(a.Earliest.Row(i))
-		row.AndNot(g.Comp.Row(i))
+		delayGen.Row(i).AndNotOf(a.Earliest.Row(i), g.Comp.Row(i))
 	}
 	delayRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "delay", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: delayGen, Kill: g.Comp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
+		sc.Release(notTransp, delayGen)
+		sc.ReleaseVector(hoistable, tmp)
 		return nil, fmt.Errorf("lcm: %w", err)
 	}
-	a.Delay = bitvec.NewMatrix(n, w)
+	// DELAY at the node is IN ∨ EARLIEST; fold EARLIEST into the solver's
+	// IN matrix in place and retain it.
+	a.Delay = delayRes.In
 	for i := 0; i < n; i++ {
-		row := a.Delay.Row(i)
-		row.CopyFrom(delayRes.In.Row(i))
-		row.Or(a.Earliest.Row(i))
+		a.Delay.Row(i).Or(a.Earliest.Row(i))
 	}
 	a.Stats = append(a.Stats, delayRes.Stats)
+	sc.Release(delayRes.Out, delayGen)
 
 	// Latestness (derived):
 	//   LATEST(n) = DELAY(n) ∧ (COMP(n) ∨ ¬∏_{m∈succ(n)} DELAY(m))
@@ -255,8 +293,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 		ns := g.NumSuccs(i)
 		if ns == 0 {
 			// ∏ over the empty set is true: LATEST = DELAY ∧ COMP.
-			row.CopyFrom(a.Delay.Row(i))
-			row.And(g.Comp.Row(i))
+			row.AndOf(a.Delay.Row(i), g.Comp.Row(i))
 			a.Derived += 2
 			continue
 		}
@@ -267,10 +304,10 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 		}
 		hoistable.Not()
 		hoistable.Or(g.Comp.Row(i))
-		row.CopyFrom(a.Delay.Row(i))
-		row.And(hoistable)
+		row.AndOf(a.Delay.Row(i), hoistable)
 		a.Derived += 4
 	}
+	sc.ReleaseVector(hoistable, tmp)
 
 	// Isolation: backward, must.
 	//   ISOLATED(n) = ∏_{m∈succ(n)} (LATEST(m) ∨ (¬COMP(m) ∧ ISOLATED(m)))
@@ -279,13 +316,15 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	isoRes, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "isolated", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: a.Latest, Kill: g.Comp,
-		Boundary: dataflow.BoundaryFull, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryFull, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
+		sc.Release(notTransp)
 		return nil, fmt.Errorf("lcm: %w", err)
 	}
 	a.Isolated = isoRes.Out
 	a.Stats = append(a.Stats, isoRes.Stats)
+	sc.Release(isoRes.In, notTransp)
 
 	return a, nil
 }

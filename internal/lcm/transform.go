@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/graph"
 	"lazycm/internal/ir"
 	"lazycm/internal/nodes"
@@ -48,6 +49,12 @@ type Options struct {
 	// whole run fails with an error unwrapping to dataflow.ErrCanceled.
 	// Nil means "never canceled". See dataflow.Problem.Ctx.
 	Ctx context.Context
+	// Scratch, when non-nil, is the shared analysis arena: traversal
+	// orders computed once per graph and recycled bit-vector storage
+	// across the four data-flow problems (and across calls, e.g. one
+	// arena per pipeline run). Nil means a run-private arena. The
+	// analysis results are identical either way; see dataflow.Scratch.
+	Scratch *dataflow.Scratch
 }
 
 // Transform applies the given placement mode to a clone of f and returns

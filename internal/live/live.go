@@ -43,6 +43,15 @@ func Compute(f *ir.Function, vars []string) (*Info, error) {
 // fails with an error unwrapping to dataflow.ErrCanceled. A nil ctx means
 // "never canceled".
 func ComputeCtx(ctx context.Context, f *ir.Function, vars []string) (*Info, error) {
+	return ComputeScratch(ctx, f, vars, nil)
+}
+
+// ComputeScratch is ComputeCtx with a shared analysis arena: a non-nil
+// scratch supplies the liveness solver's traversal order and bit-vector
+// storage, so repeated liveness queries (lifetime metrics over many
+// temporaries, pipeline runs over many functions) reuse allocations. The
+// solution is identical with or without it.
+func ComputeScratch(ctx context.Context, f *ir.Function, vars []string, sc *dataflow.Scratch) (*Info, error) {
 	if vars == nil {
 		vars = f.Vars()
 	}
@@ -56,8 +65,12 @@ func ComputeCtx(ctx context.Context, f *ir.Function, vars []string) (*Info, erro
 
 	n := g.NumNodes()
 	w := len(vars)
-	use := bitvec.NewMatrix(n, w)
-	def := bitvec.NewMatrix(n, w)
+	var use, def *bitvec.Matrix
+	if sc != nil {
+		use, def = sc.Matrix(n, w), sc.Matrix(n, w)
+	} else {
+		use, def = bitvec.NewMatrix(n, w), bitvec.NewMatrix(n, w)
+	}
 	var scratch []string
 	for id, nd := range g.Nodes {
 		switch nd.Kind {
@@ -87,8 +100,11 @@ func ComputeCtx(ctx context.Context, f *ir.Function, vars []string) (*Info, erro
 	res, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "liveness", Dir: dataflow.Backward, Meet: dataflow.May,
 		Width: w, Gen: use, Kill: def,
-		Boundary: dataflow.BoundaryEmpty, Ctx: ctx,
+		Boundary: dataflow.BoundaryEmpty, Ctx: ctx, Scratch: sc,
 	})
+	if sc != nil {
+		sc.Release(use, def) // gen/kill are solver inputs only; the solution is retained
+	}
 	if err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}

@@ -149,6 +149,10 @@ type Options struct {
 	// fixpoint of every round; once done the run fails with an error
 	// unwrapping to dataflow.ErrCanceled. Nil means "never canceled".
 	Ctx context.Context
+	// Scratch, when non-nil, is the shared analysis arena reused by the
+	// LCM analyses of every round; see dataflow.Scratch. Purely an
+	// allocation optimization — results are identical with or without it.
+	Scratch *dataflow.Scratch
 }
 
 // DefaultMaxRounds is the reapplication cap used when Options.MaxRounds
@@ -177,7 +181,7 @@ func PipelineOpts(f *ir.Function, o Options) (*PipelineResult, error) {
 			return nil, err
 		}
 		var rs RoundStats
-		lres, err := lcm.TransformOpts(cur, lcm.LCM, lcm.Options{Fuel: o.Fuel, Ctx: o.Ctx})
+		lres, err := lcm.TransformOpts(cur, lcm.LCM, lcm.Options{Fuel: o.Fuel, Ctx: o.Ctx, Scratch: o.Scratch})
 		if err != nil {
 			return nil, err
 		}

@@ -136,6 +136,14 @@ type Options struct {
 	// run, and Result.F is still the last-known-good function. Nil means
 	// "never canceled".
 	Ctx context.Context
+	// Scratch is the shared analysis arena threaded into every pass that
+	// solves data-flow problems: traversal orders are computed once per
+	// graph and bit-vector working state is recycled across analyses
+	// instead of reallocated. Run fills it in when nil, so every run has
+	// one arena; callers that run many pipelines (e.g. a server worker)
+	// may share a longer-lived arena across runs. Purely an allocation
+	// optimization — results are identical with or without it.
+	Scratch *dataflow.Scratch
 }
 
 // DefaultVerifyRuns is the verification battery size used when
@@ -196,6 +204,9 @@ func Run(f *ir.Function, passes []Pass, o Options) (*Result, error) {
 	}
 	if err := ir.Validate(f); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	if o.Scratch == nil {
+		o.Scratch = dataflow.NewScratch()
 	}
 	res := &Result{F: f.Clone()}
 	for _, p := range passes {
@@ -294,7 +305,7 @@ func LCMPass(mode lcm.Mode) Pass {
 	return Pass{
 		Name: strings.ToLower(mode.String()),
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := lcm.TransformOpts(f, mode, lcm.Options{Canonical: o.Canonical, Fuel: o.Fuel, Ctx: o.Ctx})
+			res, err := lcm.TransformOpts(f, mode, lcm.Options{Canonical: o.Canonical, Fuel: o.Fuel, Ctx: o.Ctx, Scratch: o.Scratch})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -351,7 +362,7 @@ func OptPass() Pass {
 	return Pass{
 		Name: "opt",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := opt.PipelineOpts(f, opt.Options{MaxRounds: o.MaxRounds, Fuel: o.Fuel, Ctx: o.Ctx})
+			res, err := opt.PipelineOpts(f, opt.Options{MaxRounds: o.MaxRounds, Fuel: o.Fuel, Ctx: o.Ctx, Scratch: o.Scratch})
 			if err != nil {
 				return nil, nil, err
 			}
