@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-json serve triage
+.PHONY: check build vet test race fuzz bench bench-json serve triage chaos
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -36,6 +36,16 @@ bench-json:
 # Run the optimization server (see the lcmd section in README.md).
 serve:
 	$(GO) run ./cmd/lcmd
+
+# Service-level chaos soak under the race detector: latency, worker
+# stalls, induced panics, buggy passes, and cache corruption injected
+# against the full lcmd server while the accounting, quarantine, and
+# no-goroutine-leak invariants are asserted. Crashers captured during
+# the soak land in _quarantine/chaos for triage.
+chaos:
+	mkdir -p _quarantine/chaos
+	LCM_CHAOS_QUARANTINE=$(CURDIR)/_quarantine/chaos \
+		$(GO) test -race -run 'TestChaos' -count=1 -v ./cmd/lcmd/
 
 # Corpus hygiene gate: every crasher in testdata/crashers must be
 # minimal, signatures must be unique, and recorded sidecars must match

@@ -27,6 +27,13 @@
 //	                             poll the deadline at iteration boundaries
 //	-verify                      re-check each transformed function against
 //	                             its original on random inputs
+//	-remote URL                  send the program to an lcmd server at URL
+//	                             instead of optimizing in-process, via the
+//	                             hardened retrying client (honors the
+//	                             server's Retry-After contract); display
+//	                             flags that need local analysis
+//	                             (-predicates, -dot, -stats, -run,
+//	                             -simplify) are rejected
 //
 // Exit codes:
 //
@@ -41,18 +48,21 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lazycm/internal/gcse"
 	"lazycm/internal/graph"
 	"lazycm/internal/interp"
 	"lazycm/internal/ir"
 	"lazycm/internal/lcm"
+	"lazycm/internal/lcmclient"
 	"lazycm/internal/mr"
 	"lazycm/internal/nodes"
 	"lazycm/internal/opt"
@@ -93,6 +103,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	fuel := fs.Int("fuel", 0, "node-visit budget per data-flow fixpoint (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
 	verifyFlag := fs.Bool("verify", false, "re-check each transformed function against its original on random inputs")
+	remote := fs.String("remote", "", "optimize via an lcmd server at this base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return exitInvalid, err
 	}
@@ -101,6 +112,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	// set in the error.
 	if _, ok := pipeline.ForMode(*mode); !ok {
 		return exitInvalid, fmt.Errorf("unknown mode %q (valid: %s)", *mode, strings.Join(pipeline.ModeNames(), ", "))
+	}
+	if *remote != "" {
+		for flagName, set := range map[string]bool{
+			"-predicates": *predicates, "-dot": *dot, "-stats": *stats,
+			"-simplify": *simplify, "-run": *runArgs != "",
+		} {
+			if set {
+				return exitInvalid, fmt.Errorf("%s needs local analysis and cannot be combined with -remote", flagName)
+			}
+		}
 	}
 
 	var src []byte
@@ -115,6 +136,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	}
 	if err != nil {
 		return exitError, err
+	}
+	if *remote != "" {
+		return runRemote(*remote, string(src), remoteOpts{
+			mode: *mode, fuel: *fuel, timeout: *timeout,
+			verify: *verifyFlag, canonical: *canonical, fallback: *fallback,
+		}, stdout)
 	}
 	fns, err := textir.Parse(string(src))
 	if err != nil {
@@ -157,6 +184,60 @@ type opts struct {
 	fuel                             int
 	verify                           bool
 	ctx                              context.Context
+}
+
+type remoteOpts struct {
+	mode      string
+	fuel      int
+	timeout   time.Duration
+	verify    bool
+	canonical bool
+	fallback  bool
+}
+
+// runRemote ships the whole program to an lcmd server through the
+// hardened client and maps the service's outcome onto the CLI's exit
+// codes. The server runs the same pipeline over the same printer, so a
+// clean remote round trip is byte-identical to local optimization.
+func runRemote(baseURL, src string, o remoteOpts, stdout io.Writer) (int, error) {
+	c := &lcmclient.Client{BaseURL: baseURL}
+	resp, err := c.Optimize(context.Background(), lcmclient.Request{
+		Program:   src,
+		Mode:      o.mode,
+		Fuel:      o.fuel,
+		TimeoutMS: o.timeout.Milliseconds(),
+		Verify:    o.verify,
+		Canonical: o.canonical,
+	})
+	if err != nil {
+		var term *lcmclient.TerminalError
+		if errors.As(err, &term) {
+			switch term.Kind {
+			case "parse", "invalid", "mode":
+				return exitInvalid, err
+			case "deadline":
+				return exitDeadline, err
+			}
+		}
+		return exitError, err
+	}
+	if resp.FellBack {
+		if !o.fallback {
+			msg := "remote optimization fell back"
+			if len(resp.Diagnostics) > 0 {
+				msg = resp.Diagnostics[0]
+			}
+			return exitError, errors.New(msg)
+		}
+		for _, d := range resp.Diagnostics {
+			fmt.Fprintln(stdout, "# fallback:", d)
+		}
+	}
+	fmt.Fprint(stdout, resp.Program)
+	if resp.FellBack {
+		return exitFellBack, nil
+	}
+	return exitOptimized, nil
 }
 
 func optimizeOne(f *ir.Function, o opts, stdout io.Writer) (int, error) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lazycm/internal/conc"
+	"lazycm/internal/overload"
 	"lazycm/internal/textir"
 )
 
@@ -95,12 +96,14 @@ func (b *batchBudget) next() time.Duration {
 // to zero, which is what keeps admission accounting item-exact.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.draining.Load() {
-		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
-		return
-	}
 	req, ok := s.decodeOptimize(w, r, start)
 	if !ok {
+		return
+	}
+	lvl := s.observe()
+	seed := requestSeed(req)
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start, lvl, seed)
 		return
 	}
 	// Split structurally, not strictly: a function body the strict parser
@@ -114,10 +117,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := len(mod.Funcs)
+	if lvl >= overload.LevelCacheSingle {
+		// Degraded: a batch is the widest work unit the service accepts,
+		// so it is the first thing level 2 sheds — single requests and
+		// cache hits keep flowing while modules wait out the pressure.
+		// Shedding happens after the split so it stays item-exact: a shed
+		// batch counts one shed item per function, same as a full queue.
+		s.shed.Add(int64(n))
+		s.reject(w, http.StatusTooManyRequests, "overload",
+			fmt.Sprintf("server is shedding batch work (degrade level %d)", int(lvl)), start, lvl, seed)
+		return
+	}
+	fuel, verify := s.optionsFor(req, lvl)
 	if !s.admit(int64(n)) {
 		s.shed.Add(int64(n))
-		reject(w, http.StatusTooManyRequests, "overload",
-			fmt.Sprintf("optimization queue cannot hold %d functions", n), start)
+		s.reject(w, http.StatusTooManyRequests, "overload",
+			fmt.Sprintf("optimization queue cannot hold %d functions", n), start, lvl, seed)
 		return
 	}
 
@@ -134,11 +149,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// item reaches a worker — the accounting invariant does not depend on
 	// deadlines or lane scheduling.
 	_ = conc.Parallel(n, lanes, func(i int) error {
+		if s.draining.Load() {
+			// Drain arrived while this batch was mid-flight: stop feeding
+			// the pool. The reserved slot is released and the admission
+			// count rolled back, so "queued" still drains to exactly zero
+			// and the outcome counters still sum to the requests counter —
+			// the item is re-accounted as shed, and its result says
+			// explicitly that it was refused, not silently dropped.
+			s.queued.Add(-1)
+			s.requests.Add(-1)
+			s.shed.Add(1)
+			results[i] = outcome{http.StatusServiceUnavailable, optimizeResponse{
+				Error: "server is draining; batch item not dispatched", Kind: "draining",
+				RetryAfterMS: s.retryAfterMS(lvl, overload.Seed(mod.Funcs[i].Name, req.Mode)),
+			}}
+			return nil
+		}
 		ictx, icancel := context.WithTimeout(ctx, bb.next())
 		defer icancel()
 		ireq := req
 		ireq.Program = mod.Funcs[i].String()
-		j := &job{ctx: ictx, req: ireq, done: make(chan outcome, 1), start: time.Now()}
+		j := &job{
+			ctx: ictx, req: ireq, done: make(chan outcome, 1), start: time.Now(),
+			level: lvl, fuel: fuel, verify: verify,
+		}
 		s.jobs <- j
 		select {
 		case out := <-j.done:

@@ -21,11 +21,23 @@ type resultCache struct {
 	max   int
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
+
+	// corrupt, when non-nil, mutates a stored program on its way out of
+	// the cache — the chaos injector's model of memory rot. It exists so
+	// tests can prove the integrity checksum below actually catches
+	// corruption; production servers never set it.
+	corrupt func(program string) (string, bool)
 }
 
 type cacheEntry struct {
 	key string
 	out outcome
+	// sum is the integrity checksum of out.body.Program taken at store
+	// time. A cached result is replayed verbatim possibly much later; the
+	// checksum guarantees that what goes out is what was computed, and
+	// turns any in-memory corruption into an eviction instead of a served
+	// wrong answer.
+	sum [sha256.Size]byte
 }
 
 // newResultCache returns a cache holding up to max outcomes, or nil when
@@ -61,19 +73,32 @@ func cacheKey(req optimizeRequest, fuel int, verify bool) string {
 }
 
 // get returns the cached outcome for key and marks it most recently
-// used.
-func (c *resultCache) get(key string) (outcome, bool) {
+// used. The stored program is re-checksummed on every read; an entry
+// that fails the check is evicted, never served, and the third result
+// reports the corruption so the server can count it.
+func (c *resultCache) get(key string) (out outcome, ok, corrupted bool) {
 	if c == nil {
-		return outcome{}, false
+		return outcome{}, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		return outcome{}, false
+	el, found := c.byKey[key]
+	if !found {
+		return outcome{}, false, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.corrupt != nil {
+		if p, did := c.corrupt(ent.out.body.Program); did {
+			ent.out.body.Program = p
+		}
+	}
+	if sha256.Sum256([]byte(ent.out.body.Program)) != ent.sum {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		return outcome{}, false, true
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).out, true
+	return ent.out, true, false
 }
 
 // put stores an outcome, evicting the least recently used entry beyond
@@ -82,14 +107,16 @@ func (c *resultCache) put(key string, out outcome) {
 	if c == nil {
 		return
 	}
+	sum := sha256.Sum256([]byte(out.body.Program))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).out = out
+		ent := el.Value.(*cacheEntry)
+		ent.out, ent.sum = out, sum
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, out: out, sum: sum})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

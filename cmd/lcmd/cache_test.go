@@ -15,21 +15,21 @@ func TestResultCacheLRU(t *testing.T) {
 	out := func(s int) outcome { return outcome{status: s} }
 	c.put("a", out(1))
 	c.put("b", out(2))
-	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+	if _, ok, _ := c.get("a"); !ok { // refresh a: b is now LRU
 		t.Fatal("a missing")
 	}
 	c.put("c", out(3)) // evicts b
-	if _, ok := c.get("b"); ok {
+	if _, ok, _ := c.get("b"); ok {
 		t.Error("b survived eviction past capacity")
 	}
-	if got, ok := c.get("a"); !ok || got.status != 1 {
+	if got, ok, _ := c.get("a"); !ok || got.status != 1 {
 		t.Errorf("a = %+v %v, want status 1", got, ok)
 	}
-	if got, ok := c.get("c"); !ok || got.status != 3 {
+	if got, ok, _ := c.get("c"); !ok || got.status != 3 {
 		t.Errorf("c = %+v %v, want status 3", got, ok)
 	}
 	c.put("c", out(4)) // re-put refreshes in place, no growth
-	if got, _ := c.get("c"); got.status != 4 {
+	if got, _, _ := c.get("c"); got.status != 4 {
 		t.Errorf("re-put did not replace: %+v", got)
 	}
 	if c.len() != 2 {
@@ -37,7 +37,7 @@ func TestResultCacheLRU(t *testing.T) {
 	}
 
 	var nilCache *resultCache
-	if _, ok := nilCache.get("x"); ok {
+	if _, ok, _ := nilCache.get("x"); ok {
 		t.Error("nil cache returned a hit")
 	}
 	nilCache.put("x", out(1)) // must not panic

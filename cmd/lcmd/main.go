@@ -31,6 +31,13 @@
 //	                 ("" disables; default testdata/crashers)
 //	-drain D         grace period for in-flight work on SIGTERM/SIGINT
 //	                 (default 30s)
+//	-degraded-fuel N fuel cap applied at degrade level 1+ (0 = default,
+//	                 negative disables the shrink)
+//	-target-latency D  latency the pressure gauge normalizes against
+//	                 (0 = timeout/4)
+//	-chaos SPEC      TEST ONLY: inject service-level faults, e.g.
+//	                 "seed=7,latency=5ms:0.2,stall=50ms:0.05,panic=0.02,
+//	                 fault=0.1,corrupt=0.2" (see internal/chaos)
 //	-triage          maintenance mode: instead of serving, replay the
 //	                 quarantine directory, minimize and dedupe the
 //	                 crashers, promote one file per defect, then exit
@@ -42,6 +49,12 @@
 // to the validated input instead of killing the server. On SIGTERM the
 // server stops admitting work (503), finishes what is in flight, and
 // exits cleanly.
+//
+// Under sustained pressure the server walks a degradation ladder instead
+// of collapsing: level 1 disables verification and shrinks fuel, level 2
+// sheds batch work and serves singles (cache first), level 3 sheds all
+// new work. Every 429/503 carries a load-aware Retry-After. The current
+// level is visible on /healthz as degrade_level.
 package main
 
 import (
@@ -57,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"lazycm/internal/chaos"
 	"lazycm/internal/triage"
 )
 
@@ -73,6 +87,9 @@ func main() {
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
 	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
+	degradedFuel := fs.Int("degraded-fuel", 0, "fuel cap at degrade level 1+ (0 = default, negative disables)")
+	targetLatency := fs.Duration("target-latency", 0, "latency the pressure gauge normalizes against (0 = timeout/4)")
+	chaosSpec := fs.String("chaos", "", "TEST ONLY: service-level fault injection spec (see internal/chaos)")
 	triageMode := fs.Bool("triage", false, "promote the quarantine directory instead of serving")
 	_ = fs.Parse(os.Args[1:])
 
@@ -90,6 +107,16 @@ func main() {
 		return
 	}
 
+	var injector *chaos.Injector
+	if *chaosSpec != "" {
+		cfg, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatalf("lcmd: %v", err)
+		}
+		log.Printf("lcmd: CHAOS MODE (test only): %q", *chaosSpec)
+		injector = chaos.New(cfg)
+	}
+
 	srv := NewServer(Config{
 		Workers:       *workers,
 		Queue:         *queue,
@@ -100,6 +127,9 @@ func main() {
 		Quarantine:    *quarantine,
 		BatchParallel: *batchParallel,
 		CacheSize:     *cacheSize,
+		DegradedFuel:  *degradedFuel,
+		TargetLatency: *targetLatency,
+		Chaos:         injector,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

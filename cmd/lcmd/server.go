@@ -11,13 +11,16 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lazycm/internal/chaos"
 	"lazycm/internal/dataflow"
 	"lazycm/internal/ir"
+	"lazycm/internal/overload"
 	"lazycm/internal/pipeline"
 	"lazycm/internal/textir"
 	"lazycm/internal/triage"
@@ -57,6 +60,22 @@ type Config struct {
 	// without re-running the pipeline. 0 means DefaultCacheSize; negative
 	// disables caching.
 	CacheSize int
+	// Degrade tunes the degradation ladder's thresholds and hysteresis;
+	// the zero value takes overload's defaults.
+	Degrade overload.Config
+	// TargetLatency is what the pressure gauge normalizes smoothed
+	// request latency against; 0 means Timeout/4. When average latency
+	// approaches the request budget, the service is drowning even if the
+	// queue looks short.
+	TargetLatency time.Duration
+	// DegradedFuel caps the per-fixpoint fuel budget while the ladder is
+	// at level 1 or above, trading optimization effort for throughput.
+	// 0 means DefaultDegradedFuel; negative disables the shrink.
+	DegradedFuel int
+	// Chaos, when non-nil, injects service-level faults (latency, worker
+	// stalls, induced panics, buggy passes, cache corruption) into the
+	// request path. Test-only: never set it on a production server.
+	Chaos *chaos.Injector
 
 	// hook, when non-nil, runs on the worker goroutine before each job,
 	// inside the per-request panic guard; tests use it to hold workers
@@ -75,6 +94,13 @@ const maxBody = 4 << 20
 // DefaultCacheSize is the result-cache capacity when Config.CacheSize is
 // unset.
 const DefaultCacheSize = 128
+
+// DefaultDegradedFuel is the per-fixpoint fuel cap applied at degrade
+// level 1+ when Config.DegradedFuel is unset: generous enough that
+// ordinary programs still optimize fully, tight enough that a
+// pathological fixpoint cannot monopolize a worker while the service is
+// under pressure.
+const DefaultDegradedFuel = 1 << 16
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -95,6 +121,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = DefaultCacheSize
 	}
+	if c.TargetLatency <= 0 {
+		c.TargetLatency = c.Timeout / 4
+	}
+	if c.DegradedFuel == 0 {
+		c.DegradedFuel = DefaultDegradedFuel
+	}
 	return c
 }
 
@@ -104,26 +136,30 @@ func (c Config) withDefaults() Config {
 // panic isolation, and quarantine capture of any input that faults or
 // falls back.
 type Server struct {
-	cfg   Config
-	jobs  chan *job
-	wg    sync.WaitGroup
-	start time.Time
-	cache *resultCache // nil when caching is disabled
+	cfg    Config
+	jobs   chan *job
+	wg     sync.WaitGroup
+	start  time.Time
+	cache  *resultCache // nil when caching is disabled
+	ladder *overload.Ladder
+	gauge  *overload.Gauge
 
-	draining atomic.Bool
-	queued   atomic.Int64
-	inflight atomic.Int64
+	draining    atomic.Bool
+	queued      atomic.Int64
+	inflight    atomic.Int64
+	lastRetryMS atomic.Int64 // last Retry-After hint issued, for /healthz
 
-	requests    atomic.Int64 // admitted work items (a batch item counts like a request)
-	optimized   atomic.Int64 // clean 200s
-	fellBack    atomic.Int64 // 200s that shipped a fallback
-	canceled    atomic.Int64 // deadline/cancel results
-	invalid     atomic.Int64 // parse or validation rejections
-	shed        atomic.Int64 // work items shed by admission control
-	panics      atomic.Int64 // contained pass/driver panics
-	quarantined atomic.Int64 // distinct crashers captured (duplicates collapse)
-	cacheHits   atomic.Int64 // results replayed from the content cache
-	cacheMisses atomic.Int64 // lookups that ran the pipeline
+	requests     atomic.Int64 // admitted work items (a batch item counts like a request)
+	optimized    atomic.Int64 // clean 200s
+	fellBack     atomic.Int64 // 200s that shipped a fallback
+	canceled     atomic.Int64 // deadline/cancel results
+	invalid      atomic.Int64 // parse or validation rejections
+	shed         atomic.Int64 // work items shed by admission control
+	panics       atomic.Int64 // contained pass/driver panics
+	quarantined  atomic.Int64 // distinct crashers captured (duplicates collapse)
+	cacheHits    atomic.Int64 // results replayed from the content cache
+	cacheMisses  atomic.Int64 // lookups that ran the pipeline
+	cacheCorrupt atomic.Int64 // cache reads failing the integrity checksum
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -131,7 +167,14 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg: cfg, jobs: make(chan *job, cfg.Queue), start: time.Now(),
-		cache: newResultCache(cfg.CacheSize),
+		cache:  newResultCache(cfg.CacheSize),
+		ladder: overload.NewLadder(cfg.Degrade),
+		gauge:  overload.NewGauge(cfg.TargetLatency, 0),
+	}
+	if cfg.Chaos != nil && s.cache != nil {
+		// Chaos corrupts cached programs on their way out; the cache's
+		// integrity checksum is what must catch it.
+		s.cache.corrupt = cfg.Chaos.CorruptRead
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -197,7 +240,14 @@ type optimizeResponse struct {
 	// "panic", "overload", "draining".
 	Kind        string `json:"kind,omitempty"`
 	Quarantined string `json:"quarantined,omitempty"`
-	ElapsedMS   int64  `json:"elapsed_ms"`
+	// DegradeLevel is the ladder level the request was handled under
+	// (0 = full service, omitted).
+	DegradeLevel int `json:"degrade_level,omitempty"`
+	// RetryAfterMS is the millisecond-precise form of the Retry-After
+	// header on 429/503 rejections; clients should prefer it over the
+	// whole-second header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	ElapsedMS    int64 `json:"elapsed_ms"`
 }
 
 // outcome pairs an HTTP status with its JSON body.
@@ -215,14 +265,58 @@ type job struct {
 	req   optimizeRequest
 	done  chan outcome
 	start time.Time
+	// level is the degradation level the request was admitted under;
+	// fuel and verify are the effort options already resolved for that
+	// level, so the worker, the cache key and the quarantine directives
+	// all agree on what actually ran.
+	level  overload.Level
+	fuel   int
+	verify bool
+}
+
+// observe feeds the ladder one pressure sample built from the live
+// gauges and returns the (possibly updated) degradation level. Every
+// admission decision and every /healthz probe observes, so the ladder
+// keeps moving — up under pressure, back down as the queue drains —
+// without a dedicated sampling goroutine.
+func (s *Server) observe() overload.Level {
+	return s.ladder.Observe(overload.Sample{
+		QueueFrac:    float64(s.queued.Load()) / float64(s.cfg.Queue),
+		InflightFrac: float64(s.inflight.Load()) / float64(s.cfg.Workers),
+		MissRate:     s.gauge.MissRate(),
+		LatencyFrac:  s.gauge.LatencyFrac(),
+	})
+}
+
+// retryAfterMS computes the load-aware Retry-After hint for one shed
+// request: longer when the queue is deeper or the ladder higher, spread
+// by deterministic per-request jitter (seeded from the request hash,
+// never the clock) so subsumed clients do not retry in lockstep. The
+// last issued hint is kept for /healthz.
+func (s *Server) retryAfterMS(lvl overload.Level, seed uint64) int64 {
+	queueFrac := float64(s.queued.Load()) / float64(s.cfg.Queue)
+	ms := overload.RetryAfter(lvl, queueFrac, seed).Milliseconds()
+	s.lastRetryMS.Store(ms)
+	return ms
 }
 
 // reject writes a load-control response. Every rejection a client can
 // cure by retrying — shed load (429) and draining (503) — carries the
-// same Retry-After contract, so retry loops need exactly one code path.
-func reject(w http.ResponseWriter, status int, kind, msg string, start time.Time) {
-	w.Header().Set("Retry-After", "1")
-	writeJSON(w, status, optimizeResponse{Error: msg, Kind: kind, ElapsedMS: msSince(start)})
+// same Retry-After contract, so retry loops need exactly one code path:
+// the header in whole seconds (rounded up, per HTTP), the JSON body in
+// milliseconds.
+func (s *Server) reject(w http.ResponseWriter, status int, kind, msg string, start time.Time, lvl overload.Level, seed uint64) {
+	ms := s.retryAfterMS(lvl, seed)
+	w.Header().Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
+	writeJSON(w, status, optimizeResponse{
+		Error: msg, Kind: kind, DegradeLevel: int(lvl), RetryAfterMS: ms, ElapsedMS: msSince(start),
+	})
+}
+
+// requestSeed derives the deterministic jitter seed from the request
+// content.
+func requestSeed(req optimizeRequest) uint64 {
+	return overload.Seed(req.Program, req.Mode)
 }
 
 // decodeOptimize reads and vets the shared request shape of /optimize and
@@ -281,25 +375,88 @@ func (s *Server) admit(n int64) bool {
 	}
 }
 
+// optionsFor resolves the effort options a request runs under at the
+// given degradation level. Level 1+ turns the behavioural verify
+// battery off and shrinks the fuel budget — both trade effort only:
+// verification is a re-check of an already-validated result, and fuel
+// decides whether a result is produced, never which result, so degraded
+// service can reduce work without ever changing an answer.
+func (s *Server) optionsFor(req optimizeRequest, lvl overload.Level) (fuel int, verify bool) {
+	fuel = s.effectiveFuel(req)
+	verify = s.cfg.Verify || req.Verify
+	if lvl >= overload.LevelNoVerify {
+		verify = false
+		if df := s.cfg.DegradedFuel; df > 0 && (fuel <= 0 || fuel > df) {
+			fuel = df
+		}
+	}
+	return fuel, verify
+}
+
+// probeCache serves a request straight from the result cache without
+// touching the admission queue — the degraded-mode path that keeps
+// popular inputs answered even while new work sheds. The hit is
+// accounted exactly like an admitted, optimized request so the outcome
+// counters keep balancing.
+func (s *Server) probeCache(req optimizeRequest, fuel int, verify bool) (outcome, bool) {
+	if s.cache == nil {
+		return outcome{}, false
+	}
+	out, ok, corrupted := s.cache.get(cacheKey(req, fuel, verify))
+	if corrupted {
+		s.cacheCorrupt.Add(1)
+	}
+	if !ok {
+		return outcome{}, false
+	}
+	s.cacheHits.Add(1)
+	s.requests.Add(1)
+	s.optimized.Add(1)
+	return out, true
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	if s.draining.Load() {
-		reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start)
-		return
-	}
 	req, ok := s.decodeOptimize(w, r, start)
 	if !ok {
 		return
 	}
+	lvl := s.observe()
+	seed := requestSeed(req)
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining", start, lvl, seed)
+		return
+	}
+	fuel, verify := s.optionsFor(req, lvl)
+	if lvl >= overload.LevelCacheSingle {
+		// Degraded: a cached result costs no worker time, so serve it
+		// even while shedding. At level 3 everything else sheds; at
+		// level 2 the miss still competes for admission below.
+		if out, hit := s.probeCache(req, fuel, verify); hit {
+			out.body.ElapsedMS = msSince(start)
+			out.body.DegradeLevel = int(lvl)
+			writeJSON(w, out.status, out.body)
+			return
+		}
+		if lvl >= overload.LevelShed {
+			s.shed.Add(1)
+			s.reject(w, http.StatusTooManyRequests, "overload",
+				"server is shedding all new work (degrade level 3)", start, lvl, seed)
+			return
+		}
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.budgetFor(req))
 	defer cancel()
 
-	j := &job{ctx: ctx, req: req, done: make(chan outcome, 1), start: start}
+	j := &job{
+		ctx: ctx, req: req, done: make(chan outcome, 1), start: start,
+		level: lvl, fuel: fuel, verify: verify,
+	}
 	if !s.admit(1) {
 		// Admission control: a full queue sheds load instead of building
 		// an unbounded backlog.
 		s.shed.Add(1)
-		reject(w, http.StatusTooManyRequests, "overload", "optimization queue is full", start)
+		s.reject(w, http.StatusTooManyRequests, "overload", "optimization queue is full", start, lvl, seed)
 		return
 	}
 	s.jobs <- j
@@ -307,6 +464,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-j.done:
 		out.body.ElapsedMS = msSince(start)
+		out.body.DegradeLevel = int(lvl)
 		writeJSON(w, out.status, out.body)
 	case <-ctx.Done():
 		// The deadline fired while the job was queued or in flight. The
@@ -322,6 +480,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A health probe is also a pressure sample: a server left idle after a
+	// burst recovers its degradation level on the next probe instead of
+	// staying stuck at the level the burst pushed it to.
+	lvl := s.observe()
 	status := "ok"
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -329,24 +491,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, map[string]any{
-		"status":         status,
-		"workers":        s.cfg.Workers,
-		"queue_capacity": s.cfg.Queue,
-		"queue_depth":    s.queued.Load(),
-		"inflight":       s.inflight.Load(),
-		"uptime_ms":      time.Since(s.start).Milliseconds(),
-		"requests":       s.requests.Load(),
-		"optimized":      s.optimized.Load(),
-		"fell_back":      s.fellBack.Load(),
-		"canceled":       s.canceled.Load(),
-		"invalid":        s.invalid.Load(),
-		"shed":           s.shed.Load(),
-		"panics":         s.panics.Load(),
-		"quarantined":    s.quarantined.Load(),
-		"cache_hits":     s.cacheHits.Load(),
-		"cache_misses":   s.cacheMisses.Load(),
-		"cache_entries":  s.cache.len(),
+		"status":              status,
+		"workers":             s.cfg.Workers,
+		"queue_capacity":      s.cfg.Queue,
+		"queue_depth":         s.queued.Load(),
+		"inflight":            s.inflight.Load(),
+		"uptime_ms":           time.Since(s.start).Milliseconds(),
+		"requests":            s.requests.Load(),
+		"optimized":           s.optimized.Load(),
+		"fell_back":           s.fellBack.Load(),
+		"canceled":            s.canceled.Load(),
+		"invalid":             s.invalid.Load(),
+		"shed":                s.shed.Load(),
+		"panics":              s.panics.Load(),
+		"quarantined":         s.quarantined.Load(),
+		"cache_hits":          s.cacheHits.Load(),
+		"cache_misses":        s.cacheMisses.Load(),
+		"cache_entries":       s.cache.len(),
+		"cache_corrupt":       s.cacheCorrupt.Load(),
+		"degrade_level":       int(lvl),
+		"degrade_transitions": s.ladder.Transitions(),
+		"retry_after_ms":      s.lastRetryMS.Load(),
+		"latency_ewma_ms":     s.gauge.EWMA().Milliseconds(),
+		"quarantine_writable": s.quarantineWritable(),
 	})
+}
+
+// quarantineWritable probes whether crasher capture can actually land on
+// disk: the directory exists (or can be created) and a file can be
+// created in it. A server that silently cannot quarantine is losing its
+// regression seeds; /healthz is where that should surface.
+func (s *Server) quarantineWritable() bool {
+	if s.cfg.Quarantine == "" {
+		return false
+	}
+	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
+		return false
+	}
+	f, err := os.CreateTemp(s.cfg.Quarantine, ".probe-*")
+	if err != nil {
+		return false
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return true
 }
 
 func (s *Server) worker() {
@@ -362,6 +551,9 @@ func (s *Server) worker() {
 		out := s.process(j, sc)
 		s.inflight.Add(-1)
 		s.account(out)
+		// Feed the pressure gauge: smoothed latency plus the miss rate
+		// (deadline losses and fallbacks) are two of the ladder's signals.
+		s.gauge.Record(time.Since(j.start), out.body.Canceled || out.body.FellBack)
 		j.done <- out
 	}
 }
@@ -399,6 +591,26 @@ func (s *Server) process(j *job, sc *dataflow.Scratch) outcome {
 		if s.cfg.hook != nil {
 			s.cfg.hook(j.req)
 		}
+		if in := s.cfg.Chaos; in != nil {
+			if d := in.Delay(); d > 0 {
+				// Injected latency respects the request context, like any
+				// slow-but-honest dependency would.
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-j.ctx.Done():
+				}
+				t.Stop()
+			}
+			if d := in.StallFor(); d > 0 {
+				// A stall deliberately ignores the context: it models a
+				// wedged worker, and the handler's deadline path must cope.
+				time.Sleep(d)
+			}
+			if in.ShouldPanic() {
+				panic("chaos: induced worker panic")
+			}
+		}
 		out = s.optimize(j, sc)
 		return nil
 	})
@@ -406,7 +618,7 @@ func (s *Server) process(j *job, sc *dataflow.Scratch) outcome {
 		// A panic escaped the pipeline's own containment (e.g. in the
 		// parser or printer). Contain it here, quarantine the input, and
 		// keep the worker alive.
-		q := s.quarantine(j.req)
+		q := s.quarantine(j.req, j.fuel, j.verify)
 		return outcome{http.StatusInternalServerError, optimizeResponse{
 			Error: perr.Error(), Kind: "panic", Quarantined: q,
 		}}
@@ -422,8 +634,12 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 	// keep their quarantine side effects.
 	var key string
 	if s.cache != nil {
-		key = cacheKey(j.req, s.effectiveFuel(j.req), s.cfg.Verify || j.req.Verify)
-		if out, ok := s.cache.get(key); ok {
+		key = cacheKey(j.req, j.fuel, j.verify)
+		out, ok, corrupted := s.cache.get(key)
+		if corrupted {
+			s.cacheCorrupt.Add(1)
+		}
+		if ok {
 			s.cacheHits.Add(1)
 			return out
 		}
@@ -443,18 +659,32 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 	}
 	pass, _ := pipeline.ForMode(j.req.Mode)
 	opts := pipeline.Options{
-		Fuel:      s.effectiveFuel(j.req),
+		Fuel:      j.fuel,
 		Canonical: j.req.Canonical,
-		Verify:    s.cfg.Verify || j.req.Verify,
+		Verify:    j.verify,
 		Ctx:       j.ctx,
 		Scratch:   sc,
+	}
+	passes := []pipeline.Pass{pass}
+	if in := s.cfg.Chaos; in != nil {
+		if ft, ok := in.FaultPass(); ok {
+			// Splice a buggy-but-detectable pass behind the real one. The
+			// pipeline's always-on checkers must catch it and fall back; it
+			// must never surface as a wrong answer, even with verify off.
+			passes = append(passes, pipeline.Pass{
+				Name: "chaos-" + ft.Name,
+				Run: func(f *ir.Function, _ pipeline.Options) (*ir.Function, map[ir.Expr]string, error) {
+					return ft.RunFunc(f)
+				},
+			})
+		}
 	}
 
 	resp := optimizeResponse{Functions: len(fns)}
 	outs := make([]*ir.Function, 0, len(fns))
 	canceled := false
 	for _, f := range fns {
-		res, err := pipeline.Run(f, []pipeline.Pass{pass}, opts)
+		res, err := pipeline.Run(f, passes, opts)
 		if err != nil {
 			if errors.Is(err, pipeline.ErrInvalidInput) {
 				return outcome{http.StatusBadRequest, optimizeResponse{
@@ -489,7 +719,7 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 	if resp.FellBack {
 		// A fallback means some pass faulted on this input: capture it so
 		// failures under load become regression seeds.
-		resp.Quarantined = s.quarantine(j.req)
+		resp.Quarantined = s.quarantine(j.req, j.fuel, j.verify)
 	}
 	out := outcome{http.StatusOK, resp}
 	if s.cache != nil && !resp.FellBack {
@@ -509,14 +739,14 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 // so concurrent captures of the same defect collapse to one file and one
 // count. It returns the file path, or "" when capture is disabled or
 // failed (capture must never take the request down with it).
-func (s *Server) quarantine(req optimizeRequest) string {
+func (s *Server) quarantine(req optimizeRequest, fuel int, verify bool) string {
 	if s.cfg.Quarantine == "" || req.Program == "" {
 		return ""
 	}
 	d := triage.Directives{
 		Mode:      req.Mode,
-		Fuel:      s.effectiveFuel(req),
-		Verify:    s.cfg.Verify || req.Verify,
+		Fuel:      fuel,
+		Verify:    verify,
 		Canonical: req.Canonical,
 	}
 	var b strings.Builder

@@ -1,0 +1,241 @@
+// Package chaos is the service-level fault injector behind lcmd's
+// test-only -chaos flag. Where internal/faultify proves the *pipeline*
+// contains every class of buggy transformation, this package proves the
+// *service* holds its invariants while the machinery around the
+// pipeline misbehaves: requests slow down, workers stall past their
+// deadlines, handler goroutines panic outright, buggy passes are
+// spliced into the pipeline, and cached results rot in memory.
+//
+// Safety of injected passes: only faultify classes that the pipeline's
+// always-on checkers detect (Structural via ir.Validate, Temps via
+// verify.TempsDefined) are injected. Semantic faults are deliberately
+// excluded — they are only caught by the optional verify battery, which
+// the degradation ladder switches off under load, and the whole point
+// of the chaos soak is that no injected fault may ever surface as a
+// wrong answer.
+//
+// Every decision comes from one seeded PRNG, so a chaos run is
+// reproducible from its seed.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazycm/internal/faultify"
+)
+
+// Config sets the per-event injection probabilities. A zero Config
+// injects nothing.
+type Config struct {
+	// Seed drives the single PRNG behind every decision.
+	Seed int64
+	// LatencyP is the probability a request gets extra latency, uniform
+	// in (0, Latency], injected before its work starts.
+	LatencyP float64
+	Latency  time.Duration
+	// StallP is the probability a worker stalls for Stall, ignoring the
+	// request context — a wedged worker, not a slow one.
+	StallP float64
+	Stall  time.Duration
+	// PanicP is the probability of an induced panic on the worker
+	// goroutine, inside the per-request guard.
+	PanicP float64
+	// FaultP is the probability a buggy pass (a detectable
+	// internal/faultify class) is spliced into the request's pipeline.
+	FaultP float64
+	// CorruptP is the probability a cache read is corrupted in place
+	// (one bit flipped in the stored program).
+	CorruptP float64
+}
+
+// Injector makes the per-event decisions. All methods are safe for
+// concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	faults []faultify.Fault
+
+	// Event counters, exported for the soak's audit trail.
+	Latencies   atomic.Int64
+	Stalls      atomic.Int64
+	Panics      atomic.Int64
+	Faults      atomic.Int64
+	Corruptions atomic.Int64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, ft := range faultify.All() {
+		// Structural and Temps classes are detected by checks the
+		// pipeline always runs; Semantic needs the verify battery, which
+		// degraded levels turn off, so it must never be injected here.
+		if ft.Class != faultify.Semantic {
+			in.faults = append(in.faults, ft)
+		}
+	}
+	return in
+}
+
+// roll draws one decision under the shared PRNG.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// Delay returns the extra latency to inject before a request's work, or
+// 0 for none.
+func (in *Injector) Delay() time.Duration {
+	if in == nil || !in.roll(in.cfg.LatencyP) || in.cfg.Latency <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	d := time.Duration(in.rng.Int63n(int64(in.cfg.Latency))) + 1
+	in.mu.Unlock()
+	in.Latencies.Add(1)
+	return d
+}
+
+// StallFor returns how long the worker should stall (ignoring the
+// request context), or 0 for none.
+func (in *Injector) StallFor() time.Duration {
+	if in == nil || !in.roll(in.cfg.StallP) || in.cfg.Stall <= 0 {
+		return 0
+	}
+	in.Stalls.Add(1)
+	return in.cfg.Stall
+}
+
+// ShouldPanic reports whether to panic on the worker goroutine now.
+func (in *Injector) ShouldPanic() bool {
+	if in == nil || !in.roll(in.cfg.PanicP) {
+		return false
+	}
+	in.Panics.Add(1)
+	return true
+}
+
+// FaultPass picks a detectable buggy pass to splice into a request's
+// pipeline, or reports false for none this time.
+func (in *Injector) FaultPass() (faultify.Fault, bool) {
+	if in == nil || len(in.faults) == 0 || !in.roll(in.cfg.FaultP) {
+		return faultify.Fault{}, false
+	}
+	in.mu.Lock()
+	ft := in.faults[in.rng.Intn(len(in.faults))]
+	in.mu.Unlock()
+	in.Faults.Add(1)
+	return ft, true
+}
+
+// CorruptRead possibly corrupts a cached program on its way out of the
+// cache: one bit of one byte flipped, the way real memory or storage
+// rot manifests. The caller (the cache's checksum) is responsible for
+// detecting it; the second return reports whether corruption happened.
+func (in *Injector) CorruptRead(program string) (string, bool) {
+	if in == nil || program == "" || !in.roll(in.cfg.CorruptP) {
+		return program, false
+	}
+	in.mu.Lock()
+	pos := in.rng.Intn(len(program))
+	bit := byte(1) << uint(in.rng.Intn(8))
+	in.mu.Unlock()
+	b := []byte(program)
+	b[pos] ^= bit
+	in.Corruptions.Add(1)
+	return string(b), true
+}
+
+// Stats snapshots the event counters.
+func (in *Injector) Stats() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	return map[string]int64{
+		"latencies":   in.Latencies.Load(),
+		"stalls":      in.Stalls.Load(),
+		"panics":      in.Panics.Load(),
+		"faults":      in.Faults.Load(),
+		"corruptions": in.Corruptions.Load(),
+	}
+}
+
+// Parse reads a -chaos flag spec: comma-separated key=value pairs.
+//
+//	seed=N            PRNG seed (default 1)
+//	latency=DUR:P     extra latency up to DUR with probability P
+//	stall=DUR:P       worker stall of DUR with probability P
+//	panic=P           induced worker panic with probability P
+//	fault=P           buggy detectable pass with probability P
+//	corrupt=P         cache corruption-on-read with probability P
+//
+// Example: "seed=7,latency=5ms:0.2,stall=50ms:0.05,panic=0.02,fault=0.1,corrupt=0.2".
+func Parse(spec string) (Config, error) {
+	cfg := Config{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	prob := func(s, key string) (float64, error) {
+		p, err := strconv.ParseFloat(s, 64)
+		if err != nil || p < 0 || p > 1 {
+			return 0, fmt.Errorf("chaos: %s wants a probability in [0,1], got %q", key, s)
+		}
+		return p, nil
+	}
+	durProb := func(s, key string) (time.Duration, float64, error) {
+		d, pStr, ok := strings.Cut(s, ":")
+		if !ok {
+			return 0, 0, fmt.Errorf("chaos: %s wants DURATION:PROBABILITY, got %q", key, s)
+		}
+		dur, err := time.ParseDuration(d)
+		if err != nil || dur <= 0 {
+			return 0, 0, fmt.Errorf("chaos: %s wants a positive duration, got %q", key, d)
+		}
+		p, err := prob(pStr, key)
+		if err != nil {
+			return 0, 0, err
+		}
+		return dur, p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: bad spec element %q (want key=value)", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("chaos: bad seed %q", val)
+			}
+		case "latency":
+			cfg.Latency, cfg.LatencyP, err = durProb(val, key)
+		case "stall":
+			cfg.Stall, cfg.StallP, err = durProb(val, key)
+		case "panic":
+			cfg.PanicP, err = prob(val, key)
+		case "fault":
+			cfg.FaultP, err = prob(val, key)
+		case "corrupt":
+			cfg.CorruptP, err = prob(val, key)
+		default:
+			err = fmt.Errorf("chaos: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"lazycm/internal/faultify"
+)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if d := in.Delay(); d != 0 {
+			t.Fatal("zero config injected latency")
+		}
+		if d := in.StallFor(); d != 0 {
+			t.Fatal("zero config injected a stall")
+		}
+		if in.ShouldPanic() {
+			t.Fatal("zero config induced a panic")
+		}
+		if _, ok := in.FaultPass(); ok {
+			t.Fatal("zero config injected a fault pass")
+		}
+		if _, did := in.CorruptRead("program"); did {
+			t.Fatal("zero config corrupted a read")
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if d := in.Delay(); d != 0 {
+		t.Error("nil injector delayed")
+	}
+	if d := in.StallFor(); d != 0 {
+		t.Error("nil injector stalled")
+	}
+	if in.ShouldPanic() {
+		t.Error("nil injector panicked")
+	}
+	if _, ok := in.FaultPass(); ok {
+		t.Error("nil injector injected a fault")
+	}
+	if p, did := in.CorruptRead("x"); did || p != "x" {
+		t.Error("nil injector corrupted")
+	}
+	if in.Stats() != nil {
+		t.Error("nil injector has stats")
+	}
+}
+
+// TestDeterminism: two injectors with the same seed make the same
+// decision sequence — a chaos run is reproducible from its seed.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed: 42, LatencyP: 0.5, Latency: 10 * time.Millisecond,
+		StallP: 0.3, Stall: time.Millisecond, PanicP: 0.2, FaultP: 0.4, CorruptP: 0.5,
+	}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		if da, db := a.Delay(), b.Delay(); da != db {
+			t.Fatalf("step %d: delays diverge: %v vs %v", i, da, db)
+		}
+		if sa, sb := a.StallFor(), b.StallFor(); sa != sb {
+			t.Fatalf("step %d: stalls diverge", i)
+		}
+		if pa, pb := a.ShouldPanic(), b.ShouldPanic(); pa != pb {
+			t.Fatalf("step %d: panic decisions diverge", i)
+		}
+		fa, oka := a.FaultPass()
+		fb, okb := b.FaultPass()
+		if oka != okb || fa.Name != fb.Name {
+			t.Fatalf("step %d: fault decisions diverge", i)
+		}
+		ca, dida := a.CorruptRead("some program text")
+		cb, didb := b.CorruptRead("some program text")
+		if dida != didb || ca != cb {
+			t.Fatalf("step %d: corruption decisions diverge", i)
+		}
+	}
+}
+
+// TestFaultPassesAreAlwaysDetectable: the injector must never pick a
+// Semantic fault — those are only caught by the optional verify
+// battery, which degraded service levels disable.
+func TestFaultPassesAreAlwaysDetectable(t *testing.T) {
+	in := New(Config{Seed: 3, FaultP: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		ft, ok := in.FaultPass()
+		if !ok {
+			t.Fatal("FaultP=1 did not inject")
+		}
+		if ft.Class == faultify.Semantic {
+			t.Fatalf("injected semantic fault %s: undetectable with verify off", ft.Name)
+		}
+		seen[ft.Name] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("fault variety too low: %v", seen)
+	}
+	if got := in.Faults.Load(); got != 500 {
+		t.Errorf("fault counter = %d, want 500", got)
+	}
+}
+
+func TestCorruptReadFlipsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 9, CorruptP: 1})
+	const prog = "func f(a) {\ne:\n  ret a\n}\n"
+	got, did := in.CorruptRead(prog)
+	if !did {
+		t.Fatal("CorruptP=1 did not corrupt")
+	}
+	if got == prog {
+		t.Fatal("corruption left the program unchanged")
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("corruption changed length: %d vs %d", len(got), len(prog))
+	}
+	diff := 0
+	for i := range prog {
+		if b := prog[i] ^ got[i]; b != 0 {
+			diff++
+			if b&(b-1) != 0 {
+				t.Errorf("byte %d: more than one bit flipped (%08b)", i, b)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want exactly 1", diff)
+	}
+	// Empty input cannot be corrupted.
+	if p, did := in.CorruptRead(""); did || p != "" {
+		t.Error("empty program was corrupted")
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	in := New(Config{Seed: 5, LatencyP: 1, Latency: 3 * time.Millisecond})
+	for i := 0; i < 200; i++ {
+		d := in.Delay()
+		if d <= 0 || d > 3*time.Millisecond {
+			t.Fatalf("delay %v out of (0, 3ms]", d)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("seed=7,latency=5ms:0.2,stall=50ms:0.05,panic=0.02,fault=0.1,corrupt=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 7, LatencyP: 0.2, Latency: 5 * time.Millisecond,
+		StallP: 0.05, Stall: 50 * time.Millisecond,
+		PanicP: 0.02, FaultP: 0.1, CorruptP: 0.2,
+	}
+	if cfg != want {
+		t.Errorf("Parse = %+v, want %+v", cfg, want)
+	}
+	if cfg, err := Parse(""); err != nil || cfg.Seed != 1 {
+		t.Errorf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{
+		"nonsense", "panic=2", "panic=-0.1", "latency=5ms", "latency=bogus:0.5",
+		"stall=1ms:1.5", "seed=x", "unknown=1", "latency=0s:0.5",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package lcmclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// script is a scripted flaky server: each incoming request pops the
+// next step and plays it. The last step repeats once the script runs
+// dry, so "always 429" scenarios are one step long.
+type script struct {
+	mu    sync.Mutex
+	steps []step
+	seen  int
+}
+
+type step struct {
+	status     int
+	body       string // raw body; "" means a minimal JSON body for the status
+	retryAfter string // Retry-After header value; "" omits the header
+	hangup     bool   // close the connection without a response
+}
+
+func (sc *script) handler(t *testing.T) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sc.mu.Lock()
+		st := sc.steps[min(sc.seen, len(sc.steps)-1)]
+		sc.seen++
+		sc.mu.Unlock()
+		if st.hangup {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close() // connection reset from the client's perspective
+			return
+		}
+		if st.retryAfter != "" {
+			w.Header().Set("Retry-After", st.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(st.status)
+		body := st.body
+		if body == "" {
+			body = `{"error":"scripted","kind":"overload","elapsed_ms":0}`
+		}
+		w.Write([]byte(body))
+	}
+}
+
+func (sc *script) requests() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.seen
+}
+
+// newClient wires a client to the scripted server with waits recorded
+// instead of slept, so tests assert the retry contract without wall
+// time.
+func newClient(ts *httptest.Server, waits *[]time.Duration) *Client {
+	return &Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		Budget:      time.Minute,
+		sleep: func(ctx context.Context, d time.Duration) error {
+			if waits != nil {
+				*waits = append(*waits, d)
+			}
+			return ctx.Err()
+		},
+	}
+}
+
+const okBody = `{"program":"func f(a) {\ne:\n  ret a\n}\n","functions":1,"applied":["lcm"],"elapsed_ms":1}`
+
+func TestRetriesThroughOverloadToSuccess(t *testing.T) {
+	sc := &script{steps: []step{
+		{status: 429, retryAfter: "1"},
+		{status: 503, retryAfter: "1"},
+		{status: 200, body: okBody},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	var waits []time.Duration
+	resp, err := newClient(ts, &waits).Optimize(context.Background(), Request{Program: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program == "" || resp.Status != 200 {
+		t.Errorf("bad response: %+v", resp)
+	}
+	if sc.requests() != 3 {
+		t.Errorf("server saw %d attempts, want 3", sc.requests())
+	}
+	if len(waits) != 2 {
+		t.Fatalf("client waited %d times, want 2", len(waits))
+	}
+	// The header said 1s; both waits honor it exactly.
+	for i, w := range waits {
+		if w != time.Second {
+			t.Errorf("wait %d = %v, want 1s (from Retry-After header)", i, w)
+		}
+	}
+}
+
+func TestHonorsBodyRetryAfterMS(t *testing.T) {
+	sc := &script{steps: []step{
+		{status: 429, retryAfter: "7", body: `{"kind":"overload","retry_after_ms":137,"elapsed_ms":0}`},
+		{status: 200, body: okBody},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	var waits []time.Duration
+	if _, err := newClient(ts, &waits).Optimize(context.Background(), Request{Program: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	// The millisecond-precise body field wins over the coarse header.
+	if len(waits) != 1 || waits[0] != 137*time.Millisecond {
+		t.Errorf("waits = %v, want [137ms]", waits)
+	}
+}
+
+func TestBackoffWhenRetryAfterOmitted(t *testing.T) {
+	sc := &script{steps: []step{
+		{status: 503}, // no Retry-After header, body has no retry_after_ms
+		{status: 503},
+		{status: 200, body: okBody},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	var waits []time.Duration
+	c := newClient(ts, &waits)
+	if _, err := c.Optimize(context.Background(), Request{Program: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(waits) != 2 {
+		t.Fatalf("waits = %v, want 2 entries", waits)
+	}
+	// Capped exponential with jitter in [0.5, 1.5): attempt 1 waits in
+	// [5ms, 15ms), attempt 2 in [10ms, 30ms) — and deterministically so.
+	if waits[0] < 5*time.Millisecond || waits[0] >= 15*time.Millisecond {
+		t.Errorf("first backoff %v outside [5ms, 15ms)", waits[0])
+	}
+	if waits[1] < 10*time.Millisecond || waits[1] >= 30*time.Millisecond {
+		t.Errorf("second backoff %v outside [10ms, 30ms)", waits[1])
+	}
+	if got := c.backoff(1, Request{Program: "p"}); got != waits[0] {
+		t.Errorf("backoff not deterministic: %v vs %v", got, waits[0])
+	}
+}
+
+func TestMalformedBodyRetries(t *testing.T) {
+	sc := &script{steps: []step{
+		{status: 200, body: `{"program": "truncat`}, // garbled 200
+		{status: 200, body: okBody},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	resp, err := newClient(ts, nil).Optimize(context.Background(), Request{Program: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program == "" {
+		t.Errorf("retry after malformed body did not deliver: %+v", resp)
+	}
+	if sc.requests() != 2 {
+		t.Errorf("server saw %d attempts, want 2", sc.requests())
+	}
+}
+
+func TestConnectionResetRetries(t *testing.T) {
+	sc := &script{steps: []step{
+		{hangup: true},
+		{status: 200, body: okBody},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	resp, err := newClient(ts, nil).Optimize(context.Background(), Request{Program: "p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Program == "" || sc.requests() != 2 {
+		t.Errorf("reset not retried: %d attempts, %+v", sc.requests(), resp)
+	}
+}
+
+func TestTerminalErrorsDoNotRetry(t *testing.T) {
+	cases := []struct {
+		name     string
+		st       step
+		wantKind string
+	}{
+		{"bad program", step{status: 400, body: `{"error":"no functions","kind":"parse","elapsed_ms":0}`}, "parse"},
+		{"unknown mode", step{status: 400, body: `{"error":"unknown mode","kind":"mode","elapsed_ms":0}`}, "mode"},
+		{"deadline", step{status: 504, body: `{"error":"abandoned","kind":"deadline","canceled":true,"elapsed_ms":5}`}, "deadline"},
+		{"not found", step{status: 404, body: `not json`}, "rejected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := &script{steps: []step{tc.st}}
+			ts := httptest.NewServer(sc.handler(t))
+			defer ts.Close()
+			_, err := newClient(ts, nil).Optimize(context.Background(), Request{Program: "p"})
+			var term *TerminalError
+			if !errors.As(err, &term) {
+				t.Fatalf("error %v is not terminal", err)
+			}
+			if term.Kind != tc.wantKind || term.Status != tc.st.status {
+				t.Errorf("terminal = %+v, want kind %q status %d", term, tc.wantKind, tc.st.status)
+			}
+			if sc.requests() != 1 {
+				t.Errorf("terminal failure was retried: %d attempts", sc.requests())
+			}
+		})
+	}
+}
+
+func TestAttemptCap(t *testing.T) {
+	sc := &script{steps: []step{{status: 429, retryAfter: "1"}}} // repeats forever
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := newClient(ts, nil)
+	c.MaxAttempts = 3
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if ex.Attempts != 3 || ex.BudgetExceeded {
+		t.Errorf("exhausted = %+v, want 3 attempts, not budget", ex)
+	}
+	if sc.requests() != 3 {
+		t.Errorf("server saw %d attempts, want 3", sc.requests())
+	}
+}
+
+func TestBudgetCapsTotalAttemptTime(t *testing.T) {
+	// The server asks for a 10-minute wait; the client's whole budget is
+	// 50ms, so it must give up before sleeping, not after.
+	sc := &script{steps: []step{{status: 429, body: `{"kind":"overload","retry_after_ms":600000,"elapsed_ms":0}`}}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 10, Budget: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if !ex.BudgetExceeded || ex.Attempts != 1 {
+		t.Errorf("exhausted = %+v, want budget-exceeded after 1 attempt", ex)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("budget-capped call took %v", elapsed)
+	}
+}
+
+func TestContextCancellationDuringWait(t *testing.T) {
+	sc := &script{steps: []step{{status: 429, body: `{"kind":"overload","retry_after_ms":10000,"elapsed_ms":0}`}}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 10, Budget: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Optimize(ctx, Request{Program: "p"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation not prompt: %v", elapsed)
+	}
+}
+
+func TestServerDownIsRetryableThenExhausts(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // nothing listening: every attempt is a transport error
+	c := &Client{BaseURL: url, MaxAttempts: 2, BaseBackoff: time.Millisecond, Budget: time.Minute}
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if ex.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", ex.Attempts)
+	}
+}
+
+// TestResponseShapeRoundTrips guards the wire contract: the fields the
+// server emits are the fields the client parses.
+func TestResponseShapeRoundTrips(t *testing.T) {
+	raw := `{"program":"x","functions":2,"applied":["lcm"],"fell_back":true,` +
+		`"diagnostics":["d"],"error":"e","kind":"k","degrade_level":2,` +
+		`"retry_after_ms":42,"elapsed_ms":7}`
+	var r Response
+	if err := json.Unmarshal([]byte(raw), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Program != "x" || r.Functions != 2 || !r.FellBack || r.DegradeLevel != 2 ||
+		r.RetryAfterMS != 42 || r.ElapsedMS != 7 || r.Kind != "k" {
+		t.Errorf("round trip lost fields: %+v", r)
+	}
+}

@@ -1,0 +1,334 @@
+// Package overload implements the service-level overload story: a
+// pressure gauge that condenses the server's live signals (queue depth,
+// pool utilization, recent deadline-miss/fallback rate, smoothed
+// latency) into one score, a degradation ladder that turns the score
+// into an ordered shedding policy with hysteresis, and the load-aware
+// Retry-After contract handed to shed clients.
+//
+// The design mirrors the paper's safety argument for the optimizer
+// itself: a degraded response must be *provably safe* — correct output
+// at reduced effort, never a wrong one. Every rung of the ladder only
+// trades effort (verification battery off, fuel shrunk, work refused);
+// none of them can alter what a completed optimization computes, so the
+// ladder can act on pure load signals without consulting the semantics
+// of in-flight requests.
+//
+// Determinism rules: the ladder is a pure function of the observed
+// sample stream (no clocks), and Retry-After jitter is seeded from a
+// hash of the request, not from time.Now — a shed request always gets
+// the same hint, while distinct requests spread their retries instead
+// of stampeding back in lockstep.
+package overload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Level is a rung of the degradation ladder. Higher levels shed more
+// work; every level serves only correct results.
+type Level int
+
+const (
+	// LevelFull is full service: every feature at full effort.
+	LevelFull Level = iota
+	// LevelNoVerify disables per-request behavioural re-verification and
+	// shrinks the fixpoint fuel budget. Output programs are unchanged —
+	// verification is a re-check, and fuel only decides whether a result
+	// is produced, never which result.
+	LevelNoVerify
+	// LevelCacheSingle serves cached results and single requests only;
+	// batch requests shed. Batches are the widest unit of admission, so
+	// they are the first whole class refused.
+	LevelCacheSingle
+	// LevelShed refuses all new work. Cached results may still replay —
+	// a cache hit does no computation.
+	LevelShed
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelFull:
+		return "full"
+	case LevelNoVerify:
+		return "no-verify"
+	case LevelCacheSingle:
+		return "cache+single"
+	case LevelShed:
+		return "shed"
+	}
+	return fmt.Sprintf("level-%d", int(l))
+}
+
+// InflightWeight discounts pool utilization in the pressure score: a
+// fully busy worker pool is the normal operating point of a loaded but
+// healthy server, so on its own it can push the score only to this
+// value (into the first rung, never into shedding). Queue depth, missed
+// deadlines and latency are the signals that distinguish "busy" from
+// "drowning".
+const InflightWeight = 0.5
+
+// Sample is one pressure observation. Every component is normalized so
+// that 1.0 means "at capacity".
+type Sample struct {
+	// QueueFrac is queued work over queue capacity.
+	QueueFrac float64
+	// InflightFrac is busy workers over pool size.
+	InflightFrac float64
+	// MissRate is the fraction of recent completions that missed their
+	// deadline or fell back.
+	MissRate float64
+	// LatencyFrac is the smoothed completion latency over the target
+	// latency.
+	LatencyFrac float64
+}
+
+// Score condenses the sample into one pressure value. The max (rather
+// than a weighted sum) is deliberate: any single exhausted dimension is
+// enough to justify shedding, and a max cannot be argued down by three
+// healthy dimensions averaging out one critical one.
+func (s Sample) Score() float64 {
+	score := s.QueueFrac
+	if v := InflightWeight * s.InflightFrac; v > score {
+		score = v
+	}
+	if s.MissRate > score {
+		score = s.MissRate
+	}
+	if s.LatencyFrac > score {
+		score = s.LatencyFrac
+	}
+	return score
+}
+
+// Config tunes the ladder's thresholds and hysteresis.
+type Config struct {
+	// Enter[i] is the score at or above which the ladder escalates from
+	// level i toward level i+1.
+	Enter [3]float64
+	// Exit[i] is the score below which the ladder de-escalates from
+	// level i+1 toward level i. Exit[i] < Enter[i] is what gives the
+	// ladder hysteresis: between the two the level holds.
+	Exit [3]float64
+	// UpAfter is how many consecutive over-threshold samples it takes to
+	// climb one level; DownAfter how many consecutive under-threshold
+	// samples to descend one. Escalation is deliberately faster than
+	// recovery so a flapping signal degrades rather than oscillates.
+	UpAfter   int
+	DownAfter int
+}
+
+func (c Config) withDefaults() Config {
+	var zero [3]float64
+	if c.Enter == zero {
+		c.Enter = [3]float64{0.50, 0.75, 0.95}
+	}
+	if c.Exit == zero {
+		c.Exit = [3]float64{0.35, 0.55, 0.75}
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 4
+	}
+	return c
+}
+
+// Ladder tracks the current degradation level. It moves at most one
+// level per Observe call, so shedding always happens in order: verify
+// off, then batch shed, then full shed — and recovery retraces the same
+// rungs. The zero-ish value via NewLadder starts at LevelFull.
+type Ladder struct {
+	mu          sync.Mutex
+	cfg         Config
+	level       Level
+	upStreak    int
+	downStreak  int
+	transitions int64
+}
+
+// NewLadder builds a ladder at LevelFull with cfg (zero fields take
+// defaults).
+func NewLadder(cfg Config) *Ladder {
+	return &Ladder{cfg: cfg.withDefaults()}
+}
+
+// Observe feeds one sample and returns the (possibly updated) level.
+func (l *Ladder) Observe(s Sample) Level {
+	score := s.Score()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.level < LevelShed && score >= l.cfg.Enter[l.level]:
+		l.upStreak++
+		l.downStreak = 0
+		if l.upStreak >= l.cfg.UpAfter {
+			l.level++
+			l.transitions++
+			l.upStreak = 0
+		}
+	case l.level > LevelFull && score < l.cfg.Exit[l.level-1]:
+		l.downStreak++
+		l.upStreak = 0
+		if l.downStreak >= l.cfg.DownAfter {
+			l.level--
+			l.transitions++
+			l.downStreak = 0
+		}
+	default:
+		// Inside the hysteresis band (or pinned at an end): hold, and
+		// require fresh consecutive evidence for the next move.
+		l.upStreak, l.downStreak = 0, 0
+	}
+	return l.level
+}
+
+// Level returns the current level without feeding a sample.
+func (l *Ladder) Level() Level {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.level
+}
+
+// Transitions returns how many level changes have occurred (in either
+// direction) since the ladder was built.
+func (l *Ladder) Transitions() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transitions
+}
+
+// Gauge smooths the completion-side signals: an EWMA of request latency
+// and a sliding-window rate of deadline misses and fallbacks. It is the
+// half of the pressure sample that queue counters cannot see — a queue
+// can be short while every request that does run is timing out.
+type Gauge struct {
+	mu     sync.Mutex
+	target time.Duration
+	alpha  float64
+	ewma   time.Duration
+	ring   []bool // true = missed deadline or fell back
+	next   int
+	filled int
+	misses int
+}
+
+// DefaultGaugeWindow is the miss-rate window when NewGauge is given a
+// non-positive size.
+const DefaultGaugeWindow = 256
+
+// NewGauge builds a gauge normalizing latency against target (0 means
+// 1s) over a window of the last `window` completions.
+func NewGauge(target time.Duration, window int) *Gauge {
+	if target <= 0 {
+		target = time.Second
+	}
+	if window <= 0 {
+		window = DefaultGaugeWindow
+	}
+	return &Gauge{target: target, alpha: 0.2, ring: make([]bool, window)}
+}
+
+// Record feeds one completed request: its wall-clock latency and
+// whether it missed its deadline or fell back.
+func (g *Gauge) Record(latency time.Duration, missed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.filled == 0 {
+		g.ewma = latency
+	} else {
+		g.ewma = time.Duration(g.alpha*float64(latency) + (1-g.alpha)*float64(g.ewma))
+	}
+	if g.filled == len(g.ring) {
+		if g.ring[g.next] {
+			g.misses--
+		}
+	} else {
+		g.filled++
+	}
+	g.ring[g.next] = missed
+	if missed {
+		g.misses++
+	}
+	g.next = (g.next + 1) % len(g.ring)
+}
+
+// EWMA returns the smoothed completion latency.
+func (g *Gauge) EWMA() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ewma
+}
+
+// MissRate returns the windowed deadline-miss/fallback fraction.
+func (g *Gauge) MissRate() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.filled == 0 {
+		return 0
+	}
+	return float64(g.misses) / float64(g.filled)
+}
+
+// LatencyFrac returns EWMA latency normalized against the target.
+func (g *Gauge) LatencyFrac() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return float64(g.ewma) / float64(g.target)
+}
+
+// Retry-After bounds. Every hint the server hands out lives in this
+// range, so a client can never be told to wait pathologically long and
+// never told to hammer back instantly.
+const (
+	MinRetryAfter = 100 * time.Millisecond
+	MaxRetryAfter = 30 * time.Second
+)
+
+// Seed hashes request-identifying strings (FNV-64a) into the jitter
+// seed for RetryAfter. Using the request content instead of a clock
+// keeps the hint deterministic — the same shed request always gets the
+// same answer — while distinct requests land on distinct points of the
+// jitter range instead of retrying in lockstep.
+func Seed(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// RetryAfter computes the backoff hint for a shed request: the base
+// grows with queue depth and ladder level (a deeper queue or a higher
+// rung means genuinely longer until capacity returns), and the
+// per-request jitter spreads synchronized clients across a ±25% band.
+func RetryAfter(level Level, queueFrac float64, seed uint64) time.Duration {
+	if queueFrac < 0 {
+		queueFrac = 0
+	}
+	if queueFrac > 1 {
+		queueFrac = 1
+	}
+	base := MinRetryAfter +
+		time.Duration(queueFrac*float64(2*time.Second)) +
+		time.Duration(level)*750*time.Millisecond
+	// splitmix64-style finalizer: FNV output is well distributed but the
+	// mix makes even near-identical seeds diverge across the whole band.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>40) / float64(uint64(1)<<24) // [0, 1)
+	d := time.Duration(float64(base) * (0.75 + frac/2))
+	if d < MinRetryAfter {
+		d = MinRetryAfter
+	}
+	if d > MaxRetryAfter {
+		d = MaxRetryAfter
+	}
+	return d
+}

@@ -1,0 +1,199 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScoreIsMaxOfComponents(t *testing.T) {
+	cases := []struct {
+		s    Sample
+		want float64
+	}{
+		{Sample{}, 0},
+		{Sample{QueueFrac: 0.8}, 0.8},
+		{Sample{InflightFrac: 1.0}, InflightWeight}, // full pool alone is not an emergency
+		{Sample{MissRate: 0.9, QueueFrac: 0.1}, 0.9},
+		{Sample{LatencyFrac: 1.2}, 1.2},
+		{Sample{QueueFrac: 0.3, InflightFrac: 1, MissRate: 0.2, LatencyFrac: 0.4}, 0.5},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Score(); got != tc.want {
+			t.Errorf("Score(%+v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+// ladderCfg is a deliberately twitchy config so tests can drive exact
+// transitions: one over-threshold sample escalates, one under-threshold
+// sample de-escalates.
+var ladderCfg = Config{
+	Enter:   [3]float64{0.3, 0.5, 0.8},
+	Exit:    [3]float64{0.1, 0.2, 0.3},
+	UpAfter: 1, DownAfter: 1,
+}
+
+func TestLadderClimbsOneLevelAtATime(t *testing.T) {
+	l := NewLadder(ladderCfg)
+	// A catastrophic score still climbs one rung per observation: the
+	// shedding order (verify off → batch shed → full shed) is preserved
+	// even under a step overload.
+	for i, want := range []Level{LevelNoVerify, LevelCacheSingle, LevelShed, LevelShed} {
+		if got := l.Observe(Sample{QueueFrac: 1}); got != want {
+			t.Fatalf("observation %d: level %v, want %v", i, got, want)
+		}
+	}
+	if got := l.Transitions(); got != 3 {
+		t.Errorf("transitions = %d, want 3", got)
+	}
+}
+
+func TestLadderRecoversInOrder(t *testing.T) {
+	l := NewLadder(ladderCfg)
+	for i := 0; i < 3; i++ {
+		l.Observe(Sample{QueueFrac: 1})
+	}
+	for i, want := range []Level{LevelCacheSingle, LevelNoVerify, LevelFull, LevelFull} {
+		if got := l.Observe(Sample{}); got != want {
+			t.Fatalf("recovery observation %d: level %v, want %v", i, got, want)
+		}
+	}
+	if got := l.Transitions(); got != 6 {
+		t.Errorf("transitions = %d, want 6", got)
+	}
+}
+
+// TestLadderHysteresis: a score inside the (Exit, Enter) band neither
+// escalates nor de-escalates — levels do not flap on a signal hovering
+// near one threshold.
+func TestLadderHysteresis(t *testing.T) {
+	l := NewLadder(ladderCfg)
+	l.Observe(Sample{QueueFrac: 0.4}) // ≥ Enter[0] → level 1
+	if got := l.Level(); got != LevelNoVerify {
+		t.Fatalf("level = %v, want no-verify", got)
+	}
+	// 0.2 is below Enter[1]=0.5 and above Exit[0]=0.1: hold.
+	for i := 0; i < 10; i++ {
+		if got := l.Observe(Sample{QueueFrac: 0.2}); got != LevelNoVerify {
+			t.Fatalf("observation %d inside band moved level to %v", i, got)
+		}
+	}
+	if got := l.Transitions(); got != 1 {
+		t.Errorf("transitions = %d, want 1", got)
+	}
+	// Dropping below Exit[0] recovers.
+	if got := l.Observe(Sample{QueueFrac: 0.05}); got != LevelFull {
+		t.Errorf("level = %v after calm sample, want full", got)
+	}
+}
+
+// TestLadderDwell: with UpAfter=3 a single spike does not escalate; only
+// three consecutive over-threshold samples do, and an interleaved calm
+// sample resets the streak.
+func TestLadderDwell(t *testing.T) {
+	cfg := ladderCfg
+	cfg.UpAfter, cfg.DownAfter = 3, 2
+	l := NewLadder(cfg)
+	hot, calm := Sample{QueueFrac: 0.9}, Sample{QueueFrac: 0.2}
+	l.Observe(hot)
+	l.Observe(hot)
+	if got := l.Observe(calm); got != LevelFull {
+		t.Fatalf("two hot samples escalated early: %v", got)
+	}
+	l.Observe(hot)
+	l.Observe(hot)
+	if got := l.Observe(hot); got != LevelNoVerify {
+		t.Fatalf("three consecutive hot samples did not escalate: %v", got)
+	}
+	// Recovery needs DownAfter=2 consecutive calm samples.
+	l.Observe(Sample{})
+	if got := l.Level(); got != LevelNoVerify {
+		t.Fatalf("one calm sample de-escalated early: %v", got)
+	}
+	if got := l.Observe(Sample{}); got != LevelFull {
+		t.Fatalf("two calm samples did not de-escalate: %v", got)
+	}
+}
+
+func TestGaugeMissRateWindow(t *testing.T) {
+	g := NewGauge(time.Second, 4)
+	if got := g.MissRate(); got != 0 {
+		t.Fatalf("empty gauge miss rate = %v", got)
+	}
+	g.Record(time.Millisecond, true)
+	g.Record(time.Millisecond, false)
+	if got := g.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %v, want 0.5", got)
+	}
+	// Fill the window with hits: the early miss ages out.
+	for i := 0; i < 4; i++ {
+		g.Record(time.Millisecond, false)
+	}
+	if got := g.MissRate(); got != 0 {
+		t.Errorf("miss rate after window rolled = %v, want 0", got)
+	}
+}
+
+func TestGaugeLatencyFrac(t *testing.T) {
+	g := NewGauge(100*time.Millisecond, 8)
+	g.Record(100*time.Millisecond, false)
+	if got := g.LatencyFrac(); got != 1.0 {
+		t.Errorf("latency frac = %v, want 1.0", got)
+	}
+	if got := g.EWMA(); got != 100*time.Millisecond {
+		t.Errorf("ewma = %v", got)
+	}
+	// EWMA moves toward new observations without jumping to them.
+	g.Record(200*time.Millisecond, false)
+	if e := g.EWMA(); e <= 100*time.Millisecond || e >= 200*time.Millisecond {
+		t.Errorf("ewma after spike = %v, want strictly between 100ms and 200ms", e)
+	}
+}
+
+func TestRetryAfterDeterministicAndBounded(t *testing.T) {
+	seedA := Seed("program-a", "lcm")
+	seedB := Seed("program-b", "lcm")
+	if seedA == seedB {
+		t.Fatal("distinct requests hashed to the same seed")
+	}
+	a1 := RetryAfter(LevelFull, 1, seedA)
+	a2 := RetryAfter(LevelFull, 1, seedA)
+	b := RetryAfter(LevelFull, 1, seedB)
+	if a1 != a2 {
+		t.Errorf("same request got different hints: %v vs %v", a1, a2)
+	}
+	if a1 == b {
+		t.Errorf("distinct requests got identical hints: %v", a1)
+	}
+	for _, lvl := range []Level{LevelFull, LevelNoVerify, LevelCacheSingle, LevelShed} {
+		for _, qf := range []float64{-1, 0, 0.5, 1, 2} {
+			d := RetryAfter(lvl, qf, seedA)
+			if d < MinRetryAfter || d > MaxRetryAfter {
+				t.Errorf("RetryAfter(%v, %v) = %v out of bounds", lvl, qf, d)
+			}
+		}
+	}
+}
+
+// TestRetryAfterGrowsWithPressure: with jitter held fixed (same seed),
+// a deeper queue and a higher ladder level both lengthen the hint.
+func TestRetryAfterGrowsWithPressure(t *testing.T) {
+	seed := Seed("p", "lcm")
+	if shallow, deep := RetryAfter(LevelFull, 0.1, seed), RetryAfter(LevelFull, 0.9, seed); deep <= shallow {
+		t.Errorf("deeper queue did not lengthen hint: %v vs %v", shallow, deep)
+	}
+	if low, high := RetryAfter(LevelNoVerify, 0.5, seed), RetryAfter(LevelShed, 0.5, seed); high <= low {
+		t.Errorf("higher level did not lengthen hint: %v vs %v", low, high)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lvl, want := range map[Level]string{
+		LevelFull: "full", LevelNoVerify: "no-verify",
+		LevelCacheSingle: "cache+single", LevelShed: "shed", Level(9): "level-9",
+	} {
+		if got := lvl.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lvl), got, want)
+		}
+	}
+}
