@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-json serve triage chaos
+.PHONY: check build vet test race fuzz bench bench-json serve triage chaos fleet
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -45,7 +45,18 @@ serve:
 chaos:
 	mkdir -p _quarantine/chaos
 	LCM_CHAOS_QUARANTINE=$(CURDIR)/_quarantine/chaos \
-		$(GO) test -race -run 'TestChaos' -count=1 -v ./cmd/lcmd/
+		$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/lcmserver/
+
+# Fleet-level chaos soak under the race detector: three lcmd backends
+# behind the lcmgate router while one backend is killed and another
+# partitioned mid-soak. Asserts exact per-backend accounting, breaker
+# isolation of the dead backend, byte-identical results from whichever
+# replica answers, explicit Retry-After on every shed, and zero
+# goroutine leaks. The gateway routing log lands in _quarantine/fleet.
+fleet:
+	mkdir -p _quarantine/fleet
+	LCMGATE_SOAK_LOG=$(CURDIR)/_quarantine/fleet/gateway.log \
+		$(GO) test -race -run 'TestFleet' -count=1 -v ./cmd/lcmgate/
 
 # Corpus hygiene gate: every crasher in testdata/crashers must be
 # minimal, signatures must be unique, and recorded sidecars must match

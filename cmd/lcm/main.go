@@ -27,7 +27,8 @@
 //	                             poll the deadline at iteration boundaries
 //	-verify                      re-check each transformed function against
 //	                             its original on random inputs
-//	-remote URL                  send the program to an lcmd server at URL
+//	-remote URL[,URL...]         send the program to lcmd server(s); a list
+//	                             fails over across replicas client-side
 //	                             instead of optimizing in-process, via the
 //	                             hardened retrying client (honors the
 //	                             server's Retry-After contract); display
@@ -103,7 +104,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) (int, error) {
 	fuel := fs.Int("fuel", 0, "node-visit budget per data-flow fixpoint (0 = unlimited)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
 	verifyFlag := fs.Bool("verify", false, "re-check each transformed function against its original on random inputs")
-	remote := fs.String("remote", "", "optimize via an lcmd server at this base URL instead of in-process")
+	remote := fs.String("remote", "", "optimize via lcmd server(s) at this base URL (comma-separate several for client-side failover)")
 	if err := fs.Parse(args); err != nil {
 		return exitInvalid, err
 	}
@@ -195,12 +196,24 @@ type remoteOpts struct {
 	fallback  bool
 }
 
+// optimizer is the client surface runRemote needs; both the single-
+// and multi-endpoint clients satisfy it.
+type optimizer interface {
+	Optimize(context.Context, lcmclient.Request) (*lcmclient.Response, error)
+}
+
 // runRemote ships the whole program to an lcmd server through the
 // hardened client and maps the service's outcome onto the CLI's exit
 // codes. The server runs the same pipeline over the same printer, so a
 // clean remote round trip is byte-identical to local optimization.
+// A comma-separated endpoint list engages the fleet client: consistent-
+// hash affinity, per-endpoint circuit breakers, failover across
+// replicas — any replica's answer is the answer.
 func runRemote(baseURL, src string, o remoteOpts, stdout io.Writer) (int, error) {
-	c := &lcmclient.Client{BaseURL: baseURL}
+	var c optimizer = &lcmclient.Client{BaseURL: baseURL}
+	if eps := splitEndpoints(baseURL); len(eps) > 1 {
+		c = &lcmclient.MultiClient{Endpoints: eps}
+	}
 	resp, err := c.Optimize(context.Background(), lcmclient.Request{
 		Program:   src,
 		Mode:      o.mode,
@@ -238,6 +251,19 @@ func runRemote(baseURL, src string, o remoteOpts, stdout io.Writer) (int, error)
 		return exitFellBack, nil
 	}
 	return exitOptimized, nil
+}
+
+// splitEndpoints parses a comma-separated -remote value, trimming
+// whitespace and trailing slashes.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func optimizeOne(f *ir.Function, o opts, stdout io.Writer) (int, error) {

@@ -170,6 +170,30 @@ func TestRemoteRejectsLocalOnlyFlags(t *testing.T) {
 
 const diamondSrc = "func f(a, b, c) {\nentry:\n  br c then else\nthen:\n  x = a + b\n  jmp join\nelse:\n  jmp join\njoin:\n  y = a + b\n  ret y\n}\n"
 
+// TestRemoteFleetFailover: a comma-separated -remote list engages the
+// fleet client; with the first endpoint dead the call fails over to the
+// live replica and the output stays byte-identical to a local run.
+func TestRemoteFleetFailover(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // connection refused from here on
+	live := remoteTestServer(t, nil)
+
+	var local, remote strings.Builder
+	if _, err := run([]string{"-mode", "lcm"}, strings.NewReader(diamondSrc), &local); err != nil {
+		t.Fatal(err)
+	}
+	endpoints := dead.URL + "," + live.URL
+	code, err := run([]string{"-mode", "lcm", "-remote", endpoints},
+		strings.NewReader(diamondSrc), &remote)
+	if code != exitOptimized || err != nil {
+		t.Fatalf("fleet run with dead first endpoint: code %d err %v", code, err)
+	}
+	if local.String() != remote.String() {
+		t.Errorf("failover output differs from local:\n--- local ---\n%s\n--- remote ---\n%s",
+			local.String(), remote.String())
+	}
+}
+
 // TestRemoteTerminalErrors: server-side terminal classifications map to
 // the CLI's exit-code contract — parse failures to exitInvalid, expired
 // deadlines to exitDeadline — without retrying.

@@ -11,6 +11,8 @@
 //	POST /optimize/batch  whole-module optimization with per-function
 //	                      fault isolation: one result entry per function
 //	GET  /healthz         pool and outcome counters; 503 while draining
+//	GET  /readyz          cheap readiness probe for gateways: 503 while
+//	                      draining or shedding all work (degrade level 3)
 //
 // Flags:
 //
@@ -71,6 +73,7 @@ import (
 	"time"
 
 	"lazycm/internal/chaos"
+	"lazycm/internal/lcmserver"
 	"lazycm/internal/triage"
 )
 
@@ -79,7 +82,7 @@ func main() {
 	addr := fs.String("addr", ":8657", "listen address")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "optimization worker pool size")
 	queue := fs.Int("queue", 0, "admission queue capacity (0 = 4×workers)")
-	timeout := fs.Duration("timeout", DefaultTimeout, "default per-request budget")
+	timeout := fs.Duration("timeout", lcmserver.DefaultTimeout, "default per-request budget")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on client-requested budgets (0 = 4×timeout)")
 	fuel := fs.Int("fuel", 0, "default node-visit budget per fixpoint (0 = unlimited)")
 	batchParallel := fs.Int("batch-parallel", 0, "concurrent dispatch lanes per batch request (0 = workers)")
@@ -117,7 +120,7 @@ func main() {
 		injector = chaos.New(cfg)
 	}
 
-	srv := NewServer(Config{
+	srv := lcmserver.NewServer(lcmserver.Config{
 		Workers:       *workers,
 		Queue:         *queue,
 		Timeout:       *timeout,

@@ -1,0 +1,516 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lazycm/internal/fleet"
+	"lazycm/internal/overload"
+)
+
+// Config tunes the fleet gateway.
+type Config struct {
+	// Backends is the set of lcmd base URLs the gateway routes across.
+	// At least one is required.
+	Backends []string
+	// Vnodes is the per-backend virtual-node count on the hash ring;
+	// 0 means fleet.DefaultVnodes.
+	Vnodes int
+	// LoadFactor is the bounded-load placement factor: a backend stops
+	// receiving new placements while its in-flight count exceeds
+	// LoadFactor × the fleet average. <=1 disables the bound; 0 means
+	// DefaultLoadFactor.
+	LoadFactor float64
+	// AttemptTimeout bounds one backend attempt, so a partitioned
+	// backend costs one timeout, not the whole request budget. 0 means
+	// DefaultAttemptTimeout.
+	AttemptTimeout time.Duration
+	// Timeout bounds one proxied request end to end, across every
+	// failover attempt. 0 means DefaultTimeout.
+	Timeout time.Duration
+	// HealthInterval is the /readyz polling period per backend; 0 means
+	// DefaultHealthInterval, negative disables polling (tests drive
+	// breakers through traffic alone).
+	HealthInterval time.Duration
+	// Breaker tunes the per-backend circuit breakers.
+	Breaker fleet.BreakerConfig
+	// AccessLog, when non-nil, receives one line per routing event
+	// (attempts, failovers, breaker skips, sheds, dedupe joins) — the
+	// audit trail the fleet soak and CI artifacts read.
+	AccessLog io.Writer
+	// Transport overrides the outbound round tripper; nil means
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+const (
+	// DefaultTimeout is the end-to-end budget for one proxied request.
+	DefaultTimeout = 10 * time.Second
+	// DefaultAttemptTimeout is the per-backend attempt budget.
+	DefaultAttemptTimeout = 2 * time.Second
+	// DefaultHealthInterval is the /readyz polling period.
+	DefaultHealthInterval = 500 * time.Millisecond
+	// DefaultLoadFactor is the bounded-load placement factor.
+	DefaultLoadFactor = 1.25
+	// maxBody mirrors the backend's request-body cap so the gateway
+	// rejects oversized programs without spending a backend slot.
+	maxBody = 4 << 20
+	// maxRespBody bounds what the gateway buffers from a backend.
+	maxRespBody = 8 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.LoadFactor == 0 {
+		c.LoadFactor = DefaultLoadFactor
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	return c
+}
+
+// backend is the gateway's view of one lcmd node: its breaker, its
+// load, and what the health poller last learned about it.
+type backend struct {
+	id      string
+	breaker *fleet.Breaker
+
+	inflight  atomic.Int64
+	routed    atomic.Int64 // proxied attempts dispatched (health probes excluded)
+	succeeded atomic.Int64 // attempts the backend answered (any non-5xx status)
+	failed    atomic.Int64 // transport errors and 5xx answers
+	probes    atomic.Int64 // health probes sent
+	ready     atomic.Bool
+	degrade   atomic.Int32 // degrade_level from the last readiness probe
+}
+
+// Gateway consistent-hashes optimization requests across a fleet of
+// lcmd backends. Placement buys cache affinity only — every backend
+// computes byte-identical results — so the gateway's whole job is to
+// keep that placement cheap to violate: failover walks the ring's
+// replica order when a breaker is open or an attempt fails, identical
+// in-flight requests collapse into one backend slot, and when nothing
+// can serve, the client gets the same explicit 503 + Retry-After
+// contract a single node would give it.
+type Gateway struct {
+	cfg      Config
+	ring     *fleet.Ring
+	backends map[string]*backend
+	ids      []string // sorted, for stable reporting
+	client   *http.Client
+	logger   *log.Logger
+	start    time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	flightMu sync.Mutex
+	flight   map[string]*call
+
+	received      atomic.Int64 // proxied requests accepted for routing
+	dedupeJoins   atomic.Int64 // requests served by joining an identical in-flight one
+	failovers     atomic.Int64 // failed attempts that moved on to another replica
+	shed          atomic.Int64 // gateway-generated 503s (no backend could serve)
+	totalInflight atomic.Int64
+	lastRetryMS   atomic.Int64
+}
+
+// call is one in-flight deduplicated request. done closes once res is
+// set; every joiner replays the same bytes.
+type call struct {
+	done chan struct{}
+	res  *proxyResult
+}
+
+// proxyResult is one routed outcome: the backend's response verbatim,
+// or a gateway-generated rejection.
+type proxyResult struct {
+	status  int
+	header  http.Header // Content-Type and Retry-After only
+	body    []byte
+	backend string // serving backend; "" for gateway-generated results
+}
+
+// NewGateway builds the router and starts its health pollers.
+func NewGateway(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("lcmgate: no backends configured")
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		ring:     fleet.NewRing(cfg.Vnodes),
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		client:   &http.Client{Transport: cfg.Transport},
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+		flight:   make(map[string]*call),
+	}
+	if cfg.AccessLog != nil {
+		g.logger = log.New(cfg.AccessLog, "", log.Lmicroseconds)
+	}
+	for _, id := range cfg.Backends {
+		if _, dup := g.backends[id]; dup {
+			return nil, fmt.Errorf("lcmgate: duplicate backend %q", id)
+		}
+		b := &backend{id: id, breaker: fleet.NewBreaker(cfg.Breaker)}
+		b.ready.Store(true) // optimistic until the first probe says otherwise
+		g.backends[id] = b
+		g.ring.Add(id)
+		g.ids = append(g.ids, id)
+	}
+	sort.Strings(g.ids)
+	if cfg.HealthInterval > 0 {
+		for _, id := range g.ids {
+			g.wg.Add(1)
+			go g.healthLoop(g.backends[id])
+		}
+	}
+	return g, nil
+}
+
+// Close stops the health pollers. In-flight proxied requests are owned
+// by their handlers and finish on their own deadlines.
+func (g *Gateway) Close() {
+	close(g.stop)
+	g.wg.Wait()
+}
+
+// Handler returns the HTTP surface: the two proxied optimization
+// endpoints plus the gateway's own health and readiness probes.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", g.handleProxy)
+	mux.HandleFunc("POST /optimize/batch", g.handleProxy)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	return mux
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.logger != nil {
+		g.logger.Printf(format, args...)
+	}
+}
+
+// requestKey hashes a request's routing identity — path plus raw body —
+// into the ring key (64-bit) and the single-flight key (128-bit hex).
+// Routing on content is what makes placement deterministic across
+// gateway replicas and retries; the wider single-flight key keeps a
+// ring collision from ever serving one program's bytes for another.
+func requestKey(path string, body []byte) (uint64, string) {
+	h := sha256.New()
+	io.WriteString(h, path)
+	h.Write([]byte{0})
+	h.Write(body)
+	sum := h.Sum(nil)
+	return binary.BigEndian.Uint64(sum[:8]), hex.EncodeToString(sum[:16])
+}
+
+func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeGateJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("reading request body: %v", err), "kind": "parse",
+		})
+		return
+	}
+	g.received.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+
+	ringKey, flightKey := requestKey(r.URL.Path, body)
+	res := g.deduped(ctx, r.URL.Path, body, ringKey, flightKey)
+
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := res.header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// deduped collapses identical in-flight requests into one backend call:
+// the first arrival routes, everyone else joins and replays the same
+// bytes. Sound because results are content-addressed — the response is
+// a pure function of the body being hashed — and clean for rejections
+// too: a shed answer with its Retry-After is exactly what every member
+// of a thundering herd should hear.
+func (g *Gateway) deduped(ctx context.Context, path string, body []byte, ringKey uint64, flightKey string) *proxyResult {
+	g.flightMu.Lock()
+	if c, ok := g.flight[flightKey]; ok {
+		g.flightMu.Unlock()
+		g.dedupeJoins.Add(1)
+		g.logf("join key=%016x", ringKey)
+		select {
+		case <-c.done:
+			return c.res
+		case <-ctx.Done():
+			// The joiner's own budget died while the leader was still
+			// working; answer for ourselves instead of waiting forever.
+			return g.shedResult(ringKey, fmt.Sprintf("abandoned while joined to an in-flight request: %v", ctx.Err()))
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	g.flight[flightKey] = c
+	g.flightMu.Unlock()
+
+	c.res = g.route(ctx, path, body, ringKey)
+
+	g.flightMu.Lock()
+	delete(g.flight, flightKey)
+	g.flightMu.Unlock()
+	close(c.done)
+	return c.res
+}
+
+// route walks the ring's replica order for the key and returns the
+// first answer a backend produces. Two passes: the first respects every
+// routing signal (readiness, degrade level, bounded load, breaker); the
+// second is the last resort — any backend whose breaker admits — so a
+// uniformly degraded fleet still gets to say its own explicit 429/503
+// rather than having the gateway guess. If nothing answers, the gateway
+// sheds with its own 503 + Retry-After.
+func (g *Gateway) route(ctx context.Context, path string, body []byte, key uint64) *proxyResult {
+	prefs := g.ring.Pick(key, g.ring.Len())
+	tried := make(map[string]bool, len(prefs))
+	lastFailure := "no backend attempted"
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range prefs {
+			if ctx.Err() != nil {
+				return g.shedResult(key, fmt.Sprintf("request budget exhausted during failover: %v", ctx.Err()))
+			}
+			if tried[id] {
+				continue
+			}
+			b := g.backends[id]
+			if pass == 0 {
+				if !b.ready.Load() || b.degrade.Load() >= int32(overload.LevelShed) {
+					g.logf("skip key=%016x backend=%s reason=not-ready degrade=%d", key, id, b.degrade.Load())
+					continue
+				}
+				if !fleet.WithinBound(b.inflight.Load(), g.totalInflight.Load(), len(g.backends), g.cfg.LoadFactor) {
+					g.logf("skip key=%016x backend=%s reason=over-bound inflight=%d", key, id, b.inflight.Load())
+					continue
+				}
+			}
+			if !b.breaker.Allow() {
+				g.logf("skip key=%016x backend=%s reason=breaker-open", key, id)
+				continue
+			}
+			tried[id] = true
+			res, err := g.attempt(ctx, b, path, body, key)
+			if err == nil {
+				return res
+			}
+			lastFailure = err.Error()
+			g.failovers.Add(1)
+			g.logf("failover key=%016x backend=%s err=%q", key, id, err)
+		}
+	}
+	return g.shedResult(key, lastFailure)
+}
+
+// attempt sends the request to one backend and classifies the outcome
+// for its breaker: transport errors and 5xx are failures the router
+// moves past (a 503 means draining or shedding everything — the next
+// replica may well serve); any other answer — 200, 429, 4xx, and 504 —
+// proves the backend alive and is passed to the client verbatim.
+func (g *Gateway) attempt(ctx context.Context, b *backend, path string, body []byte, key uint64) (*proxyResult, error) {
+	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+	defer cancel()
+	b.routed.Add(1)
+	b.inflight.Add(1)
+	g.totalInflight.Add(1)
+	defer func() {
+		b.inflight.Add(-1)
+		g.totalInflight.Add(-1)
+	}()
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.id+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("building request for %s: %w", b.id, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.failed.Add(1)
+		b.breaker.Record(false)
+		return nil, fmt.Errorf("backend %s: %w", b.id, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBody))
+	if err != nil {
+		b.failed.Add(1)
+		b.breaker.Record(false)
+		return nil, fmt.Errorf("backend %s: reading response: %w", b.id, err)
+	}
+	// 504 is the request's own deadline expiring — it would expire on
+	// every replica, so it passes through instead of failing over.
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout {
+		b.failed.Add(1)
+		b.breaker.Record(false)
+		return nil, fmt.Errorf("backend %s answered %d", b.id, resp.StatusCode)
+	}
+	b.succeeded.Add(1)
+	b.breaker.Record(true)
+	g.logf("serve key=%016x backend=%s status=%d bytes=%d", key, b.id, resp.StatusCode, len(raw))
+	hdr := make(http.Header, 2)
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	return &proxyResult{status: resp.StatusCode, header: hdr, body: raw, backend: b.id}, nil
+}
+
+// shedResult is the gateway's own 503: every replica was down, open, or
+// out of budget. The Retry-After hint follows the fleet-wide jitter
+// contract — seeded from the primary backend id plus the request hash,
+// so the replicas of one shed request spread their retries instead of
+// stampeding back together, while a replay of the same request gets the
+// same hint.
+func (g *Gateway) shedResult(key uint64, reason string) *proxyResult {
+	g.shed.Add(1)
+	primary := g.ring.Owner(key)
+	openFrac := 0.0
+	for _, id := range g.ids {
+		if g.backends[id].breaker.State() == fleet.BreakerOpen {
+			openFrac += 1.0 / float64(len(g.ids))
+		}
+	}
+	ms := overload.RetryAfter(overload.LevelShed, openFrac, overload.Seed(primary, fmt.Sprintf("%016x", key))).Milliseconds()
+	g.lastRetryMS.Store(ms)
+	g.logf("shed key=%016x retry_after_ms=%d reason=%q", key, ms, reason)
+
+	body, _ := json.Marshal(map[string]any{
+		"error":          fmt.Sprintf("no backend available: %s", reason),
+		"kind":           "unavailable",
+		"retry_after_ms": ms,
+	})
+	hdr := make(http.Header, 2)
+	hdr.Set("Content-Type", "application/json")
+	hdr.Set("Retry-After", strconv.FormatInt((ms+999)/1000, 10))
+	return &proxyResult{status: http.StatusServiceUnavailable, header: hdr, body: append(body, '\n')}
+}
+
+// healthLoop polls one backend's /readyz. A reachable backend — ready
+// or not — proves liveness to its breaker; only transport failures
+// count against it. Readiness and degrade level steer the preferred
+// pass of route separately, so a draining or level-3 backend stops
+// receiving new placements without being treated as dead.
+func (g *Gateway) healthLoop(b *backend) {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probe(b)
+		}
+	}
+}
+
+func (g *Gateway) probe(b *backend) {
+	b.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.id+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		b.ready.Store(false)
+		b.breaker.Record(false)
+		g.logf("probe backend=%s err=%q", b.id, err)
+		return
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Ready        bool `json:"ready"`
+		DegradeLevel int  `json:"degrade_level"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&status)
+	b.ready.Store(resp.StatusCode == http.StatusOK)
+	b.degrade.Store(int32(status.DegradeLevel))
+	b.breaker.Record(true)
+	g.logf("probe backend=%s status=%d ready=%v degrade=%d", b.id, resp.StatusCode, resp.StatusCode == http.StatusOK, status.DegradeLevel)
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	bk := make(map[string]any, len(g.ids))
+	for _, id := range g.ids {
+		b := g.backends[id]
+		bk[id] = map[string]any{
+			"breaker":        b.breaker.State().String(),
+			"breaker_opened": b.breaker.Opened(),
+			"ready":          b.ready.Load(),
+			"degrade_level":  b.degrade.Load(),
+			"inflight":       b.inflight.Load(),
+			"routed":         b.routed.Load(),
+			"succeeded":      b.succeeded.Load(),
+			"failed":         b.failed.Load(),
+			"probes":         b.probes.Load(),
+		}
+	}
+	writeGateJSON(w, http.StatusOK, map[string]any{
+		"status":              "ok",
+		"uptime_ms":           time.Since(g.start).Milliseconds(),
+		"backends":            bk,
+		"received":            g.received.Load(),
+		"dedupe_joins":        g.dedupeJoins.Load(),
+		"failovers":           g.failovers.Load(),
+		"shed":                g.shed.Load(),
+		"inflight_total":      g.totalInflight.Load(),
+		"last_retry_after_ms": g.lastRetryMS.Load(),
+	})
+}
+
+// handleReadyz: the gateway is ready while at least one backend's
+// breaker would admit traffic (closed or probing half-open).
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	available := 0
+	for _, id := range g.ids {
+		if g.backends[id].breaker.State() != fleet.BreakerOpen {
+			available++
+		}
+	}
+	code := http.StatusOK
+	if available == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	writeGateJSON(w, code, map[string]any{
+		"ready":              available > 0,
+		"backends_available": available,
+		"backends_total":     len(g.ids),
+	})
+}
+
+func writeGateJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,121 @@
+// Command lcmgate is the fleet front end for lcmd: it consistent-hashes
+// optimization requests across N backends for cache affinity, fails
+// over along the ring when a node dies or sheds, circuit-breaks dead
+// backends out of the rotation, and collapses identical in-flight
+// requests into a single backend call.
+//
+// Endpoints:
+//
+//	POST /optimize        — proxied to the owning backend (failover on error)
+//	POST /optimize/batch  — same routing, batch payloads
+//	GET  /healthz         — gateway + per-backend routing statistics
+//	GET  /readyz          — 200 while at least one backend is admittable
+//
+// Routing cannot change results: every backend computes byte-identical
+// output for the same request (see DESIGN.md §8), so failover and
+// dedupe are always safe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"lazycm/internal/fleet"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8656", "listen address")
+		backends       = flag.String("backends", "", "comma-separated lcmd base URLs (required)")
+		attemptTimeout = flag.Duration("attempt-timeout", DefaultAttemptTimeout, "per-backend attempt budget")
+		timeout        = flag.Duration("timeout", DefaultTimeout, "end-to-end budget per proxied request")
+		healthInterval = flag.Duration("health-interval", DefaultHealthInterval, "per-backend /readyz polling period")
+		vnodes         = flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per backend on the hash ring")
+		loadFactor     = flag.Float64("load-factor", DefaultLoadFactor, "bounded-load placement factor (<=1 disables)")
+		brkFailures    = flag.Int("breaker-failures", 0, "consecutive failures that open a backend's breaker (0 = default)")
+		brkCooldown    = flag.Duration("breaker-cooldown", 0, "how long an open breaker refuses before probing (0 = default)")
+		brkProbes      = flag.Int("breaker-probes", 0, "successful half-open probes required to close (0 = default)")
+		accessLog      = flag.String("access-log", "", "routing log destination: a file path, '-' for stderr, empty for none")
+	)
+	flag.Parse()
+
+	ids := splitBackends(*backends)
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "lcmgate: -backends is required (comma-separated lcmd base URLs)")
+		os.Exit(2)
+	}
+
+	var logDst io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logDst = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("lcmgate: opening access log: %v", err)
+		}
+		defer f.Close()
+		logDst = f
+	}
+
+	gw, err := NewGateway(Config{
+		Backends:       ids,
+		Vnodes:         *vnodes,
+		LoadFactor:     *loadFactor,
+		AttemptTimeout: *attemptTimeout,
+		Timeout:        *timeout,
+		HealthInterval: *healthInterval,
+		Breaker: fleet.BreakerConfig{
+			FailureThreshold: *brkFailures,
+			Cooldown:         *brkCooldown,
+			HalfOpenProbes:   *brkProbes,
+		},
+		AccessLog: logDst,
+	})
+	if err != nil {
+		log.Fatalf("lcmgate: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gw.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("lcmgate listening on %s, routing across %d backends", *addr, len(ids))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("lcmgate: %v", err)
+	case s := <-sig:
+		log.Printf("lcmgate: %v received, shutting down", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("lcmgate: shutdown: %v", err)
+	}
+	gw.Close()
+}
+
+// splitBackends parses the -backends flag, trimming whitespace and
+// trailing slashes so joined URLs stay clean.
+func splitBackends(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazycm/internal/chaos"
+	"lazycm/internal/fleet"
+	"lazycm/internal/lcmserver"
+)
+
+// syncBuffer lets the soak read the routing log after traffic stops
+// while the gateway's health pollers may still be writing.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestFleetChaosSoak is the fleet-scope stress gate: three real lcmd
+// backends behind chaos proxies, traffic hammering the gateway while
+// one backend is killed and revived and another is partitioned. The
+// single-node soak invariants must hold at fleet scope:
+//
+//   - every clean 200 carries the byte-identical program a healthy
+//     single node computes for that input (routing never changes results)
+//   - every response is an expected status, and everything shed carries
+//     an explicit Retry-After
+//   - each backend's outcome buckets still sum exactly to its admitted
+//     requests, with nothing queued or in flight after the drain
+//   - a dead backend's breaker opens and freezes its routed counter
+//     until half-open probes succeed after revival
+//   - the whole fleet tears down without leaking goroutines
+//
+// Set LCMGATE_SOAK_LOG to a path to also write the gateway routing log
+// there (CI uploads it as the failure artifact).
+func TestFleetChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// -short (CI fleet-smoke) runs the same phases on shorter traffic
+	// windows; the full soak is `make fleet`.
+	window := func(d time.Duration) time.Duration {
+		if testing.Short() {
+			return d / 2
+		}
+		return d
+	}
+
+	var logBuf syncBuffer
+	var logDst io.Writer = &logBuf
+	if path := os.Getenv("LCMGATE_SOAK_LOG"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("opening LCMGATE_SOAK_LOG: %v", err)
+		}
+		defer f.Close()
+		logDst = io.MultiWriter(&logBuf, f)
+	}
+
+	// Three real backends behind chaos proxies.
+	const nBackends = 3
+	srvs := make([]*lcmserver.Server, nBackends)
+	proxies := make([]*chaos.Backend, nBackends)
+	tss := make([]*httptest.Server, nBackends)
+	urls := make([]string, nBackends)
+	for i := range srvs {
+		srvs[i] = lcmserver.NewServer(lcmserver.Config{Workers: 4, Queue: 16, Timeout: 2 * time.Second})
+		proxies[i] = chaos.NewBackend(srvs[i].Handler())
+		tss[i] = httptest.NewServer(proxies[i])
+		urls[i] = tss[i].URL
+	}
+
+	const cooldown = 2 * time.Second
+	gw, err := NewGateway(Config{
+		Backends:       urls,
+		AttemptTimeout: 500 * time.Millisecond,
+		Timeout:        5 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		Breaker:        fleet.BreakerConfig{FailureThreshold: 3, Cooldown: cooldown, HalfOpenProbes: 2},
+		AccessLog:      logDst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+
+	closed := false
+	shutdown := func() {
+		if !closed {
+			closed = true
+			gts.Close()
+			gw.Close()
+			for i := range srvs {
+				tss[i].Close()
+				srvs[i].Close()
+			}
+		}
+	}
+	defer shutdown()
+
+	// Corpus: one valid program owned by each backend (so every node sees
+	// traffic and chaos on any node is traffic-visible), plus an invalid
+	// program for pass-through coverage. Expected outputs are precomputed
+	// on a reference single node — the fleet must reproduce them byte for
+	// byte.
+	corpus := make([][]byte, nBackends)
+	expected := make(map[string]string, nBackends)
+	for i := range corpus {
+		corpus[i] = bodyOwnedBy(t, gw, urls, "/optimize", i)
+	}
+	ref := lcmserver.NewServer(lcmserver.Config{Workers: 1, Queue: 4})
+	refTS := httptest.NewServer(ref.Handler())
+	for _, body := range corpus {
+		code, _, raw := postRaw(t, refTS.URL, "/optimize", body)
+		if code != http.StatusOK {
+			t.Fatalf("reference node answered %d: %s", code, raw)
+		}
+		var out struct {
+			Program string `json:"program"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		expected[string(body)] = out.Program
+	}
+	refTS.Close()
+	ref.Close()
+	invalidBody := optBody(t, "func broken {")
+
+	// Traffic: workers hammer the gateway until told to stop, classifying
+	// every response. Any status outside the contract is a failure.
+	var c200, c400, c429, c503, cOther, sent atomic.Int64
+	var identityViolations, missingRetryAfter atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const workers = 6
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := corpus[rng.Intn(len(corpus))]
+				if i%13 == 12 {
+					body = invalidBody
+				}
+				sent.Add(1)
+				resp, err := http.Post(gts.URL+"/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					cOther.Add(1)
+					t.Errorf("gateway transport error: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var out struct {
+					Program      string `json:"program"`
+					Error        string `json:"error"`
+					FellBack     bool   `json:"fell_back"`
+					Canceled     bool   `json:"canceled"`
+					RetryAfterMS int64  `json:"retry_after_ms"`
+				}
+				if err := json.Unmarshal(raw, &out); err != nil {
+					cOther.Add(1)
+					t.Errorf("non-JSON response (status %d): %s", resp.StatusCode, raw)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					c200.Add(1)
+					if out.Error == "" && !out.FellBack && !out.Canceled {
+						if want := expected[string(body)]; out.Program != want {
+							identityViolations.Add(1)
+							t.Errorf("200 diverged from single-node output:\n got: %q\nwant: %q", out.Program, want)
+						}
+					}
+				case http.StatusBadRequest:
+					c400.Add(1)
+				case http.StatusTooManyRequests:
+					c429.Add(1)
+					if resp.Header.Get("Retry-After") == "" || out.RetryAfterMS <= 0 {
+						missingRetryAfter.Add(1)
+					}
+				case http.StatusServiceUnavailable:
+					c503.Add(1)
+					if resp.Header.Get("Retry-After") == "" || out.RetryAfterMS <= 0 {
+						missingRetryAfter.Add(1)
+					}
+				default:
+					cOther.Add(1)
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+				}
+			}
+		}(g)
+	}
+
+	// Phase 1: healthy warm-up.
+	time.Sleep(window(600 * time.Millisecond))
+
+	// Phase 2: kill backend 0 mid-soak. Its breaker must open within a
+	// few failed attempts, and while open its routed counter must freeze
+	// dead — not one request reaches it until a half-open probe.
+	killed := gw.backends[urls[0]]
+	proxies[0].SetMode(chaos.BackendKilled)
+	waitFor(t, func() bool { return killed.breaker.State() == fleet.BreakerOpen })
+	frozen := killed.routed.Load()
+	time.Sleep(cooldown / 4) // well inside the cooldown: no probe can be admitted
+	if got := killed.routed.Load(); got != frozen {
+		t.Errorf("open breaker leaked traffic to the killed backend: routed %d -> %d", frozen, got)
+	}
+
+	// Phase 3: revive backend 0. Health probes and traffic drive the
+	// half-open recovery; once closed, the backend takes traffic again.
+	proxies[0].SetMode(chaos.BackendHealthy)
+	waitFor(t, func() bool { return killed.breaker.State() == fleet.BreakerClosed })
+	waitFor(t, func() bool { return killed.routed.Load() > frozen })
+
+	// Phase 4: partition backend 1 — reachable but black-holed; only the
+	// attempt timeout detects it. Its breaker must open too.
+	partitioned := gw.backends[urls[1]]
+	proxies[1].SetMode(chaos.BackendPartitioned)
+	waitFor(t, func() bool { return partitioned.breaker.State() == fleet.BreakerOpen })
+
+	// Phase 5: heal everything, let the fleet settle, stop traffic.
+	proxies[1].SetMode(chaos.BackendHealthy)
+	time.Sleep(window(600 * time.Millisecond))
+	close(stop)
+	wg.Wait()
+	shutdown() // full drain before auditing the books
+
+	// Every request got exactly one in-contract response.
+	if got := c200.Load() + c400.Load() + c429.Load() + c503.Load() + cOther.Load(); got != sent.Load() {
+		t.Errorf("responses %d != requests sent %d", got, sent.Load())
+	}
+	if cOther.Load() != 0 {
+		t.Errorf("out-of-contract responses: %d", cOther.Load())
+	}
+	if identityViolations.Load() != 0 {
+		t.Errorf("byte-identity violations: %d", identityViolations.Load())
+	}
+	if missingRetryAfter.Load() != 0 {
+		t.Errorf("shed responses missing Retry-After: %d", missingRetryAfter.Load())
+	}
+	if c200.Load() == 0 {
+		t.Error("soak produced no successful responses")
+	}
+
+	// Fleet-scope exact accounting: every backend's outcome buckets sum
+	// to its admitted requests, and the drained pools are empty.
+	for i, s := range srvs {
+		st := s.Stats()
+		sum := st.Optimized + st.FellBack + st.Canceled + st.Invalid + st.Panics
+		if sum != st.Requests {
+			t.Errorf("backend %d outcome buckets sum to %d, want %d (%+v)", i, sum, st.Requests, st)
+		}
+		if st.Panics != 0 {
+			t.Errorf("backend %d recovered %d panics", i, st.Panics)
+		}
+		if st.Queued != 0 || st.Inflight != 0 {
+			t.Errorf("backend %d drained with queued=%d inflight=%d", i, st.Queued, st.Inflight)
+		}
+	}
+
+	// Routing-log audit: the killed backend was skipped as breaker-open,
+	// and the health pollers were probing throughout.
+	lg := logBuf.String()
+	if !strings.Contains(lg, fmt.Sprintf("backend=%s reason=breaker-open", urls[0])) {
+		t.Error("routing log has no breaker-open skips for the killed backend")
+	}
+	if !strings.Contains(lg, "probe backend=") {
+		t.Error("routing log has no health-probe entries")
+	}
+
+	// No goroutine leaks once the whole fleet is down.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+5 })
+}

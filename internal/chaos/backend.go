@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// BackendMode is the fault a Backend proxy is currently injecting.
+// Where the Injector misbehaves *inside* one server, Backend misbehaves
+// *around* a whole server — the failure modes a fleet router must
+// survive: a node that is gone, a node that answers slowly, and a node
+// reachable but black-holed by the network.
+type BackendMode int32
+
+const (
+	// BackendHealthy forwards every request untouched.
+	BackendHealthy BackendMode = iota
+	// BackendKilled drops every connection immediately without a
+	// response — the client sees a reset/EOF, exactly like a process
+	// that died or a port with nothing listening.
+	BackendKilled
+	// BackendPartitioned accepts the connection and then never answers:
+	// the request hangs until the caller's own deadline fires, then the
+	// connection is dropped. This is the network black hole that only a
+	// client-side timeout can detect — no error ever comes back.
+	BackendPartitioned
+	// BackendStalled delays every request by the configured stall before
+	// forwarding it — a drowning-but-alive node.
+	BackendStalled
+)
+
+func (m BackendMode) String() string {
+	switch m {
+	case BackendHealthy:
+		return "healthy"
+	case BackendKilled:
+		return "killed"
+	case BackendPartitioned:
+		return "partitioned"
+	case BackendStalled:
+		return "stalled"
+	}
+	return "unknown"
+}
+
+// Backend wraps one backend's HTTP handler with switchable, whole-node
+// fault injection. The fleet soak flips modes mid-run to kill,
+// partition, and revive backends while traffic flows; every path of the
+// wrapped server (including its health probes) misbehaves together,
+// which is what makes a gateway's breaker see what a real outage looks
+// like. Test-only, like the Injector.
+type Backend struct {
+	next  http.Handler
+	mode  atomic.Int32
+	stall atomic.Int64 // nanoseconds, for BackendStalled
+
+	// Event counters for the soak's audit trail.
+	Passed      atomic.Int64 // requests forwarded untouched
+	Dropped     atomic.Int64 // connections killed without a response
+	Blackholed  atomic.Int64 // requests held until the caller gave up
+	StalledReqs atomic.Int64 // requests delayed then forwarded
+}
+
+// NewBackend wraps next in a healthy proxy; flip faults on with SetMode.
+func NewBackend(next http.Handler) *Backend {
+	return &Backend{next: next}
+}
+
+// SetMode switches the injected fault. Safe to call while requests are
+// in flight; only requests arriving after the switch observe it.
+func (b *Backend) SetMode(m BackendMode) { b.mode.Store(int32(m)) }
+
+// Mode returns the current fault mode.
+func (b *Backend) Mode() BackendMode { return BackendMode(b.mode.Load()) }
+
+// SetStall sets the per-request delay used by BackendStalled.
+func (b *Backend) SetStall(d time.Duration) { b.stall.Store(int64(d)) }
+
+func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch b.Mode() {
+	case BackendKilled:
+		b.Dropped.Add(1)
+		// ErrAbortHandler makes the server drop the connection without
+		// writing a response: the client observes EOF/connection reset,
+		// indistinguishable from a dead process.
+		panic(http.ErrAbortHandler)
+	case BackendPartitioned:
+		b.Blackholed.Add(1)
+		// Drain the body first: the HTTP server arms client-disconnect
+		// detection (which cancels r.Context) only once the request body
+		// has been consumed, so an unread POST body would park this
+		// handler forever even after the caller hangs up.
+		io.Copy(io.Discard, r.Body)
+		// Hold the request open until the caller abandons it; nothing is
+		// ever written, so only the caller's deadline can end the wait.
+		<-r.Context().Done()
+		panic(http.ErrAbortHandler)
+	case BackendStalled:
+		b.StalledReqs.Add(1)
+		d := time.Duration(b.stall.Load())
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+		b.next.ServeHTTP(w, r)
+	default:
+		b.Passed.Add(1)
+		b.next.ServeHTTP(w, r)
+	}
+}

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBackendModes drives one wrapped handler through every fault mode
+// and asserts the client-visible failure shape of each: healthy
+// round-trips, killed yields a transport error with no response,
+// partitioned hangs until the client's own deadline, stalled delays but
+// answers.
+func TestBackendModes(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	b := NewBackend(inner)
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	get := func(timeout time.Duration) (string, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	if body, err := get(time.Second); err != nil || body != "ok" {
+		t.Fatalf("healthy proxy: body=%q err=%v", body, err)
+	}
+
+	b.SetMode(BackendKilled)
+	if _, err := get(time.Second); err == nil {
+		t.Fatal("killed backend still answered")
+	}
+	if b.Dropped.Load() == 0 {
+		t.Error("killed backend did not count the drop")
+	}
+
+	b.SetMode(BackendPartitioned)
+	start := time.Now()
+	_, err := get(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("partitioned backend still answered")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("partition surfaced as %v, want the caller's deadline", err)
+	}
+	if since := time.Since(start); since < 50*time.Millisecond {
+		t.Errorf("partitioned request failed after %v, before the deadline", since)
+	}
+	if b.Blackholed.Load() == 0 {
+		t.Error("partitioned backend did not count the black hole")
+	}
+
+	// A partitioned POST with an unread body is the regression case: the
+	// server arms disconnect detection only after the body is consumed,
+	// so the proxy must drain it or the handler parks forever and the
+	// server can never shut down.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL, strings.NewReader(`{"program":"x"}`))
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("partitioned POST still answered")
+	}
+	cancel()
+
+	b.SetMode(BackendStalled)
+	b.SetStall(30 * time.Millisecond)
+	start = time.Now()
+	if body, err := get(time.Second); err != nil || body != "ok" {
+		t.Fatalf("stalled proxy: body=%q err=%v", body, err)
+	}
+	if since := time.Since(start); since < 30*time.Millisecond {
+		t.Errorf("stalled request answered after %v, before the stall", since)
+	}
+
+	b.SetMode(BackendHealthy)
+	if body, err := get(time.Second); err != nil || body != "ok" {
+		t.Fatalf("revived proxy: body=%q err=%v", body, err)
+	}
+	if b.Passed.Load() != 2 {
+		t.Errorf("passed counter = %d, want 2", b.Passed.Load())
+	}
+}

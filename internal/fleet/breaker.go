@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int32
+
+const (
+	// BreakerClosed is normal operation: requests flow, consecutive
+	// failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses all requests until the cooldown elapses. An
+	// open breaker is what isolates a dead backend: the router skips it
+	// without spending a connection attempt.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe request at a time; enough
+	// consecutive probe successes close the breaker, any failure reopens
+	// it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. The zero value takes the defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip a closed
+	// breaker open. Default 5.
+	FailureThreshold int
+	// Cooldown is how long an open breaker refuses everything before
+	// letting probes through. Default 2s.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close a
+	// half-open breaker. Default 2.
+	HalfOpenProbes int
+	// Now is the clock; tests inject a fake one. nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker: closed → open after a
+// streak of failures, open → half-open after a cooldown, half-open →
+// closed after successful probes (or straight back to open on any
+// probe failure). Observations come from wherever the caller sees the
+// backend misbehave — connection errors, 5xx responses, failed
+// readiness probes — the breaker only orders them into a policy.
+//
+// Late observations are ignored while open: a request admitted before
+// the trip may complete long after it, and neither its success nor its
+// failure says anything about whether the cooldown should move.
+type Breaker struct {
+	mu             sync.Mutex
+	cfg            BreakerConfig
+	state          BreakerState
+	failures       int // consecutive failures while closed
+	probeSucceeded int // consecutive probe successes while half-open
+	probeInFlight  bool
+	openedAt       time.Time
+	opened         int64 // times tripped open, for reporting
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent to this backend now.
+// While open it returns false until the cooldown elapses, at which
+// point the breaker turns half-open and admits exactly one in-flight
+// probe at a time; the caller must Record the probe's outcome.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeSucceeded = 0
+		b.probeInFlight = true
+		return true
+	case BreakerHalfOpen:
+		if b.probeInFlight {
+			return false
+		}
+		b.probeInFlight = true
+		return true
+	}
+	return false
+}
+
+// Record feeds one observed outcome for this backend: a completed
+// request, a connection error, or a readiness-probe result.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Late result from before the trip: no signal about recovery.
+	case BreakerHalfOpen:
+		b.probeInFlight = false
+		if !ok {
+			b.trip()
+			return
+		}
+		b.probeSucceeded++
+		if b.probeSucceeded >= b.cfg.HalfOpenProbes {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	}
+}
+
+// trip moves to open; caller holds the lock.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probeSucceeded = 0
+	b.probeInFlight = false
+	b.opened++
+}
+
+// State returns the current state without admitting anything. An open
+// breaker past its cooldown still reports open — only Allow moves it to
+// half-open, so State is side-effect-free for monitoring.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opened reports how many times the breaker has tripped open.
+func (b *Breaker) Opened() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened
+}

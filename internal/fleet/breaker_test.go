@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldowns.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker() (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		HalfOpenProbes:   2,
+		Now:              clk.now,
+	})
+	return b, clk
+}
+
+// TestBreakerTransitions walks the full state machine: closed → open on
+// a failure streak, open refuses everything until the cooldown, then
+// half-open admits exactly one probe at a time, a probe failure reopens
+// with a fresh cooldown, and enough probe successes close it again.
+func TestBreakerTransitions(t *testing.T) {
+	b, clk := testBreaker()
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker is not closed and allowing")
+	}
+	// A success between failures resets the streak: 2 failures, success,
+	// 2 failures is not a trip at threshold 3.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("interrupted failure streak tripped the breaker")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("3 consecutive failures did not trip the breaker")
+	}
+	if b.Opened() != 1 {
+		t.Fatalf("opened counter = %d, want 1", b.Opened())
+	}
+
+	// Open: everything refused until the cooldown elapses; late results
+	// from requests admitted before the trip are ignored.
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request")
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatal("late success moved an open breaker")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request before the cooldown")
+	}
+
+	// Cooldown over: exactly one probe admitted at a time.
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe failure: straight back to open, fresh cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if b.Opened() != 2 {
+		t.Fatalf("opened counter = %d, want 2", b.Opened())
+	}
+
+	// Recovery: two successful probes (HalfOpenProbes) close it.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second cooldown did not admit a probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("one probe success closed a breaker that wants 2")
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the next probe after a success")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("enough probe successes did not close the breaker")
+	}
+
+	// Closed again with a clean failure count: it takes a full fresh
+	// streak to trip.
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale failures carried over into the re-closed breaker")
+	}
+}
+
+// TestBreakerStateIsPassive: State never admits a probe — an open
+// breaker past its cooldown stays open until someone calls Allow.
+func TestBreakerStateIsPassive(t *testing.T) {
+	b, clk := testBreaker()
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	clk.advance(time.Minute)
+	if b.State() != BreakerOpen {
+		t.Fatal("State moved the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("Allow after cooldown refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("Allow did not transition to half-open")
+	}
+}
+
+// TestBreakerDefaults: the zero config is usable.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped before the default threshold of 5")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold of 5 did not trip")
+	}
+}

@@ -60,6 +60,10 @@ type TerminalError struct {
 	Status  int
 	Kind    string
 	Message string
+	// DegradeLevel is the degradation rung the server reported when it
+	// rejected the request (0 when the body carried none) — how loaded
+	// the service was while saying no.
+	DegradeLevel int
 }
 
 func (e *TerminalError) Error() string {
@@ -74,6 +78,13 @@ type ExhaustedError struct {
 	Elapsed        time.Duration
 	BudgetExceeded bool
 	Last           error
+	// RetryAfter is the server's final wait hint (0 when the last
+	// failure carried none): when the service itself thinks capacity
+	// returns, for callers scheduling their own retry.
+	RetryAfter time.Duration
+	// DegradeLevel is the last degradation rung the server reported
+	// while refusing (0 when unknown).
+	DegradeLevel int
 }
 
 func (e *ExhaustedError) Error() string {
@@ -88,8 +99,10 @@ func (e *ExhaustedError) Unwrap() error { return e.Last }
 
 // retryableError marks one failed attempt the retry loop may cure.
 type retryableError struct {
-	msg        string
-	retryAfter time.Duration // server hint; 0 = none
+	msg          string
+	status       int           // HTTP status; 0 = transport-level failure
+	retryAfter   time.Duration // server hint; 0 = none
+	degradeLevel int           // server degrade level; 0 = unknown/full
 }
 
 func (e *retryableError) Error() string { return e.msg }
@@ -165,11 +178,15 @@ func (c *Client) doSleep(ctx context.Context, d time.Duration) error {
 // and the attempt number — reproducible for one request, decorrelated
 // across requests.
 func (c *Client) backoff(attempt int, req Request) time.Duration {
-	base := c.BaseBackoff
+	return backoffDur(c.BaseBackoff, c.MaxBackoff, attempt, req)
+}
+
+// backoffDur is the shared backoff schedule for the single- and
+// multi-endpoint clients.
+func backoffDur(base, maxB time.Duration, attempt int, req Request) time.Duration {
 	if base <= 0 {
 		base = DefaultBaseBackoff
 	}
-	maxB := c.MaxBackoff
 	if maxB <= 0 {
 		maxB = DefaultMaxBackoff
 	}
@@ -214,7 +231,7 @@ func (c *Client) Optimize(ctx context.Context, req Request) (*Response, error) {
 		}
 		last = err
 		if attempt >= attempts {
-			return nil, &ExhaustedError{Attempts: attempt, Elapsed: time.Since(start), Last: last}
+			return nil, exhausted(attempt, start, false, last)
 		}
 		wait := c.backoff(attempt, req)
 		var re *retryableError
@@ -224,14 +241,25 @@ func (c *Client) Optimize(ctx context.Context, req Request) (*Response, error) {
 			wait = re.retryAfter
 		}
 		if time.Now().Add(wait).After(deadline) {
-			return nil, &ExhaustedError{
-				Attempts: attempt, Elapsed: time.Since(start), BudgetExceeded: true, Last: last,
-			}
+			return nil, exhausted(attempt, start, true, last)
 		}
 		if err := c.doSleep(ctx, wait); err != nil {
 			return nil, err
 		}
 	}
+}
+
+// exhausted builds the ExhaustedError for a given-up retry loop,
+// lifting the server's last hint and degrade level out of the final
+// retryable failure so callers see them without unwrapping.
+func exhausted(attempts int, start time.Time, budget bool, last error) *ExhaustedError {
+	e := &ExhaustedError{Attempts: attempts, Elapsed: time.Since(start), BudgetExceeded: budget, Last: last}
+	var re *retryableError
+	if errors.As(last, &re) {
+		e.RetryAfter = re.retryAfter
+		e.DegradeLevel = re.degradeLevel
+	}
+	return e
 }
 
 // post runs one wire attempt and classifies its outcome.
@@ -271,20 +299,32 @@ func (c *Client) post(ctx context.Context, req Request) (*Response, error) {
 	case hresp.StatusCode == http.StatusTooManyRequests,
 		hresp.StatusCode == http.StatusServiceUnavailable:
 		return nil, &retryableError{
-			msg:        fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
-			retryAfter: retryAfterOf(&out, hresp.Header, decodeErr == nil),
+			msg:          fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
+			status:       hresp.StatusCode,
+			retryAfter:   retryAfterOf(&out, hresp.Header, decodeErr == nil),
+			degradeLevel: out.DegradeLevel,
 		}
 	case hresp.StatusCode == http.StatusGatewayTimeout:
 		// The request's own deadline expired server-side; retrying the
 		// same deadline re-runs the same failure.
-		return nil, &TerminalError{Status: hresp.StatusCode, Kind: kindOf(&out, "deadline"), Message: messageOf(&out, raw)}
+		return nil, &TerminalError{
+			Status: hresp.StatusCode, Kind: kindOf(&out, "deadline"),
+			Message: messageOf(&out, raw), DegradeLevel: out.DegradeLevel,
+		}
 	case hresp.StatusCode >= 500:
 		// 500s cover contained panics and infrastructure hiccups; both
 		// can be transient, and the attempt cap bounds the optimism.
-		return nil, &retryableError{msg: fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, messageOf(&out, raw))}
+		return nil, &retryableError{
+			msg:          fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, messageOf(&out, raw)),
+			status:       hresp.StatusCode,
+			degradeLevel: out.DegradeLevel,
+		}
 	default:
 		// 4xx: the request itself is unserviceable.
-		return nil, &TerminalError{Status: hresp.StatusCode, Kind: kindOf(&out, "rejected"), Message: messageOf(&out, raw)}
+		return nil, &TerminalError{
+			Status: hresp.StatusCode, Kind: kindOf(&out, "rejected"),
+			Message: messageOf(&out, raw), DegradeLevel: out.DegradeLevel,
+		}
 	}
 }
 

@@ -226,6 +226,64 @@ func TestTerminalErrorsDoNotRetry(t *testing.T) {
 	}
 }
 
+// TestTypedErrorsCarryServerHints is the regression gate for the
+// error-surfacing contract: when the server says how long to wait and
+// how degraded it is, both values must ride the typed errors instead of
+// being swallowed in the message string.
+func TestTypedErrorsCarryServerHints(t *testing.T) {
+	// Persistent shed with a precise hint: the ExhaustedError must carry
+	// the last hint and degrade level the server reported.
+	sc := &script{steps: []step{
+		{status: 429, body: `{"error":"shed","kind":"overload","retry_after_ms":7,"degrade_level":2,"elapsed_ms":0}`},
+	}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := newClient(ts, nil)
+	c.MaxAttempts = 2
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if ex.RetryAfter != 7*time.Millisecond {
+		t.Errorf("ExhaustedError.RetryAfter = %v, want 7ms", ex.RetryAfter)
+	}
+	if ex.DegradeLevel != 2 {
+		t.Errorf("ExhaustedError.DegradeLevel = %d, want 2", ex.DegradeLevel)
+	}
+
+	// A terminal rejection from a degraded server: the TerminalError
+	// carries the level too.
+	sc2 := &script{steps: []step{
+		{status: 504, body: `{"error":"abandoned","kind":"deadline","degrade_level":1,"elapsed_ms":3}`},
+	}}
+	ts2 := httptest.NewServer(sc2.handler(t))
+	defer ts2.Close()
+	_, err = newClient(ts2, nil).Optimize(context.Background(), Request{Program: "p"})
+	var term *TerminalError
+	if !errors.As(err, &term) {
+		t.Fatalf("error %v is not terminal", err)
+	}
+	if term.DegradeLevel != 1 {
+		t.Errorf("TerminalError.DegradeLevel = %d, want 1", term.DegradeLevel)
+	}
+
+	// A transport-level exhaustion has no server hint to carry: the
+	// fields stay zero rather than inventing one.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	cDead := &Client{BaseURL: deadURL, MaxAttempts: 2, Budget: time.Minute,
+		sleep: func(ctx context.Context, d time.Duration) error { return ctx.Err() }}
+	_, err = cDead.Optimize(context.Background(), Request{Program: "p"})
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if ex.RetryAfter != 0 || ex.DegradeLevel != 0 {
+		t.Errorf("transport exhaustion invented hints: %+v", ex)
+	}
+}
+
 func TestAttemptCap(t *testing.T) {
 	sc := &script{steps: []step{{status: 429, retryAfter: "1"}}} // repeats forever
 	ts := httptest.NewServer(sc.handler(t))

@@ -1,0 +1,69 @@
+package lcmserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lazycm/internal/overload"
+)
+
+func getReadyz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestReadyz: the readiness probe is 200 on a healthy server, 503 at
+// degrade level 3 (all new work shedding), 200 again once the ladder
+// recovers, and 503 while draining — and its tiny body always carries
+// the degrade level so a gateway can bias routing without a full
+// healthz parse.
+func TestReadyz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	code, body := getReadyz(t, ts)
+	if code != http.StatusOK || body["ready"] != true {
+		t.Fatalf("healthy server not ready: %d %v", code, body)
+	}
+	if body["degrade_level"] != float64(0) {
+		t.Fatalf("healthy server reports degrade level %v", body["degrade_level"])
+	}
+
+	// Saturated samples walk the ladder to level 3 (one level per UpAfter
+	// observations); the probe's own idle sample starts a down-streak but
+	// cannot descend on its own.
+	for i := 0; i < 8; i++ {
+		s.ladder.Observe(overload.Sample{QueueFrac: 1})
+	}
+	code, body = getReadyz(t, ts)
+	if code != http.StatusServiceUnavailable || body["ready"] != false {
+		t.Fatalf("level-3 server still ready: %d %v", code, body)
+	}
+	if body["degrade_level"] != float64(3) {
+		t.Fatalf("level-3 server reports degrade level %v", body["degrade_level"])
+	}
+
+	// Idle samples recover the ladder; readiness returns with it.
+	for i := 0; i < 16; i++ {
+		s.ladder.Observe(overload.Sample{})
+	}
+	if code, body = getReadyz(t, ts); code != http.StatusOK {
+		t.Fatalf("recovered server not ready: %d %v", code, body)
+	}
+
+	s.BeginDrain()
+	code, body = getReadyz(t, ts)
+	if code != http.StatusServiceUnavailable || body["draining"] != true {
+		t.Fatalf("draining server still ready: %d %v", code, body)
+	}
+}

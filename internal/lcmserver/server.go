@@ -1,4 +1,12 @@
-package main
+// Package lcmserver is the resilient optimization service behind
+// cmd/lcmd: a bounded worker pool with admission control over the
+// hardened pass pipeline, a degradation ladder, a content-addressed
+// result cache, and quarantine capture of faulting inputs. It lives as
+// a library (rather than inside package main) so a fleet of servers can
+// be embedded in-process — cmd/lcmgate's fleet soak runs N real
+// backends this way and audits their accounting after backend-level
+// chaos.
+package lcmserver
 
 import (
 	"context"
@@ -183,13 +191,14 @@ func NewServer(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP surface: POST /optimize, POST /optimize/batch
-// and GET /healthz.
+// Handler returns the HTTP surface: POST /optimize, POST /optimize/batch,
+// GET /healthz and GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /optimize/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -515,6 +524,69 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"latency_ewma_ms":     s.gauge.EWMA().Milliseconds(),
 		"quarantine_writable": s.quarantineWritable(),
 	})
+}
+
+// handleReadyz is the cheap readiness probe: 503 while draining or
+// while the degradation ladder is shedding all new work (level 3), 200
+// otherwise. A gateway polls this instead of parsing the full healthz
+// body; the tiny JSON payload still carries the degrade level so the
+// poller can bias routing away from a degraded-but-alive backend
+// without a second request.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// Like healthz, a readiness probe is also a pressure sample: frequent
+	// polling keeps the ladder descending after a burst.
+	lvl := s.observe()
+	ready := !s.draining.Load() && lvl < overload.LevelShed
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":         ready,
+		"draining":      s.draining.Load(),
+		"degrade_level": int(lvl),
+	})
+}
+
+// Stats is a point-in-time snapshot of the server's accounting
+// counters, exported so an embedding test (the fleet soak) can audit
+// the single-node invariants — outcome buckets summing exactly to
+// admissions, the queue drained to zero — across every backend of a
+// fleet.
+type Stats struct {
+	Requests     int64
+	Optimized    int64
+	FellBack     int64
+	Canceled     int64
+	Invalid      int64
+	Shed         int64
+	Panics       int64
+	Quarantined  int64
+	CacheHits    int64
+	CacheMisses  int64
+	CacheCorrupt int64
+	Queued       int64
+	Inflight     int64
+}
+
+// Stats snapshots the accounting counters. The snapshot is not atomic
+// across counters; audit it only on a drained server.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		Optimized:    s.optimized.Load(),
+		FellBack:     s.fellBack.Load(),
+		Canceled:     s.canceled.Load(),
+		Invalid:      s.invalid.Load(),
+		Shed:         s.shed.Load(),
+		Panics:       s.panics.Load(),
+		Quarantined:  s.quarantined.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
+		CacheCorrupt: s.cacheCorrupt.Load(),
+		Queued:       s.queued.Load(),
+		Inflight:     s.inflight.Load(),
+	}
 }
 
 // quarantineWritable probes whether crasher capture can actually land on

@@ -302,6 +302,22 @@ func Seed(parts ...string) uint64 {
 	return h.Sum64()
 }
 
+// JitterFrac maps a deterministic seed onto [0, 1) through a
+// splitmix64-style finalizer: FNV output is well distributed but the
+// mix makes even near-identical seeds diverge across the whole band.
+// It is the one jitter primitive every layer shares — the server's
+// Retry-After, the gateway's shed hints (seeded with backend id +
+// request hash so replicas of the same shed request spread out), and
+// the client's backoff — so "deterministic per request, decorrelated
+// across requests" holds fleet-wide by construction.
+func JitterFrac(seed uint64) float64 {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>40) / float64(uint64(1)<<24)
+}
+
 // RetryAfter computes the backoff hint for a shed request: the base
 // grows with queue depth and ladder level (a deeper queue or a higher
 // rung means genuinely longer until capacity returns), and the
@@ -316,14 +332,7 @@ func RetryAfter(level Level, queueFrac float64, seed uint64) time.Duration {
 	base := MinRetryAfter +
 		time.Duration(queueFrac*float64(2*time.Second)) +
 		time.Duration(level)*750*time.Millisecond
-	// splitmix64-style finalizer: FNV output is well distributed but the
-	// mix makes even near-identical seeds diverge across the whole band.
-	z := seed + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	frac := float64(z>>40) / float64(uint64(1)<<24) // [0, 1)
-	d := time.Duration(float64(base) * (0.75 + frac/2))
+	d := time.Duration(float64(base) * (0.75 + JitterFrac(seed)/2))
 	if d < MinRetryAfter {
 		d = MinRetryAfter
 	}
