@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-json serve triage chaos fleet
+.PHONY: check build vet test race fuzz bench bench-json serve triage chaos fleet restart-smoke
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -57,6 +57,20 @@ fleet:
 	mkdir -p _quarantine/fleet
 	LCMGATE_SOAK_LOG=$(CURDIR)/_quarantine/fleet/gateway.log \
 		$(GO) test -race -run 'TestFleet' -count=1 -v ./cmd/lcmgate/
+
+# Crash-restart soak under the race detector (-short windows): three
+# lcmd backends with durable caches behind the gateway while one backend
+# is killed and revived twice — the second time over a deliberately
+# bit-flipped cache directory. Asserts disk-served answers byte-identical
+# to computed ones, corruption counted and never served, exact
+# per-generation accounting across revivals, and breaker-driven
+# re-routing while the node is down. The cache directories and routing
+# log land in _cache/restart for inspection.
+restart-smoke:
+	mkdir -p _cache/restart
+	LCM_RESTART_CACHE=$(CURDIR)/_cache/restart \
+	LCMGATE_SOAK_LOG=$(CURDIR)/_cache/restart/gateway.log \
+		$(GO) test -race -short -run 'TestFleetWarmRestart' -count=1 -v ./cmd/lcmgate/
 
 # Corpus hygiene gate: every crasher in testdata/crashers must be
 # minimal, signatures must be unique, and recorded sidecars must match

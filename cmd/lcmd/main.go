@@ -28,6 +28,15 @@
 //	-cache N         result-cache capacity in entries: identical
 //	                 (program, directives) requests replay their clean
 //	                 outcome (default 128; negative disables)
+//	-cache-dir DIR   durable cache directory: clean outcomes are written
+//	                 through to disk (hash-verified on read) and reloaded
+//	                 on restart, so a rebooted server keeps its warmth
+//	                 ("" disables)
+//	-cache-bytes N   byte budget for -cache-dir, LRU-evicted (default 64MiB)
+//	-peers LIST      comma-separated base URLs of fleet peers; a local
+//	                 cache miss asks the key's ring-owner neighbors before
+//	                 computing — strictly fail-open ("" disables)
+//	-peer-timeout D  per-peer budget for one cache fetch (default 150ms)
 //	-verify          re-check every pass output on random interpreted runs
 //	-quarantine DIR  capture inputs that fault or fall back as .ir seeds
 //	                 ("" disables; default testdata/crashers)
@@ -69,6 +78,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +86,18 @@ import (
 	"lazycm/internal/lcmserver"
 	"lazycm/internal/triage"
 )
+
+// splitPeers turns the -peers flag's comma-separated list into the
+// config slice, dropping empty segments.
+func splitPeers(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	fs := flag.NewFlagSet("lcmd", flag.ExitOnError)
@@ -87,6 +109,10 @@ func main() {
 	fuel := fs.Int("fuel", 0, "default node-visit budget per fixpoint (0 = unlimited)")
 	batchParallel := fs.Int("batch-parallel", 0, "concurrent dispatch lanes per batch request (0 = workers)")
 	cacheSize := fs.Int("cache", 0, "result-cache capacity in entries (0 = default, negative disables)")
+	cacheDir := fs.String("cache-dir", "", "durable cache directory (\"\" disables)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "byte budget for -cache-dir (0 = 64MiB)")
+	peers := fs.String("peers", "", "comma-separated fleet peer base URLs for cache fill (\"\" disables)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-peer budget for one cache fetch (0 = 150ms)")
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
 	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
@@ -130,6 +156,10 @@ func main() {
 		Quarantine:    *quarantine,
 		BatchParallel: *batchParallel,
 		CacheSize:     *cacheSize,
+		CacheDir:      *cacheDir,
+		CacheBytes:    *cacheBytes,
+		Peers:         splitPeers(*peers),
+		PeerTimeout:   *peerTimeout,
 		DegradedFuel:  *degradedFuel,
 		TargetLatency: *targetLatency,
 		Chaos:         injector,

@@ -101,6 +101,10 @@ type backend struct {
 	probes    atomic.Int64 // health probes sent
 	ready     atomic.Bool
 	degrade   atomic.Int32 // degrade_level from the last readiness probe
+
+	// gone closes when the backend leaves the fleet, stopping its
+	// health loop without touching the gateway-wide stop channel.
+	gone chan struct{}
 }
 
 // Gateway consistent-hashes optimization requests across a fleet of
@@ -112,13 +116,24 @@ type backend struct {
 // can serve, the client gets the same explicit 503 + Retry-After
 // contract a single node would give it.
 type Gateway struct {
-	cfg      Config
+	cfg    Config
+	client *http.Client
+	logger *log.Logger
+	start  time.Time
+
+	// mu guards the membership view: ring, backends, ids, draining.
+	// Reload swaps members under the write lock; every routing decision
+	// snapshots under the read lock, so a reload mid-request can at
+	// worst make one failover attempt find its backend gone — never a
+	// torn view, never a hang.
+	mu       sync.RWMutex
 	ring     *fleet.Ring
 	backends map[string]*backend
 	ids      []string // sorted, for stable reporting
-	client   *http.Client
-	logger   *log.Logger
-	start    time.Time
+	// draining holds removed backends still finishing in-flight work.
+	// They receive no new placements (they left the ring and the map)
+	// and are reaped once their inflight gauge touches zero.
+	draining map[string]*backend
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -130,6 +145,7 @@ type Gateway struct {
 	dedupeJoins   atomic.Int64 // requests served by joining an identical in-flight one
 	failovers     atomic.Int64 // failed attempts that moved on to another replica
 	shed          atomic.Int64 // gateway-generated 503s (no backend could serve)
+	reloads       atomic.Int64 // membership reloads applied
 	totalInflight atomic.Int64
 	lastRetryMS   atomic.Int64
 }
@@ -160,6 +176,7 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		cfg:      cfg,
 		ring:     fleet.NewRing(cfg.Vnodes),
 		backends: make(map[string]*backend, len(cfg.Backends)),
+		draining: make(map[string]*backend),
 		client:   &http.Client{Transport: cfg.Transport},
 		start:    time.Now(),
 		stop:     make(chan struct{}),
@@ -172,20 +189,119 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		if _, dup := g.backends[id]; dup {
 			return nil, fmt.Errorf("lcmgate: duplicate backend %q", id)
 		}
-		b := &backend{id: id, breaker: fleet.NewBreaker(cfg.Breaker)}
-		b.ready.Store(true) // optimistic until the first probe says otherwise
-		g.backends[id] = b
-		g.ring.Add(id)
-		g.ids = append(g.ids, id)
-	}
-	sort.Strings(g.ids)
-	if cfg.HealthInterval > 0 {
-		for _, id := range g.ids {
-			g.wg.Add(1)
-			go g.healthLoop(g.backends[id])
-		}
+		g.admitLocked(id)
 	}
 	return g, nil
+}
+
+// admitLocked adds one backend to the live membership: fresh breaker
+// (no history carried over from any earlier life), optimistic readiness,
+// a ring slot, and its own health loop. Caller holds g.mu (or is the
+// constructor, before the gateway is shared).
+func (g *Gateway) admitLocked(id string) {
+	b := &backend{id: id, breaker: fleet.NewBreaker(g.cfg.Breaker), gone: make(chan struct{})}
+	b.ready.Store(true) // optimistic until the first probe says otherwise
+	g.backends[id] = b
+	g.ring.Add(id)
+	g.ids = append(g.ids, id)
+	sort.Strings(g.ids)
+	if g.cfg.HealthInterval > 0 {
+		g.wg.Add(1)
+		go g.healthLoop(b)
+	}
+}
+
+// Reload swaps the fleet membership to exactly backends, moving as few
+// keys as possible: surviving members keep their ring slots, breakers,
+// and counters untouched, so only ~1/N of placements move per change.
+// Removed backends stop receiving new work immediately but keep their
+// in-flight requests, which finish normally while the backend drains in
+// the background. Added backends start with a fresh breaker. Safe to
+// call at any time under live traffic.
+func (g *Gateway) Reload(backends []string) error {
+	next := make(map[string]bool, len(backends))
+	for _, id := range backends {
+		if id == "" {
+			continue
+		}
+		if next[id] {
+			return fmt.Errorf("lcmgate: duplicate backend %q", id)
+		}
+		next[id] = true
+	}
+	if len(next) == 0 {
+		return fmt.Errorf("lcmgate: reload to an empty fleet refused")
+	}
+
+	g.mu.Lock()
+	var added, removed []string
+	for id := range next {
+		if _, ok := g.backends[id]; !ok {
+			added = append(added, id)
+		}
+	}
+	for id := range g.backends {
+		if !next[id] {
+			removed = append(removed, id)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	for _, id := range removed {
+		b := g.backends[id]
+		close(b.gone)
+		delete(g.backends, id)
+		g.ring.Remove(id)
+		g.draining[id] = b
+		g.wg.Add(1)
+		go g.drain(b)
+	}
+	for _, id := range added {
+		// A backend re-added while its previous life is still draining
+		// gets a brand-new identity; the old struct finishes its
+		// in-flight work and is reaped independently.
+		g.admitLocked(id)
+	}
+	if len(removed) > 0 {
+		g.ids = g.ids[:0]
+		for id := range g.backends {
+			g.ids = append(g.ids, id)
+		}
+		sort.Strings(g.ids)
+	}
+	g.mu.Unlock()
+
+	g.reloads.Add(1)
+	g.logf("reload members=%d added=%v removed=%v", len(next), added, removed)
+	return nil
+}
+
+// drain waits for a removed backend's in-flight requests to finish,
+// then forgets it. Bounded by the end-to-end request budget (plus
+// slack): nothing can legitimately be in flight longer than that, so
+// the wait cannot leak even if a gauge were to misbehave.
+func (g *Gateway) drain(b *backend) {
+	defer g.wg.Done()
+	deadline := time.NewTimer(2 * g.cfg.Timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for b.inflight.Load() > 0 {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			g.logf("drain backend=%s abandoned inflight=%d", b.id, b.inflight.Load())
+			b.inflight.Store(0)
+		case <-g.stop:
+			return
+		}
+	}
+	g.mu.Lock()
+	if g.draining[b.id] == b {
+		delete(g.draining, b.id)
+	}
+	g.mu.Unlock()
+	g.logf("drain backend=%s complete", b.id)
 }
 
 // Close stops the health pollers. In-flight proxied requests are owned
@@ -203,7 +319,37 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("POST /optimize/batch", g.handleProxy)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("POST /admin/reload", g.handleReload)
 	return mux
+}
+
+// handleReload applies a membership change over HTTP: the same
+// operation the SIGHUP path performs, for orchestrators that prefer an
+// API to a signal. Body: {"backends": ["http://...", ...]}.
+func (g *Gateway) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Backends []string `json:"backends"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeGateJSON(w, http.StatusBadRequest, map[string]any{
+			"error": fmt.Sprintf("decoding reload request: %v", err), "kind": "parse",
+		})
+		return
+	}
+	if err := g.Reload(req.Backends); err != nil {
+		writeGateJSON(w, http.StatusBadRequest, map[string]any{
+			"error": err.Error(), "kind": "reload",
+		})
+		return
+	}
+	g.mu.RLock()
+	members := append([]string(nil), g.ids...)
+	g.mu.RUnlock()
+	writeGateJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"backends": members,
+		"reloads":  g.reloads.Load(),
+	})
 }
 
 func (g *Gateway) logf(format string, args ...any) {
@@ -292,24 +438,24 @@ func (g *Gateway) deduped(ctx context.Context, path string, body []byte, ringKey
 // rather than having the gateway guess. If nothing answers, the gateway
 // sheds with its own 503 + Retry-After.
 func (g *Gateway) route(ctx context.Context, path string, body []byte, key uint64) *proxyResult {
-	prefs := g.ring.Pick(key, g.ring.Len())
+	prefs, members := g.replicaOrder(key)
 	tried := make(map[string]bool, len(prefs))
 	lastFailure := "no backend attempted"
 	for pass := 0; pass < 2; pass++ {
-		for _, id := range prefs {
+		for _, b := range prefs {
+			id := b.id
 			if ctx.Err() != nil {
 				return g.shedResult(key, fmt.Sprintf("request budget exhausted during failover: %v", ctx.Err()))
 			}
 			if tried[id] {
 				continue
 			}
-			b := g.backends[id]
 			if pass == 0 {
 				if !b.ready.Load() || b.degrade.Load() >= int32(overload.LevelShed) {
 					g.logf("skip key=%016x backend=%s reason=not-ready degrade=%d", key, id, b.degrade.Load())
 					continue
 				}
-				if !fleet.WithinBound(b.inflight.Load(), g.totalInflight.Load(), len(g.backends), g.cfg.LoadFactor) {
+				if !fleet.WithinBound(b.inflight.Load(), g.totalInflight.Load(), members, g.cfg.LoadFactor) {
 					g.logf("skip key=%016x backend=%s reason=over-bound inflight=%d", key, id, b.inflight.Load())
 					continue
 				}
@@ -329,6 +475,24 @@ func (g *Gateway) route(ctx context.Context, path string, body []byte, key uint6
 		}
 	}
 	return g.shedResult(key, lastFailure)
+}
+
+// replicaOrder snapshots the ring's replica preference for key under the
+// membership lock: the routing loop then works on stable *backend
+// pointers, untouched by a concurrent Reload. A backend removed
+// mid-route still answers the attempt it was already given — exactly
+// the drain contract.
+func (g *Gateway) replicaOrder(key uint64) ([]*backend, int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ids := g.ring.Pick(key, g.ring.Len())
+	prefs := make([]*backend, 0, len(ids))
+	for _, id := range ids {
+		if b, ok := g.backends[id]; ok {
+			prefs = append(prefs, b)
+		}
+	}
+	return prefs, len(g.backends)
 }
 
 // attempt sends the request to one backend and classifies the outcome
@@ -392,6 +556,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, body []b
 // same hint.
 func (g *Gateway) shedResult(key uint64, reason string) *proxyResult {
 	g.shed.Add(1)
+	g.mu.RLock()
 	primary := g.ring.Owner(key)
 	openFrac := 0.0
 	for _, id := range g.ids {
@@ -399,6 +564,7 @@ func (g *Gateway) shedResult(key uint64, reason string) *proxyResult {
 			openFrac += 1.0 / float64(len(g.ids))
 		}
 	}
+	g.mu.RUnlock()
 	ms := overload.RetryAfter(overload.LevelShed, openFrac, overload.Seed(primary, fmt.Sprintf("%016x", key))).Milliseconds()
 	g.lastRetryMS.Store(ms)
 	g.logf("shed key=%016x retry_after_ms=%d reason=%q", key, ms, reason)
@@ -426,6 +592,8 @@ func (g *Gateway) healthLoop(b *backend) {
 	for {
 		select {
 		case <-g.stop:
+			return
+		case <-b.gone:
 			return
 		case <-t.C:
 			g.probe(b)
@@ -461,6 +629,7 @@ func (g *Gateway) probe(b *backend) {
 }
 
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g.mu.RLock()
 	bk := make(map[string]any, len(g.ids))
 	for _, id := range g.ids {
 		b := g.backends[id]
@@ -476,10 +645,19 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"probes":         b.probes.Load(),
 		}
 	}
+	draining := make([]string, 0, len(g.draining))
+	for id := range g.draining {
+		draining = append(draining, id)
+	}
+	g.mu.RUnlock()
+	sort.Strings(draining)
 	writeGateJSON(w, http.StatusOK, map[string]any{
 		"status":              "ok",
+		"start_time":          g.start.UTC().Format(time.RFC3339Nano),
 		"uptime_ms":           time.Since(g.start).Milliseconds(),
 		"backends":            bk,
+		"draining":            draining,
+		"reloads":             g.reloads.Load(),
 		"received":            g.received.Load(),
 		"dedupe_joins":        g.dedupeJoins.Load(),
 		"failovers":           g.failovers.Load(),
@@ -492,12 +670,14 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz: the gateway is ready while at least one backend's
 // breaker would admit traffic (closed or probing half-open).
 func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	available := 0
+	g.mu.RLock()
+	available, total := 0, len(g.ids)
 	for _, id := range g.ids {
 		if g.backends[id].breaker.State() != fleet.BreakerOpen {
 			available++
 		}
 	}
+	g.mu.RUnlock()
 	code := http.StatusOK
 	if available == 0 {
 		code = http.StatusServiceUnavailable
@@ -505,7 +685,7 @@ func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeGateJSON(w, code, map[string]any{
 		"ready":              available > 0,
 		"backends_available": available,
-		"backends_total":     len(g.ids),
+		"backends_total":     total,
 	})
 }
 

@@ -10,6 +10,13 @@
 //	POST /optimize/batch  — same routing, batch payloads
 //	GET  /healthz         — gateway + per-backend routing statistics
 //	GET  /readyz          — 200 while at least one backend is admittable
+//	POST /admin/reload    — swap the backend set: {"backends": [...]}
+//
+// Membership is live: -backends-file names a file with one backend URL
+// per line (# comments allowed); SIGHUP re-reads it and applies the
+// change with minimal ring movement — surviving backends keep their
+// placements and breaker history, removed ones drain their in-flight
+// work, added ones start fresh. /admin/reload does the same over HTTP.
 //
 // Routing cannot change results: every backend computes byte-identical
 // output for the same request (see DESIGN.md §8), so failover and
@@ -34,7 +41,8 @@ import (
 func main() {
 	var (
 		addr           = flag.String("addr", ":8656", "listen address")
-		backends       = flag.String("backends", "", "comma-separated lcmd base URLs (required)")
+		backends       = flag.String("backends", "", "comma-separated lcmd base URLs (required unless -backends-file)")
+		backendsFile   = flag.String("backends-file", "", "file with one backend URL per line; SIGHUP re-reads it")
 		attemptTimeout = flag.Duration("attempt-timeout", DefaultAttemptTimeout, "per-backend attempt budget")
 		timeout        = flag.Duration("timeout", DefaultTimeout, "end-to-end budget per proxied request")
 		healthInterval = flag.Duration("health-interval", DefaultHealthInterval, "per-backend /readyz polling period")
@@ -48,8 +56,15 @@ func main() {
 	flag.Parse()
 
 	ids := splitBackends(*backends)
+	if *backendsFile != "" {
+		fileIDs, err := readBackendsFile(*backendsFile)
+		if err != nil {
+			log.Fatalf("lcmgate: %v", err)
+		}
+		ids = append(ids, fileIDs...)
+	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "lcmgate: -backends is required (comma-separated lcmd base URLs)")
+		fmt.Fprintln(os.Stderr, "lcmgate: -backends or -backends-file is required (lcmd base URLs)")
 		os.Exit(2)
 	}
 
@@ -90,6 +105,27 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("lcmgate listening on %s, routing across %d backends", *addr, len(ids))
 
+	// SIGHUP re-reads -backends-file and applies the membership change
+	// without dropping a request; without the flag it is ignored.
+	if *backendsFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				next, err := readBackendsFile(*backendsFile)
+				if err != nil {
+					log.Printf("lcmgate: SIGHUP: %v (membership unchanged)", err)
+					continue
+				}
+				if err := gw.Reload(next); err != nil {
+					log.Printf("lcmgate: SIGHUP: %v (membership unchanged)", err)
+					continue
+				}
+				log.Printf("lcmgate: SIGHUP: membership reloaded, %d backends", len(next))
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -105,6 +141,24 @@ func main() {
 		log.Printf("lcmgate: shutdown: %v", err)
 	}
 	gw.Close()
+}
+
+// readBackendsFile parses a membership file: one backend URL per line,
+// blank lines and #-comments ignored.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading backends file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, strings.TrimRight(line, "/"))
+	}
+	return out, nil
 }
 
 // splitBackends parses the -backends flag, trimming whitespace and

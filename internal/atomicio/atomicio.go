@@ -1,0 +1,115 @@
+// Package atomicio holds the crash-atomic file primitives shared by
+// every subsystem that persists state a killed process must never leave
+// half-written: the disk cache tier (internal/cachestore), quarantine
+// capture (internal/lcmserver), and triage promotion (internal/triage).
+// Both primitives follow the same discipline — write the full content
+// to a uniquely named *.tmp sibling, fsync it, then publish with one
+// atomic link/rename — so a crash at any instant leaves either the old
+// file, the new file, or an ignorable *.tmp leftover, never a partial
+// target.
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// TmpSuffix is the extension every in-progress write carries. Scanners
+// of durable directories must ignore it, and sweepers (SweepTmp) may
+// delete any leftover bearing it: a *.tmp file is by construction
+// either mid-write or abandoned by a crash.
+const TmpSuffix = ".tmp"
+
+// WriteFile atomically replaces path with data: tmp sibling, fsync,
+// rename. Like os.WriteFile, but a process killed mid-call can never
+// leave a truncated or interleaved path behind.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp, err := writeTmp(path, data, perm)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// CreateExclusive atomically creates path with data, failing with
+// os.ErrExist when path already exists. The exclusivity check and the
+// publication are one os.Link call, so two concurrent writers of the
+// same path produce exactly one file and exactly one winner — the
+// crash-safe replacement for O_CREATE|O_EXCL followed by writes.
+func CreateExclusive(path string, data []byte, perm os.FileMode) error {
+	tmp, err := writeTmp(path, data, perm)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, path); err != nil {
+		if os.IsExist(err) {
+			return os.ErrExist
+		}
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// SweepTmp removes every *.tmp leftover in dir — writes abandoned by a
+// crash. Callers run it on startup, before trusting the directory's
+// contents. Missing directories and individual remove failures are
+// ignored: sweeping is hygiene, never load-bearing.
+func SweepTmp(dir string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+TmpSuffix))
+	if err != nil {
+		return
+	}
+	for _, p := range paths {
+		os.Remove(p)
+	}
+}
+
+// writeTmp writes data to a unique tmp sibling of path and fsyncs it.
+func writeTmp(path string, data []byte, perm os.FileMode) (string, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+"-*"+TmpSuffix)
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	err = firstErr(werr, serr, cerr, os.Chmod(tmp, perm))
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return tmp, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename/link that just published a
+// file is itself durable. Best-effort: some filesystems refuse directory
+// fsync, and the publication is already atomic without it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,79 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("v2"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("content = %q, want v2", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Errorf("perm = %v, want 0600", info.Mode().Perm())
+	}
+	// No tmp leftovers once the write published.
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*"+TmpSuffix))
+	if len(leftovers) != 0 {
+		t.Errorf("tmp leftovers after successful write: %v", leftovers)
+	}
+}
+
+func TestCreateExclusive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash-abc.ir")
+	if err := CreateExclusive(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := CreateExclusive(path, []byte("second"), 0o644)
+	if !os.IsExist(err) {
+		t.Fatalf("second create: err = %v, want ErrExist", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "first" {
+		t.Fatalf("loser overwrote the file: %q", got)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*"+TmpSuffix))
+	if len(leftovers) != 0 {
+		t.Errorf("tmp leftovers: %v", leftovers)
+	}
+}
+
+func TestSweepTmp(t *testing.T) {
+	dir := t.TempDir()
+	// A crash mid-write leaves a partial tmp; a published file must
+	// survive the sweep.
+	tmp := filepath.Join(dir, "crash-dead.ir-123"+TmpSuffix)
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "crash-live.ir")
+	if err := os.WriteFile(keep, []byte("whole"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	SweepTmp(dir)
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("stale tmp survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Errorf("published file swept: %v", err)
+	}
+	SweepTmp(filepath.Join(dir, "missing")) // no panic on absent dirs
+}

@@ -1,0 +1,283 @@
+// Package cachestore is the durable tier of the content-addressed
+// result cache: a directory of self-verifying entry files, bounded by
+// bytes with LRU eviction, that a restarted server re-indexes on boot
+// so its warm state survives the process.
+//
+// The store is only ever an accelerator, never an authority. LCM makes
+// every result a pure function of its cache key (program + directives),
+// which is what licenses persisting and sharing results at all — but
+// only as long as a stored entry provably is what was computed. So
+// every entry embeds its own key and a sha256 of its payload, both
+// re-verified on every read (disk reads here, peer fetches in
+// internal/lcmclient); anything truncated, bit-flipped, or misfiled
+// decodes as a miss, is unlinked, and is counted — never served. Writes
+// are crash-atomic (tmp + fsync + rename via internal/atomicio), so a
+// process killed mid-write leaves the previous entry or an ignorable
+// *.tmp, never a torn file.
+package cachestore
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lazycm/internal/atomicio"
+)
+
+// magic versions the entry encoding; bump it and old entries simply
+// miss (and are dropped as corrupt) instead of being misread.
+const magic = "lcmcache1"
+
+// entrySuffix names entry files: <key>.ce under the store directory.
+const entrySuffix = ".ce"
+
+// DefaultMaxBytes bounds the store when Open is given no budget.
+const DefaultMaxBytes = 64 << 20
+
+// ValidKey reports whether key is safe as both an entry filename and a
+// URL path element: lowercase-hex, long enough to be a real digest.
+// Cache keys are hex sha256 strings; anything else is rejected before
+// it can touch the filesystem.
+func ValidKey(key string) bool {
+	if len(key) < 16 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Encode wraps payload in the self-verifying entry format: one header
+// line binding the entry to its key, its payload hash, and its exact
+// length, then the payload bytes. The same bytes travel to disk and
+// over peer-fill HTTP, so both paths share one Decode and one set of
+// integrity guarantees.
+func Encode(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %s %d\n", magic, key, hex.EncodeToString(sum[:]), len(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// Decode verifies an encoded entry against the key the caller asked
+// for and returns its payload. Every failure mode — wrong magic, a
+// different key's entry, truncation, trailing garbage, payload bytes
+// that no longer hash to the recorded sum — is an error; callers treat
+// any error as a cache miss.
+func Decode(key string, data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("cachestore: truncated header")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 4 || fields[0] != magic {
+		return nil, fmt.Errorf("cachestore: malformed header")
+	}
+	if fields[1] != key {
+		return nil, fmt.Errorf("cachestore: entry is for key %s, not %s", fields[1], key)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("cachestore: malformed length")
+	}
+	payload := data[nl+1:]
+	if len(payload) != n {
+		return nil, fmt.Errorf("cachestore: payload is %d bytes, header says %d", len(payload), n)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[2] {
+		return nil, fmt.Errorf("cachestore: payload hash mismatch")
+	}
+	return payload, nil
+}
+
+// Store is the on-disk LRU. All methods are safe for concurrent use;
+// file I/O happens under the index lock, which is fine at cache-entry
+// sizes and keeps the index and the directory from disagreeing.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+
+	corrupt atomic.Int64 // entries dropped by integrity verification
+}
+
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// Open indexes dir as a store bounded by maxBytes (0 or negative means
+// DefaultMaxBytes), creating the directory if needed. Existing entries
+// are adopted in mtime order — the previous process's recency, near
+// enough — so a restarted server's first reads hit immediately; their
+// contents are not read here, because every Get re-verifies anyway.
+// Abandoned *.tmp files from a crashed writer are swept first.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	atomicio.SweepTmp(dir)
+	s := &Store{dir: dir, maxBytes: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element)}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type found struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var all []found
+	for _, e := range ents {
+		name := e.Name()
+		key, ok := strings.CutSuffix(name, entrySuffix)
+		if !ok || e.IsDir() || !ValidKey(key) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		all = append(all, found{key, info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].mtime < all[b].mtime })
+	for _, f := range all { // oldest first, so the newest ends up at the front
+		s.byKey[f.key] = s.ll.PushFront(&diskEntry{key: f.key, size: f.size})
+		s.bytes += f.size
+	}
+	s.evictLocked()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get reads and verifies the entry for key, marking it most recently
+// used. The third result reports that an entry existed but failed
+// verification — it has already been unlinked and counted, and must be
+// treated as a plain miss by the caller.
+func (s *Store) Get(key string) (payload []byte, ok, corrupt bool) {
+	if s == nil {
+		return nil, false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, found := s.byKey[key]
+	if !found {
+		return nil, false, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err == nil {
+		payload, err = Decode(key, data)
+	}
+	if err != nil {
+		// Corrupt, truncated, misfiled, or unreadable: drop it so it can
+		// never be served, and surface the drop to the caller's counters.
+		s.dropLocked(el)
+		s.corrupt.Add(1)
+		return nil, false, true
+	}
+	s.ll.MoveToFront(el)
+	return payload, true, false
+}
+
+// Put durably stores payload under key, evicting least recently used
+// entries past the byte budget. A payload that alone exceeds the budget
+// is skipped: the store bounds disk, it does not promise admission.
+func (s *Store) Put(key string, payload []byte) error {
+	if s == nil || !ValidKey(key) {
+		return nil
+	}
+	data := Encode(key, payload)
+	size := int64(len(data))
+	if size > s.maxBytes {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := atomicio.WriteFile(s.path(key), data, 0o644); err != nil {
+		return err
+	}
+	if el, ok := s.byKey[key]; ok {
+		ent := el.Value.(*diskEntry)
+		s.bytes += size - ent.size
+		ent.size = size
+		s.ll.MoveToFront(el)
+	} else {
+		s.byKey[key] = s.ll.PushFront(&diskEntry{key: key, size: size})
+		s.bytes += size
+	}
+	s.evictLocked()
+	return nil
+}
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Bytes reports the indexed entry bytes on disk.
+func (s *Store) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// CorruptDropped reports how many entries verification has dropped.
+func (s *Store) CorruptDropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.corrupt.Load()
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+entrySuffix)
+}
+
+// dropLocked unlinks one entry and removes it from the index.
+func (s *Store) dropLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
+	os.Remove(s.path(ent.key))
+	s.ll.Remove(el)
+	delete(s.byKey, ent.key)
+	s.bytes -= ent.size
+}
+
+// evictLocked unlinks least recently used entries until the byte budget
+// holds.
+func (s *Store) evictLocked() {
+	for s.bytes > s.maxBytes && s.ll.Len() > 0 {
+		s.dropLocked(s.ll.Back())
+	}
+}

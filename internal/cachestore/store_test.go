@@ -1,0 +1,286 @@
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func keyFor(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	key := keyFor("k")
+	payload := []byte(`{"program":"func f() { ret }\n"}`)
+	got, err := Decode(key, Encode(key, payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("round trip = %q, want %q", got, payload)
+	}
+}
+
+// TestDecodeRejectsEveryTamper: each way an entry can rot — truncation,
+// a flipped payload bit, a flipped hash character, an entry filed under
+// another key, trailing garbage, the wrong magic — must decode as an
+// error, never as a payload.
+func TestDecodeRejectsEveryTamper(t *testing.T) {
+	key := keyFor("k")
+	payload := []byte("the payload bytes")
+	good := Encode(key, payload)
+	cases := map[string][]byte{
+		"empty":        {},
+		"header-only":  good[:10],
+		"truncated":    good[:len(good)-3],
+		"extended":     append(append([]byte{}, good...), 'x'),
+		"bit-flip":     flipByte(good, len(good)-1),
+		"header-flip":  flipByte(good, len(magic)+2+len(key)+4),
+		"wrong-magic":  append([]byte("xx"), good...),
+		"other-key":    Encode(keyFor("other"), payload),
+		"length-lies":  []byte(magic + " " + key + " " + hex.EncodeToString(sumOf(payload)) + " 3\n" + string(payload)),
+		"bad-length":   []byte(magic + " " + key + " " + hex.EncodeToString(sumOf(payload)) + " nope\n" + string(payload)),
+		"short-header": []byte(magic + " " + key + "\n" + string(payload)),
+	}
+	for name, data := range cases {
+		if _, err := Decode(key, data); err == nil {
+			t.Errorf("%s: Decode accepted tampered entry", name)
+		}
+	}
+}
+
+func sumOf(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}
+
+func TestValidKey(t *testing.T) {
+	if !ValidKey(keyFor("x")) {
+		t.Error("rejected a real sha256 hex key")
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), "../../../../etc/passwd", strings.Repeat("a", 200), "ABCDEF0123456789"} {
+		if ValidKey(bad) {
+			t.Errorf("accepted invalid key %q", bad)
+		}
+	}
+}
+
+func TestStorePutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	key := keyFor("p1")
+	payload := []byte("result bytes")
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, corrupt := s.Get(key)
+	if !ok || corrupt || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v, %v", got, ok, corrupt)
+	}
+	if s.Len() != 1 || s.Bytes() <= int64(len(payload)) {
+		t.Errorf("Len=%d Bytes=%d after one put", s.Len(), s.Bytes())
+	}
+	if _, ok, _ := s.Get(keyFor("absent")); ok {
+		t.Error("hit for a key never stored")
+	}
+}
+
+// TestStoreWarmStart: a second Open over the same directory serves the
+// first process's entries — the restart story the whole tier exists for.
+func TestStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, 1<<20)
+	for i := 0; i < 5; i++ {
+		if err := s1.Put(keyFor(fmt.Sprint(i)), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crashed writer's leftover: must be swept, not indexed.
+	if err := os.WriteFile(filepath.Join(dir, "junk-1.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 1<<20)
+	if s2.Len() != 5 {
+		t.Fatalf("warm start indexed %d entries, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		got, ok, corrupt := s2.Get(keyFor(fmt.Sprint(i)))
+		if !ok || corrupt || string(got) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("entry %d after restart: %q, %v, %v", i, got, ok, corrupt)
+		}
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(left) != 0 {
+		t.Errorf("tmp leftovers survived Open: %v", left)
+	}
+}
+
+// TestStoreCorruptEntryDroppedNotServed: a bit-flipped entry and a
+// truncated entry both read as misses, are unlinked so they cannot
+// return, and are counted.
+func TestStoreCorruptEntryDroppedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	kFlip, kTrunc := keyFor("flip"), keyFor("trunc")
+	for _, k := range []string{kFlip, kTrunc} {
+		if err := s.Put(k, []byte("precious result")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot both on disk behind the store's back.
+	flipOnDisk(t, filepath.Join(dir, kFlip+entrySuffix))
+	truncOnDisk(t, filepath.Join(dir, kTrunc+entrySuffix))
+
+	for _, k := range []string{kFlip, kTrunc} {
+		if payload, ok, corrupt := s.Get(k); ok || !corrupt {
+			t.Fatalf("corrupt entry served: %q, ok=%v corrupt=%v", payload, ok, corrupt)
+		}
+		if _, err := os.Stat(filepath.Join(dir, k+entrySuffix)); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %s not unlinked", k)
+		}
+		// Dropped means gone: the next read is a plain miss, not corrupt again.
+		if _, ok, corrupt := s.Get(k); ok || corrupt {
+			t.Errorf("dropped entry %s resurfaced: ok=%v corrupt=%v", k, ok, corrupt)
+		}
+	}
+	if got := s.CorruptDropped(); got != 2 {
+		t.Errorf("CorruptDropped = %d, want 2", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after dropping everything", s.Len())
+	}
+}
+
+func flipOnDisk(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func truncOnDisk(t *testing.T, path string) {
+	t.Helper()
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreLRUEviction: the byte budget holds by unlinking least
+// recently used entries; touching an entry protects it.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("x", 100))
+	one := int64(len(Encode(keyFor("size"), payload)))
+	s := mustOpen(t, dir, 3*one)
+	keys := make([]string, 4)
+	for i := range keys {
+		keys[i] = keyFor(fmt.Sprint(i))
+	}
+	for _, k := range keys[:3] {
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest so it is no longer the eviction victim.
+	if _, ok, _ := s.Get(keys[0]); !ok {
+		t.Fatal("lost an entry within budget")
+	}
+	if err := s.Put(keys[3], payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Bytes() > 3*one {
+		t.Fatalf("Len=%d Bytes=%d after eviction, want 3 entries within %d bytes", s.Len(), s.Bytes(), 3*one)
+	}
+	if _, ok, _ := s.Get(keys[1]); ok {
+		t.Error("LRU victim survived")
+	}
+	for _, k := range []string{keys[0], keys[2], keys[3]} {
+		if _, ok, _ := s.Get(k); !ok {
+			t.Errorf("recently used entry %s evicted", k)
+		}
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*"+entrySuffix)); len(files) != 3 {
+		t.Errorf("%d entry files on disk, want 3", len(files))
+	}
+
+	// Oversized payloads are skipped, not admitted-then-thrashed.
+	if err := s.Put(keyFor("huge"), []byte(strings.Repeat("y", 4*100+200))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(keyFor("huge")); ok {
+		t.Error("over-budget payload admitted")
+	}
+}
+
+// TestStoreWarmStartRespectsBudgetAndRecency: reopening under a smaller
+// budget evicts the stalest entries, and the mtime order adopted at
+// Open matches the previous process's write order.
+func TestStoreWarmStartRespectsBudgetAndRecency(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte(strings.Repeat("z", 100))
+	one := int64(len(Encode(keyFor("size"), payload)))
+	s1 := mustOpen(t, dir, 10*one)
+	for i := 0; i < 4; i++ {
+		if err := s1.Put(keyFor(fmt.Sprint(i)), payload); err != nil {
+			t.Fatal(err)
+		}
+		// mtime granularity on some filesystems is coarse; space the
+		// writes out so recency ordering is observable.
+		time.Sleep(5 * time.Millisecond)
+	}
+	s2 := mustOpen(t, dir, 2*one)
+	if s2.Len() != 2 {
+		t.Fatalf("reopen under tight budget kept %d entries, want 2", s2.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := s2.Get(keyFor(fmt.Sprint(i))); ok {
+			t.Errorf("stale entry %d survived the reopen eviction", i)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if _, ok, corrupt := s2.Get(keyFor(fmt.Sprint(i))); !ok || corrupt {
+			t.Errorf("fresh entry %d lost in reopen: ok=%v corrupt=%v", i, ok, corrupt)
+		}
+	}
+}
+
+// TestStoreNilIsAlwaysMiss: like the in-memory cache, a nil *Store is a
+// valid always-miss tier.
+func TestStoreNilIsAlwaysMiss(t *testing.T) {
+	var s *Store
+	if _, ok, corrupt := s.Get(keyFor("k")); ok || corrupt {
+		t.Error("nil store produced a hit")
+	}
+	if err := s.Put(keyFor("k"), []byte("x")); err != nil {
+		t.Error(err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 || s.CorruptDropped() != 0 {
+		t.Error("nil store reported non-zero gauges")
+	}
+}

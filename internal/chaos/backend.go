@@ -52,7 +52,7 @@ func (m BackendMode) String() string {
 // which is what makes a gateway's breaker see what a real outage looks
 // like. Test-only, like the Injector.
 type Backend struct {
-	next  http.Handler
+	next  atomic.Value // http.Handler; swappable for restart simulation
 	mode  atomic.Int32
 	stall atomic.Int64 // nanoseconds, for BackendStalled
 
@@ -61,11 +61,51 @@ type Backend struct {
 	Dropped     atomic.Int64 // connections killed without a response
 	Blackholed  atomic.Int64 // requests held until the caller gave up
 	StalledReqs atomic.Int64 // requests delayed then forwarded
+	Restarts    atomic.Int64 // kill-then-revive cycles completed
 }
 
 // NewBackend wraps next in a healthy proxy; flip faults on with SetMode.
+// next may be nil — the proxy then drops connections like a killed node
+// until SetHandler installs a real server, which lets a fixture allocate
+// its listener (and thus its URL) before the server that needs the URL
+// exists.
 func NewBackend(next http.Handler) *Backend {
-	return &Backend{next: next}
+	b := &Backend{}
+	if next != nil {
+		b.next.Store(next)
+	}
+	return b
+}
+
+// SetHandler atomically swaps the wrapped server — the revive half of a
+// crash-restart: the "process" behind this node's address is replaced
+// while the address (and whatever gateway state points at it) stays.
+// Requests already executing finish against the handler they started on.
+func (b *Backend) SetHandler(next http.Handler) {
+	b.next.Store(next)
+}
+
+// handler returns the currently wrapped server, or nil before the first
+// SetHandler.
+func (b *Backend) handler() http.Handler {
+	h, _ := b.next.Load().(http.Handler)
+	return h
+}
+
+// Restart simulates a crash-restart: the node drops every connection for
+// downFor, then revive builds its next life (typically a fresh server
+// over the same durable state) and the node comes back healthy. revive
+// runs once, off the caller's goroutine, just before the node heals; a
+// nil handler from revive leaves the node serving its previous one.
+func (b *Backend) Restart(downFor time.Duration, revive func() http.Handler) {
+	b.SetMode(BackendKilled)
+	time.AfterFunc(downFor, func() {
+		if h := revive(); h != nil {
+			b.SetHandler(h)
+		}
+		b.Restarts.Add(1)
+		b.SetMode(BackendHealthy)
+	})
 }
 
 // SetMode switches the injected fault. Safe to call while requests are
@@ -110,9 +150,19 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			panic(http.ErrAbortHandler)
 		}
-		b.next.ServeHTTP(w, r)
+		b.forward(w, r)
 	default:
 		b.Passed.Add(1)
-		b.next.ServeHTTP(w, r)
+		b.forward(w, r)
 	}
+}
+
+func (b *Backend) forward(w http.ResponseWriter, r *http.Request) {
+	h := b.handler()
+	if h == nil {
+		// No server behind the proxy yet: indistinguishable from killed.
+		b.Dropped.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	h.ServeHTTP(w, r)
 }

@@ -94,3 +94,87 @@ func TestBackendModes(t *testing.T) {
 		t.Errorf("passed counter = %d, want 2", b.Passed.Load())
 	}
 }
+
+// TestBackendRestart: the kill-then-revive fault drops connections for
+// the down window, then runs the revive hook exactly once and serves
+// from whatever handler it built — the same address, a new "process".
+func TestBackendRestart(t *testing.T) {
+	gen1 := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "gen1")
+	})
+	b := NewBackend(gen1)
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	get := func() (string, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), nil
+	}
+
+	if body, err := get(); err != nil || body != "gen1" {
+		t.Fatalf("before restart: body=%q err=%v", body, err)
+	}
+
+	b.Restart(80*time.Millisecond, func() http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "gen2")
+		})
+	})
+	// Down window: the node is gone, not erroring politely.
+	if body, err := get(); err == nil {
+		t.Fatalf("restarting node answered %q, want a dropped connection", body)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if body, err := get(); err == nil {
+			if body != "gen2" {
+				t.Fatalf("revived node served %q, want the new generation", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node never revived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := b.Restarts.Load(); got != 1 {
+		t.Errorf("Restarts = %d, want 1", got)
+	}
+	if b.Mode() != BackendHealthy {
+		t.Errorf("mode after revive = %v, want healthy", b.Mode())
+	}
+}
+
+// TestBackendNilHandlerDropsUntilSet: a proxy built before its server
+// exists behaves like a killed node, then serves once the handler lands.
+func TestBackendNilHandlerDropsUntilSet(t *testing.T) {
+	b := NewBackend(nil)
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("handlerless proxy answered, want a dropped connection")
+	}
+	b.SetHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "late")
+	}))
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("after SetHandler: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "late" {
+		t.Fatalf("after SetHandler: %q", body)
+	}
+}

@@ -1,0 +1,63 @@
+package lcmclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lazycm/internal/cachestore"
+)
+
+// ErrCacheMiss reports that a peer answered authoritatively that it
+// does not hold the requested cache entry. It is the one "failure" of a
+// peer fetch that says the peer is healthy.
+var ErrCacheMiss = errors.New("lcmclient: peer cache miss")
+
+// maxCacheEntry bounds what a peer fetch will buffer; it matches the
+// server's own response ceiling.
+const maxCacheEntry = 8 << 20
+
+// FetchCacheEntry asks one fleet member for the content-addressed cache
+// entry under key (GET /cache/<key>) and returns its verified payload.
+// The wire format is cachestore's self-verifying encoding, and the
+// entry is re-verified here against the key the caller asked for — a
+// peer that answers with torn, truncated, or misfiled bytes produces an
+// error, never a payload. Callers are expected to be strictly
+// fail-open: any error from this function means "compute locally",
+// nothing more.
+func FetchCacheEntry(ctx context.Context, hc *http.Client, baseURL, key string) ([]byte, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if !cachestore.ValidKey(key) {
+		return nil, fmt.Errorf("lcmclient: invalid cache key %q", key)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/cache/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, ErrCacheMiss
+	default:
+		return nil, fmt.Errorf("lcmclient: peer cache answered %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheEntry))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := cachestore.Decode(key, data)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

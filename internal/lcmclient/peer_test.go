@@ -1,0 +1,92 @@
+package lcmclient
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazycm/internal/cachestore"
+)
+
+func peerKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// TestFetchCacheEntryVerifies: only a wire entry that passes the full
+// integrity check for the requested key comes back as a payload; a peer
+// answering with garbage, a misfiled entry, or an error status produces
+// an error, and an authoritative 404 is ErrCacheMiss.
+func TestFetchCacheEntryVerifies(t *testing.T) {
+	key := peerKey("the program")
+	payload := []byte(`{"program":"func f() { ret }"}`)
+	answers := map[string]func(w http.ResponseWriter){
+		"/good":     func(w http.ResponseWriter) { w.Write(cachestore.Encode(key, payload)) },
+		"/garbage":  func(w http.ResponseWriter) { w.Write([]byte("lcmcache1 nonsense")) },
+		"/misfiled": func(w http.ResponseWriter) { w.Write(cachestore.Encode(peerKey("other"), payload)) },
+		"/missing":  func(w http.ResponseWriter) { http.Error(w, "no", http.StatusNotFound) },
+		"/broken":   func(w http.ResponseWriter) { http.Error(w, "boom", http.StatusInternalServerError) },
+	}
+	var prefix atomic.Value
+	prefix.Store("/good")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		answers[prefix.Load().(string)](w)
+	}))
+	defer ts.Close()
+
+	got, err := FetchCacheEntry(context.Background(), ts.Client(), ts.URL, key)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("good entry: %q, %v", got, err)
+	}
+
+	for _, mode := range []string{"/garbage", "/misfiled", "/broken"} {
+		prefix.Store(mode)
+		if got, err := FetchCacheEntry(context.Background(), ts.Client(), ts.URL, key); err == nil {
+			t.Errorf("%s: accepted as %q", mode, got)
+		}
+	}
+	prefix.Store("/missing")
+	if _, err := FetchCacheEntry(context.Background(), ts.Client(), ts.URL, key); !errors.Is(err, ErrCacheMiss) {
+		t.Errorf("404 = %v, want ErrCacheMiss", err)
+	}
+}
+
+// TestFetchCacheEntryRespectsContext: a stalled peer costs exactly the
+// caller's deadline, never a hang.
+func TestFetchCacheEntryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := FetchCacheEntry(ctx, ts.Client(), ts.URL, peerKey("k")); err == nil {
+		t.Fatal("stalled peer produced a payload")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("fetch hung for %v past its deadline", d)
+	}
+}
+
+// TestFetchCacheEntryRejectsBadKey: a malformed key never becomes a
+// request URL.
+func TestFetchCacheEntryRejectsBadKey(t *testing.T) {
+	var called atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		called.Store(true)
+	}))
+	defer ts.Close()
+	if _, err := FetchCacheEntry(context.Background(), ts.Client(), ts.URL, "../../admin"); err == nil {
+		t.Error("malformed key accepted")
+	}
+	if called.Load() {
+		t.Error("malformed key reached the wire")
+	}
+}

@@ -1,6 +1,8 @@
 package lcmserver
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -83,5 +85,76 @@ func BenchmarkBatchServer(b *testing.B) {
 	})
 	b.Run("latency/parallel", func(b *testing.B) {
 		benchBatch(b, Config{BatchParallel: 8, hook: stall}, tiny.String())
+	})
+}
+
+// warmTrace builds the request bodies of a replayed production trace:
+// distinct real programs, each requested more than once, the shape a
+// durable cache exists for.
+func warmTrace(tb testing.TB, n int) [][]byte {
+	tb.Helper()
+	bodies := make([][]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		f := randprog.Generate(randprog.Config{
+			Seed: int64(i + 1), MaxDepth: 4, MaxItems: 4, MaxStmts: 6,
+			Vars: 10, Params: 4, MaxTrips: 4,
+		})
+		body, err := json.Marshal(map[string]string{"program": textir.PrintFunctions([]*ir.Function{f})})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bodies = append(bodies, body, body)
+	}
+	return bodies
+}
+
+// replayTrace drives the trace through a server's handler in-process.
+func replayTrace(b *testing.B, s *Server, trace [][]byte) {
+	h := s.Handler()
+	for _, body := range trace {
+		req := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("trace request answered %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkWarmStart measures what the durable tier buys a rebooted
+// server: one iteration boots a server and replays the same trace, cold
+// over an empty cache directory (every program computes) versus warm
+// over the directory a previous boot left behind (every program replays
+// from verified disk entries). The delta is the restart cost the tier
+// deletes.
+func BenchmarkWarmStart(b *testing.B) {
+	trace := warmTrace(b, 8)
+	cfg := func(dir string) Config {
+		return Config{Workers: 4, Queue: 64, Timeout: time.Minute, Quarantine: "", CacheDir: dir}
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := NewServer(cfg(b.TempDir()))
+			replayTrace(b, s, trace)
+			s.Close()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		seed := NewServer(cfg(dir))
+		replayTrace(b, seed, trace)
+		seed.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := NewServer(cfg(dir))
+			replayTrace(b, s, trace)
+			if s.Stats().DiskHits == 0 {
+				b.Fatal("warm boot served nothing from disk")
+			}
+			s.Close()
+		}
 	})
 }

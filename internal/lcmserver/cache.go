@@ -5,7 +5,12 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
+	"net/http"
 	"sync"
+	"sync/atomic"
+
+	"lazycm/internal/cachestore"
 )
 
 // resultCache is a content-addressed LRU of optimization outcomes. Under
@@ -16,11 +21,25 @@ import (
 // rewrite. Only clean outcomes are stored: fallbacks carry quarantine
 // side effects and cancellations depend on the request's deadline, so
 // both always re-execute.
+//
+// Behind the in-memory tier sits an optional durable one (disk, an
+// internal/cachestore directory): entries written through to it survive
+// a process restart, so a rebooted backend answers its old hits without
+// recomputing. A disk read that fails the store's integrity check is a
+// plain miss (the store unlinks and counts it); a disk hit is promoted
+// back into memory. Every failure on the disk path falls open to a
+// miss — the durable tier can make requests faster, never wrong.
 type resultCache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
+
+	// disk, when non-nil, is the durable tier consulted on memory miss
+	// and written through on every put.
+	disk *cachestore.Store
+
+	diskHits atomic.Int64 // memory misses served by the durable tier
 
 	// corrupt, when non-nil, mutates a stored program on its way out of
 	// the cache — the chaos injector's model of memory rot. It exists so
@@ -72,41 +91,99 @@ func cacheKey(req optimizeRequest, fuel int, verify bool) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// get returns the cached outcome for key and marks it most recently
-// used. The stored program is re-checksummed on every read; an entry
-// that fails the check is evicted, never served, and the third result
-// reports the corruption so the server can count it.
+// encodeOutcome flattens a cacheable (clean 200) outcome into the
+// payload bytes the durable tier and the peer-fill wire share.
+func encodeOutcome(out outcome) ([]byte, error) {
+	return json.Marshal(out.body)
+}
+
+// decodeOutcome is the inverse, with the semantic gate both remote
+// tiers need: only a clean success is a legal cache entry, so anything
+// that decodes to an error, fallback, cancellation, or empty program is
+// rejected — whatever wrote it, it must not be replayed.
+func decodeOutcome(payload []byte) (outcome, bool) {
+	var body optimizeResponse
+	if err := json.Unmarshal(payload, &body); err != nil {
+		return outcome{}, false
+	}
+	if body.Program == "" || body.Error != "" || body.FellBack || body.Canceled {
+		return outcome{}, false
+	}
+	body.ElapsedMS = 0
+	return outcome{status: http.StatusOK, body: body}, true
+}
+
+// get returns the cached outcome for key, consulting memory first and
+// the durable tier on miss, and marks it most recently used. The stored
+// program is re-checksummed on every memory read; an entry that fails
+// the check is evicted, never served, and the third result reports the
+// corruption so the server can count it. Disk-tier integrity failures
+// are counted by the store itself and surface here as plain misses; a
+// disk hit is promoted into memory.
 func (c *resultCache) get(key string) (out outcome, ok, corrupted bool) {
 	if c == nil {
 		return outcome{}, false, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, found := c.byKey[key]
+	if el, found := c.byKey[key]; found {
+		ent := el.Value.(*cacheEntry)
+		if c.corrupt != nil {
+			if p, did := c.corrupt(ent.out.body.Program); did {
+				ent.out.body.Program = p
+			}
+		}
+		if sha256.Sum256([]byte(ent.out.body.Program)) != ent.sum {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+			c.mu.Unlock()
+			return outcome{}, false, true
+		}
+		c.ll.MoveToFront(el)
+		out = ent.out
+		c.mu.Unlock()
+		return out, true, false
+	}
+	c.mu.Unlock()
+
+	payload, found, _ := c.disk.Get(key)
 	if !found {
 		return outcome{}, false, false
 	}
-	ent := el.Value.(*cacheEntry)
-	if c.corrupt != nil {
-		if p, did := c.corrupt(ent.out.body.Program); did {
-			ent.out.body.Program = p
-		}
+	out, okDecode := decodeOutcome(payload)
+	if !okDecode {
+		return outcome{}, false, false
 	}
-	if sha256.Sum256([]byte(ent.out.body.Program)) != ent.sum {
-		c.ll.Remove(el)
-		delete(c.byKey, key)
-		return outcome{}, false, true
-	}
-	c.ll.MoveToFront(el)
-	return ent.out, true, false
+	c.diskHits.Add(1)
+	c.putMem(key, out)
+	return out, true, false
 }
 
-// put stores an outcome, evicting the least recently used entry beyond
-// capacity. Storing an existing key refreshes its recency.
+// put stores an outcome in memory and writes it through to the durable
+// tier, evicting the least recently used entry beyond capacity. Storing
+// an existing key refreshes its recency.
 func (c *resultCache) put(key string, out outcome) {
 	if c == nil {
 		return
 	}
+	c.putMem(key, out)
+	if c.disk != nil {
+		if payload, err := encodeOutcome(out); err == nil {
+			_ = c.disk.Put(key, payload) // best-effort: a failed durable write only costs warmth
+		}
+	}
+}
+
+// putPayload stores an outcome whose wire payload is already in hand (a
+// peer fill), avoiding a re-marshal on the write-through.
+func (c *resultCache) putPayload(key string, out outcome, payload []byte) {
+	if c == nil {
+		return
+	}
+	c.putMem(key, out)
+	_ = c.disk.Put(key, payload)
+}
+
+func (c *resultCache) putMem(key string, out outcome) {
 	sum := sha256.Sum256([]byte(out.body.Program))
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -124,7 +201,7 @@ func (c *resultCache) put(key string, out outcome) {
 	}
 }
 
-// len reports the number of cached outcomes.
+// len reports the number of cached outcomes in memory.
 func (c *resultCache) len() int {
 	if c == nil {
 		return 0

@@ -25,8 +25,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lazycm/internal/atomicio"
+	"lazycm/internal/cachestore"
 	"lazycm/internal/chaos"
 	"lazycm/internal/dataflow"
+	"lazycm/internal/fleet"
 	"lazycm/internal/ir"
 	"lazycm/internal/overload"
 	"lazycm/internal/pipeline"
@@ -68,6 +71,29 @@ type Config struct {
 	// without re-running the pipeline. 0 means DefaultCacheSize; negative
 	// disables caching.
 	CacheSize int
+	// CacheDir, when non-empty, adds a durable tier behind the result
+	// cache: clean outcomes are written through to this directory as
+	// self-verifying entries (internal/cachestore) and re-indexed on the
+	// next boot, so a restarted server answers its old hits without
+	// recomputing. Requires caching enabled; "" keeps the cache
+	// memory-only.
+	CacheDir string
+	// CacheBytes bounds the durable tier's disk footprint with LRU
+	// eviction; 0 means cachestore.DefaultMaxBytes.
+	CacheBytes int64
+	// Peers are other fleet members' base URLs for the shared cache
+	// tier: on a local miss the server asks the cache key's ring-owner
+	// neighbors (GET /cache/<key>) before running the pipeline. Strictly
+	// fail-open — any peer error, timeout, open breaker, or integrity
+	// mismatch falls back to local compute. Empty disables peer fill.
+	Peers []string
+	// PeerTimeout bounds one peer cache fetch; 0 means
+	// DefaultPeerTimeout. Kept tight: a peer consult must cost a small
+	// fraction of what the pipeline would.
+	PeerTimeout time.Duration
+	// PeerBreaker tunes the per-peer circuit breakers that take dead or
+	// flaky peers out of the consult path.
+	PeerBreaker fleet.BreakerConfig
 	// Degrade tunes the degradation ladder's thresholds and hysteresis;
 	// the zero value takes overload's defaults.
 	Degrade overload.Config
@@ -103,6 +129,10 @@ const maxBody = 4 << 20
 // unset.
 const DefaultCacheSize = 128
 
+// DefaultPeerTimeout is the per-peer cache-fetch budget when
+// Config.PeerTimeout is unset.
+const DefaultPeerTimeout = 150 * time.Millisecond
+
 // DefaultDegradedFuel is the per-fixpoint fuel cap applied at degrade
 // level 1+ when Config.DegradedFuel is unset: generous enough that
 // ordinary programs still optimize fully, tight enough that a
@@ -132,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.TargetLatency <= 0 {
 		c.TargetLatency = c.Timeout / 4
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
+	}
 	if c.DegradedFuel == 0 {
 		c.DegradedFuel = DefaultDegradedFuel
 	}
@@ -149,6 +182,7 @@ type Server struct {
 	wg     sync.WaitGroup
 	start  time.Time
 	cache  *resultCache // nil when caching is disabled
+	peers  *peerGroup   // nil when peer fill is disabled
 	ladder *overload.Ladder
 	gauge  *overload.Gauge
 
@@ -165,9 +199,12 @@ type Server struct {
 	shed         atomic.Int64 // work items shed by admission control
 	panics       atomic.Int64 // contained pass/driver panics
 	quarantined  atomic.Int64 // distinct crashers captured (duplicates collapse)
-	cacheHits    atomic.Int64 // results replayed from the content cache
+	cacheHits    atomic.Int64 // results replayed from the content cache (memory or disk)
 	cacheMisses  atomic.Int64 // lookups that ran the pipeline
-	cacheCorrupt atomic.Int64 // cache reads failing the integrity checksum
+	cacheCorrupt atomic.Int64 // in-memory cache reads failing the integrity checksum
+	peerHits     atomic.Int64 // local misses served by a fleet peer's cache
+	peerMisses   atomic.Int64 // peer consults that found nothing usable
+	peerServed   atomic.Int64 // GET /cache hits served to fleet peers
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -184,6 +221,20 @@ func NewServer(cfg Config) *Server {
 		// integrity checksum is what must catch it.
 		s.cache.corrupt = cfg.Chaos.CorruptRead
 	}
+	if cfg.CacheDir != "" && s.cache != nil {
+		// The durable tier is an accelerator, never a dependency: if the
+		// directory cannot be opened the server runs memory-only rather
+		// than failing to start.
+		if store, err := cachestore.Open(cfg.CacheDir, cfg.CacheBytes); err == nil {
+			s.cache.disk = store
+		}
+	}
+	s.peers = newPeerGroup(cfg)
+	if cfg.Quarantine != "" {
+		// A process killed mid-capture leaves *.tmp partials, never a
+		// partial .ir; sweep them before the first new capture.
+		atomicio.SweepTmp(cfg.Quarantine)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -197,6 +248,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /optimize/batch", s.handleBatch)
+	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
@@ -424,6 +476,38 @@ func (s *Server) probeCache(req optimizeRequest, fuel int, verify bool) (outcome
 	return out, true
 }
 
+// handleCacheGet serves one content-addressed cache entry to a fleet
+// peer in cachestore's self-verifying wire format. Only the local tiers
+// (memory, then disk) are consulted — never this server's own peers, so
+// a fleet of mutually configured peers cannot recurse. A miss is an
+// authoritative 404: the asking peer computes locally. Serving a cached
+// entry costs no worker slot and goes through the same integrity checks
+// as serving it to a client, so this endpoint can never leak a corrupt
+// or non-clean result into the fleet.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.cache == nil || !cachestore.ValidKey(key) {
+		http.Error(w, "no such cache entry", http.StatusNotFound)
+		return
+	}
+	out, ok, corrupted := s.cache.get(key)
+	if corrupted {
+		s.cacheCorrupt.Add(1)
+	}
+	if !ok {
+		http.Error(w, "no such cache entry", http.StatusNotFound)
+		return
+	}
+	payload, err := encodeOutcome(out)
+	if err != nil {
+		http.Error(w, "no such cache entry", http.StatusNotFound)
+		return
+	}
+	s.peerServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(cachestore.Encode(key, payload))
+}
+
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, ok := s.decodeOptimize(w, r, start)
@@ -499,12 +583,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
-		"status":              status,
-		"workers":             s.cfg.Workers,
-		"queue_capacity":      s.cfg.Queue,
-		"queue_depth":         s.queued.Load(),
-		"inflight":            s.inflight.Load(),
+	body := map[string]any{
+		"status":         status,
+		"workers":        s.cfg.Workers,
+		"queue_capacity": s.cfg.Queue,
+		"queue_depth":    s.queued.Load(),
+		"inflight":       s.inflight.Load(),
+		// start_time + uptime_ms together let an operator (or a soak)
+		// distinguish a warm restart from a long-running process: a young
+		// uptime with a populated disk tier is a warm boot.
+		"start_time":          s.start.UTC().Format(time.RFC3339Nano),
 		"uptime_ms":           time.Since(s.start).Milliseconds(),
 		"requests":            s.requests.Load(),
 		"optimized":           s.optimized.Load(),
@@ -518,12 +606,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache_misses":        s.cacheMisses.Load(),
 		"cache_entries":       s.cache.len(),
 		"cache_corrupt":       s.cacheCorrupt.Load(),
+		"disk_entries":        s.disk().Len(),
+		"disk_bytes":          s.disk().Bytes(),
+		"disk_hits":           s.diskHits(),
+		"corrupt_dropped":     s.disk().CorruptDropped(),
+		"peer_hits":           s.peerHits.Load(),
+		"peer_misses":         s.peerMisses.Load(),
+		"peer_served":         s.peerServed.Load(),
 		"degrade_level":       int(lvl),
 		"degrade_transitions": s.ladder.Transitions(),
 		"retry_after_ms":      s.lastRetryMS.Load(),
 		"latency_ewma_ms":     s.gauge.EWMA().Milliseconds(),
 		"quarantine_writable": s.quarantineWritable(),
-	})
+	}
+	if ps := s.peers.states(); ps != nil {
+		body["peers"] = ps
+	}
+	writeJSON(w, code, body)
+}
+
+// disk returns the durable cache tier, possibly nil (every cachestore
+// method is nil-safe, reporting zero).
+func (s *Server) disk() *cachestore.Store {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.disk
+}
+
+// diskHits reports memory misses the durable tier served.
+func (s *Server) diskHits() int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.diskHits.Load()
 }
 
 // handleReadyz is the cheap readiness probe: 503 while draining or
@@ -565,27 +681,43 @@ type Stats struct {
 	CacheHits    int64
 	CacheMisses  int64
 	CacheCorrupt int64
-	Queued       int64
-	Inflight     int64
+	DiskEntries  int64
+	DiskBytes    int64
+	DiskHits     int64
+	// CorruptDropped counts durable-tier entries dropped by integrity
+	// verification — detected disk rot, never served.
+	CorruptDropped int64
+	PeerHits       int64
+	PeerMisses     int64
+	PeerServed     int64
+	Queued         int64
+	Inflight       int64
 }
 
 // Stats snapshots the accounting counters. The snapshot is not atomic
 // across counters; audit it only on a drained server.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Requests:     s.requests.Load(),
-		Optimized:    s.optimized.Load(),
-		FellBack:     s.fellBack.Load(),
-		Canceled:     s.canceled.Load(),
-		Invalid:      s.invalid.Load(),
-		Shed:         s.shed.Load(),
-		Panics:       s.panics.Load(),
-		Quarantined:  s.quarantined.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		CacheCorrupt: s.cacheCorrupt.Load(),
-		Queued:       s.queued.Load(),
-		Inflight:     s.inflight.Load(),
+		Requests:       s.requests.Load(),
+		Optimized:      s.optimized.Load(),
+		FellBack:       s.fellBack.Load(),
+		Canceled:       s.canceled.Load(),
+		Invalid:        s.invalid.Load(),
+		Shed:           s.shed.Load(),
+		Panics:         s.panics.Load(),
+		Quarantined:    s.quarantined.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheCorrupt:   s.cacheCorrupt.Load(),
+		DiskEntries:    int64(s.disk().Len()),
+		DiskBytes:      s.disk().Bytes(),
+		DiskHits:       s.diskHits(),
+		CorruptDropped: s.disk().CorruptDropped(),
+		PeerHits:       s.peerHits.Load(),
+		PeerMisses:     s.peerMisses.Load(),
+		PeerServed:     s.peerServed.Load(),
+		Queued:         s.queued.Load(),
+		Inflight:       s.inflight.Load(),
 	}
 }
 
@@ -715,6 +847,20 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 			s.cacheHits.Add(1)
 			return out
 		}
+		// Every local tier missed: ask the key's ring-owner neighbors
+		// before paying for the pipeline. Strictly fail-open — a nil
+		// payload or an undecodable one just means computing locally,
+		// exactly as if the tier did not exist.
+		if s.peers != nil {
+			if payload := s.peers.fetch(j.ctx, key); payload != nil {
+				if out, ok := decodeOutcome(payload); ok {
+					s.peerHits.Add(1)
+					s.cache.putPayload(key, out, payload)
+					return out
+				}
+			}
+			s.peerMisses.Add(1)
+		}
 		s.cacheMisses.Add(1)
 	}
 
@@ -834,20 +980,21 @@ func (s *Server) quarantine(req optimizeRequest, fuel int, verify bool) string {
 	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
 		return ""
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		if errors.Is(err, os.ErrExist) {
-			return path // already captured: no second file, no second count
-		}
+	// Crash-atomic capture: the .ir name appears only after its full
+	// content is on disk (tmp + fsync + link), so a server killed
+	// mid-capture leaves at worst a *.tmp partial the triage scanner
+	// ignores and the next boot sweeps — never a truncated crasher. The
+	// link doubles as the O_EXCL dedupe: concurrent captures of the same
+	// defect produce one file and one count.
+	switch err := atomicio.CreateExclusive(path, []byte(content), 0o644); {
+	case err == nil:
+		s.quarantined.Add(1)
+		return path
+	case errors.Is(err, os.ErrExist):
+		return path // already captured: no second file, no second count
+	default:
 		return ""
 	}
-	defer f.Close()
-	if _, err := f.WriteString(content); err != nil {
-		os.Remove(path)
-		return ""
-	}
-	s.quarantined.Add(1)
-	return path
 }
 
 // effectiveFuel resolves the fixpoint budget a request runs under.

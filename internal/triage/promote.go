@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"lazycm/internal/atomicio"
 	"lazycm/internal/pipeline"
 	"lazycm/internal/textir"
 )
@@ -30,8 +31,12 @@ type Entry struct {
 
 // Scan loads every .ir file under dir and replays each one to classify
 // it. Files are returned in name order, so every downstream decision
-// (dedupe winners, report order) is deterministic.
+// (dedupe winners, report order) is deterministic. Leftover *.tmp
+// partials — a quarantine capture or promotion the process died inside —
+// are swept first: the atomic-write protocol guarantees they were never
+// part of the corpus, so removing them is the crash recovery.
 func Scan(dir string, timeout time.Duration) ([]*Entry, error) {
+	atomicio.SweepTmp(dir)
 	paths, err := filepath.Glob(filepath.Join(dir, "*.ir"))
 	if err != nil {
 		return nil, err
@@ -152,7 +157,9 @@ func Promote(dir string, opt PromoteOptions) ([]Promotion, error) {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return promotions, err
 		}
-		if err := os.WriteFile(dest, []byte(content), 0o644); err != nil {
+		// Atomic publish: a crash mid-promotion leaves a swept *.tmp, never
+		// a truncated corpus file that would replay to a different defect.
+		if err := atomicio.WriteFile(dest, []byte(content), 0o644); err != nil {
 			return promotions, err
 		}
 		if err := appendReadmeEntry(outDir, e.Sig, filepath.Base(e.Path), stats); err != nil {
@@ -205,7 +212,7 @@ func appendReadmeEntry(dir string, sig pipeline.Signature, source string, stats 
 	}
 	fmt.Fprintf(&b, "- `%s` — signature `%s`; minimized from `%s` (%d→%d bytes)\n",
 		name, sig.String(), source, stats.FromBytes, stats.ToBytes)
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	return atomicio.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // CheckOptions tunes Check.

@@ -413,3 +413,42 @@ func TestCheck(t *testing.T) {
 		t.Errorf("fixed crasher note missing: %v", notes)
 	}
 }
+
+// TestScanSweepsCrashedWrites: a *.tmp partial left by a process that
+// died mid-capture (or mid-promotion) is invisible to Scan — never
+// parsed, never replayed, never promoted — and is cleaned off disk, so
+// one crash cannot poison every later triage run.
+func TestScanSweepsCrashedWrites(t *testing.T) {
+	dir := t.TempDir()
+	d := fuelDirectives()
+	writeCrasher(t, dir, "a.ir", ComposeCrasher("", d, variantA))
+	// A truncated capture: the atomic-write temp of a crasher whose
+	// writer died. Content is garbage on purpose — reading it as a
+	// crasher would corrupt the scan.
+	full := ComposeCrasher("", d, variantB)
+	tmp := writeCrasher(t, dir, "crash-x.ir.tmp", full[:len(full)/3])
+
+	entries, err := Scan(dir, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || filepath.Base(entries[0].Path) != "a.ir" {
+		t.Fatalf("scan saw %d entries, want only a.ir: %+v", len(entries), entries)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("crashed write's temp file survived the scan")
+	}
+
+	// Promote over the swept directory stays healthy and never resurrects
+	// the partial.
+	proms, err := Promote(dir, PromoteOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proms) != 1 {
+		t.Fatalf("got %d promotions, want 1", len(proms))
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(left) != 0 {
+		t.Errorf("tmp files after promote: %v", left)
+	}
+}
