@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-json serve triage chaos fleet restart-smoke
+.PHONY: check build vet test race fuzz bench bench-json serve triage chaos fleet restart-smoke resume-smoke
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -71,6 +71,19 @@ restart-smoke:
 	LCM_RESTART_CACHE=$(CURDIR)/_cache/restart \
 	LCMGATE_SOAK_LOG=$(CURDIR)/_cache/restart/gateway.log \
 		$(GO) test -race -short -run 'TestFleetWarmRestart' -count=1 -v ./cmd/lcmgate/
+
+# Crash-resume soak under the race detector: a client streams a
+# resumable batch job while the server behind it is killed mid-batch
+# twice; each revived generation runs over the same journal and durable
+# cache. Asserts that no finished function is ever recomputed (counted
+# per generation), admission accounting balances inside every
+# generation, and the resumed result is byte-identical to an
+# uninterrupted run. The journal and cache tiers land in _cache/resume
+# for inspection.
+resume-smoke:
+	mkdir -p _cache/resume
+	LCM_RESUME_DIR=$(CURDIR)/_cache/resume \
+		$(GO) test -race -short -run 'TestResumeSoakKillMidBatch' -count=1 -v ./internal/lcmserver/
 
 # Corpus hygiene gate: every crasher in testdata/crashers must be
 # minimal, signatures must be unique, and recorded sidecars must match

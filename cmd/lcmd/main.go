@@ -9,7 +9,15 @@
 //	POST /optimize        {"program": "...", "mode": "lcm", "timeout_ms": 500}
 //	                      → {"program": "...", "applied": [...], ...}
 //	POST /optimize/batch  whole-module optimization with per-function
-//	                      fault isolation: one result entry per function
+//	                      fault isolation: one result entry per function;
+//	                      with ?job= the batch becomes a resumable job
+//	                      (idempotent, content-addressed job_id)
+//	POST /optimize/stream NDJSON streaming batch: one record per function
+//	                      as it completes, heartbeats, then a trailer with
+//	                      the aggregates; ?job= makes it resumable
+//	GET  /jobs/{id}        point-in-time job progress snapshot
+//	GET  /jobs/{id}/stream resume a job's stream: replay completed items,
+//	                      follow the rest
 //	GET  /healthz         pool and outcome counters; 503 while draining
 //	GET  /readyz          cheap readiness probe for gateways: 503 while
 //	                      draining or shedding all work (degrade level 3)
@@ -37,6 +45,13 @@
 //	                 cache miss asks the key's ring-owner neighbors before
 //	                 computing — strictly fail-open ("" disables)
 //	-peer-timeout D  per-peer budget for one cache fetch (default 150ms)
+//	-journal-dir DIR write-ahead journal directory for ?job= submissions:
+//	                 jobs survive a crash-restart and resume without
+//	                 recomputing finished functions ("" disables jobs'
+//	                 durability; they remain resumable in-process)
+//	-job-ttl D       journaled jobs older than this are swept at boot
+//	                 (default 1h)
+//	-stream-heartbeat D  keep-alive cadence on NDJSON streams (default 10s)
 //	-verify          re-check every pass output on random interpreted runs
 //	-quarantine DIR  capture inputs that fault or fall back as .ir seeds
 //	                 ("" disables; default testdata/crashers)
@@ -113,6 +128,9 @@ func main() {
 	cacheBytes := fs.Int64("cache-bytes", 0, "byte budget for -cache-dir (0 = 64MiB)")
 	peers := fs.String("peers", "", "comma-separated fleet peer base URLs for cache fill (\"\" disables)")
 	peerTimeout := fs.Duration("peer-timeout", 0, "per-peer budget for one cache fetch (0 = 150ms)")
+	journalDir := fs.String("journal-dir", "", "write-ahead journal directory for resumable jobs (\"\" disables durability)")
+	jobTTL := fs.Duration("job-ttl", 0, "journaled jobs older than this are swept at boot (0 = 1h)")
+	streamHeartbeat := fs.Duration("stream-heartbeat", 0, "keep-alive cadence on NDJSON streams (0 = 10s)")
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
 	drain := fs.Duration("drain", 30*time.Second, "grace period for in-flight work on shutdown")
@@ -147,22 +165,25 @@ func main() {
 	}
 
 	srv := lcmserver.NewServer(lcmserver.Config{
-		Workers:       *workers,
-		Queue:         *queue,
-		Timeout:       *timeout,
-		MaxTimeout:    *maxTimeout,
-		Fuel:          *fuel,
-		Verify:        *verify,
-		Quarantine:    *quarantine,
-		BatchParallel: *batchParallel,
-		CacheSize:     *cacheSize,
-		CacheDir:      *cacheDir,
-		CacheBytes:    *cacheBytes,
-		Peers:         splitPeers(*peers),
-		PeerTimeout:   *peerTimeout,
-		DegradedFuel:  *degradedFuel,
-		TargetLatency: *targetLatency,
-		Chaos:         injector,
+		Workers:         *workers,
+		Queue:           *queue,
+		Timeout:         *timeout,
+		MaxTimeout:      *maxTimeout,
+		Fuel:            *fuel,
+		Verify:          *verify,
+		Quarantine:      *quarantine,
+		BatchParallel:   *batchParallel,
+		CacheSize:       *cacheSize,
+		CacheDir:        *cacheDir,
+		CacheBytes:      *cacheBytes,
+		Peers:           splitPeers(*peers),
+		PeerTimeout:     *peerTimeout,
+		JournalDir:      *journalDir,
+		JobTTL:          *jobTTL,
+		StreamHeartbeat: *streamHeartbeat,
+		DegradedFuel:    *degradedFuel,
+		TargetLatency:   *targetLatency,
+		Chaos:           injector,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

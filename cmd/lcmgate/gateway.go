@@ -41,6 +41,11 @@ type Config struct {
 	// Timeout bounds one proxied request end to end, across every
 	// failover attempt. 0 means DefaultTimeout.
 	Timeout time.Duration
+	// StreamTimeout bounds one proxied NDJSON stream end to end. Streams
+	// are long-lived by design (heartbeats keep them open while a large
+	// job computes), so this is generous where Timeout is tight. 0 means
+	// DefaultStreamTimeout.
+	StreamTimeout time.Duration
 	// HealthInterval is the /readyz polling period per backend; 0 means
 	// DefaultHealthInterval, negative disables polling (tests drive
 	// breakers through traffic alone).
@@ -59,6 +64,9 @@ type Config struct {
 const (
 	// DefaultTimeout is the end-to-end budget for one proxied request.
 	DefaultTimeout = 10 * time.Second
+	// DefaultStreamTimeout is the end-to-end budget for one proxied
+	// NDJSON stream.
+	DefaultStreamTimeout = 5 * time.Minute
 	// DefaultAttemptTimeout is the per-backend attempt budget.
 	DefaultAttemptTimeout = 2 * time.Second
 	// DefaultHealthInterval is the /readyz polling period.
@@ -82,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.Timeout <= 0 {
 		c.Timeout = DefaultTimeout
 	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = DefaultStreamTimeout
+	}
 	if c.HealthInterval == 0 {
 		c.HealthInterval = DefaultHealthInterval
 	}
@@ -101,6 +112,16 @@ type backend struct {
 	probes    atomic.Int64 // health probes sent
 	ready     atomic.Bool
 	degrade   atomic.Int32 // degrade_level from the last readiness probe
+
+	// Job and cache gauges harvested from the backend's last readiness
+	// probe — the fleet view of its resumable-job and per-function-cache
+	// health, surfaced verbatim on the gateway's /healthz.
+	jobsActive    atomic.Int64
+	jobsResumed   atomic.Int64
+	jobsExpired   atomic.Int64
+	streamClients atomic.Int64
+	fnCacheHits   atomic.Int64
+	fnCacheMisses atomic.Int64
 
 	// gone closes when the backend leaves the fleet, stopping its
 	// health loop without touching the gateway-wide stop channel.
@@ -145,6 +166,7 @@ type Gateway struct {
 	dedupeJoins   atomic.Int64 // requests served by joining an identical in-flight one
 	failovers     atomic.Int64 // failed attempts that moved on to another replica
 	shed          atomic.Int64 // gateway-generated 503s (no backend could serve)
+	streams       atomic.Int64 // NDJSON streams proxied (unbuffered pass-through)
 	reloads       atomic.Int64 // membership reloads applied
 	totalInflight atomic.Int64
 	lastRetryMS   atomic.Int64
@@ -317,6 +339,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", g.handleProxy)
 	mux.HandleFunc("POST /optimize/batch", g.handleProxy)
+	mux.HandleFunc("POST /optimize/stream", g.handleStreamProxy)
+	mux.HandleFunc("GET /jobs/{id}", g.handleJobProxy)
+	mux.HandleFunc("GET /jobs/{id}/stream", g.handleStreamProxy)
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("POST /admin/reload", g.handleReload)
@@ -386,7 +411,10 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 
 	ringKey, flightKey := requestKey(r.URL.Path, body)
 	res := g.deduped(ctx, r.URL.Path, body, ringKey, flightKey)
+	writeProxyResult(w, res)
+}
 
+func writeProxyResult(w http.ResponseWriter, res *proxyResult) {
 	for _, k := range []string{"Content-Type", "Retry-After"} {
 		if v := res.header.Get(k); v != "" {
 			w.Header().Set(k, v)
@@ -394,6 +422,215 @@ func (g *Gateway) handleProxy(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
+}
+
+// handleJobProxy is GET /jobs/{id}: a buffered proxy with 404 failover.
+// A job's ID is derived from the module bytes the gateway may never have
+// seen (it cannot recompute the ring position), and the job lives only
+// on the backend that admitted it — so the proxy walks the replica order
+// for the path and treats a 404 as one replica saying "not mine" until
+// every live backend has answered.
+func (g *Gateway) handleJobProxy(w http.ResponseWriter, r *http.Request) {
+	g.received.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Timeout)
+	defer cancel()
+	key, _ := requestKey(r.URL.Path, nil)
+	writeProxyResult(w, g.route(ctx, http.MethodGet, r.URL.Path, nil, key))
+}
+
+// handleStreamProxy proxies POST /optimize/stream and GET
+// /jobs/{id}/stream without buffering: response bytes are copied to the
+// client chunk by chunk with a flush after each, so per-item records and
+// heartbeats arrive as the backend emits them. Streams are not deduped —
+// every consumer needs its own connection — and failover is possible
+// only before the first response byte reaches the client: once bytes
+// are through, a mid-stream backend death simply ends the response and
+// the client resumes by job ID (which is the whole point of the job
+// layer; the gateway must not buy false continuity by buffering).
+func (g *Gateway) handleStreamProxy(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Method == http.MethodPost {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+		if err != nil {
+			writeGateJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("reading request body: %v", err), "kind": "parse",
+			})
+			return
+		}
+	}
+	g.received.Add(1)
+	path := r.URL.Path
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.StreamTimeout)
+	defer cancel()
+	key, _ := requestKey(r.URL.Path, body)
+	g.streamRoute(ctx, w, r.Method, path, body, key)
+}
+
+// streamRoute is route for unbuffered streams: the same two-pass replica
+// walk, the same breaker and 404 semantics, but a successful attempt
+// writes directly to the client instead of returning buffered bytes.
+func (g *Gateway) streamRoute(ctx context.Context, w http.ResponseWriter, method, path string, body []byte, key uint64) {
+	prefs, members := g.replicaOrder(key)
+	tried := make(map[string]bool, len(prefs))
+	lastFailure := "no backend attempted"
+	var notFound *proxyResult
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range prefs {
+			id := b.id
+			if ctx.Err() != nil {
+				writeProxyResult(w, g.shedResult(key, fmt.Sprintf("request budget exhausted during failover: %v", ctx.Err())))
+				return
+			}
+			if tried[id] {
+				continue
+			}
+			if pass == 0 {
+				if !b.ready.Load() || b.degrade.Load() >= int32(overload.LevelShed) {
+					g.logf("skip key=%016x backend=%s reason=not-ready degrade=%d", key, id, b.degrade.Load())
+					continue
+				}
+				if !fleet.WithinBound(b.inflight.Load(), g.totalInflight.Load(), members, g.cfg.LoadFactor) {
+					g.logf("skip key=%016x backend=%s reason=over-bound inflight=%d", key, id, b.inflight.Load())
+					continue
+				}
+			}
+			if !b.breaker.Allow() {
+				g.logf("skip key=%016x backend=%s reason=breaker-open", key, id)
+				continue
+			}
+			tried[id] = true
+			res, streamed, err := g.streamAttempt(ctx, w, b, method, path, body, key)
+			if streamed {
+				return
+			}
+			if err == nil {
+				if method == http.MethodGet && res.status == http.StatusNotFound {
+					notFound = res
+					g.logf("job-miss key=%016x backend=%s", key, id)
+					continue
+				}
+				writeProxyResult(w, res)
+				return
+			}
+			lastFailure = err.Error()
+			g.failovers.Add(1)
+			g.logf("failover key=%016x backend=%s err=%q", key, id, err)
+		}
+	}
+	if notFound != nil {
+		writeProxyResult(w, notFound)
+		return
+	}
+	writeProxyResult(w, g.shedResult(key, lastFailure))
+}
+
+// streamAttempt opens one backend stream. The attempt timeout bounds
+// only the wait for response headers; an answered stream then runs under
+// the caller's stream budget. Returns streamed=true once any part of the
+// response (including just the 200 header) has reached the client —
+// after which no failover is possible and the attempt owns the response.
+// Non-200 answers are small JSON rejections: they are buffered and
+// classified exactly like the buffered path, so breakers and failover
+// see the same world regardless of endpoint shape.
+func (g *Gateway) streamAttempt(ctx context.Context, w http.ResponseWriter, b *backend, method, path string, body []byte, key uint64) (*proxyResult, bool, error) {
+	b.routed.Add(1)
+	b.inflight.Add(1)
+	g.totalInflight.Add(1)
+	defer func() {
+		b.inflight.Add(-1)
+		g.totalInflight.Add(-1)
+	}()
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, b.id+path, rd)
+	if err != nil {
+		return nil, false, fmt.Errorf("building request for %s: %w", b.id, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Bound only the header wait: a backend that does not answer within
+	// the attempt timeout is failed over, but once headers arrive the
+	// timer is disarmed and the stream lives on the caller's budget.
+	hdrTimer := time.AfterFunc(g.cfg.AttemptTimeout, cancel)
+	resp, err := g.client.Do(req)
+	hdrTimer.Stop()
+	if err != nil {
+		b.failed.Add(1)
+		b.breaker.Record(false)
+		return nil, false, fmt.Errorf("backend %s: %w", b.id, err)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRespBody))
+		if rerr != nil {
+			b.failed.Add(1)
+			b.breaker.Record(false)
+			return nil, false, fmt.Errorf("backend %s: reading response: %w", b.id, rerr)
+		}
+		if resp.StatusCode >= 500 && resp.StatusCode != http.StatusGatewayTimeout {
+			b.failed.Add(1)
+			b.breaker.Record(false)
+			return nil, false, fmt.Errorf("backend %s answered %d", b.id, resp.StatusCode)
+		}
+		b.succeeded.Add(1)
+		b.breaker.Record(true)
+		hdr := make(http.Header, 2)
+		for _, k := range []string{"Content-Type", "Retry-After"} {
+			if v := resp.Header.Get(k); v != "" {
+				hdr.Set(k, v)
+			}
+		}
+		return &proxyResult{status: resp.StatusCode, header: hdr, body: raw, backend: b.id}, false, nil
+	}
+
+	b.succeeded.Add(1)
+	b.breaker.Record(true)
+	g.streams.Add(1)
+	g.logf("stream key=%016x backend=%s", key, b.id)
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	var sent int64
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			sent += int64(n)
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				g.logf("stream key=%016x backend=%s client-gone bytes=%d", key, b.id, sent)
+				return nil, true, nil
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF {
+				// Mid-stream loss of the backend: the client has a valid
+				// prefix and resumes by job ID. Nothing is fabricated to
+				// paper over the cut.
+				g.logf("stream key=%016x backend=%s cut bytes=%d err=%q", key, b.id, sent, rerr)
+			} else {
+				g.logf("stream key=%016x backend=%s done bytes=%d", key, b.id, sent)
+			}
+			return nil, true, nil
+		}
+	}
 }
 
 // deduped collapses identical in-flight requests into one backend call:
@@ -421,7 +658,7 @@ func (g *Gateway) deduped(ctx context.Context, path string, body []byte, ringKey
 	g.flight[flightKey] = c
 	g.flightMu.Unlock()
 
-	c.res = g.route(ctx, path, body, ringKey)
+	c.res = g.route(ctx, http.MethodPost, path, body, ringKey)
 
 	g.flightMu.Lock()
 	delete(g.flight, flightKey)
@@ -437,10 +674,11 @@ func (g *Gateway) deduped(ctx context.Context, path string, body []byte, ringKey
 // uniformly degraded fleet still gets to say its own explicit 429/503
 // rather than having the gateway guess. If nothing answers, the gateway
 // sheds with its own 503 + Retry-After.
-func (g *Gateway) route(ctx context.Context, path string, body []byte, key uint64) *proxyResult {
+func (g *Gateway) route(ctx context.Context, method, path string, body []byte, key uint64) *proxyResult {
 	prefs, members := g.replicaOrder(key)
 	tried := make(map[string]bool, len(prefs))
 	lastFailure := "no backend attempted"
+	var notFound *proxyResult
 	for pass := 0; pass < 2; pass++ {
 		for _, b := range prefs {
 			id := b.id
@@ -465,14 +703,25 @@ func (g *Gateway) route(ctx context.Context, path string, body []byte, key uint6
 				continue
 			}
 			tried[id] = true
-			res, err := g.attempt(ctx, b, path, body, key)
+			res, err := g.attempt(ctx, b, method, path, body, key)
 			if err == nil {
+				// A job lives only on the backend that admitted it, so a GET
+				// 404 is one replica saying "not mine" — keep walking and
+				// return this answer only if every replica agrees.
+				if method == http.MethodGet && res.status == http.StatusNotFound {
+					notFound = res
+					g.logf("job-miss key=%016x backend=%s", key, id)
+					continue
+				}
 				return res
 			}
 			lastFailure = err.Error()
 			g.failovers.Add(1)
 			g.logf("failover key=%016x backend=%s err=%q", key, id, err)
 		}
+	}
+	if notFound != nil {
+		return notFound
 	}
 	return g.shedResult(key, lastFailure)
 }
@@ -500,7 +749,7 @@ func (g *Gateway) replicaOrder(key uint64) ([]*backend, int) {
 // moves past (a 503 means draining or shedding everything — the next
 // replica may well serve); any other answer — 200, 429, 4xx, and 504 —
 // proves the backend alive and is passed to the client verbatim.
-func (g *Gateway) attempt(ctx context.Context, b *backend, path string, body []byte, key uint64) (*proxyResult, error) {
+func (g *Gateway) attempt(ctx context.Context, b *backend, method, path string, body []byte, key uint64) (*proxyResult, error) {
 	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
 	defer cancel()
 	b.routed.Add(1)
@@ -511,11 +760,17 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, path string, body []b
 		g.totalInflight.Add(-1)
 	}()
 
-	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.id+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, b.id+path, rd)
 	if err != nil {
 		return nil, fmt.Errorf("building request for %s: %w", b.id, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		b.failed.Add(1)
@@ -618,12 +873,24 @@ func (g *Gateway) probe(b *backend) {
 	}
 	defer resp.Body.Close()
 	var status struct {
-		Ready        bool `json:"ready"`
-		DegradeLevel int  `json:"degrade_level"`
+		Ready         bool  `json:"ready"`
+		DegradeLevel  int   `json:"degrade_level"`
+		JobsActive    int64 `json:"jobs_active"`
+		JobsResumed   int64 `json:"jobs_resumed"`
+		JobsExpired   int64 `json:"jobs_expired"`
+		StreamClients int64 `json:"stream_clients"`
+		FnCacheHits   int64 `json:"fn_cache_hits"`
+		FnCacheMisses int64 `json:"fn_cache_misses"`
 	}
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&status)
 	b.ready.Store(resp.StatusCode == http.StatusOK)
 	b.degrade.Store(int32(status.DegradeLevel))
+	b.jobsActive.Store(status.JobsActive)
+	b.jobsResumed.Store(status.JobsResumed)
+	b.jobsExpired.Store(status.JobsExpired)
+	b.streamClients.Store(status.StreamClients)
+	b.fnCacheHits.Store(status.FnCacheHits)
+	b.fnCacheMisses.Store(status.FnCacheMisses)
 	b.breaker.Record(true)
 	g.logf("probe backend=%s status=%d ready=%v degrade=%d", b.id, resp.StatusCode, resp.StatusCode == http.StatusOK, status.DegradeLevel)
 }
@@ -631,19 +898,32 @@ func (g *Gateway) probe(b *backend) {
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g.mu.RLock()
 	bk := make(map[string]any, len(g.ids))
+	fleetJobs := map[string]int64{}
 	for _, id := range g.ids {
 		b := g.backends[id]
 		bk[id] = map[string]any{
-			"breaker":        b.breaker.State().String(),
-			"breaker_opened": b.breaker.Opened(),
-			"ready":          b.ready.Load(),
-			"degrade_level":  b.degrade.Load(),
-			"inflight":       b.inflight.Load(),
-			"routed":         b.routed.Load(),
-			"succeeded":      b.succeeded.Load(),
-			"failed":         b.failed.Load(),
-			"probes":         b.probes.Load(),
+			"breaker":         b.breaker.State().String(),
+			"breaker_opened":  b.breaker.Opened(),
+			"ready":           b.ready.Load(),
+			"degrade_level":   b.degrade.Load(),
+			"inflight":        b.inflight.Load(),
+			"routed":          b.routed.Load(),
+			"succeeded":       b.succeeded.Load(),
+			"failed":          b.failed.Load(),
+			"probes":          b.probes.Load(),
+			"jobs_active":     b.jobsActive.Load(),
+			"jobs_resumed":    b.jobsResumed.Load(),
+			"jobs_expired":    b.jobsExpired.Load(),
+			"stream_clients":  b.streamClients.Load(),
+			"fn_cache_hits":   b.fnCacheHits.Load(),
+			"fn_cache_misses": b.fnCacheMisses.Load(),
 		}
+		fleetJobs["jobs_active"] += b.jobsActive.Load()
+		fleetJobs["jobs_resumed"] += b.jobsResumed.Load()
+		fleetJobs["jobs_expired"] += b.jobsExpired.Load()
+		fleetJobs["stream_clients"] += b.streamClients.Load()
+		fleetJobs["fn_cache_hits"] += b.fnCacheHits.Load()
+		fleetJobs["fn_cache_misses"] += b.fnCacheMisses.Load()
 	}
 	draining := make([]string, 0, len(g.draining))
 	for id := range g.draining {
@@ -656,12 +936,14 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"start_time":          g.start.UTC().Format(time.RFC3339Nano),
 		"uptime_ms":           time.Since(g.start).Milliseconds(),
 		"backends":            bk,
+		"fleet":               fleetJobs,
 		"draining":            draining,
 		"reloads":             g.reloads.Load(),
 		"received":            g.received.Load(),
 		"dedupe_joins":        g.dedupeJoins.Load(),
 		"failovers":           g.failovers.Load(),
 		"shed":                g.shed.Load(),
+		"streams_proxied":     g.streams.Load(),
 		"inflight_total":      g.totalInflight.Load(),
 		"last_retry_after_ms": g.lastRetryMS.Load(),
 	})

@@ -7,8 +7,14 @@
 // Endpoints:
 //
 //	POST /optimize        — proxied to the owning backend (failover on error)
-//	POST /optimize/batch  — same routing, batch payloads
-//	GET  /healthz         — gateway + per-backend routing statistics
+//	POST /optimize/batch  — same routing, batch payloads (?job= passes through)
+//	POST /optimize/stream — NDJSON stream proxied unbuffered, flush per
+//	                        chunk; failover only before the first byte
+//	GET  /jobs/{id}        — buffered proxy; 404s walk the replicas (a job
+//	                        lives only on the backend that admitted it)
+//	GET  /jobs/{id}/stream — unbuffered resume stream, same 404 walk
+//	GET  /healthz         — gateway + per-backend routing statistics,
+//	                        including per-backend job and fn-cache gauges
 //	GET  /readyz          — 200 while at least one backend is admittable
 //	POST /admin/reload    — swap the backend set: {"backends": [...]}
 //
@@ -45,6 +51,7 @@ func main() {
 		backendsFile   = flag.String("backends-file", "", "file with one backend URL per line; SIGHUP re-reads it")
 		attemptTimeout = flag.Duration("attempt-timeout", DefaultAttemptTimeout, "per-backend attempt budget")
 		timeout        = flag.Duration("timeout", DefaultTimeout, "end-to-end budget per proxied request")
+		streamTimeout  = flag.Duration("stream-timeout", DefaultStreamTimeout, "end-to-end budget per proxied NDJSON stream")
 		healthInterval = flag.Duration("health-interval", DefaultHealthInterval, "per-backend /readyz polling period")
 		vnodes         = flag.Int("vnodes", fleet.DefaultVnodes, "virtual nodes per backend on the hash ring")
 		loadFactor     = flag.Float64("load-factor", DefaultLoadFactor, "bounded-load placement factor (<=1 disables)")
@@ -88,6 +95,7 @@ func main() {
 		LoadFactor:     *loadFactor,
 		AttemptTimeout: *attemptTimeout,
 		Timeout:        *timeout,
+		StreamTimeout:  *streamTimeout,
 		HealthInterval: *healthInterval,
 		Breaker: fleet.BreakerConfig{
 			FailureThreshold: *brkFailures,

@@ -29,6 +29,11 @@ const (
 	// BackendStalled delays every request by the configured stall before
 	// forwarding it — a drowning-but-alive node.
 	BackendStalled
+	// BackendCut forwards the request but severs the connection after a
+	// configured number of response bytes have been written — the
+	// mid-stream failure mode of long-lived responses (NDJSON streams): a
+	// client that got a valid prefix, then EOF before the trailer.
+	BackendCut
 )
 
 func (m BackendMode) String() string {
@@ -41,6 +46,8 @@ func (m BackendMode) String() string {
 		return "partitioned"
 	case BackendStalled:
 		return "stalled"
+	case BackendCut:
+		return "cut"
 	}
 	return "unknown"
 }
@@ -52,15 +59,17 @@ func (m BackendMode) String() string {
 // which is what makes a gateway's breaker see what a real outage looks
 // like. Test-only, like the Injector.
 type Backend struct {
-	next  atomic.Value // http.Handler; swappable for restart simulation
-	mode  atomic.Int32
-	stall atomic.Int64 // nanoseconds, for BackendStalled
+	next     atomic.Value // http.Handler; swappable for restart simulation
+	mode     atomic.Int32
+	stall    atomic.Int64 // nanoseconds, for BackendStalled
+	cutAfter atomic.Int64 // response bytes allowed through, for BackendCut
 
 	// Event counters for the soak's audit trail.
 	Passed      atomic.Int64 // requests forwarded untouched
 	Dropped     atomic.Int64 // connections killed without a response
 	Blackholed  atomic.Int64 // requests held until the caller gave up
 	StalledReqs atomic.Int64 // requests delayed then forwarded
+	CutReqs     atomic.Int64 // responses severed mid-body
 	Restarts    atomic.Int64 // kill-then-revive cycles completed
 }
 
@@ -118,6 +127,10 @@ func (b *Backend) Mode() BackendMode { return BackendMode(b.mode.Load()) }
 // SetStall sets the per-request delay used by BackendStalled.
 func (b *Backend) SetStall(d time.Duration) { b.stall.Store(int64(d)) }
 
+// SetCutAfter sets how many response bytes BackendCut lets through
+// before severing the connection.
+func (b *Backend) SetCutAfter(n int64) { b.cutAfter.Store(n) }
+
 func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch b.Mode() {
 	case BackendKilled:
@@ -151,9 +164,55 @@ func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			panic(http.ErrAbortHandler)
 		}
 		b.forward(w, r)
+	case BackendCut:
+		b.CutReqs.Add(1)
+		limit := b.cutAfter.Load()
+		if limit <= 0 {
+			limit = 256
+		}
+		// The wrapped handler writes through a byte-counting writer; once
+		// the allowance is spent the writer panics with ErrAbortHandler,
+		// which drops the connection mid-body: the client has a valid
+		// response prefix and then a hard EOF, exactly what a process
+		// dying mid-stream looks like.
+		b.forward(&cutWriter{w: w, left: limit}, r)
 	default:
 		b.Passed.Add(1)
 		b.forward(w, r)
+	}
+}
+
+// cutWriter passes writes through until its byte allowance is spent,
+// then kills the connection. It preserves Flusher so streaming handlers
+// behave identically up to the cut.
+type cutWriter struct {
+	w    http.ResponseWriter
+	left int64
+}
+
+func (c *cutWriter) Header() http.Header { return c.w.Header() }
+
+func (c *cutWriter) WriteHeader(status int) { c.w.WriteHeader(status) }
+
+func (c *cutWriter) Write(p []byte) (int, error) {
+	if c.left <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if int64(len(p)) > c.left {
+		// Sever mid-record: flush the allowed prefix first so the client
+		// sees a torn line, the hardest shape to resume from.
+		c.w.Write(p[:c.left])
+		c.left = 0
+		c.Flush()
+		panic(http.ErrAbortHandler)
+	}
+	c.left -= int64(len(p))
+	return c.w.Write(p)
+}
+
+func (c *cutWriter) Flush() {
+	if fl, ok := c.w.(http.Flusher); ok {
+		fl.Flush()
 	}
 }
 

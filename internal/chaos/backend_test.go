@@ -178,3 +178,56 @@ func TestBackendNilHandlerDropsUntilSet(t *testing.T) {
 		t.Fatalf("after SetHandler: %q", body)
 	}
 }
+
+// TestBackendCutSeversMidBody: the cut fault forwards the request, lets
+// the configured byte allowance through (flushed, so a streaming client
+// really receives it), then drops the connection — the client holds a
+// valid response prefix ending in a torn record, and then a hard error
+// instead of a trailer.
+func TestBackendCutSeversMidBody(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"type":"item","index":0}`+"\n")
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		io.WriteString(w, `{"type":"trailer","done":true}`+"\n")
+	})
+	b := NewBackend(inner)
+	b.SetMode(BackendCut)
+	b.SetCutAfter(26) // exactly the first record and its newline
+	ts := httptest.NewServer(b)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("cut backend refused the request outright: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatal("cut stream ended cleanly; want a severed connection after the prefix")
+	}
+	if got := string(body); got != `{"type":"item","index":0}`+"\n" {
+		t.Errorf("prefix = %q, want exactly the allowed bytes", got)
+	}
+	if b.CutReqs.Load() != 1 {
+		t.Errorf("cut counter = %d, want 1", b.CutReqs.Load())
+	}
+
+	// A second request with a mid-record allowance tears a line in half —
+	// the hardest resume shape: the prefix is not even valid NDJSON.
+	b.SetCutAfter(10)
+	resp2, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("cut backend refused the request outright: %v", err)
+	}
+	defer resp2.Body.Close()
+	body, err = io.ReadAll(resp2.Body)
+	if err == nil {
+		t.Fatal("torn stream ended cleanly")
+	}
+	if got := string(body); got != `{"type":"i` {
+		t.Errorf("torn prefix = %q, want the first 10 bytes", got)
+	}
+}

@@ -34,7 +34,12 @@ type batchResponse struct {
 	Results   []batchResult `json:"results"`
 	Error     string        `json:"error,omitempty"`
 	Kind      string        `json:"kind,omitempty"`
-	ElapsedMS int64         `json:"elapsed_ms"`
+	// JobID names the resumable job behind a ?job= batch; Pending counts
+	// items not yet complete when the response was cut (status 202) —
+	// follow up with GET /jobs/{id}.
+	JobID     string `json:"job_id,omitempty"`
+	Pending   int    `json:"pending,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
 }
 
 // batchBudget divides a batch's wall-clock budget among its items at
@@ -117,6 +122,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := len(mod.Funcs)
+	if r.URL.Query().Has("job") {
+		s.handleBatchJob(w, r, req, mod, lvl, start, seed)
+		return
+	}
 	if lvl >= overload.LevelCacheSingle {
 		// Degraded: a batch is the widest work unit the service accepts,
 		// so it is the first thing level 2 sheds — single requests and
@@ -206,4 +215,101 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = msSince(start)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatchJob is POST /optimize/batch?job=: the batch workload as a
+// resumable job. Submission is idempotent — the job is content-
+// addressed, so a client retrying a response it lost attaches to the
+// in-flight (or finished) job instead of admitting the work twice. The
+// handler waits for completion and answers the plain batch shape plus
+// job_id; if the job's runner generation is cut short first (drain,
+// shutdown) it answers 202 with the completed prefix and a pending
+// count, and the client follows up with GET /jobs/{id}.
+func (s *Server) handleBatchJob(w http.ResponseWriter, r *http.Request, req optimizeRequest, mod *textir.Module, lvl overload.Level, start time.Time, seed uint64) {
+	n := len(mod.Funcs)
+	fuel, verify := s.optionsFor(req, lvl)
+	units := s.unitsFor(req, mod, fuel, verify)
+	hdr := jobHeader{
+		Type: "header", Mode: req.Mode, Fuel: fuel, Verify: verify,
+		Canonical: req.Canonical, Created: time.Now(), Funcs: units,
+	}
+	hdr.ID = deriveJobID(hdr)
+	js := s.jobStore.get(hdr.ID)
+	if js == nil {
+		if !s.shedStream(w, n, lvl, start, seed) {
+			return
+		}
+		var created bool
+		js, created = s.createJob(hdr)
+		if created {
+			js.mu.Lock()
+			js.running = true
+			js.mu.Unlock()
+			s.startRunner(js, s.jobsCtx, nil, true)
+		} else {
+			// Lost a create race: the winner's admission stands, refund ours.
+			s.queued.Add(int64(-n))
+			s.requests.Add(int64(-n))
+			s.ensureRunner(js)
+		}
+	} else {
+		// A job loaded from a journal holds key-only records until
+		// resolved; without this an attach to a rebooted finished job
+		// would answer done with every item still pending.
+		if s.cache != nil {
+			s.resolveRecorded(js)
+		}
+		s.ensureRunner(js)
+	}
+
+	for {
+		_, done, running, notify := js.snapshotFollow(0)
+		if done || !running {
+			writeJSON(w, s.batchJobStatus(done), s.batchJobResponse(js, done, start))
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			// The client went away; the job keeps computing and the next
+			// submission or GET /jobs/{id} picks the results up.
+			return
+		}
+	}
+}
+
+func (s *Server) batchJobStatus(done bool) int {
+	if done {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
+}
+
+// batchJobResponse assembles the batch shape from a job's completed
+// items, in module order.
+func (s *Server) batchJobResponse(js *jobState, done bool, start time.Time) batchResponse {
+	js.mu.Lock()
+	n := len(js.hdr.Funcs)
+	resp := batchResponse{Functions: n, JobID: js.id, Results: make([]batchResult, 0, n)}
+	for i := 0; i < n; i++ {
+		out, ok := js.results[i]
+		if !ok {
+			resp.Pending++
+			continue
+		}
+		resp.Results = append(resp.Results, batchResult{
+			Name: js.hdr.Funcs[i].Name, Status: out.status, optimizeResponse: out.body,
+		})
+		switch {
+		case out.status == http.StatusOK && !out.body.FellBack && !out.body.Canceled:
+			resp.Optimized++
+		case out.status == http.StatusOK:
+			resp.FellBack++
+		default:
+			resp.Failed++
+		}
+	}
+	js.mu.Unlock()
+	resp.ElapsedMS = msSince(start)
+	return resp
 }

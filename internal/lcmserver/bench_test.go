@@ -122,6 +122,84 @@ func replayTrace(b *testing.B, s *Server, trace [][]byte) {
 	}
 }
 
+// BenchmarkFunctionCacheReplay measures what function-granular cache
+// keys buy on the canonical editing workload: a request for a module in
+// which exactly one function changed since the last request. cold is the
+// module-granular world — any edit invalidates everything, all n
+// functions recompute. edit replays the n-1 untouched functions from the
+// per-function cache and computes only the edited one; every iteration
+// is verified from the counters to be exactly n-1 hits and one miss.
+func BenchmarkFunctionCacheReplay(b *testing.B) {
+	const n = 8
+	funcs := make([]string, n)
+	for i := range funcs {
+		f := randprog.Generate(randprog.Config{
+			Seed: int64(i + 1), MaxDepth: 4, MaxItems: 4, MaxStmts: 6,
+			Vars: 10, Params: 4, MaxTrips: 4,
+		})
+		one := textir.PrintFunctions([]*ir.Function{f})
+		funcs[i] = strings.Replace(one, "func ", fmt.Sprintf("func fn%d_", i), 1)
+	}
+	module := strings.Join(funcs, "\n")
+	// editions[i] is the module with function 0 swapped for a fresh body
+	// no prior iteration has seen, so each request misses exactly once.
+	edition := func(i int) string {
+		f := randprog.Generate(randprog.Config{
+			Seed: int64(1000 + i), MaxDepth: 4, MaxItems: 4, MaxStmts: 6,
+			Vars: 10, Params: 4, MaxTrips: 4,
+		})
+		one := strings.Replace(textir.PrintFunctions([]*ir.Function{f}), "func ", "func fn0_", 1)
+		return one + "\n" + strings.Join(funcs[1:], "\n")
+	}
+	post := func(b *testing.B, s *Server, program string) {
+		b.Helper()
+		body, err := json.Marshal(map[string]string{"program": program})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/optimize", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("optimize answered %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	cfg := Config{Workers: 4, Queue: 64, Timeout: time.Minute, Quarantine: ""}
+
+	b.Run("cold", func(b *testing.B) {
+		cold := cfg
+		cold.CacheSize = -1
+		s := NewServer(cold)
+		defer s.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, s, module)
+		}
+	})
+	b.Run("edit", func(b *testing.B) {
+		s := NewServer(cfg)
+		defer s.Close()
+		post(b, s, module) // warm all n functions
+		editions := make([]string, b.N)
+		for i := range editions {
+			editions[i] = edition(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			before := s.Stats()
+			post(b, s, editions[i])
+			after := s.Stats()
+			if hits, misses := after.CacheHits-before.CacheHits, after.CacheMisses-before.CacheMisses; hits != n-1 || misses != 1 {
+				b.Fatalf("iteration %d: %d hits / %d misses, want %d/1 (only the edited function recomputes)",
+					i, hits, misses, n-1)
+			}
+		}
+	})
+}
+
 // BenchmarkWarmStart measures what the durable tier buys a rebooted
 // server: one iteration boots a server and replays the same trace, cold
 // over an empty cache directory (every program computes) versus warm

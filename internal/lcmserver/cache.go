@@ -91,6 +91,20 @@ func cacheKey(req optimizeRequest, fuel int, verify bool) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// fnCacheKey is the function-granular cache key: one function's
+// canonical printed body under the request's directives. The analyses
+// are intraprocedural — a function's placement decisions can never
+// depend on a neighbor — so this key is sound, and a one-function edit
+// to a large module invalidates exactly one entry. Keying on the
+// canonical print (not the raw request chunk) makes single, batch and
+// stream requests share entries for byte-different spellings of the
+// same function.
+func fnCacheKey(req optimizeRequest, fnSrc string, fuel int, verify bool) string {
+	r := req
+	r.Program = fnSrc
+	return cacheKey(r, fuel, verify)
+}
+
 // encodeOutcome flattens a cacheable (clean 200) outcome into the
 // payload bytes the durable tier and the peer-fill wire share.
 func encodeOutcome(out outcome) ([]byte, error) {

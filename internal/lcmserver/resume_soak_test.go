@@ -1,0 +1,265 @@
+package lcmserver
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lazycm/internal/chaos"
+	"lazycm/internal/lcmclient"
+)
+
+// soakModule is six strict-clean functions; "pinhole" is the one each
+// crashing generation pins in its worker hook so the kill provably lands
+// mid-batch with work still pending.
+const soakModule = diamond + `
+func alpha(a, b) {
+entry:
+  x = a + b
+  y = a + b
+  ret y
+}
+
+func beta(a, b) {
+entry:
+  x = a * b
+  y = a * b
+  ret y
+}
+
+func pinhole(a, b) {
+entry:
+  x = a - b
+  y = a - b
+  ret y
+}
+
+func gamma(a, b) {
+entry:
+  x = a + b
+  z = x * b
+  w = x * b
+  ret w
+}
+
+func delta(a, b) {
+entry:
+  p = a % b
+  q = a % b
+  print p
+  ret q
+}
+`
+
+// TestResumeSoakKillMidBatch is the crash-restart soak for resumable
+// streaming jobs: a client streams a six-function module through a
+// chaos proxy while the server behind it is killed mid-batch twice.
+// Each revived generation runs over the same journal and durable-cache
+// directories; the client cures every interruption by resuming the job.
+// The test proves, from counters, that no completed function was ever
+// recomputed, that per-item admission accounting balances inside every
+// server generation, and that the final module is byte-identical to an
+// uninterrupted run.
+//
+// Set LCM_RESUME_DIR to keep the journal and durable-cache directories
+// on disk for CI artifacts; otherwise they live in the test tempdir.
+func TestResumeSoakKillMidBatch(t *testing.T) {
+	jdir, cdir := t.TempDir(), t.TempDir()
+	if root := os.Getenv("LCM_RESUME_DIR"); root != "" {
+		jdir, cdir = filepath.Join(root, "journal"), filepath.Join(root, "cache")
+		for _, d := range []string{jdir, cdir} {
+			// A stale journal from a previous run would let the job attach
+			// to an already-finished generation and skew every counter.
+			if err := os.RemoveAll(d); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const n = 6
+
+	// Reference result from an untouched node. Created before the
+	// goroutine baseline: it outlives the soak (cleaned up by t.Cleanup),
+	// so its pool must not count against the leak check.
+	_, refTS := newTestServer(t, Config{Quarantine: ""})
+	code, want := postOptimize(t, refTS, optimizeRequest{Program: soakModule})
+	if code != 200 {
+		t.Fatalf("reference optimize: %d", code)
+	}
+	baseline := runtime.NumGoroutine()
+
+	mkServer := func(pin chan struct{}) *Server {
+		cfg := Config{Workers: 2, Queue: 16, JournalDir: jdir, CacheDir: cdir, Quarantine: ""}
+		if pin != nil {
+			cfg.hook = func(req optimizeRequest) {
+				if strings.Contains(req.Program, "func pinhole(") {
+					<-pin
+				}
+			}
+		}
+		return NewServer(cfg)
+	}
+
+	// The chaos proxy owns the only listener: server generations swap in
+	// behind a stable URL, exactly like a process restarting on its port.
+	proxy := chaos.NewBackend(nil)
+	ts := httptest.NewServer(proxy)
+	defer ts.Close()
+
+	releaseA := make(chan struct{})
+	a := mkServer(releaseA)
+	proxy.SetHandler(a.Handler())
+
+	// crash kills the node (new connections drop, live streams sever) and
+	// then shuts the server down; the pinned worker is released only once
+	// the job context is dead, so its item always ends canceled-pending.
+	crash := func(s *Server, release chan struct{}) Stats {
+		proxy.SetMode(chaos.BackendKilled)
+		ts.CloseClientConnections()
+		closed := make(chan struct{})
+		go func() { s.Close(); close(closed) }()
+		waitFor(t, func() bool { return s.jobsCtx.Err() != nil })
+		close(release)
+		<-closed
+		return s.Stats()
+	}
+	revive := func(pin chan struct{}) *Server {
+		s := mkServer(pin)
+		proxy.SetHandler(s.Handler())
+		proxy.SetMode(chaos.BackendHealthy)
+		return s
+	}
+
+	// The client under test: real backoff, enough attempts to ride out
+	// each revive window, budget far beyond the whole soak.
+	client := &lcmclient.Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 12,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		Budget:      30 * time.Second,
+	}
+	var mu sync.Mutex
+	seen := 0
+	seenCh := make(chan int, n)
+	type streamOut struct {
+		res *lcmclient.StreamResult
+		err error
+	}
+	outCh := make(chan streamOut, 1)
+	go func() {
+		res, err := client.StreamBatch(nil, lcmclient.Request{Program: soakModule}, lcmclient.StreamOptions{
+			Resumable: true,
+			OnItem: func(lcmclient.StreamItem) {
+				mu.Lock()
+				seen++
+				seenCh <- seen
+				mu.Unlock()
+			},
+		})
+		outCh <- streamOut{res, err}
+	}()
+	waitSeen := func(k int) {
+		t.Helper()
+		deadline := time.After(20 * time.Second)
+		for {
+			select {
+			case s := <-seenCh:
+				if s >= k {
+					return
+				}
+			case out := <-outCh:
+				t.Fatalf("stream ended early (seen<%d): res=%+v err=%v", k, out.res, out.err)
+			case <-deadline:
+				t.Fatalf("soak stalled waiting for %d items", k)
+			}
+		}
+	}
+
+	// Generation A: kill once at least two functions have streamed back.
+	waitSeen(2)
+	aStats := crash(a, releaseA)
+	if sum := aStats.Optimized + aStats.FellBack + aStats.Canceled + aStats.Invalid + aStats.Panics; sum != aStats.Requests {
+		t.Errorf("gen A outcome sum %d != requests %d", sum, aStats.Requests)
+	}
+	aDone := aStats.Optimized
+	if aDone < 2 || aDone > n-1 {
+		t.Errorf("gen A optimized %d, want within [2,%d] (pinhole can never finish there)", aDone, n-1)
+	}
+
+	// Generation B: same journal, same pin. It must adopt every function
+	// A finished straight from the durable cache and compute only fresh
+	// ones; the second kill lands once everything but pinhole is done.
+	releaseB := make(chan struct{})
+	b := revive(releaseB)
+	// Don't pull the rug until the client has actually resumed onto B and
+	// everything except the pinned function has streamed back — otherwise
+	// the whole generation can fit inside one client backoff window.
+	waitFor(t, func() bool { return b.Stats().StreamClients >= 1 })
+	waitSeen(n - 1)
+	bStats := crash(b, releaseB)
+	if bStats.JobsResumed != 1 {
+		t.Errorf("gen B jobs_resumed = %d, want 1", bStats.JobsResumed)
+	}
+	if bStats.CacheHits != aDone {
+		t.Errorf("gen B cache hits = %d, want %d (every gen-A completion adopted, none recomputed)", bStats.CacheHits, aDone)
+	}
+	if bStats.Optimized != int64(n-1)-aDone {
+		t.Errorf("gen B optimized = %d, want %d", bStats.Optimized, int64(n-1)-aDone)
+	}
+	if sum := bStats.Optimized + bStats.FellBack + bStats.Canceled + bStats.Invalid + bStats.Panics; sum != bStats.Requests {
+		t.Errorf("gen B outcome sum %d != requests %d", sum, bStats.Requests)
+	}
+
+	// Generation C: no pin. It adopts the n-1 journaled completions and
+	// computes exactly the one function no generation ever finished.
+	c := revive(nil)
+	out := <-outCh
+	if out.err != nil {
+		t.Fatalf("StreamBatch: %v", out.err)
+	}
+	res := out.res
+	cStats := c.Stats()
+	if cStats.JobsResumed != 1 {
+		t.Errorf("gen C jobs_resumed = %d, want 1", cStats.JobsResumed)
+	}
+	if cStats.CacheHits != n-1 || cStats.Optimized != 1 || cStats.Requests != 1 {
+		t.Errorf("gen C hits/optimized/requests = %d/%d/%d, want %d/1/1",
+			cStats.CacheHits, cStats.Optimized, cStats.Requests, n-1)
+	}
+	if total := aStats.Optimized + bStats.Optimized + cStats.Optimized; total != n {
+		t.Errorf("functions computed across generations = %d, want %d (each exactly once)", total, n)
+	}
+
+	// Client-visible contract: every interruption was cured by resuming,
+	// and the result is indistinguishable from an uninterrupted run.
+	if res.Reconnects < 2 {
+		t.Errorf("reconnects = %d, want >= 2 (two kills were injected)", res.Reconnects)
+	}
+	if res.Functions != n || res.Optimized != n || res.Failed != 0 {
+		t.Errorf("stream result %d/%d optimized, %d failed; want %d/%d and 0", res.Optimized, res.Functions, res.Failed, n, n)
+	}
+	if res.Program != want.Program {
+		t.Errorf("resumed module diverges from uninterrupted run:\n got: %q\nwant: %q", res.Program, want.Program)
+	}
+	if res.JobID == "" {
+		t.Fatal("no job ID on a resumable stream")
+	}
+	if _, recs, finished, err := readJournal(filepath.Join(jdir, res.JobID+journalExt)); err != nil || !finished || len(recs) != n {
+		t.Errorf("final journal: records=%d finished=%v err=%v; want %d/true/nil", len(recs), finished, err, n)
+	}
+	// Everything drains: no follower, runner, or connection goroutines
+	// survive the soak. The proxy listener closes first (severing idle
+	// client connections), then the final server generation.
+	waitFor(t, func() bool { return c.Stats().StreamClients == 0 })
+	ts.Close()
+	c.Close()
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+5 })
+}

@@ -106,6 +106,19 @@ type Config struct {
 	// at level 1 or above, trading optimization effort for throughput.
 	// 0 means DefaultDegradedFuel; negative disables the shrink.
 	DegradedFuel int
+	// JournalDir, when non-empty, makes ?job= batch/stream work durable:
+	// each job writes a write-ahead journal here (header + per-function
+	// completion records, via internal/atomicio) and a restarted server
+	// re-admits unfinished jobs, serving already-completed functions from
+	// the durable cache without recomputation. "" keeps jobs in-memory
+	// only (they still survive client disconnects, not process death).
+	JournalDir string
+	// JobTTL is how long a journaled job may age before boot expires it;
+	// 0 means DefaultJobTTL.
+	JobTTL time.Duration
+	// StreamHeartbeat is the keep-alive cadence on NDJSON streams while
+	// no item completes; 0 means DefaultStreamHeartbeat.
+	StreamHeartbeat time.Duration
 	// Chaos, when non-nil, injects service-level faults (latency, worker
 	// stalls, induced panics, buggy passes, cache corruption) into the
 	// request path. Test-only: never set it on a production server.
@@ -186,6 +199,14 @@ type Server struct {
 	ladder *overload.Ladder
 	gauge  *overload.Gauge
 
+	// jobStore registers resumable batch/stream jobs; jobsCtx parents
+	// every persisted job runner and jobsWG tracks them, so Close can
+	// stop runners before the worker channel closes.
+	jobStore   *jobStore
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+	jobsWG     sync.WaitGroup
+
 	draining    atomic.Bool
 	queued      atomic.Int64
 	inflight    atomic.Int64
@@ -205,6 +226,11 @@ type Server struct {
 	peerHits     atomic.Int64 // local misses served by a fleet peer's cache
 	peerMisses   atomic.Int64 // peer consults that found nothing usable
 	peerServed   atomic.Int64 // GET /cache hits served to fleet peers
+
+	jobsActive    atomic.Int64 // gauge: job runner generations in flight
+	jobsResumed   atomic.Int64 // unfinished journaled jobs re-admitted at boot
+	jobsExpired   atomic.Int64 // journals expired (TTL) or dropped (undecodable) at boot
+	streamClients atomic.Int64 // gauge: NDJSON followers currently connected
 }
 
 // NewServer builds the service and starts its worker pool.
@@ -235,19 +261,33 @@ func NewServer(cfg Config) *Server {
 		// partial .ir; sweep them before the first new capture.
 		atomicio.SweepTmp(cfg.Quarantine)
 	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+	s.jobStore = newJobStore(cfg.JournalDir, cfg.JobTTL)
+	resumable := s.bootJobs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	// Re-admit unfinished journaled jobs only once the workers exist:
+	// their completed functions replay from the durable cache, the rest
+	// recompute, and their clients reconnect by job ID whenever they like.
+	for _, js := range resumable {
+		s.jobsResumed.Add(1)
+		s.ensureRunner(js)
 	}
 	return s
 }
 
 // Handler returns the HTTP surface: POST /optimize, POST /optimize/batch,
-// GET /healthz and GET /readyz.
+// POST /optimize/stream, GET /jobs/{id}[/stream], GET /healthz and
+// GET /readyz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /optimize/batch", s.handleBatch)
+	mux.HandleFunc("POST /optimize/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleJobStream)
 	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -258,10 +298,15 @@ func (s *Server) Handler() http.Handler {
 // rejected with 503 + Retry-After while in-flight work completes.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
-// Close stops the worker pool. It must be called only after every HTTP
-// handler has returned (http.Server.Shutdown or httptest.Server.Close),
-// since handlers enqueue into the pool.
+// Close stops the job runners, then the worker pool. It must be called
+// only after every HTTP handler has returned (http.Server.Shutdown or
+// httptest.Server.Close), since handlers enqueue into the pool. Runner
+// goroutines also enqueue, so they are stopped and drained strictly
+// before the channel closes; a persisted job cut short here stays
+// journaled and resumes on the next boot.
 func (s *Server) Close() {
+	s.jobsCancel()
+	s.jobsWG.Wait()
 	close(s.jobs)
 	s.wg.Wait()
 }
@@ -456,24 +501,38 @@ func (s *Server) optionsFor(req optimizeRequest, lvl overload.Level) (fuel int, 
 
 // probeCache serves a request straight from the result cache without
 // touching the admission queue — the degraded-mode path that keeps
-// popular inputs answered even while new work sheds. The hit is
-// accounted exactly like an admitted, optimized request so the outcome
+// popular inputs answered even while new work sheds. The cache is
+// function-granular, so the probe parses the program (cheap next to the
+// pipeline) and answers only when every function hits; a partial hit is
+// a miss and counts nothing, keeping the hit counters exact. A full hit
+// is accounted like an admitted, optimized request so the outcome
 // counters keep balancing.
 func (s *Server) probeCache(req optimizeRequest, fuel int, verify bool) (outcome, bool) {
 	if s.cache == nil {
 		return outcome{}, false
 	}
-	out, ok, corrupted := s.cache.get(cacheKey(req, fuel, verify))
-	if corrupted {
-		s.cacheCorrupt.Add(1)
-	}
-	if !ok {
+	fns, err := textir.Parse(req.Program)
+	if err != nil || len(fns) == 0 {
 		return outcome{}, false
 	}
-	s.cacheHits.Add(1)
+	resp := optimizeResponse{Functions: len(fns)}
+	parts := make([]string, 0, len(fns))
+	for _, f := range fns {
+		out, ok, corrupted := s.cache.get(fnCacheKey(req, f.String(), fuel, verify))
+		if corrupted {
+			s.cacheCorrupt.Add(1)
+		}
+		if !ok {
+			return outcome{}, false
+		}
+		parts = append(parts, out.body.Program)
+		resp.Applied = append(resp.Applied, out.body.Applied...)
+	}
+	s.cacheHits.Add(int64(len(fns)))
 	s.requests.Add(1)
 	s.optimized.Add(1)
-	return out, true
+	resp.Program = strings.Join(parts, "\n")
+	return outcome{http.StatusOK, resp}, true
 }
 
 // handleCacheGet serves one content-addressed cache entry to a fleet
@@ -592,18 +651,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// start_time + uptime_ms together let an operator (or a soak)
 		// distinguish a warm restart from a long-running process: a young
 		// uptime with a populated disk tier is a warm boot.
-		"start_time":          s.start.UTC().Format(time.RFC3339Nano),
-		"uptime_ms":           time.Since(s.start).Milliseconds(),
-		"requests":            s.requests.Load(),
-		"optimized":           s.optimized.Load(),
-		"fell_back":           s.fellBack.Load(),
-		"canceled":            s.canceled.Load(),
-		"invalid":             s.invalid.Load(),
-		"shed":                s.shed.Load(),
-		"panics":              s.panics.Load(),
-		"quarantined":         s.quarantined.Load(),
-		"cache_hits":          s.cacheHits.Load(),
-		"cache_misses":        s.cacheMisses.Load(),
+		"start_time":   s.start.UTC().Format(time.RFC3339Nano),
+		"uptime_ms":    time.Since(s.start).Milliseconds(),
+		"requests":     s.requests.Load(),
+		"optimized":    s.optimized.Load(),
+		"fell_back":    s.fellBack.Load(),
+		"canceled":     s.canceled.Load(),
+		"invalid":      s.invalid.Load(),
+		"shed":         s.shed.Load(),
+		"panics":       s.panics.Load(),
+		"quarantined":  s.quarantined.Load(),
+		"cache_hits":   s.cacheHits.Load(),
+		"cache_misses": s.cacheMisses.Load(),
+		// fn_cache_* are the function-granular aliases: the cache is keyed
+		// per function, so hits/misses count functions, not requests.
+		"fn_cache_hits":       s.cacheHits.Load(),
+		"fn_cache_misses":     s.cacheMisses.Load(),
+		"jobs_active":         s.jobsActive.Load(),
+		"jobs_resumed":        s.jobsResumed.Load(),
+		"jobs_expired":        s.jobsExpired.Load(),
+		"stream_clients":      s.streamClients.Load(),
 		"cache_entries":       s.cache.len(),
 		"cache_corrupt":       s.cacheCorrupt.Load(),
 		"disk_entries":        s.disk().Len(),
@@ -661,6 +728,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"ready":         ready,
 		"draining":      s.draining.Load(),
 		"degrade_level": int(lvl),
+		// The job/stream gauges ride on the probe so a gateway can fold
+		// them into its fleet healthz view without a second request.
+		"jobs_active":     s.jobsActive.Load(),
+		"jobs_resumed":    s.jobsResumed.Load(),
+		"jobs_expired":    s.jobsExpired.Load(),
+		"stream_clients":  s.streamClients.Load(),
+		"fn_cache_hits":   s.cacheHits.Load(),
+		"fn_cache_misses": s.cacheMisses.Load(),
 	})
 }
 
@@ -690,6 +765,10 @@ type Stats struct {
 	PeerHits       int64
 	PeerMisses     int64
 	PeerServed     int64
+	JobsActive     int64
+	JobsResumed    int64
+	JobsExpired    int64
+	StreamClients  int64
 	Queued         int64
 	Inflight       int64
 }
@@ -716,6 +795,10 @@ func (s *Server) Stats() Stats {
 		PeerHits:       s.peerHits.Load(),
 		PeerMisses:     s.peerMisses.Load(),
 		PeerServed:     s.peerServed.Load(),
+		JobsActive:     s.jobsActive.Load(),
+		JobsResumed:    s.jobsResumed.Load(),
+		JobsExpired:    s.jobsExpired.Load(),
+		StreamClients:  s.streamClients.Load(),
 		Queued:         s.queued.Load(),
 		Inflight:       s.inflight.Load(),
 	}
@@ -831,39 +914,6 @@ func (s *Server) process(j *job, sc *dataflow.Scratch) outcome {
 }
 
 func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
-	// Cache consult. Keyed on everything that determines the result
-	// (program, mode, effective fuel, effective verify, canonical), so a
-	// hit replays a byte-identical response. Only clean successes are ever
-	// stored (see the final return), so fallbacks keep re-executing and
-	// keep their quarantine side effects.
-	var key string
-	if s.cache != nil {
-		key = cacheKey(j.req, j.fuel, j.verify)
-		out, ok, corrupted := s.cache.get(key)
-		if corrupted {
-			s.cacheCorrupt.Add(1)
-		}
-		if ok {
-			s.cacheHits.Add(1)
-			return out
-		}
-		// Every local tier missed: ask the key's ring-owner neighbors
-		// before paying for the pipeline. Strictly fail-open — a nil
-		// payload or an undecodable one just means computing locally,
-		// exactly as if the tier did not exist.
-		if s.peers != nil {
-			if payload := s.peers.fetch(j.ctx, key); payload != nil {
-				if out, ok := decodeOutcome(payload); ok {
-					s.peerHits.Add(1)
-					s.cache.putPayload(key, out, payload)
-					return out
-				}
-			}
-			s.peerMisses.Add(1)
-		}
-		s.cacheMisses.Add(1)
-	}
-
 	fns, err := textir.Parse(j.req.Program)
 	if err != nil {
 		return outcome{http.StatusBadRequest, optimizeResponse{
@@ -875,6 +925,48 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 			Error: "no functions in program", Kind: "parse",
 		}}
 	}
+	passes, opts := s.pipelineFor(j, sc)
+
+	// Function-granular cache-or-compute. LCM's analyses are
+	// intraprocedural, so each function's outcome is a pure function of
+	// its own body plus the resolved directives — one edited function in
+	// a large module misses alone while its neighbors replay, and a
+	// module request shares cache entries with batch/stream items that
+	// carry the same functions.
+	resp := optimizeResponse{Functions: len(fns)}
+	parts := make([]string, 0, len(fns))
+	for _, f := range fns {
+		u, fail := s.optimizeFn(j, f, passes, opts)
+		if fail != nil {
+			return *fail
+		}
+		parts = append(parts, u.body.Program)
+		resp.Applied = append(resp.Applied, u.body.Applied...)
+		resp.Diagnostics = append(resp.Diagnostics, u.body.Diagnostics...)
+		if u.body.FellBack {
+			resp.FellBack = true
+			if resp.Quarantined == "" {
+				resp.Quarantined = u.body.Quarantined
+			}
+		}
+		if u.body.Canceled {
+			resp.Canceled = true
+			break // the shared deadline is gone; later functions would only repeat it
+		}
+	}
+	resp.Program = strings.Join(parts, "\n")
+
+	if resp.Canceled {
+		resp.Error = "deadline exceeded during optimization"
+		resp.Kind = "deadline"
+		return outcome{http.StatusGatewayTimeout, resp}
+	}
+	return outcome{http.StatusOK, resp}
+}
+
+// pipelineFor builds the pass list and options one job runs under,
+// including the chaos fault pass when injection is on.
+func (s *Server) pipelineFor(j *job, sc *dataflow.Scratch) ([]pipeline.Pass, pipeline.Options) {
 	pass, _ := pipeline.ForMode(j.req.Mode)
 	opts := pipeline.Options{
 		Fuel:      j.fuel,
@@ -897,56 +989,81 @@ func (s *Server) optimize(j *job, sc *dataflow.Scratch) outcome {
 			})
 		}
 	}
+	return passes, opts
+}
 
-	resp := optimizeResponse{Functions: len(fns)}
-	outs := make([]*ir.Function, 0, len(fns))
-	canceled := false
-	for _, f := range fns {
-		res, err := pipeline.Run(f, passes, opts)
-		if err != nil {
-			if errors.Is(err, pipeline.ErrInvalidInput) {
-				return outcome{http.StatusBadRequest, optimizeResponse{
-					Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "invalid",
-				}}
+// optimizeFn runs one function through cache-or-compute: consult the
+// function-granular key (memory → disk → peers), run the pipeline on a
+// full miss, store only clean results. The second return, when non-nil,
+// is a whole-request failure (invalid input or an escaped pipeline
+// error) that aborts the surrounding module, mirroring the pre-split
+// behavior.
+func (s *Server) optimizeFn(j *job, f *ir.Function, passes []pipeline.Pass, opts pipeline.Options) (outcome, *outcome) {
+	src := f.String()
+	var key string
+	if s.cache != nil {
+		key = fnCacheKey(j.req, src, j.fuel, j.verify)
+		out, ok, corrupted := s.cache.get(key)
+		if corrupted {
+			s.cacheCorrupt.Add(1)
+		}
+		if ok {
+			s.cacheHits.Add(1)
+			return out, nil
+		}
+		// Every local tier missed: ask the key's ring-owner neighbors
+		// before paying for the pipeline. Strictly fail-open — a nil
+		// payload or an undecodable one just means computing locally,
+		// exactly as if the tier did not exist.
+		if s.peers != nil {
+			if payload := s.peers.fetch(j.ctx, key); payload != nil {
+				if out, ok := decodeOutcome(payload); ok {
+					s.peerHits.Add(1)
+					s.cache.putPayload(key, out, payload)
+					return out, nil
+				}
 			}
-			return outcome{http.StatusInternalServerError, optimizeResponse{
-				Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "panic",
+			s.peerMisses.Add(1)
+		}
+		s.cacheMisses.Add(1)
+	}
+
+	res, err := pipeline.Run(f, passes, opts)
+	if err != nil {
+		if errors.Is(err, pipeline.ErrInvalidInput) {
+			return outcome{}, &outcome{http.StatusBadRequest, optimizeResponse{
+				Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "invalid",
 			}}
 		}
-		// Whatever happened, res.F is validated: the optimized function,
-		// or the last-known-good fallback (ultimately the input clone).
-		outs = append(outs, res.F)
-		resp.Applied = append(resp.Applied, res.Applied...)
-		if res.FellBack() {
-			resp.Diagnostics = append(resp.Diagnostics, res.Diagnostics()...)
-			if res.Canceled() {
-				canceled = true
-				break // the shared deadline is gone; later functions would only repeat it
-			}
-			resp.FellBack = true
+		return outcome{}, &outcome{http.StatusInternalServerError, optimizeResponse{
+			Error: fmt.Sprintf("%s: %v", f.Name, err), Kind: "panic",
+		}}
+	}
+	// Whatever happened, res.F is validated: the optimized function, or
+	// the last-known-good fallback (ultimately the input clone).
+	body := optimizeResponse{Program: res.F.String(), Functions: 1, Applied: res.Applied}
+	if res.FellBack() {
+		body.Diagnostics = res.Diagnostics()
+		if res.Canceled() {
+			body.Canceled = true
+		} else {
+			body.FellBack = true
+			// A fallback means some pass faulted on this function: capture
+			// exactly the faulting function so failures under load become
+			// minimal regression seeds.
+			qreq := j.req
+			qreq.Program = src
+			body.Quarantined = s.quarantine(qreq, j.fuel, j.verify)
 		}
 	}
-	resp.Program = textir.PrintFunctions(outs)
-
-	if canceled {
-		resp.Canceled = true
-		resp.Error = "deadline exceeded during optimization"
-		resp.Kind = "deadline"
-		return outcome{http.StatusGatewayTimeout, resp}
-	}
-	if resp.FellBack {
-		// A fallback means some pass faulted on this input: capture it so
-		// failures under load become regression seeds.
-		resp.Quarantined = s.quarantine(j.req, j.fuel, j.verify)
-	}
-	out := outcome{http.StatusOK, resp}
-	if s.cache != nil && !resp.FellBack {
-		// Only clean 200s are cacheable: the outcome is then a pure
-		// function of the key. (Cancellations returned above depend on the
-		// request deadline; fallbacks must keep quarantining.)
+	out := outcome{http.StatusOK, body}
+	if s.cache != nil && !body.FellBack && !body.Canceled {
+		// Only clean successes are cacheable: the outcome is then a pure
+		// function of the key. (Cancellations depend on the request
+		// deadline; fallbacks must keep quarantining.)
 		s.cache.put(key, out)
 	}
-	return out
+	return out, nil
 }
 
 // quarantine captures a faulting input in the configured directory as a
