@@ -59,12 +59,20 @@ func BenchmarkT3bRegisterPressure(b *testing.B) {
 	reportOnce(b, func() *exp.Report { return exp.T3bRegisterPressure(10, []int{4, 8}) })
 }
 
+// T4/T4b benchmark the analyses, so the program workload is generated
+// once outside the timed region — the same fixed-workload discipline as
+// BenchmarkLCMAnalyze and BenchmarkSolveScratch. (reportOnce resets the
+// timer after its display run, so generation here is never timed.)
 func BenchmarkT4SolverCost(b *testing.B) {
-	reportOnce(b, func() *exp.Report { return exp.T4SolverCost([]int{1, 2, 3}, 5) })
+	sizes := []int{1, 2, 3}
+	progs := exp.T4Programs(sizes, 5)
+	reportOnce(b, func() *exp.Report { return exp.T4SolverCostOn(sizes, progs) })
 }
 
 func BenchmarkT4bSolverCostBlockLevel(b *testing.B) {
-	reportOnce(b, func() *exp.Report { return exp.T4bSolverCostBlockLevel([]int{1, 2, 3}, 5) })
+	sizes := []int{1, 2, 3}
+	progs := exp.T4Programs(sizes, 5)
+	reportOnce(b, func() *exp.Report { return exp.T4bSolverCostBlockLevelOn(sizes, progs) })
 }
 
 func BenchmarkT5LoopInvariant(b *testing.B) {
@@ -146,9 +154,14 @@ func BenchmarkSolveScratch(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc}); err != nil {
+				a, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc})
+				if err != nil {
 					b.Fatal(err)
 				}
+				// Releasing is the point: without it the six retained
+				// predicate matrices can never recycle and the arena
+				// degenerates to fresh allocation (the old scaling cliff).
+				a.Release()
 			}
 		})
 	}
@@ -218,6 +231,51 @@ func BenchmarkRandProgGenerate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = randprog.ForSeed(int64(i))
+	}
+}
+
+// TestScratchAllocReduction pins the arena contract as a hard floor, not
+// a benchmark eyeball: a released analysis on a warm shared arena must
+// allocate at least 3× less than a fresh one. (The flat matrix layout
+// already makes "fresh" cheap — tens of allocations, not thousands — and
+// the warm arena's remaining allocations are dominated by the sliced
+// strategy's worker goroutines, which are spawned per solve by design.)
+// If a matrix stops being released, or a new per-call allocation sneaks
+// into the steady-state path, this fails long before anyone reads a
+// benchmark delta.
+func TestScratchAllocReduction(t *testing.T) {
+	f, err := textir.ParseFunction(sizedProgram(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := f.Clone()
+	graph.SplitCriticalEdges(clone)
+	u := props.Collect(clone)
+	g := nodes.Build(clone, u)
+
+	fresh := testing.AllocsPerRun(5, func() {
+		if _, err := lcm.Analyze(g); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	sc := dataflow.NewScratch()
+	warm, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+	reused := testing.AllocsPerRun(5, func() {
+		a, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Release()
+	})
+
+	t.Logf("allocs/op: fresh=%.0f, warm arena=%.0f", fresh, reused)
+	if reused > fresh/3 {
+		t.Errorf("warm arena allocates %.0f/op vs %.0f/op fresh; want at least a 3x reduction", reused, fresh)
 	}
 }
 

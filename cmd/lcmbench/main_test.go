@@ -57,3 +57,26 @@ func TestParseBenchEmpty(t *testing.T) {
 		t.Fatalf("got %v, %v; want empty, nil", got, err)
 	}
 }
+
+// TestBestOf pins the min-of-N reduction of a -count repeated core pass:
+// per name, the fastest record survives and ordering follows first
+// appearance.
+func TestBestOf(t *testing.T) {
+	in := []benchResult{
+		{Name: "A", NsPerOp: 300, AllocsPerOp: 7},
+		{Name: "B", NsPerOp: 50},
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 7},
+		{Name: "A", NsPerOp: 200, AllocsPerOp: 7},
+		{Name: "B", NsPerOp: 80},
+	}
+	got := bestOf(in)
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(got), got)
+	}
+	if got[0].Name != "A" || got[0].NsPerOp != 100 || got[0].AllocsPerOp != 7 {
+		t.Errorf("A: got %+v, want fastest run (100 ns/op)", got[0])
+	}
+	if got[1].Name != "B" || got[1].NsPerOp != 50 {
+		t.Errorf("B: got %+v, want fastest run (50 ns/op)", got[1])
+	}
+}

@@ -122,6 +122,11 @@ type backend struct {
 	streamClients atomic.Int64
 	fnCacheHits   atomic.Int64
 	fnCacheMisses atomic.Int64
+	// Solver-core telemetry: how often the backend's data-flow solver
+	// engaged its parallel word-sliced and sparse-worklist fast paths.
+	// The chaos soak asserts these advance fleet-wide under load.
+	solverSlices      atomic.Int64
+	solverSparseSkips atomic.Int64
 
 	// gone closes when the backend leaves the fleet, stopping its
 	// health loop without touching the gateway-wide stop channel.
@@ -873,14 +878,16 @@ func (g *Gateway) probe(b *backend) {
 	}
 	defer resp.Body.Close()
 	var status struct {
-		Ready         bool  `json:"ready"`
-		DegradeLevel  int   `json:"degrade_level"`
-		JobsActive    int64 `json:"jobs_active"`
-		JobsResumed   int64 `json:"jobs_resumed"`
-		JobsExpired   int64 `json:"jobs_expired"`
-		StreamClients int64 `json:"stream_clients"`
-		FnCacheHits   int64 `json:"fn_cache_hits"`
-		FnCacheMisses int64 `json:"fn_cache_misses"`
+		Ready                bool  `json:"ready"`
+		DegradeLevel         int   `json:"degrade_level"`
+		JobsActive           int64 `json:"jobs_active"`
+		JobsResumed          int64 `json:"jobs_resumed"`
+		JobsExpired          int64 `json:"jobs_expired"`
+		StreamClients        int64 `json:"stream_clients"`
+		FnCacheHits          int64 `json:"fn_cache_hits"`
+		FnCacheMisses        int64 `json:"fn_cache_misses"`
+		SolverParallelSlices int64 `json:"solver_parallel_slices"`
+		SolverSparseSkips    int64 `json:"solver_sparse_skips"`
 	}
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&status)
 	b.ready.Store(resp.StatusCode == http.StatusOK)
@@ -891,6 +898,8 @@ func (g *Gateway) probe(b *backend) {
 	b.streamClients.Store(status.StreamClients)
 	b.fnCacheHits.Store(status.FnCacheHits)
 	b.fnCacheMisses.Store(status.FnCacheMisses)
+	b.solverSlices.Store(status.SolverParallelSlices)
+	b.solverSparseSkips.Store(status.SolverSparseSkips)
 	b.breaker.Record(true)
 	g.logf("probe backend=%s status=%d ready=%v degrade=%d", b.id, resp.StatusCode, resp.StatusCode == http.StatusOK, status.DegradeLevel)
 }
@@ -902,21 +911,23 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	for _, id := range g.ids {
 		b := g.backends[id]
 		bk[id] = map[string]any{
-			"breaker":         b.breaker.State().String(),
-			"breaker_opened":  b.breaker.Opened(),
-			"ready":           b.ready.Load(),
-			"degrade_level":   b.degrade.Load(),
-			"inflight":        b.inflight.Load(),
-			"routed":          b.routed.Load(),
-			"succeeded":       b.succeeded.Load(),
-			"failed":          b.failed.Load(),
-			"probes":          b.probes.Load(),
-			"jobs_active":     b.jobsActive.Load(),
-			"jobs_resumed":    b.jobsResumed.Load(),
-			"jobs_expired":    b.jobsExpired.Load(),
-			"stream_clients":  b.streamClients.Load(),
-			"fn_cache_hits":   b.fnCacheHits.Load(),
-			"fn_cache_misses": b.fnCacheMisses.Load(),
+			"breaker":                b.breaker.State().String(),
+			"breaker_opened":         b.breaker.Opened(),
+			"ready":                  b.ready.Load(),
+			"degrade_level":          b.degrade.Load(),
+			"inflight":               b.inflight.Load(),
+			"routed":                 b.routed.Load(),
+			"succeeded":              b.succeeded.Load(),
+			"failed":                 b.failed.Load(),
+			"probes":                 b.probes.Load(),
+			"jobs_active":            b.jobsActive.Load(),
+			"jobs_resumed":           b.jobsResumed.Load(),
+			"jobs_expired":           b.jobsExpired.Load(),
+			"stream_clients":         b.streamClients.Load(),
+			"fn_cache_hits":          b.fnCacheHits.Load(),
+			"fn_cache_misses":        b.fnCacheMisses.Load(),
+			"solver_parallel_slices": b.solverSlices.Load(),
+			"solver_sparse_skips":    b.solverSparseSkips.Load(),
 		}
 		fleetJobs["jobs_active"] += b.jobsActive.Load()
 		fleetJobs["jobs_resumed"] += b.jobsResumed.Load()
@@ -924,6 +935,8 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fleetJobs["stream_clients"] += b.streamClients.Load()
 		fleetJobs["fn_cache_hits"] += b.fnCacheHits.Load()
 		fleetJobs["fn_cache_misses"] += b.fnCacheMisses.Load()
+		fleetJobs["solver_parallel_slices"] += b.solverSlices.Load()
+		fleetJobs["solver_sparse_skips"] += b.solverSparseSkips.Load()
 	}
 	draining := make([]string, 0, len(g.draining))
 	for id := range g.draining {

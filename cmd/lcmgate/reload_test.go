@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -95,6 +96,12 @@ func TestReloadMinimalMovement(t *testing.T) {
 // draining until its last request finishes. Nothing hangs.
 func TestReloadDrainsInflight(t *testing.T) {
 	release := make(chan struct{})
+	// Any failure before the explicit release must still unblock the
+	// scripted backend, or cleanup hangs in httptest.Server.Close behind
+	// the parked handler until the whole package's test timeout panics —
+	// turning a fast failure into ten lost minutes and no other results.
+	releaseOnce := sync.OnceFunc(func() { close(release) })
+	t.Cleanup(releaseOnce)
 	var entered atomic.Int64
 	gw, nodes, gts := newScriptedFleet(t, 3, Config{Timeout: 20 * time.Second, AttemptTimeout: 20 * time.Second},
 		func(i int, w http.ResponseWriter, r *http.Request) {
@@ -153,7 +160,7 @@ func TestReloadDrainsInflight(t *testing.T) {
 
 	// Let the stranded request finish: it completes on the removed
 	// backend, and the drain then reaps it.
-	close(release)
+	releaseOnce()
 	select {
 	case res := <-done:
 		if res.code != http.StatusOK || !bytes.Contains(res.body, []byte(`"served_by":0`)) {

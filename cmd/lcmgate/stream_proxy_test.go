@@ -193,7 +193,8 @@ func TestGatewayStreamProxyEndToEnd(t *testing.T) {
 		if !ok {
 			t.Fatalf("backend %s missing from healthz", n.ts.URL)
 		}
-		for _, k := range []string{"jobs_active", "jobs_resumed", "jobs_expired", "stream_clients", "fn_cache_hits", "fn_cache_misses"} {
+		for _, k := range []string{"jobs_active", "jobs_resumed", "jobs_expired", "stream_clients",
+			"fn_cache_hits", "fn_cache_misses", "solver_parallel_slices", "solver_sparse_skips"} {
 			if _, ok := b[k]; !ok {
 				t.Errorf("backend %s healthz entry missing %q", n.ts.URL, k)
 			}

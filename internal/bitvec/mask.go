@@ -1,0 +1,163 @@
+package bitvec
+
+import "math/bits"
+
+// Word masks: the sparse worklist solver tracks which 64-bit words of a
+// node's vector are unstable, so a churning expression only re-propagates
+// its own word instead of re-sweeping the whole vector. A mask is a uint64
+// in which bit w stands for word w of the vector — except bit 63, which is
+// a saturating "tail bucket" standing for every word ≥ 63 when the vector
+// is wider than 64 words (4096 bits). Saturation trades precision for a
+// fixed-size mask: pathologically wide universes degrade gracefully to
+// coarser re-propagation, never to wrong results.
+//
+// Each masked operation below touches only the words the mask covers and
+// returns the mask of words it actually changed. The returned mask uses the
+// same tail-bucket convention, so masks compose: OR the result into a
+// dependent node's pending mask and the unstable words flow through the
+// graph exactly as far as they reach.
+
+const maskTail = 63 // mask bit covering words maskTail..NumWords-1
+
+// AllWordsMask returns the mask covering every word of a vector that is
+// numWords words long.
+func AllWordsMask(numWords int) uint64 {
+	if numWords >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(numWords)) - 1
+}
+
+// MaskWordCount returns how many words of a numWords-long vector the mask
+// covers. The telemetry in the sparse solver uses it to count skipped words.
+func MaskWordCount(mask uint64, numWords int) int {
+	if numWords > wordBits && mask&(1<<maskTail) != 0 {
+		return bits.OnesCount64(mask) - 1 + (numWords - maskTail)
+	}
+	return bits.OnesCount64(mask)
+}
+
+// NumWords returns the number of 64-bit words backing the vector.
+func (v *Vector) NumWords() int { return len(v.words) }
+
+// maskSpan returns the word range [lo, hi) covered by mask bit b, clamped
+// to the vector's word count.
+func maskSpan(b, numWords int) (int, int) {
+	if b == maskTail && numWords > wordBits {
+		return maskTail, numWords
+	}
+	if b >= numWords {
+		return numWords, numWords
+	}
+	return b, b + 1
+}
+
+// CopyFromMask overwrites the masked words of v with those of o and returns
+// the mask of words that changed.
+func (v *Vector) CopyFromMask(o *Vector, mask uint64) uint64 {
+	v.checkSame(o)
+	nw := len(v.words)
+	var changed uint64
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			if v.words[i] != o.words[i] {
+				v.words[i] = o.words[i]
+				changed |= 1 << uint(b)
+			}
+		}
+	}
+	return changed
+}
+
+// AndMask sets v = v ∧ o on the masked words and returns the mask of words
+// that changed.
+func (v *Vector) AndMask(o *Vector, mask uint64) uint64 {
+	v.checkSame(o)
+	nw := len(v.words)
+	var changed uint64
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			w := v.words[i] & o.words[i]
+			if w != v.words[i] {
+				v.words[i] = w
+				changed |= 1 << uint(b)
+			}
+		}
+	}
+	return changed
+}
+
+// OrMask sets v = v ∨ o on the masked words and returns the mask of words
+// that changed.
+func (v *Vector) OrMask(o *Vector, mask uint64) uint64 {
+	v.checkSame(o)
+	nw := len(v.words)
+	var changed uint64
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			w := v.words[i] | o.words[i]
+			if w != v.words[i] {
+				v.words[i] = w
+				changed |= 1 << uint(b)
+			}
+		}
+	}
+	return changed
+}
+
+// SetAllMask sets every bit of the masked words (respecting the vector's
+// length in the final word).
+func (v *Vector) SetAllMask(mask uint64) {
+	nw := len(v.words)
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			v.words[i] = ^uint64(0)
+		}
+		if hi == nw {
+			v.trim()
+		}
+	}
+}
+
+// ClearAllMask clears every bit of the masked words.
+func (v *Vector) ClearAllMask(mask uint64) {
+	nw := len(v.words)
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			v.words[i] = 0
+		}
+	}
+}
+
+// OrAndNotOfMask sets v = gen ∨ (src ∧ ¬kill) on the masked words — the
+// whole gen/kill transfer restricted to the unstable words — and returns
+// the mask of words that changed.
+func (v *Vector) OrAndNotOfMask(gen, src, kill *Vector, mask uint64) uint64 {
+	v.checkSame(gen)
+	v.checkSame(src)
+	v.checkSame(kill)
+	nw := len(v.words)
+	var changed uint64
+	for m := mask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		lo, hi := maskSpan(b, nw)
+		for i := lo; i < hi; i++ {
+			w := gen.words[i] | (src.words[i] &^ kill.words[i])
+			if w != v.words[i] {
+				v.words[i] = w
+				changed |= 1 << uint(b)
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,237 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomVector(rng *rand.Rand, n int) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestAllWordsMask(t *testing.T) {
+	cases := []struct {
+		numWords int
+		want     uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{3, 0b111},
+		{63, (1 << 63) - 1},
+		{64, ^uint64(0)},
+		{100, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := AllWordsMask(c.numWords); got != c.want {
+			t.Errorf("AllWordsMask(%d) = %#x, want %#x", c.numWords, got, c.want)
+		}
+	}
+}
+
+func TestMaskWordCount(t *testing.T) {
+	if got := MaskWordCount(0b101, 3); got != 2 {
+		t.Errorf("MaskWordCount(0b101, 3) = %d, want 2", got)
+	}
+	// Tail bucket: bit 63 covers words 63..69 of a 70-word vector.
+	if got := MaskWordCount(1<<63, 70); got != 7 {
+		t.Errorf("MaskWordCount(tail, 70) = %d, want 7", got)
+	}
+	if got := MaskWordCount(AllWordsMask(70), 70); got != 70 {
+		t.Errorf("MaskWordCount(all, 70) = %d, want 70", got)
+	}
+}
+
+// TestMaskedOpsAgainstFull checks every masked op against its full-width
+// counterpart: with a full mask the results must be identical, and with a
+// partial mask only the covered words may differ from the starting value.
+func TestMaskedOpsAgainstFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 4500 bits = 71 words, wide enough to exercise the tail bucket.
+	for _, n := range []int{1, 64, 65, 130, 4500} {
+		nw := (n + 63) / 64
+		full := AllWordsMask(nw)
+		for trial := 0; trial < 50; trial++ {
+			a := randomVector(rng, n)
+			b := randomVector(rng, n)
+			gen := randomVector(rng, n)
+			kill := randomVector(rng, n)
+
+			// Full mask ⇒ identical to the unmasked op.
+			got, want := a.Copy(), a.Copy()
+			mask := got.CopyFromMask(b, full)
+			changed := want.CopyFrom(b)
+			if !got.Equal(want) {
+				t.Fatalf("n=%d CopyFromMask(full) mismatch", n)
+			}
+			if (mask != 0) != changed {
+				t.Fatalf("n=%d CopyFromMask changed mask %#x vs bool %v", n, mask, changed)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			mask = got.AndMask(b, full)
+			changed = want.And(b)
+			if !got.Equal(want) || (mask != 0) != changed {
+				t.Fatalf("n=%d AndMask(full) mismatch", n)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			mask = got.OrMask(b, full)
+			changed = want.Or(b)
+			if !got.Equal(want) || (mask != 0) != changed {
+				t.Fatalf("n=%d OrMask(full) mismatch", n)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			mask = got.OrAndNotOfMask(gen, b, kill, full)
+			changed = want.OrAndNotOf(gen, b, kill)
+			if !got.Equal(want) || (mask != 0) != changed {
+				t.Fatalf("n=%d OrAndNotOfMask(full) mismatch", n)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			got.SetAllMask(full)
+			want.SetAll()
+			if !got.Equal(want) {
+				t.Fatalf("n=%d SetAllMask(full) mismatch", n)
+			}
+			got, want = a.Copy(), a.Copy()
+			got.ClearAllMask(full)
+			want.ClearAll()
+			if !got.Equal(want) {
+				t.Fatalf("n=%d ClearAllMask(full) mismatch", n)
+			}
+
+			// Partial mask ⇒ covered words match the op, others untouched.
+			partial := rng.Uint64() & full
+			got = a.Copy()
+			ret := got.OrAndNotOfMask(gen, b, kill, partial)
+			want = a.Copy()
+			want.OrAndNotOf(gen, b, kill)
+			for wi := 0; wi < nw; wi++ {
+				bit := wi
+				if bit > maskTail {
+					bit = maskTail
+				}
+				covered := partial&(1<<uint(bit)) != 0
+				if covered && got.words[wi] != want.words[wi] {
+					t.Fatalf("n=%d covered word %d not transformed", n, wi)
+				}
+				if !covered && got.words[wi] != a.words[wi] {
+					t.Fatalf("n=%d uncovered word %d modified", n, wi)
+				}
+				if got.words[wi] != a.words[wi] && ret&(1<<uint(bit)) == 0 {
+					t.Fatalf("n=%d changed word %d not reported in mask %#x", n, wi, ret)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeOpsAgainstFull checks the word-range ops against the full-width
+// counterparts on a partition of the word space, verifying that applying an
+// op slice-by-slice over a full partition equals the unmasked op.
+func TestRangeOpsAgainstFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 63, 64, 200, 1000} {
+		nw := (n + 63) / 64
+		for trial := 0; trial < 50; trial++ {
+			a := randomVector(rng, n)
+			b := randomVector(rng, n)
+			gen := randomVector(rng, n)
+			kill := randomVector(rng, n)
+			// Random partition of [0, nw) into up to 4 slices.
+			cuts := []int{0, nw}
+			for i := 0; i < 3; i++ {
+				cuts = append(cuts, rng.Intn(nw+1))
+			}
+			got, want := a.Copy(), a.Copy()
+			anyChanged := false
+			// Sort cuts.
+			for i := range cuts {
+				for j := i + 1; j < len(cuts); j++ {
+					if cuts[j] < cuts[i] {
+						cuts[i], cuts[j] = cuts[j], cuts[i]
+					}
+				}
+			}
+			for i := 0; i+1 < len(cuts); i++ {
+				if got.OrAndNotOfRange(gen, b, kill, cuts[i], cuts[i+1]) {
+					anyChanged = true
+				}
+			}
+			changed := want.OrAndNotOf(gen, b, kill)
+			if !got.Equal(want) || anyChanged != changed {
+				t.Fatalf("n=%d OrAndNotOfRange partition mismatch", n)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			got.SetAllRange(0, nw)
+			want.SetAll()
+			if !got.Equal(want) {
+				t.Fatalf("n=%d SetAllRange mismatch", n)
+			}
+
+			got, want = a.Copy(), a.Copy()
+			if got.CopyFromRange(b, 0, nw) != want.CopyFrom(b) || !got.Equal(want) {
+				t.Fatalf("n=%d CopyFromRange mismatch", n)
+			}
+			got, want = a.Copy(), a.Copy()
+			if got.AndRange(b, 0, nw) != want.And(b) || !got.Equal(want) {
+				t.Fatalf("n=%d AndRange mismatch", n)
+			}
+			got, want = a.Copy(), a.Copy()
+			if got.OrRange(b, 0, nw) != want.Or(b) || !got.Equal(want) {
+				t.Fatalf("n=%d OrRange mismatch", n)
+			}
+		}
+	}
+}
+
+// TestSetAllRangeTrim verifies the trim invariant: setting the final word
+// slice must not set bits beyond Len.
+func TestSetAllRangeTrim(t *testing.T) {
+	v := New(70) // 2 words, 6 live bits in word 1
+	v.SetAllRange(1, 2)
+	if v.Count() != 6 {
+		t.Fatalf("SetAllRange trim: count = %d, want 6", v.Count())
+	}
+	w := New(70)
+	w.SetAllMask(1 << 1)
+	if w.Count() != 6 {
+		t.Fatalf("SetAllMask trim: count = %d, want 6", w.Count())
+	}
+}
+
+func TestFlatMatrixLayout(t *testing.T) {
+	m := NewMatrix(5, 130)
+	m.Set(0, 0)
+	m.Set(4, 129)
+	m.Set(2, 64)
+	if !m.Get(0, 0) || !m.Get(4, 129) || !m.Get(2, 64) || m.Get(1, 0) {
+		t.Fatal("flat matrix get/set mismatch")
+	}
+	c := m.Copy()
+	if !c.Equal(m) {
+		t.Fatal("copy not equal")
+	}
+	c.Clear(2, 64)
+	if c.Equal(m) || m.Get(2, 64) == false {
+		t.Fatal("copy aliases original")
+	}
+	m.ClearAll()
+	for i := 0; i < 5; i++ {
+		if !m.Row(i).IsEmpty() {
+			t.Fatalf("row %d not cleared", i)
+		}
+	}
+	// Row must return a stable pointer into the matrix (intrusive headers).
+	if m.Row(3) != m.Row(3) {
+		t.Fatal("Row not stable")
+	}
+}

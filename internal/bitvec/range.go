@@ -1,0 +1,87 @@
+package bitvec
+
+// Word-range operations: each touches only words [lo, hi) of the receiver,
+// leaving every other word untouched. The word-sliced parallel solver gives
+// each worker goroutine a disjoint [lo, hi) column slice of the shared
+// state matrices; because no two slices ever write the same word, the
+// workers need no synchronization inside a sweep (the Go memory model makes
+// writes to disjoint slice elements race-free). The bounds are word
+// indices, not bit indices, and must satisfy 0 ≤ lo ≤ hi ≤ NumWords().
+
+// CopyFromRange overwrites words [lo, hi) of v with those of o and reports
+// whether any of them changed.
+func (v *Vector) CopyFromRange(o *Vector, lo, hi int) bool {
+	v.checkSame(o)
+	changed := false
+	for i := lo; i < hi; i++ {
+		if v.words[i] != o.words[i] {
+			v.words[i] = o.words[i]
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndRange sets v = v ∧ o on words [lo, hi) and reports whether v changed.
+func (v *Vector) AndRange(o *Vector, lo, hi int) bool {
+	v.checkSame(o)
+	changed := false
+	for i := lo; i < hi; i++ {
+		w := v.words[i] & o.words[i]
+		if w != v.words[i] {
+			v.words[i] = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// OrRange sets v = v ∨ o on words [lo, hi) and reports whether v changed.
+func (v *Vector) OrRange(o *Vector, lo, hi int) bool {
+	v.checkSame(o)
+	changed := false
+	for i := lo; i < hi; i++ {
+		w := v.words[i] | o.words[i]
+		if w != v.words[i] {
+			v.words[i] = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// SetAllRange sets every bit of words [lo, hi), respecting the vector's
+// length in the final word.
+func (v *Vector) SetAllRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v.words[i] = ^uint64(0)
+	}
+	if hi == len(v.words) {
+		v.trim()
+	}
+}
+
+// ClearAllRange clears every bit of words [lo, hi).
+func (v *Vector) ClearAllRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		v.words[i] = 0
+	}
+}
+
+// OrAndNotOfRange sets v = gen ∨ (src ∧ ¬kill) on words [lo, hi) — the
+// gen/kill transfer restricted to one word slice — and reports whether v
+// changed.
+func (v *Vector) OrAndNotOfRange(gen, src, kill *Vector, lo, hi int) bool {
+	v.checkSame(gen)
+	v.checkSame(src)
+	v.checkSame(kill)
+	changed := false
+	for i := lo; i < hi; i++ {
+		w := gen.words[i] | (src.words[i] &^ kill.words[i])
+		if w != v.words[i] {
+			v.words[i] = w
+			changed = true
+		}
+	}
+	return changed
+}

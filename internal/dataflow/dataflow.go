@@ -7,6 +7,15 @@
 // deliberately not, because it is bidirectional, which is exactly the cost
 // the paper eliminates (experiment T4 measures the difference using the
 // Stats this package reports).
+//
+// Three solver strategies compute the same unique fixpoint (DESIGN.md §11
+// gives the argument): Serial round-robin sweeps (the reference), Sliced
+// word-parallel sweeps (the expression universe partitioned by 64-bit
+// word, one goroutine per disjoint word-column slice of the shared state),
+// and Sparse masked worklists (only unstable words re-propagate, through
+// an intrusive zero-allocation queue). The default Auto strategy picks by
+// problem shape; the randomized equivalence suite asserts bit-identical
+// results across all three.
 package dataflow
 
 import (
@@ -136,6 +145,78 @@ const (
 	BoundaryFull
 )
 
+// Strategy selects how Solve reaches the fixpoint. Every strategy computes
+// the identical solution; the choice is purely a performance trade-off.
+type Strategy int
+
+const (
+	// Auto picks a strategy from the problem shape: Sliced for wide
+	// universes on non-trivial graphs, Sparse for large narrow graphs,
+	// Serial otherwise.
+	Auto Strategy = iota
+	// Serial is the reference round-robin sweep in (reverse) postorder.
+	Serial
+	// Sliced partitions the expression universe by 64-bit word and solves
+	// the disjoint word-column slices concurrently.
+	Sliced
+	// Sparse uses the masked worklist of SolveWorklist: only words that
+	// actually changed re-propagate to dependents.
+	Sparse
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Serial:
+		return "serial"
+	case Sliced:
+		return "sliced"
+	case Sparse:
+		return "sparse"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Auto-dispatch thresholds. Word-slicing pays only when each slice carries
+// enough words across enough nodes to amortize goroutine startup; the
+// sparse worklist pays only when the graph is large enough that full
+// re-sweeps dominate its queue overhead.
+const (
+	slicedMinWords = 4   // ≥ 256 expressions before slicing engages
+	slicedMinNodes = 128 // and a graph big enough to sweep repeatedly
+	sparseMinNodes = 512 // narrow but deep graphs go sparse
+)
+
+// pick resolves Auto against the problem shape.
+func (p *Problem) pick(g Graph) Strategy {
+	if p.Strategy != Auto {
+		return p.Strategy
+	}
+	if numWordsFor(p.Width) >= slicedMinWords && g.NumNodes() >= slicedMinNodes {
+		return Sliced
+	}
+	if g.NumNodes() >= sparseMinNodes {
+		return Sparse
+	}
+	return Serial
+}
+
+// numWordsFor returns the number of 64-bit words backing a vector of the
+// given bit width.
+func numWordsFor(width int) int { return (width + 63) >> 6 }
+
+// normVectorOps converts a word-op count into whole-vector-op units so
+// Stats.VectorOps stays the comparable currency of experiment T4 across
+// strategies that touch partial vectors.
+func normVectorOps(wordOps, numWords int) int {
+	if numWords == 0 {
+		return 0
+	}
+	return (wordOps + numWords - 1) / numWords
+}
+
 // Problem is a gen/kill bit-vector data-flow problem. With
 // flow-side = IN for forward problems applied as
 //
@@ -174,6 +255,10 @@ type Problem struct {
 	// the Result matrices and releases back to the arena whichever side
 	// it does not keep.
 	Scratch *Scratch
+	// Strategy selects the solver; the zero value Auto picks by problem
+	// shape. Every strategy reaches the identical fixpoint (DESIGN.md
+	// §11); tests force specific strategies to assert exactly that.
+	Strategy Strategy
 }
 
 // check validates the problem's shape against the graph. It is the shared
@@ -227,6 +312,10 @@ func (s Stats) String() string {
 // backward ones, computed over reachable nodes; nodes unreachable in the
 // iteration direction keep their initial value.
 //
+// Solve dispatches on p.Strategy (Auto resolves by problem shape); every
+// strategy computes the identical solution, so callers never observe the
+// choice except through Stats and wall time.
+//
 // Solve fails with a descriptive error when the gen/kill matrices do not
 // match the graph and width, with a FuelError when p.Fuel is positive and
 // exhausted before the fixed point, and with a CancelError when p.Ctx is
@@ -235,100 +324,187 @@ func Solve(g Graph, p *Problem) (*Result, error) {
 	if err := p.check(g); err != nil {
 		return nil, err
 	}
+	switch p.pick(g) {
+	case Sliced:
+		return solveSliced(g, p)
+	case Sparse:
+		return solveSparse(g, p)
+	}
+	return solveSerial(g, p)
+}
+
+// solveSerial is the reference solver: round-robin sweeps over the whole
+// vector of every node until a sweep changes nothing.
+//
+// The sweep works on the matrices' flat word backing rather than per-row
+// Vector views: most functions have a universe of at most a word or two,
+// so a Row header, a bounds check, and a method dispatch per node visit
+// would cost more than the word math itself. The meet-side adjacency is
+// flattened once per solve for the same reason — two interface calls per
+// edge per pass become one flat index load. None of this changes what is
+// computed; the op accounting below mirrors the vector formulation
+// exactly, so Stats stays the comparable currency of experiment T4.
+func solveSerial(g Graph, p *Problem) (*Result, error) {
 	n := g.NumNodes()
-	in, out, meetIn := p.state(n)
+	var in, out *bitvec.Matrix
+	if p.Scratch != nil {
+		in, out = p.Scratch.Matrix(n, p.Width), p.Scratch.Matrix(n, p.Width)
+	} else {
+		in, out = bitvec.NewMatrix(n, p.Width), bitvec.NewMatrix(n, p.Width)
+	}
 	res := &Result{In: in, Out: out}
 	res.Stats.Name = p.Name
 
+	stride := in.Stride()
+	lastMask := ^uint64(0)
+	if rem := uint(p.Width) & 63; rem != 0 {
+		lastMask = (uint64(1) << rem) - 1
+	}
+
+	// The dataflow orientation: fi is the meet result side, fo the
+	// transferred side neighbors read. For backward problems they live in
+	// the opposite matrices.
+	fiMat, foMat := in, out
+	if p.Dir != Forward {
+		fiMat, foMat = out, in
+	}
+
 	// Initialize the flow-side values to top so a Must meet can descend.
 	// For May problems bottom (empty) is the correct start.
-	if p.Meet == Must {
-		for i := 0; i < n; i++ {
-			if p.Dir == Forward {
-				res.Out.Row(i).SetAll()
-			} else {
-				res.In.Row(i).SetAll()
+	if p.Meet == Must && stride > 0 {
+		w := foMat.Data()
+		for i := range w {
+			w[i] = ^uint64(0)
+		}
+		for r := 0; r < n; r++ {
+			w[r*stride+stride-1] &= lastMask
+		}
+	}
+
+	// Flatten the meet-side adjacency: offs[i]..offs[i+1] index the
+	// sources whose fo rows meet into node i.
+	offs := p.ints(n + 1)
+	total := 0
+	for i := 0; i < n; i++ {
+		offs[i] = int32(total)
+		if p.Dir == Forward {
+			total += g.NumPreds(i)
+		} else {
+			total += g.NumSuccs(i)
+		}
+	}
+	offs[n] = int32(total)
+	edges := p.ints(total)
+	for i := 0; i < n; i++ {
+		e := int(offs[i])
+		if p.Dir == Forward {
+			for k := 0; e+k < int(offs[i+1]); k++ {
+				edges[e+k] = int32(g.Pred(i, k))
+			}
+		} else {
+			for k := 0; e+k < int(offs[i+1]); k++ {
+				edges[e+k] = int32(g.Succ(i, k))
 			}
 		}
 	}
 
 	order := p.order(g)
+	fiW, foW := fiMat.Data(), foMat.Data()
+	genW, killW := p.Gen.Data(), p.Kill.Data()
+	meet := p.words(stride)
+	release := func() {
+		p.releaseInts(offs, edges)
+		p.releaseWords(meet)
+	}
+	fail := func(err error) (*Result, error) {
+		release()
+		if p.Scratch != nil {
+			p.Scratch.Release(in, out)
+		}
+		return nil, err
+	}
 
 	for {
 		if err := Canceled(p.Ctx, p.Name); err != nil {
-			p.releaseState(in, out, meetIn)
-			return nil, err
+			return fail(err)
 		}
 		res.Stats.Passes++
 		changed := false
 		for _, node := range order {
 			res.Stats.NodeVisits++
 			if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
-				p.releaseState(in, out, meetIn)
-				return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+				return fail(&FuelError{Problem: p.Name, Fuel: p.Fuel})
 			}
 			if res.Stats.NodeVisits%cancelInterval == 0 {
 				if err := Canceled(p.Ctx, p.Name); err != nil {
-					p.releaseState(in, out, meetIn)
-					return nil, err
+					return fail(err)
 				}
 			}
-			var flowIn, flowOut *bitvec.Vector
-			var degree int
-			if p.Dir == Forward {
-				flowIn, flowOut = res.In.Row(node), res.Out.Row(node)
-				degree = g.NumPreds(node)
-			} else {
-				flowIn, flowOut = res.Out.Row(node), res.In.Row(node)
-				degree = g.NumSuccs(node)
-			}
+			base := node * stride
+			e0, e1 := int(offs[node]), int(offs[node+1])
 
-			// Meet.
-			if degree == 0 {
+			// Meet. Each source counts as one vector op, exactly as the
+			// vector formulation counted its CopyFrom/And/Or per source.
+			if e0 == e1 {
 				if p.Boundary == BoundaryFull {
-					meetIn.SetAll()
+					for k := 0; k < stride; k++ {
+						meet[k] = ^uint64(0)
+					}
+					if stride > 0 {
+						meet[stride-1] &= lastMask
+					}
 				} else {
-					meetIn.ClearAll()
+					for k := 0; k < stride; k++ {
+						meet[k] = 0
+					}
 				}
 			} else {
-				first := true
-				for i := 0; i < degree; i++ {
-					var src *bitvec.Vector
-					if p.Dir == Forward {
-						src = res.Out.Row(g.Pred(node, i))
-					} else {
-						src = res.In.Row(g.Succ(node, i))
+				sb := int(edges[e0]) * stride
+				copy(meet, foW[sb:sb+stride])
+				res.Stats.VectorOps++
+				if p.Meet == Must {
+					for e := e0 + 1; e < e1; e++ {
+						sb := int(edges[e]) * stride
+						sw := foW[sb : sb+stride]
+						for k := 0; k < stride; k++ {
+							meet[k] &= sw[k]
+						}
+						res.Stats.VectorOps++
 					}
-					if first {
-						meetIn.CopyFrom(src)
-						first = false
-					} else if p.Meet == Must {
-						meetIn.And(src)
-					} else {
-						meetIn.Or(src)
+				} else {
+					for e := e0 + 1; e < e1; e++ {
+						sb := int(edges[e]) * stride
+						sw := foW[sb : sb+stride]
+						for k := 0; k < stride; k++ {
+							meet[k] |= sw[k]
+						}
+						res.Stats.VectorOps++
 					}
-					res.Stats.VectorOps++
 				}
 			}
-			if flowIn.CopyFrom(meetIn) {
-				changed = true
+			for k := 0; k < stride; k++ {
+				if fiW[base+k] != meet[k] {
+					fiW[base+k] = meet[k]
+					changed = true
+				}
 			}
 			res.Stats.VectorOps++
 
 			// Transfer, fused into one word sweep:
 			//   flowOut = gen ∨ (flowIn ∧ ¬kill)
 			// Accounted as the three logical ops (andnot, or, copy) it
-			// replaces, so VectorOps stays the comparable currency of
-			// experiment T4 regardless of fusion.
-			if flowOut.OrAndNotOf(p.Gen.Row(node), flowIn, p.Kill.Row(node)) {
-				changed = true
+			// replaces.
+			for k := 0; k < stride; k++ {
+				nv := genW[base+k] | (meet[k] &^ killW[base+k])
+				if foW[base+k] != nv {
+					foW[base+k] = nv
+					changed = true
+				}
 			}
 			res.Stats.VectorOps += 3
 		}
 		if !changed {
-			if p.Scratch != nil {
-				p.Scratch.ReleaseVector(meetIn)
-			}
+			release()
 			return res, nil
 		}
 	}

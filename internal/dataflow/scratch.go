@@ -24,8 +24,10 @@ import (
 type Scratch struct {
 	mu     sync.Mutex
 	orders map[orderKey][]int
-	mats   map[matKey][]*bitvec.Matrix
-	vecs   map[int][]*bitvec.Vector
+	mats   []*bitvec.Matrix
+	vecs   []*bitvec.Vector
+	ints   [][]int32
+	words  [][]uint64
 }
 
 type orderKey struct {
@@ -33,24 +35,26 @@ type orderKey struct {
 	dir Direction
 }
 
-type matKey struct{ rows, cols int }
-
 // maxOrderGraphs bounds the order cache: a scratch shared across many
 // graphs (a long batch) keeps only the most recent handful of traversals
 // rather than growing without bound.
 const maxOrderGraphs = 8
 
-// maxPooled bounds each pool bucket; beyond it, released storage is
-// dropped for the garbage collector instead of hoarded.
-const maxPooled = 16
+// maxPooled bounds each pool; beyond it, released storage is dropped for
+// the garbage collector instead of hoarded.
+//
+// The pools match by capacity, not exact shape: a matrix released by one
+// analysis is reshaped (bitvec.Matrix.Reshape) over its backing for the
+// next analysis's dimensions. Exact-shape pooling looked the same on a
+// benchmark that replays one function, but a batch over many functions —
+// the server's steady state, the experiment drivers — never sees the
+// same shape twice in a row, and an arena that can only recycle exact
+// shapes degenerates there to an allocator with extra steps.
+const maxPooled = 32
 
 // NewScratch returns an empty arena.
 func NewScratch() *Scratch {
-	return &Scratch{
-		orders: make(map[orderKey][]int),
-		mats:   make(map[matKey][]*bitvec.Matrix),
-		vecs:   make(map[int][]*bitvec.Vector),
-	}
+	return &Scratch{orders: make(map[orderKey][]int)}
 }
 
 // Order returns the iteration order for g in the given direction,
@@ -77,17 +81,30 @@ func (s *Scratch) Order(g Graph, dir Direction) []int {
 	return o
 }
 
-// Matrix returns a zeroed rows×cols matrix, recycling a released one when
-// the pool has a match.
+// Matrix returns a zeroed rows×cols matrix, recycling the best-fitting
+// released one — the smallest backing that still holds the shape — so
+// small requests do not strand large backings.
 func (s *Scratch) Matrix(rows, cols int) *bitvec.Matrix {
-	k := matKey{rows: rows, cols: cols}
+	need := rows * ((cols + 63) >> 6)
 	s.mu.Lock()
-	bucket := s.mats[k]
-	if n := len(bucket); n > 0 {
-		m := bucket[n-1]
-		s.mats[k] = bucket[:n-1]
+	best := -1
+	bestWords := 0
+	for i, m := range s.mats {
+		rc, wc := m.Caps()
+		if rc < rows || wc < need {
+			continue
+		}
+		if best < 0 || wc < bestWords {
+			best, bestWords = i, wc
+		}
+	}
+	if best >= 0 {
+		m := s.mats[best]
+		last := len(s.mats) - 1
+		s.mats[best] = s.mats[last]
+		s.mats = s.mats[:last]
 		s.mu.Unlock()
-		m.ClearAll()
+		m.Reshape(rows, cols)
 		return m
 	}
 	s.mu.Unlock()
@@ -95,9 +112,9 @@ func (s *Scratch) Matrix(rows, cols int) *bitvec.Matrix {
 }
 
 // Release returns matrices to the pool for reuse. A released matrix must
-// no longer be referenced by the caller — the next Matrix call with the
-// same shape may hand it out zeroed. nil entries are ignored, so callers
-// can release unconditionally on error paths.
+// no longer be referenced by the caller — the next Matrix call may hand
+// it out reshaped and zeroed. nil entries are ignored, so callers can
+// release unconditionally on error paths.
 func (s *Scratch) Release(ms ...*bitvec.Matrix) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -105,22 +122,34 @@ func (s *Scratch) Release(ms ...*bitvec.Matrix) {
 		if m == nil {
 			continue
 		}
-		k := matKey{rows: m.Rows(), cols: m.Cols()}
-		if len(s.mats[k]) < maxPooled {
-			s.mats[k] = append(s.mats[k], m)
+		if len(s.mats) < maxPooled {
+			s.mats = append(s.mats, m)
 		}
 	}
 }
 
 // Vector returns a zeroed vector of length n from the pool.
 func (s *Scratch) Vector(n int) *bitvec.Vector {
+	need := (n + 63) >> 6
 	s.mu.Lock()
-	bucket := s.vecs[n]
-	if l := len(bucket); l > 0 {
-		v := bucket[l-1]
-		s.vecs[n] = bucket[:l-1]
+	best := -1
+	bestWords := 0
+	for i, v := range s.vecs {
+		wc := v.WordCap()
+		if wc < need {
+			continue
+		}
+		if best < 0 || wc < bestWords {
+			best, bestWords = i, wc
+		}
+	}
+	if best >= 0 {
+		v := s.vecs[best]
+		last := len(s.vecs) - 1
+		s.vecs[best] = s.vecs[last]
+		s.vecs = s.vecs[:last]
 		s.mu.Unlock()
-		v.ClearAll()
+		v.Reshape(n)
 		return v
 	}
 	s.mu.Unlock()
@@ -136,9 +165,115 @@ func (s *Scratch) ReleaseVector(vs ...*bitvec.Vector) {
 		if v == nil {
 			continue
 		}
-		if len(s.vecs[v.Len()]) < maxPooled {
-			s.vecs[v.Len()] = append(s.vecs[v.Len()], v)
+		if len(s.vecs) < maxPooled {
+			s.vecs = append(s.vecs, v)
 		}
+	}
+}
+
+// Ints returns an int32 slice of length n from the pool, contents
+// unspecified. The solvers use it for flattened adjacency and the sparse
+// worklist for its intrusive index ring.
+func (s *Scratch) Ints(n int) []int32 {
+	s.mu.Lock()
+	best := -1
+	bestCap := 0
+	for i, v := range s.ints {
+		if c := cap(v); c >= n && (best < 0 || c < bestCap) {
+			best, bestCap = i, c
+		}
+	}
+	if best >= 0 {
+		v := s.ints[best]
+		last := len(s.ints) - 1
+		s.ints[best] = s.ints[last]
+		s.ints = s.ints[:last]
+		s.mu.Unlock()
+		return v[:n]
+	}
+	s.mu.Unlock()
+	return make([]int32, n)
+}
+
+// ReleaseInts returns int32 slices to the pool; nils are ignored.
+func (s *Scratch) ReleaseInts(vs ...[]int32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if len(s.ints) < maxPooled {
+			s.ints = append(s.ints, v[:cap(v)])
+		}
+	}
+}
+
+// Words returns a zeroed uint64 slice of length n from the pool. The
+// sparse worklist uses it for its membership bitset and pending-word
+// masks, both of which rely on a zeroed start.
+func (s *Scratch) Words(n int) []uint64 {
+	s.mu.Lock()
+	best := -1
+	bestCap := 0
+	for i, v := range s.words {
+		if c := cap(v); c >= n && (best < 0 || c < bestCap) {
+			best, bestCap = i, c
+		}
+	}
+	if best >= 0 {
+		v := s.words[best]
+		last := len(s.words) - 1
+		s.words[best] = s.words[last]
+		s.words = s.words[:last]
+		s.mu.Unlock()
+		v = v[:n]
+		clear(v)
+		return v
+	}
+	s.mu.Unlock()
+	return make([]uint64, n)
+}
+
+// ReleaseWords returns uint64 slices to the pool; nils are ignored.
+func (s *Scratch) ReleaseWords(vs ...[]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range vs {
+		if v == nil {
+			continue
+		}
+		if len(s.words) < maxPooled {
+			s.words = append(s.words, v[:cap(v)])
+		}
+	}
+}
+
+// ints, words and their release counterparts resolve against the scratch
+// arena when the problem carries one, falling back to fresh allocations.
+func (p *Problem) ints(n int) []int32 {
+	if p.Scratch != nil {
+		return p.Scratch.Ints(n)
+	}
+	return make([]int32, n)
+}
+
+func (p *Problem) releaseInts(vs ...[]int32) {
+	if p.Scratch != nil {
+		p.Scratch.ReleaseInts(vs...)
+	}
+}
+
+func (p *Problem) words(n int) []uint64 {
+	if p.Scratch != nil {
+		return p.Scratch.Words(n)
+	}
+	return make([]uint64, n)
+}
+
+func (p *Problem) releaseWords(vs ...[]uint64) {
+	if p.Scratch != nil {
+		p.Scratch.ReleaseWords(vs...)
 	}
 }
 

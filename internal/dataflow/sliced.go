@@ -1,0 +1,204 @@
+package dataflow
+
+import (
+	"runtime"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/conc"
+)
+
+// Word-sliced parallel solving: a gen/kill bit-vector problem is bitwise
+// independent — bit b of any node's OUT depends only on bit b of its
+// inputs — so it is word-independent too. solveSliced partitions the
+// expression universe into contiguous 64-bit-word ranges and runs the
+// serial algorithm once per range, concurrently, against the SAME shared
+// In/Out matrices. Each slice reads and writes only its own word columns
+// of every row; writes to disjoint elements of a []uint64 are race-free
+// under the Go memory model, so the slices need no synchronization until
+// the final join. The fixpoint of each slice is exactly the projection of
+// the serial fixpoint onto its words (DESIGN.md §11), so the joined result
+// is bit-identical to the serial one. This composes with the per-function
+// batch parallelism above it: slices are nested inside whatever worker is
+// already solving this function.
+
+// maxSlices caps the goroutines per solve; beyond the machine's
+// parallelism extra slices only add scheduling overhead. The floor of two
+// keeps the sliced path alive on single-CPU machines: slices interleave
+// on one thread, and a slice whose words converge early stops sweeping —
+// work the serial solver would keep redoing until the slowest word
+// stabilizes.
+func maxSlices() int {
+	p := runtime.GOMAXPROCS(0)
+	if p > 8 {
+		p = 8
+	}
+	if p < 2 {
+		p = 2
+	}
+	return p
+}
+
+// sliceStats is one slice's private effort tally, joined after Wait.
+type sliceStats struct {
+	passes  int
+	visits  int
+	wordOps int
+}
+
+func solveSliced(g Graph, p *Problem) (*Result, error) {
+	n := g.NumNodes()
+	nw := numWordsFor(p.Width)
+	slices := nw / 2 // at least two words per slice
+	if m := maxSlices(); slices > m {
+		slices = m
+	}
+	if slices <= 1 || n == 0 {
+		return solveSerial(g, p)
+	}
+
+	in, out, meet0 := p.state(n)
+	res := &Result{In: in, Out: out}
+	res.Stats.Name = p.Name
+	order := p.order(g)
+
+	meets := make([]*bitvec.Vector, slices)
+	meets[0] = meet0
+	for k := 1; k < slices; k++ {
+		if p.Scratch != nil {
+			meets[k] = p.Scratch.Vector(p.Width)
+		} else {
+			meets[k] = bitvec.New(p.Width)
+		}
+	}
+	stats := make([]sliceStats, slices)
+
+	var grp conc.Group
+	for k := 0; k < slices; k++ {
+		k := k
+		lo, hi := k*nw/slices, (k+1)*nw/slices
+		grp.Go(func() error {
+			st, err := p.solveSlice(g, in, out, order, meets[k], lo, hi)
+			stats[k] = st
+			return err
+		})
+	}
+	err := grp.Wait()
+	if p.Scratch != nil {
+		p.Scratch.ReleaseVector(meets...)
+	}
+	if err != nil {
+		if p.Scratch != nil {
+			p.Scratch.Release(in, out)
+		}
+		return nil, err
+	}
+
+	// Join the effort tallies into serial-comparable units: the slices ran
+	// the same sweeps side by side, so Passes/NodeVisits are the maximum
+	// over slices (what a serial solver of the slowest slice would report),
+	// and VectorOps normalizes total word-ops by the vector width.
+	wordOps := 0
+	for _, st := range stats {
+		if st.passes > res.Stats.Passes {
+			res.Stats.Passes = st.passes
+		}
+		if st.visits > res.Stats.NodeVisits {
+			res.Stats.NodeVisits = st.visits
+		}
+		wordOps += st.wordOps
+	}
+	res.Stats.VectorOps = normVectorOps(wordOps, nw)
+	telemetryParallelSlices.Add(int64(slices))
+	return res, nil
+}
+
+// solveSlice runs the serial algorithm restricted to words [lo, hi) of
+// every vector. Fuel is a per-slice node-visit budget (the same bound the
+// serial solver applies to its single lane), and cancellation is polled on
+// the same cadence.
+func (p *Problem) solveSlice(g Graph, in, out *bitvec.Matrix, order []int, meetIn *bitvec.Vector, lo, hi int) (sliceStats, error) {
+	var st sliceStats
+	n := g.NumNodes()
+	width := hi - lo
+
+	// Initialize this slice's words of the flow side to top for Must.
+	if p.Meet == Must {
+		for i := 0; i < n; i++ {
+			if p.Dir == Forward {
+				out.Row(i).SetAllRange(lo, hi)
+			} else {
+				in.Row(i).SetAllRange(lo, hi)
+			}
+		}
+	}
+
+	for {
+		if err := Canceled(p.Ctx, p.Name); err != nil {
+			return st, err
+		}
+		st.passes++
+		changed := false
+		for _, node := range order {
+			st.visits++
+			if p.Fuel > 0 && st.visits > p.Fuel {
+				return st, &FuelError{Problem: p.Name, Fuel: p.Fuel}
+			}
+			if st.visits%cancelInterval == 0 {
+				if err := Canceled(p.Ctx, p.Name); err != nil {
+					return st, err
+				}
+			}
+			var flowIn, flowOut *bitvec.Vector
+			var degree int
+			if p.Dir == Forward {
+				flowIn, flowOut = in.Row(node), out.Row(node)
+				degree = g.NumPreds(node)
+			} else {
+				flowIn, flowOut = out.Row(node), in.Row(node)
+				degree = g.NumSuccs(node)
+			}
+
+			// Meet, restricted to this slice's words.
+			if degree == 0 {
+				if p.Boundary == BoundaryFull {
+					meetIn.SetAllRange(lo, hi)
+				} else {
+					meetIn.ClearAllRange(lo, hi)
+				}
+			} else {
+				first := true
+				for i := 0; i < degree; i++ {
+					var src *bitvec.Vector
+					if p.Dir == Forward {
+						src = out.Row(g.Pred(node, i))
+					} else {
+						src = in.Row(g.Succ(node, i))
+					}
+					if first {
+						meetIn.CopyFromRange(src, lo, hi)
+						first = false
+					} else if p.Meet == Must {
+						meetIn.AndRange(src, lo, hi)
+					} else {
+						meetIn.OrRange(src, lo, hi)
+					}
+					st.wordOps += width
+				}
+			}
+			if flowIn.CopyFromRange(meetIn, lo, hi) {
+				changed = true
+			}
+			st.wordOps += width
+
+			// Fused transfer on this slice's words, accounted as the
+			// andnot/or/copy chain it replaces (see solveSerial).
+			if flowOut.OrAndNotOfRange(p.Gen.Row(node), flowIn, p.Kill.Row(node), lo, hi) {
+				changed = true
+			}
+			st.wordOps += 3 * width
+		}
+		if !changed {
+			return st, nil
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package dataflow
+
+import "sync/atomic"
+
+// Process-wide solver telemetry. The counters are cheap monotonic atomics
+// bumped at solve granularity (never inside hot loops beyond a single Add
+// per solve), surfaced on lcmd's /healthz and /readyz and folded into the
+// lcmgate fleet summary, so the chaos soak can assert that the parallel
+// and sparse paths actually engage under load rather than silently
+// falling back to serial.
+var (
+	telemetryParallelSlices atomic.Int64
+	telemetrySparseSkips    atomic.Int64
+)
+
+// TelemetryCounters is a snapshot of the solver engagement counters.
+type TelemetryCounters struct {
+	// ParallelSlices counts word-column slices solved by concurrent
+	// goroutines across all sliced solves.
+	ParallelSlices int64
+	// SparseSkips counts vector words the sparse worklist did NOT touch
+	// at node evaluations because they were already stable.
+	SparseSkips int64
+}
+
+// Telemetry returns the current counter snapshot.
+func Telemetry() TelemetryCounters {
+	return TelemetryCounters{
+		ParallelSlices: telemetryParallelSlices.Load(),
+		SparseSkips:    telemetrySparseSkips.Load(),
+	}
+}

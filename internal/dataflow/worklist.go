@@ -2,14 +2,22 @@ package dataflow
 
 import "lazycm/internal/bitvec"
 
-// SolveWorklist solves the same problem as Solve but with a classic
-// worklist algorithm: a node is re-evaluated only when one of its
-// meet-inputs changed. Both solvers reach the identical (unique) fixpoint
-// — the lattice is finite and the transfer functions monotone — so the
-// choice is purely an efficiency trade-off, which the benchmarks compare:
-// round-robin sweeps in (reverse) postorder touch every node each pass but
-// have perfect locality; the worklist touches only awakened nodes but pays
-// queue overhead.
+// SolveWorklist solves the same problem as Solve but with a sparse masked
+// worklist: a node is re-evaluated only when one of its meet-inputs
+// changed, and only on the 64-bit words that actually changed. The fused
+// bit-vector ops report a changed-word mask (see bitvec's mask
+// conventions, including the saturating tail bucket for vectors wider
+// than 64 words), and that mask is what propagates to dependents — so one
+// churning expression re-propagates its own word instead of re-sweeping
+// the whole vector. Both solvers reach the identical (unique) fixpoint —
+// the lattice is finite and the transfer functions monotone (DESIGN.md
+// §11) — so the choice is purely an efficiency trade-off.
+//
+// The queue is intrusive and allocation-free on the steady state: an
+// index ring of capacity NumNodes (membership-deduped by a bitset, so it
+// can never overflow) plus a per-node pending-word mask, all drawn from
+// the scratch arena when the problem carries one.
+//
 // Like Solve, it fails with a descriptive error on mismatched gen/kill
 // dimensions, with a FuelError when p.Fuel is positive and exhausted, and
 // with a CancelError when p.Ctx is done before the fixpoint.
@@ -17,7 +25,12 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 	if err := p.check(g); err != nil {
 		return nil, err
 	}
+	return solveSparse(g, p)
+}
+
+func solveSparse(g Graph, p *Problem) (*Result, error) {
 	n := g.NumNodes()
+	nw := numWordsFor(p.Width)
 	in, out, meetIn := p.state(n)
 	res := &Result{In: in, Out: out}
 	res.Stats.Name = p.Name
@@ -31,33 +44,65 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 		}
 	}
 
-	// Seed the queue with every node in a good order and track membership
-	// so nodes are not queued twice.
-	order := p.order(g)
-	queue := make([]int, len(order))
-	copy(queue, order)
-	queued := make([]bool, n)
-	for _, node := range order {
-		queued[node] = true
+	full := bitvec.AllWordsMask(nw)
+	if full == 0 {
+		// Width 0: masks cannot represent any words, but every node must
+		// still be evaluated once so Stats match the dense behavior. A
+		// mask bit beyond the word count makes every masked op a no-op.
+		full = 1
 	}
+
+	// Seed the queue with every node in a good order. ring is an intrusive
+	// index ring: capacity n, membership tracked in the queuedBits bitset,
+	// so a node is never enqueued twice and the ring can never overflow.
+	// pending[v] accumulates the changed-word masks of v's inputs since v
+	// was last evaluated.
+	order := p.order(g)
+	ring := p.ints(n)
+	queuedBits := p.words((n + 63) >> 6)
+	pending := p.words(n)
+	releaseAll := func() {
+		p.releaseState(in, out, meetIn)
+		p.releaseInts(ring)
+		p.releaseWords(queuedBits, pending)
+	}
+	for i, node := range order {
+		ring[i] = int32(node)
+		queuedBits[node>>6] |= 1 << (uint(node) & 63)
+		pending[node] = full
+	}
+	head, count := 0, len(order)
 	res.Stats.Passes = 1 // one conceptual pass; NodeVisits carries the cost
+	wordOps, skippedWords := 0, 0
 
 	if err := Canceled(p.Ctx, p.Name); err != nil {
-		p.releaseState(in, out, meetIn)
+		releaseAll()
 		return nil, err
 	}
-	for len(queue) > 0 {
-		node := queue[0]
-		queue = queue[1:]
-		queued[node] = false
+	for count > 0 {
+		node := int(ring[head])
+		head++
+		if head == n {
+			head = 0
+		}
+		count--
+		queuedBits[node>>6] &^= 1 << (uint(node) & 63)
+		mask := pending[node]
+		pending[node] = 0
+
 		res.Stats.NodeVisits++
+		covered := bitvec.MaskWordCount(mask, nw)
+		if covered > nw {
+			covered = nw // the width-0 sentinel bit covers no real word
+		}
+		skippedWords += nw - covered
 		if p.Fuel > 0 && res.Stats.NodeVisits > p.Fuel {
-			p.releaseState(in, out, meetIn)
+			releaseAll()
 			return nil, &FuelError{Problem: p.Name, Fuel: p.Fuel}
 		}
 		if res.Stats.NodeVisits%cancelInterval == 0 {
 			if err := Canceled(p.Ctx, p.Name); err != nil {
-				p.releaseState(in, out, meetIn)
+				releaseAll()
 				return nil, err
 			}
 		}
@@ -72,11 +117,14 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 			degree = g.NumSuccs(node)
 		}
 
+		// Meet, restricted to the pending words. meetIn's words outside
+		// the mask are stale from earlier visits, but only masked words
+		// are read downstream.
 		if degree == 0 {
 			if p.Boundary == BoundaryFull {
-				meetIn.SetAll()
+				meetIn.SetAllMask(mask)
 			} else {
-				meetIn.ClearAll()
+				meetIn.ClearAllMask(mask)
 			}
 		} else {
 			first := true
@@ -88,28 +136,31 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 					src = res.In.Row(g.Succ(node, i))
 				}
 				if first {
-					meetIn.CopyFrom(src)
+					meetIn.CopyFromMask(src, mask)
 					first = false
 				} else if p.Meet == Must {
-					meetIn.And(src)
+					meetIn.AndMask(src, mask)
 				} else {
-					meetIn.Or(src)
+					meetIn.OrMask(src, mask)
 				}
-				res.Stats.VectorOps++
+				wordOps += covered
 			}
 		}
-		flowIn.CopyFrom(meetIn)
-		res.Stats.VectorOps++
+		flowIn.CopyFromMask(meetIn, mask)
+		wordOps += covered
 
-		// Fused transfer: flowOut = gen ∨ (flowIn ∧ ¬kill), accounted as
-		// the andnot/or/copy chain it replaces (see Solve).
-		changed := flowOut.OrAndNotOf(p.Gen.Row(node), flowIn, p.Kill.Row(node))
-		res.Stats.VectorOps += 3
-		if !changed {
+		// Fused masked transfer: flowOut = gen ∨ (flowIn ∧ ¬kill) on the
+		// pending words, accounted as the andnot/or/copy chain it
+		// replaces (see solveSerial). Bit b of OUT depends only on bit b
+		// of IN, so the changed-word mask it returns is exactly the set
+		// of words dependents must reconsider.
+		outChanged := flowOut.OrAndNotOfMask(p.Gen.Row(node), flowIn, p.Kill.Row(node), mask)
+		wordOps += 3 * covered
+		if outChanged == 0 {
 			continue
 		}
 
-		// Awaken dependents.
+		// Awaken dependents for the changed words only.
 		var fanout int
 		if p.Dir == Forward {
 			fanout = g.NumSuccs(node)
@@ -123,12 +174,22 @@ func SolveWorklist(g Graph, p *Problem) (*Result, error) {
 			} else {
 				dep = g.Pred(node, i)
 			}
-			if !queued[dep] {
-				queued[dep] = true
-				queue = append(queue, dep)
+			pending[dep] |= outChanged
+			if queuedBits[dep>>6]&(1<<(uint(dep)&63)) == 0 {
+				queuedBits[dep>>6] |= 1 << (uint(dep) & 63)
+				tail := head + count
+				if tail >= n {
+					tail -= n
+				}
+				ring[tail] = int32(dep)
+				count++
 			}
 		}
 	}
+	res.Stats.VectorOps = normVectorOps(wordOps, nw)
+	telemetrySparseSkips.Add(int64(skippedWords))
+	p.releaseInts(ring)
+	p.releaseWords(queuedBits, pending)
 	if p.Scratch != nil {
 		p.Scratch.ReleaseVector(meetIn)
 	}

@@ -3,9 +3,11 @@ package exp
 import (
 	"fmt"
 
+	"lazycm/internal/dataflow"
+	"lazycm/internal/ir"
 	"lazycm/internal/lcmblock"
+	"lazycm/internal/lcse"
 	"lazycm/internal/mr"
-	"lazycm/internal/randprog"
 )
 
 // T4bSolverCostBlockLevel is the same-granularity version of T4: both the
@@ -15,6 +17,13 @@ import (
 // unidirectional problems plus a unidirectionally-solvable LATER system
 // against a genuinely bidirectional fixpoint.
 func T4bSolverCostBlockLevel(sizes []int, programsPer int) *Report {
+	return T4bSolverCostBlockLevelOn(sizes, T4Programs(sizes, programsPer))
+}
+
+// T4bSolverCostBlockLevelOn runs the T4b measurement over a pre-generated
+// workload (the same shape T4Programs returns), so benchmarks can keep
+// program generation outside the timed region.
+func T4bSolverCostBlockLevelOn(sizes []int, progs [][]*ir.Function) *Report {
 	r := &Report{
 		ID:    "T4b",
 		Title: "solver cost at block granularity: edge-LCM vs MR (bidirectional)",
@@ -23,35 +32,45 @@ func T4bSolverCostBlockLevel(sizes []int, programsPer int) *Report {
 			"avg MR vec-ops", "avg MR passes", "MR/LCM ops",
 		},
 	}
-	for _, depth := range sizes {
+	// One arena for the whole experiment, as in T4: measure the solvers,
+	// not the allocator. As in T4 only the analyses run — the report
+	// consumes solver effort counts, not the rewritten programs. The
+	// local-CSE pre-pass mirrors lcmblock.TransformOpts so the edge-LCM
+	// numbers match what the full transform pays.
+	sc := dataflow.NewScratch()
+	for d, depth := range sizes {
 		var blocks, lcmOps, lcmPasses, mrOps, mrPasses int
-		for i := 0; i < programsPer; i++ {
-			cfg := randprog.Default(int64(depth*10000 + i))
-			cfg.MaxDepth = depth
-			f := randprog.Generate(cfg)
+		for _, f := range progs[d] {
 			blocks += f.NumBlocks()
 
-			bres, err := lcmblock.Transform(f)
+			pre, err := lcse.Transform(f)
 			if err != nil {
 				panic(err)
 			}
-			lcmOps += bres.Analysis.TotalVectorOps()
-			lcmPasses += bres.Analysis.LaterPasses
-			for _, s := range bres.Analysis.UniStats {
+			ba, err := lcmblock.AnalyzeOpts(pre.F, lcmblock.Options{Scratch: sc})
+			if err != nil {
+				panic(err)
+			}
+			lcmOps += ba.TotalVectorOps()
+			lcmPasses += ba.LaterPasses
+			for _, s := range ba.UniStats {
 				lcmPasses += s.Passes
 			}
+			ba.Release()
 
-			mres, err := mr.Transform(f)
+			ma, err := mr.AnalyzeOpts(f, mr.Options{Scratch: sc})
 			if err != nil {
 				panic(err)
 			}
-			mrOps += mres.TotalVectorOps()
-			mrPasses += mres.Bidir.Passes
-			for _, s := range mres.UniStats {
+			mrOps += ma.BidirVectorOps
+			mrPasses += ma.Passes
+			for _, s := range ma.UniStats {
+				mrOps += s.VectorOps
 				mrPasses += s.Passes
 			}
+			ma.Release()
 		}
-		n := programsPer
+		n := len(progs[d])
 		ratio := "n/a"
 		if lcmOps > 0 {
 			ratio = fmt.Sprintf("%.2f", float64(mrOps)/float64(lcmOps))

@@ -3,11 +3,14 @@ package exp
 import (
 	"fmt"
 
+	"lazycm/internal/dataflow"
 	"lazycm/internal/gcse"
+	"lazycm/internal/graph"
 	"lazycm/internal/interp"
 	"lazycm/internal/ir"
 	"lazycm/internal/lcm"
 	"lazycm/internal/mr"
+	"lazycm/internal/nodes"
 	"lazycm/internal/props"
 	"lazycm/internal/randprog"
 	"lazycm/internal/textir"
@@ -200,11 +203,34 @@ func T3Lifetimes(programs int) *Report {
 	return r
 }
 
+// T4Programs generates the workload T4 and T4b measure over: programsPer
+// deterministic random programs per entry of sizes. Benchmarks generate
+// the workload once and time only the analyses; the experiment driver
+// composes the two.
+func T4Programs(sizes []int, programsPer int) [][]*ir.Function {
+	progs := make([][]*ir.Function, len(sizes))
+	for d, depth := range sizes {
+		progs[d] = make([]*ir.Function, programsPer)
+		for i := range progs[d] {
+			cfg := randprog.Default(int64(depth*10000 + i))
+			cfg.MaxDepth = depth
+			progs[d][i] = randprog.Generate(cfg)
+		}
+	}
+	return progs
+}
+
 // T4SolverCost compares the analysis effort of LCM's four unidirectional
 // problems against Morel–Renvoise's bidirectional system, over growing
 // program sizes: the paper's efficiency argument, in vector operations and
 // fixpoint passes.
 func T4SolverCost(sizes []int, programsPer int) *Report {
+	return T4SolverCostOn(sizes, T4Programs(sizes, programsPer))
+}
+
+// T4SolverCostOn runs the T4 measurement over a pre-generated workload:
+// progs[d] holds the programs for sizes[d].
+func T4SolverCostOn(sizes []int, progs [][]*ir.Function) *Report {
 	r := &Report{
 		ID:    "T4",
 		Title: "solver cost: LCM (4 unidirectional problems) vs MR (bidirectional fixpoint)",
@@ -213,32 +239,45 @@ func T4SolverCost(sizes []int, programsPer int) *Report {
 			"avg MR vec-ops", "avg MR passes", "MR/LCM ops",
 		},
 	}
-	for _, depth := range sizes {
+	// One arena for the whole experiment: every analysis draws its
+	// matrices from it and releases them, so the measured cost is the
+	// solvers', not the allocator's. Only the analyses run — T4 reports
+	// solver effort, and the rewrite phase both transforms would bolt on
+	// produces programs this experiment immediately discards. The prep
+	// below (clone, critical-edge split, universe, graph) mirrors
+	// lcm.TransformOpts exactly, so the solver numbers are the ones any
+	// caller of the full transform pays.
+	sc := dataflow.NewScratch()
+	for d, depth := range sizes {
 		var stmts, lcmOps, lcmPasses, mrOps, mrPasses int
-		for i := 0; i < programsPer; i++ {
-			cfg := randprog.Default(int64(depth*10000 + i))
-			cfg.MaxDepth = depth
-			f := randprog.Generate(cfg)
+		for _, f := range progs[d] {
 			stmts += f.NumInstrs()
-			lres, err := lcm.Transform(f, lcm.LCM)
+			clone := f.Clone()
+			graph.SplitCriticalEdges(clone)
+			u := props.Collect(clone)
+			g := nodes.Build(clone, u)
+			la, err := lcm.AnalyzeOpts(g, lcm.Options{Scratch: sc})
 			if err != nil {
 				panic(err)
 			}
-			lcmOps += lres.Analysis.TotalVectorOps()
-			for _, s := range lres.Analysis.Stats {
+			lcmOps += la.TotalVectorOps()
+			for _, s := range la.Stats {
 				lcmPasses += s.Passes
 			}
-			mres, err := mr.Transform(f)
+			la.Release()
+			ma, err := mr.AnalyzeOpts(f, mr.Options{Scratch: sc})
 			if err != nil {
 				panic(err)
 			}
-			mrOps += mres.TotalVectorOps()
-			mrPasses += mres.Bidir.Passes
-			for _, s := range mres.UniStats {
+			mrOps += ma.BidirVectorOps
+			mrPasses += ma.Passes
+			for _, s := range ma.UniStats {
+				mrOps += s.VectorOps
 				mrPasses += s.Passes
 			}
+			ma.Release()
 		}
-		n := programsPer
+		n := len(progs[d])
 		ratio := "n/a"
 		if lcmOps > 0 {
 			ratio = fmt.Sprintf("%.2f", float64(mrOps)/float64(lcmOps))

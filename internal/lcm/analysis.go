@@ -111,6 +111,25 @@ type Analysis struct {
 	// Derived counts the whole-vector operations spent computing EARLIEST
 	// and LATEST.
 	Derived int
+
+	// sc is the arena every retained matrix was drawn from; Release
+	// returns them to it so the next analysis on this arena reuses the
+	// same backing storage instead of allocating six fresh matrices.
+	sc *dataflow.Scratch
+}
+
+// Release returns the six predicate matrices to the analysis arena and
+// nils them out. Callers that are done reading the predicates — pipeline
+// rounds, server workers between requests, benchmark loops — call it so
+// repeated analyses recycle one backing store. Releasing twice is a no-op;
+// using the matrices after Release is a caller bug (the arena may hand
+// them to the next analysis zeroed).
+func (a *Analysis) Release() {
+	if a == nil || a.sc == nil {
+		return
+	}
+	a.sc.Release(a.DSafe, a.USafe, a.Earliest, a.Delay, a.Latest, a.Isolated)
+	a.DSafe, a.USafe, a.Earliest, a.Delay, a.Latest, a.Isolated = nil, nil, nil, nil, nil, nil
 }
 
 // TotalVectorOps returns the total whole-vector operation count across the
@@ -163,7 +182,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	if sc == nil {
 		sc = dataflow.NewScratch()
 	}
-	a := &Analysis{G: g, U: g.U}
+	a := &Analysis{G: g, U: g.U, sc: sc}
 	releaseRes := func(rs ...*dataflow.Result) {
 		for _, r := range rs {
 			if r != nil {
@@ -205,6 +224,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 			Name: "dsafe", Dir: dataflow.Backward, Meet: dataflow.Must,
 			Width: w, Gen: g.Comp, Kill: notTransp,
 			Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+			Strategy: o.Strategy,
 		})
 		return err
 	})
@@ -214,6 +234,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 			Name: "usafe", Dir: dataflow.Forward, Meet: dataflow.Must,
 			Width: w, Gen: usafeGen, Kill: notTransp,
 			Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+			Strategy: o.Strategy,
 		})
 		return err
 	})
@@ -237,7 +258,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 	// vector ops below compute the same predicates in fewer memory sweeps;
 	// Derived still counts the logical (unfused) operations so the T4
 	// efficiency currency stays comparable across implementations.
-	a.Earliest = bitvec.NewMatrix(n, w)
+	a.Earliest = sc.Matrix(n, w)
 	hoistable := sc.Vector(w)
 	tmp := sc.Vector(w)
 	for i := 0; i < n; i++ {
@@ -270,9 +291,10 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 		Name: "delay", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: delayGen, Kill: g.Comp,
 		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+		Strategy: o.Strategy,
 	})
 	if err != nil {
-		sc.Release(notTransp, delayGen)
+		sc.Release(notTransp, delayGen, a.Earliest)
 		sc.ReleaseVector(hoistable, tmp)
 		return nil, fmt.Errorf("lcm: %w", err)
 	}
@@ -287,7 +309,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 
 	// Latestness (derived):
 	//   LATEST(n) = DELAY(n) ∧ (COMP(n) ∨ ¬∏_{m∈succ(n)} DELAY(m))
-	a.Latest = bitvec.NewMatrix(n, w)
+	a.Latest = sc.Matrix(n, w)
 	for i := 0; i < n; i++ {
 		row := a.Latest.Row(i)
 		ns := g.NumSuccs(i)
@@ -317,6 +339,7 @@ func AnalyzeOpts(g *nodes.Graph, o Options) (*Analysis, error) {
 		Name: "isolated", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: a.Latest, Kill: g.Comp,
 		Boundary: dataflow.BoundaryFull, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
+		Strategy: o.Strategy,
 	})
 	if err != nil {
 		sc.Release(notTransp)
@@ -338,6 +361,19 @@ type Placement struct {
 	// Replace(node, expr): rewrite the node's computation of expr to read
 	// t_expr.
 	Replace *bitvec.Matrix
+
+	// sc is the arena the matrices came from; see Analysis.sc.
+	sc *dataflow.Scratch
+}
+
+// Release returns the placement matrices to the analysis arena and nils
+// them out; see Analysis.Release for the contract.
+func (p *Placement) Release() {
+	if p == nil || p.sc == nil {
+		return
+	}
+	p.sc.Release(p.Insert, p.Replace)
+	p.Insert, p.Replace = nil, nil
 }
 
 // Placement derives the insert/replace decision for the given mode. An
@@ -349,7 +385,12 @@ func (a *Analysis) Placement(mode Mode) (*Placement, error) {
 	}
 	n := a.G.NumNodes()
 	w := a.U.Size()
-	p := &Placement{Mode: mode, Insert: bitvec.NewMatrix(n, w), Replace: bitvec.NewMatrix(n, w)}
+	p := &Placement{Mode: mode, sc: a.sc}
+	if a.sc != nil {
+		p.Insert, p.Replace = a.sc.Matrix(n, w), a.sc.Matrix(n, w)
+	} else {
+		p.Insert, p.Replace = bitvec.NewMatrix(n, w), bitvec.NewMatrix(n, w)
+	}
 	for i := 0; i < n; i++ {
 		ins := p.Insert.Row(i)
 		rep := p.Replace.Row(i)

@@ -1,0 +1,110 @@
+package lcm
+
+import (
+	"fmt"
+	"testing"
+
+	"lazycm/internal/bitvec"
+	"lazycm/internal/dataflow"
+	"lazycm/internal/randprog"
+)
+
+// TestStrategyEquivalence is the transformation-level half of the solver
+// equivalence story (the solver-level half lives in internal/dataflow): on
+// randomly generated programs, every solver strategy must produce
+// bit-identical predicate matrices, placements, and transformed functions.
+// The suite runs under -race in CI, so the sliced strategy's concurrent
+// word-column writes are also checked for soundness, not just results.
+func TestStrategyEquivalence(t *testing.T) {
+	strategies := []dataflow.Strategy{dataflow.Sliced, dataflow.Sparse}
+	for seed := int64(0); seed < 8; seed++ {
+		// Vary program size: shallow programs stay under the dispatch
+		// thresholds (forcing the strategy matters there), deep ones cross
+		// them.
+		cfg := randprog.Default(seed * 7919)
+		cfg.MaxDepth = 3 + int(seed%4)
+		f := randprog.Generate(cfg)
+
+		ref, err := TransformOpts(f, LCM, Options{Strategy: dataflow.Serial})
+		if err != nil {
+			t.Fatalf("seed %d: serial transform: %v", seed, err)
+		}
+		for _, strat := range strategies {
+			for _, shared := range []bool{false, true} {
+				name := fmt.Sprintf("seed=%d/%v/shared=%v", seed, strat, shared)
+				var sc *dataflow.Scratch
+				if shared {
+					sc = dataflow.NewScratch()
+				}
+				got, err := TransformOpts(f, LCM, Options{Strategy: strat, Scratch: sc})
+				if err != nil {
+					t.Fatalf("%s: transform: %v", name, err)
+				}
+				matrices := []struct {
+					label    string
+					ref, got *bitvec.Matrix
+				}{
+					{"DSafe", ref.Analysis.DSafe, got.Analysis.DSafe},
+					{"USafe", ref.Analysis.USafe, got.Analysis.USafe},
+					{"Earliest", ref.Analysis.Earliest, got.Analysis.Earliest},
+					{"Delay", ref.Analysis.Delay, got.Analysis.Delay},
+					{"Latest", ref.Analysis.Latest, got.Analysis.Latest},
+					{"Isolated", ref.Analysis.Isolated, got.Analysis.Isolated},
+					{"Insert", ref.Placement.Insert, got.Placement.Insert},
+					{"Replace", ref.Placement.Replace, got.Placement.Replace},
+				}
+				for _, m := range matrices {
+					if !m.ref.Equal(m.got) {
+						t.Errorf("%s: %s differs from serial", name, m.label)
+					}
+				}
+				if gotS, refS := got.F.String(), ref.F.String(); gotS != refS {
+					t.Errorf("%s: transformed function differs from serial", name)
+				}
+				got.Release()
+				// A released result must still round-trip through the arena:
+				// a second run on the same scratch must again match.
+				if shared {
+					again, err := TransformOpts(f, LCM, Options{Strategy: strat, Scratch: sc})
+					if err != nil {
+						t.Fatalf("%s: second transform on shared arena: %v", name, err)
+					}
+					if !ref.Analysis.Latest.Equal(again.Analysis.Latest) {
+						t.Errorf("%s: arena reuse changed LATEST", name)
+					}
+					again.Release()
+				}
+			}
+		}
+	}
+}
+
+// TestStrategyEquivalenceAuto checks that the default dispatcher (Auto)
+// agrees with forced-serial on programs large enough to actually engage
+// the sliced and sparse paths.
+func TestStrategyEquivalenceAuto(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep random programs are slow under -short")
+	}
+	for seed := int64(0); seed < 2; seed++ {
+		cfg := randprog.Default(seed*104729 + 17)
+		cfg.MaxDepth = 6
+		f := randprog.Generate(cfg)
+		ref, err := TransformOpts(f, LCM, Options{Strategy: dataflow.Serial})
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		got, err := TransformOpts(f, LCM, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: auto: %v", seed, err)
+		}
+		if !ref.Analysis.DSafe.Equal(got.Analysis.DSafe) ||
+			!ref.Analysis.Latest.Equal(got.Analysis.Latest) ||
+			!ref.Analysis.Isolated.Equal(got.Analysis.Isolated) {
+			t.Errorf("seed %d: auto-dispatched predicates differ from serial", seed)
+		}
+		if ref.F.String() != got.F.String() {
+			t.Errorf("seed %d: auto-dispatched transform differs from serial", seed)
+		}
+	}
+}

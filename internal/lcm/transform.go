@@ -54,7 +54,29 @@ type Options struct {
 	// across the four data-flow problems (and across calls, e.g. one
 	// arena per pipeline run). Nil means a run-private arena. The
 	// analysis results are identical either way; see dataflow.Scratch.
+	// Callers that keep one arena across calls should Release finished
+	// results (Result.Release / Analysis.Release) so the six retained
+	// predicate matrices recycle too.
 	Scratch *dataflow.Scratch
+	// Strategy selects the data-flow solver for all four fixpoints; the
+	// zero value Auto picks by problem shape. Every strategy computes
+	// bit-identical predicates (asserted by the randomized equivalence
+	// suite); tests force Serial/Sliced/Sparse to prove exactly that.
+	Strategy dataflow.Strategy
+}
+
+// Release returns the result's analysis and placement matrices to the
+// scratch arena they were drawn from. Callers that run many
+// transformations over one shared arena (pipeline rounds, server workers,
+// benchmark loops) call it once they are done reading the predicates; the
+// transformed function, counters, and TempFor map stay valid. Releasing a
+// nil result or releasing twice is a no-op.
+func (r *Result) Release() {
+	if r == nil {
+		return
+	}
+	r.Analysis.Release()
+	r.Placement.Release()
 }
 
 // Transform applies the given placement mode to a clone of f and returns

@@ -56,6 +56,23 @@ type Analysis struct {
 	// LaterVectorOps are the LATER fixpoint's effort.
 	UniStats                    []dataflow.Stats
 	LaterPasses, LaterVectorOps int
+
+	// sc is the arena the matrices were drawn from, when one was used.
+	sc *dataflow.Scratch
+}
+
+// Release returns every predicate matrix to the arena it came from (no-op
+// without one) and nils them out; the edge list, stats and locals stay
+// valid. Callers that analyze many functions over one shared arena call it
+// once they are done reading the predicates. Releasing twice is a no-op.
+func (a *Analysis) Release() {
+	if a == nil || a.sc == nil {
+		return
+	}
+	a.sc.Release(a.AntIn, a.AntOut, a.AvIn, a.AvOut,
+		a.Earliest, a.Later, a.Insert, a.LaterIn, a.Delete)
+	a.AntIn, a.AntOut, a.AvIn, a.AvOut = nil, nil, nil, nil
+	a.Earliest, a.Later, a.Insert, a.LaterIn, a.Delete = nil, nil, nil, nil, nil
 }
 
 // EdgeRef identifies an edge for the edge-indexed predicates. The virtual
@@ -87,6 +104,11 @@ type Options struct {
 	// fixpoint; once done the run fails with an error unwrapping to
 	// dataflow.ErrCanceled. Nil means "never canceled".
 	Ctx context.Context
+	// Scratch, when non-nil, is the shared analysis arena: the two
+	// unidirectional solves and every predicate matrix draw from it.
+	// Results are identical either way; callers should Release finished
+	// analyses so the matrices recycle. See dataflow.Scratch.
+	Scratch *dataflow.Scratch
 }
 
 // Analyze computes the edge-LCM predicates for f (which should already be
@@ -105,13 +127,20 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 // AnalyzeOpts is Analyze with full options (fuel and cancellation).
 func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	fuel := o.Fuel
+	sc := o.Scratch
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
 	w := u.Size()
 	g := dataflow.BlockGraph{F: f}
+	newMat := func(rows int) *bitvec.Matrix {
+		if sc != nil {
+			return sc.Matrix(rows, w)
+		}
+		return bitvec.NewMatrix(rows, w)
+	}
 
-	notTransp := bitvec.NewMatrix(n, w)
+	notTransp := newMat(n)
 	for i := 0; i < n; i++ {
 		row := notTransp.Row(i)
 		row.CopyFrom(local.Transp.Row(i))
@@ -121,7 +150,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	ant, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-ant", Dir: dataflow.Backward, Meet: dataflow.Must,
 		Width: w, Gen: local.Antloc, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcmblock: %w", err)
@@ -129,10 +158,13 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "blk-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("lcmblock: %w", err)
+	}
+	if sc != nil {
+		sc.Release(notTransp) // kill set only feeds the two solves above
 	}
 
 	a := &Analysis{
@@ -140,6 +172,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 		AntIn: ant.In, AntOut: ant.Out,
 		AvIn: av.In, AvOut: av.Out,
 		UniStats: []dataflow.Stats{ant.Stats, av.Stats},
+		sc:       sc,
 	}
 
 	// Edge list: virtual entry edge first, then real edges in
@@ -151,8 +184,18 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	ne := len(a.Edges)
 
 	// EARLIEST per edge.
-	a.Earliest = bitvec.NewMatrix(ne, w)
-	tmp := bitvec.New(w)
+	a.Earliest = newMat(ne)
+	var tmp, prev *bitvec.Vector
+	if sc != nil {
+		tmp, prev = sc.Vector(w), sc.Vector(w)
+	} else {
+		tmp, prev = bitvec.New(w), bitvec.New(w)
+	}
+	releaseWork := func() {
+		if sc != nil {
+			sc.ReleaseVector(tmp, prev)
+		}
+	}
 	for x, e := range a.Edges {
 		row := a.Earliest.Row(x)
 		row.CopyFrom(a.AntIn.Row(e.To.ID))
@@ -168,8 +211,8 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	}
 
 	// LATER / LATERIN fixpoint (decreasing from all-ones).
-	a.Later = bitvec.NewMatrix(ne, w)
-	a.LaterIn = bitvec.NewMatrix(n, w)
+	a.Later = newMat(ne)
+	a.LaterIn = newMat(n)
 	for x := 0; x < ne; x++ {
 		a.Later.Row(x).SetAll()
 	}
@@ -185,6 +228,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	visits := 0
 	for {
 		if err := dataflow.Canceled(o.Ctx, "blk-later"); err != nil {
+			releaseWork()
 			return nil, err
 		}
 		a.LaterPasses++
@@ -192,6 +236,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 		for _, b := range rpo {
 			visits++
 			if fuel > 0 && visits > fuel {
+				releaseWork()
 				return nil, fmt.Errorf("lcmblock: later fixpoint: %w",
 					&dataflow.FuelError{Problem: "blk-later", Fuel: fuel})
 			}
@@ -213,7 +258,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 					continue
 				}
 				row := a.Later.Row(x)
-				prev := row.Copy()
+				prev.CopyFrom(row)
 				row.CopyFrom(a.LaterIn.Row(b.ID))
 				row.AndNot(local.Antloc.Row(b.ID))
 				row.Or(a.Earliest.Row(x))
@@ -233,14 +278,16 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 		}
 	}
 
+	releaseWork()
+
 	// INSERT per edge; DELETE per block.
-	a.Insert = bitvec.NewMatrix(ne, w)
+	a.Insert = newMat(ne)
 	for x, e := range a.Edges {
 		row := a.Insert.Row(x)
 		row.CopyFrom(a.Later.Row(x))
 		row.AndNot(a.LaterIn.Row(e.To.ID))
 	}
-	a.Delete = bitvec.NewMatrix(n, w)
+	a.Delete = newMat(n)
 	for b := 0; b < n; b++ {
 		row := a.Delete.Row(b)
 		row.CopyFrom(local.Antloc.Row(b))
@@ -264,6 +311,16 @@ type Result struct {
 	Inserted, Deleted, Saved int
 	LCSEEliminated           int
 	EdgesSplit               int
+}
+
+// Release returns the result's analysis matrices to the scratch arena they
+// were drawn from; the transformed function, counters, and TempFor map
+// stay valid. No-op without an arena or on a nil/released result.
+func (r *Result) Release() {
+	if r == nil {
+		return
+	}
+	r.Analysis.Release()
 }
 
 // Transform applies LCSE and then edge-based LCM to a clone of f.

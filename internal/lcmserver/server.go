@@ -636,6 +636,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// burst recovers its degradation level on the next probe instead of
 	// staying stuck at the level the burst pushed it to.
 	lvl := s.observe()
+	tele := dataflow.Telemetry()
 	status := "ok"
 	code := http.StatusOK
 	if s.draining.Load() {
@@ -685,6 +686,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"retry_after_ms":      s.lastRetryMS.Load(),
 		"latency_ewma_ms":     s.gauge.EWMA().Milliseconds(),
 		"quarantine_writable": s.quarantineWritable(),
+		// Solver-core telemetry (process-wide): slices launched by the
+		// word-parallel strategy and words the sparse worklist skipped.
+		// A soak asserts these advance, proving the fast paths actually
+		// engage under load rather than silently falling back to serial.
+		"solver_parallel_slices": tele.ParallelSlices,
+		"solver_sparse_skips":    tele.SparseSkips,
 	}
 	if ps := s.peers.states(); ps != nil {
 		body["peers"] = ps
@@ -719,6 +726,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	// Like healthz, a readiness probe is also a pressure sample: frequent
 	// polling keeps the ladder descending after a burst.
 	lvl := s.observe()
+	tele := dataflow.Telemetry()
 	ready := !s.draining.Load() && lvl < overload.LevelShed
 	code := http.StatusOK
 	if !ready {
@@ -736,6 +744,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"stream_clients":  s.streamClients.Load(),
 		"fn_cache_hits":   s.cacheHits.Load(),
 		"fn_cache_misses": s.cacheMisses.Load(),
+		// Solver-core telemetry rides along for the gateway's fleet view.
+		"solver_parallel_slices": tele.ParallelSlices,
+		"solver_sparse_skips":    tele.SparseSkips,
 	})
 }
 

@@ -1,0 +1,87 @@
+package lcmserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"lazycm/internal/dataflow"
+	"lazycm/internal/ir"
+	"lazycm/internal/randprog"
+	"lazycm/internal/textir"
+)
+
+// TestHealthzSolverTelemetry: optimizing a large program must engage the
+// solver's word-sliced parallel path and its sparse worklist, and both
+// must surface as monotone counters on /healthz — the signal the fleet
+// soak uses to prove the fast paths run under load instead of silently
+// falling back to serial.
+func TestHealthzSolverTelemetry(t *testing.T) {
+	before := dataflow.Telemetry()
+	// Generous budget: the program below is mid-sized but mode "opt" runs
+	// the full multi-round pipeline, which can exceed the default 5s on a
+	// loaded CI box.
+	_, ts := newTestServer(t, Config{Timeout: 2 * time.Minute})
+
+	// This shape engages both fast paths through mode "opt": ~270
+	// candidate expressions (≥4 words wide → the LCM problems dispatch to
+	// the word-sliced parallel strategy) and ~500+ statement nodes with a
+	// narrow multi-word liveness universe (→ the DCE rounds dispatch to
+	// the sparse worklist, whose partial-mask revisits record skipped
+	// words).
+	f := randprog.Generate(randprog.Config{
+		Seed: 9, MaxDepth: 5, MaxItems: 3, MaxStmts: 6, Vars: 10, Params: 4, MaxTrips: 4,
+	})
+	if err := f.Validate(); err != nil {
+		t.Fatalf("generated function invalid: %v", err)
+	}
+	prog := textir.PrintFunctions([]*ir.Function{f})
+	code, out := postOptimize(t, ts, optimizeRequest{Program: prog, Mode: "opt"})
+	if code != http.StatusOK || out.Error != "" {
+		t.Fatalf("optimize status %d, err %q", code, out.Error)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	slices, ok := health["solver_parallel_slices"].(float64)
+	if !ok {
+		t.Fatalf("healthz missing solver_parallel_slices: %v", health)
+	}
+	skips, ok := health["solver_sparse_skips"].(float64)
+	if !ok {
+		t.Fatalf("healthz missing solver_sparse_skips: %v", health)
+	}
+	if int64(slices) <= before.ParallelSlices {
+		t.Errorf("solver_parallel_slices did not advance: %v -> %v (parallel path never engaged)",
+			before.ParallelSlices, slices)
+	}
+	if int64(skips) <= before.SparseSkips {
+		t.Errorf("solver_sparse_skips did not advance: %v -> %v (sparse path never engaged)",
+			before.SparseSkips, skips)
+	}
+
+	// The readiness probe carries the same gauges for the gateway's
+	// fleet fold.
+	resp2, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ready map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"solver_parallel_slices", "solver_sparse_skips"} {
+		if _, ok := ready[k].(float64); !ok {
+			t.Errorf("readyz missing %s: %v", k, ready)
+		}
+	}
+}

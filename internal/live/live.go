@@ -29,6 +29,21 @@ type Info struct {
 	index map[string]int
 	// Stats are the liveness solver's statistics.
 	Stats dataflow.Stats
+
+	// sc is the arena the solution matrices came from, when one was used.
+	sc *dataflow.Scratch
+}
+
+// Release returns the liveness matrices to the arena they were drawn from
+// (no-op without one) and nils them out. Repeated liveness solves over one
+// arena — the DCE fixpoint rounds, lifetime metrics over many functions —
+// recycle the same backing store this way.
+func (i *Info) Release() {
+	if i == nil || i.sc == nil {
+		return
+	}
+	i.sc.Release(i.LiveIn, i.LiveOut)
+	i.LiveIn, i.LiveOut = nil, nil
 }
 
 // Compute solves liveness for f. If vars is nil, all variables of f are
@@ -111,6 +126,7 @@ func ComputeScratch(ctx context.Context, f *ir.Function, vars []string, sc *data
 	info.LiveIn = res.In
 	info.LiveOut = res.Out
 	info.Stats = res.Stats
+	info.sc = sc
 	return info, nil
 }
 

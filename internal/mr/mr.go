@@ -40,6 +40,12 @@ type Options struct {
 	// fixpoint; once done the run fails with an error unwrapping to
 	// dataflow.ErrCanceled. Nil means "never canceled".
 	Ctx context.Context
+	// Scratch, when non-nil, is the shared analysis arena: the
+	// unidirectional solves, the bidirectional working state, and the
+	// predicate matrices all draw from it, and Transform releases them
+	// back when done, so repeated MR runs (experiment loops, pipeline
+	// passes) recycle one backing store. Results are identical either way.
+	Scratch *dataflow.Scratch
 }
 
 // Result is the outcome of the MR transformation.
@@ -77,6 +83,22 @@ type Analysis struct {
 	Insert, Delete         *bitvec.Matrix
 	UniStats               []dataflow.Stats
 	Passes, BidirVectorOps int
+
+	// sc is the arena the matrices were drawn from, when one was used.
+	sc *dataflow.Scratch
+}
+
+// Release returns every predicate matrix to the arena it came from (no-op
+// without one) and nils them out; see lcm.Analysis.Release for the
+// contract. Transform calls it once the rewrite no longer needs the
+// predicates.
+func (a *Analysis) Release() {
+	if a == nil || a.sc == nil {
+		return
+	}
+	a.sc.Release(a.AvIn, a.AvOut, a.PavIn, a.PavOut, a.PPIn, a.PPOut, a.Insert, a.Delete)
+	a.AvIn, a.AvOut, a.PavIn, a.PavOut = nil, nil, nil, nil
+	a.PPIn, a.PPOut, a.Insert, a.Delete = nil, nil, nil, nil
 }
 
 // Analyze computes MR's global predicates for f.
@@ -100,13 +122,20 @@ func AnalyzeFuel(f *ir.Function, fuel int) (*Analysis, error) {
 // in the tree, so o.Ctx is polled every sweep.
 func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	fuel := o.Fuel
+	sc := o.Scratch
 	u := props.Collect(f)
 	local := props.ComputeBlockLocal(f, u)
 	n := f.NumBlocks()
 	w := u.Size()
 	g := dataflow.BlockGraph{F: f}
+	newMat := func() *bitvec.Matrix {
+		if sc != nil {
+			return sc.Matrix(n, w)
+		}
+		return bitvec.NewMatrix(n, w)
+	}
 
-	notTransp := bitvec.NewMatrix(n, w)
+	notTransp := newMat()
 	for i := 0; i < n; i++ {
 		row := notTransp.Row(i)
 		row.CopyFrom(local.Transp.Row(i))
@@ -116,7 +145,7 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	av, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-avail", Dir: dataflow.Forward, Meet: dataflow.Must,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: %w", err)
@@ -124,18 +153,22 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	pav, err := dataflow.Solve(g, &dataflow.Problem{
 		Name: "mr-pavail", Dir: dataflow.Forward, Meet: dataflow.May,
 		Width: w, Gen: local.Comp, Kill: notTransp,
-		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx,
+		Boundary: dataflow.BoundaryEmpty, Fuel: fuel, Ctx: o.Ctx, Scratch: sc,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: %w", err)
+	}
+	if sc != nil {
+		sc.Release(notTransp) // kill set only feeds the two solves above
 	}
 
 	a := &Analysis{
 		U: u, Local: local,
 		AvIn: av.In, AvOut: av.Out,
 		PavIn: pav.In, PavOut: pav.Out,
-		PPIn: bitvec.NewMatrix(n, w), PPOut: bitvec.NewMatrix(n, w),
+		PPIn: newMat(), PPOut: newMat(),
 		UniStats: []dataflow.Stats{av.Stats, pav.Stats},
+		sc:       sc,
 	}
 
 	// Bidirectional placement-possible system, solved as a decreasing
@@ -145,15 +178,44 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 	//	PPIN(i)  = PAVIN(i)
 	//	         ∧ (ANTLOC(i) ∨ (TRANSP(i) ∧ PPOUT(i)))
 	//	         ∧ ∏_{p∈pred(i)} (PPOUT(p) ∨ AVOUT(p))  (false at entry)
-	for i := 0; i < n; i++ {
-		a.PPIn.Row(i).SetAll()
-		a.PPOut.Row(i).SetAll()
+	//
+	// Like dataflow's serial solver, the sweep works on the matrices'
+	// flat word backing: the universes here are a word or two wide, so
+	// per-row Vector views would cost more in dispatch than the word
+	// math. The op accounting mirrors the vector formulation exactly.
+	stride := a.PPIn.Stride()
+	lastMask := ^uint64(0)
+	if rem := uint(w) & 63; rem != 0 {
+		lastMask = (uint64(1) << rem) - 1
 	}
-	tmp := bitvec.New(w)
-	acc := bitvec.New(w)
+	ppInW, ppOutW := a.PPIn.Data(), a.PPOut.Data()
+	if stride > 0 {
+		for i := range ppInW {
+			ppInW[i] = ^uint64(0)
+			ppOutW[i] = ^uint64(0)
+		}
+		for i := 0; i < n; i++ {
+			ppInW[i*stride+stride-1] &= lastMask
+			ppOutW[i*stride+stride-1] &= lastMask
+		}
+	}
+	transpW, antlocW := local.Transp.Data(), local.Antloc.Data()
+	pavInW, avOutW := a.PavIn.Data(), a.AvOut.Data()
+	var acc []uint64
+	if sc != nil {
+		acc = sc.Words(stride)
+	} else {
+		acc = make([]uint64, stride)
+	}
+	releaseWork := func() {
+		if sc != nil {
+			sc.ReleaseWords(acc)
+		}
+	}
 	visits := 0
 	for {
 		if err := dataflow.Canceled(o.Ctx, "mr-pp"); err != nil {
+			releaseWork()
 			return nil, err
 		}
 		a.Passes++
@@ -162,43 +224,65 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 			i := b.ID
 			visits++
 			if fuel > 0 && visits > fuel {
+				releaseWork()
 				return nil, fmt.Errorf("mr: placement-possible fixpoint: %w",
 					&dataflow.FuelError{Problem: "mr-pp", Fuel: fuel})
 			}
+			base := i * stride
 			// PPOUT
 			if b.NumSuccs() == 0 {
-				acc.ClearAll()
+				for k := 0; k < stride; k++ {
+					acc[k] = 0
+				}
 			} else {
-				acc.SetAll()
+				for k := 0; k < stride; k++ {
+					acc[k] = ^uint64(0)
+				}
+				if stride > 0 {
+					acc[stride-1] &= lastMask
+				}
 				for s := 0; s < b.NumSuccs(); s++ {
-					acc.And(a.PPIn.Row(b.Succ(s).ID))
+					sb := b.Succ(s).ID * stride
+					for k := 0; k < stride; k++ {
+						acc[k] &= ppInW[sb+k]
+					}
 					a.BidirVectorOps++
 				}
 			}
-			if a.PPOut.Row(i).CopyFrom(acc) {
-				changed = true
+			for k := 0; k < stride; k++ {
+				if ppOutW[base+k] != acc[k] {
+					ppOutW[base+k] = acc[k]
+					changed = true
+				}
 			}
 			a.BidirVectorOps++
 
 			// PPIN
-			if len(b.Preds()) == 0 {
-				acc.ClearAll()
+			preds := b.Preds()
+			if len(preds) == 0 {
+				for k := 0; k < stride; k++ {
+					acc[k] = 0
+				}
 			} else {
-				acc.CopyFrom(local.Transp.Row(i))
-				acc.And(a.PPOut.Row(i))
-				acc.Or(local.Antloc.Row(i))
-				acc.And(a.PavIn.Row(i))
+				// PAVIN ∧ (ANTLOC ∨ (TRANSP ∧ PPOUT)), fused per word,
+				// counted as the four vector ops it replaces.
+				for k := 0; k < stride; k++ {
+					acc[k] = pavInW[base+k] & (antlocW[base+k] | (transpW[base+k] & ppOutW[base+k]))
+				}
 				a.BidirVectorOps += 4
-				for p := 0; p < len(b.Preds()); p++ {
-					pid := b.Preds()[p].ID
-					tmp.CopyFrom(a.PPOut.Row(pid))
-					tmp.Or(a.AvOut.Row(pid))
-					acc.And(tmp)
+				for p := 0; p < len(preds); p++ {
+					pb := preds[p].ID * stride
+					for k := 0; k < stride; k++ {
+						acc[k] &= ppOutW[pb+k] | avOutW[pb+k]
+					}
 					a.BidirVectorOps += 3
 				}
 			}
-			if a.PPIn.Row(i).CopyFrom(acc) {
-				changed = true
+			for k := 0; k < stride; k++ {
+				if ppInW[base+k] != acc[k] {
+					ppInW[base+k] = acc[k]
+					changed = true
+				}
 			}
 			a.BidirVectorOps++
 		}
@@ -207,10 +291,12 @@ func AnalyzeOpts(f *ir.Function, o Options) (*Analysis, error) {
 		}
 	}
 
+	releaseWork()
+
 	// INSERT(i) = PPOUT(i) ∧ ¬AVOUT(i) ∧ (¬PPIN(i) ∨ ¬TRANSP(i))
 	// DELETE(i) = ANTLOC(i) ∧ PPIN(i)
-	a.Insert = bitvec.NewMatrix(n, w)
-	a.Delete = bitvec.NewMatrix(n, w)
+	a.Insert = newMat()
+	a.Delete = newMat()
 	for i := 0; i < n; i++ {
 		ins := a.Insert.Row(i)
 		ins.CopyFrom(a.PPIn.Row(i))
@@ -283,6 +369,9 @@ func TransformOpts(f *ir.Function, o Options) (*Result, error) {
 		res.Saved += c.Saved
 		res.Inserted += c.Inserted
 	}
+	// The Result does not retain the Analysis, so every predicate matrix
+	// can go straight back to the arena for the caller's next run.
+	a.Release()
 	clone.Recompute()
 	if err := clone.Validate(); err != nil {
 		return nil, fmt.Errorf("mr: transformed function invalid: %w", err)

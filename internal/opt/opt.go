@@ -85,6 +85,14 @@ func EliminateDeadCode(f *ir.Function) (int, error) {
 // fixpoint) and inside each round's liveness solve. A nil ctx means
 // "never canceled".
 func EliminateDeadCodeCtx(ctx context.Context, f *ir.Function) (int, error) {
+	return EliminateDeadCodeScratch(ctx, f, nil)
+}
+
+// EliminateDeadCodeScratch is EliminateDeadCodeCtx with a shared analysis
+// arena: each elimination round's liveness solve draws its matrices from
+// sc and releases them before the next round, so the whole DCE fixpoint
+// recycles one backing store. Results are identical with or without it.
+func EliminateDeadCodeScratch(ctx context.Context, f *ir.Function, sc *dataflow.Scratch) (int, error) {
 	removed := 0
 	for {
 		if err := dataflow.Canceled(ctx, "opt-dce"); err != nil {
@@ -92,7 +100,7 @@ func EliminateDeadCodeCtx(ctx context.Context, f *ir.Function) (int, error) {
 		}
 		u := props.Collect(f)
 		g := nodes.Build(f, u)
-		info, err := live.ComputeCtx(ctx, f, nil)
+		info, err := live.ComputeScratch(ctx, f, nil, sc)
 		if err != nil {
 			return removed, fmt.Errorf("opt: dce liveness: %w", err)
 		}
@@ -113,6 +121,7 @@ func EliminateDeadCodeCtx(ctx context.Context, f *ir.Function) (int, error) {
 			}
 			b.Instrs = kept
 		}
+		info.Release()
 		if changedThisRound == 0 {
 			return removed, nil
 		}
@@ -187,8 +196,11 @@ func PipelineOpts(f *ir.Function, o Options) (*PipelineResult, error) {
 		}
 		cur = lres.F
 		rs.Inserted, rs.Replaced = lres.Inserted, lres.Replaced
+		// The predicates are no longer needed once the edits are applied;
+		// recycle them so every round reuses one arena-backed store.
+		lres.Release()
 		rs.CopiesPropagated = PropagateCopies(cur)
-		rs.DeadRemoved, err = EliminateDeadCodeCtx(o.Ctx, cur)
+		rs.DeadRemoved, err = EliminateDeadCodeScratch(o.Ctx, cur, o.Scratch)
 		if err != nil {
 			return nil, err
 		}

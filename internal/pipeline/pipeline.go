@@ -309,6 +309,9 @@ func LCMPass(mode lcm.Mode) Pass {
 			if err != nil {
 				return nil, nil, err
 			}
+			// The pass keeps only the function and temp map; recycle the
+			// predicate matrices into the run's shared arena.
+			res.Release()
 			return res.F, res.TempFor, nil
 		},
 	}
@@ -319,7 +322,7 @@ func MRPass() Pass {
 	return Pass{
 		Name: "mr",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
-			res, err := mr.TransformOpts(f, mr.Options{Fuel: o.Fuel, Ctx: o.Ctx})
+			res, err := mr.TransformOpts(f, mr.Options{Fuel: o.Fuel, Ctx: o.Ctx, Scratch: o.Scratch})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -378,7 +381,7 @@ func CleanupPass() Pass {
 		Name: "cleanup",
 		Run: func(f *ir.Function, o Options) (*ir.Function, map[ir.Expr]string, error) {
 			opt.PropagateCopies(f)
-			if _, err := opt.EliminateDeadCodeCtx(o.Ctx, f); err != nil {
+			if _, err := opt.EliminateDeadCodeScratch(o.Ctx, f, o.Scratch); err != nil {
 				return nil, nil, err
 			}
 			f.Simplify()

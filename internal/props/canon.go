@@ -45,7 +45,7 @@ func operandLess(a, b ir.Operand) bool {
 // universe contains canonical forms only, and Index canonicalizes its
 // argument before lookup.
 func CollectCanonical(f *ir.Function) *Universe {
-	u := &Universe{index: make(map[ir.Expr]int), canon: true}
+	u := &Universe{index: make(map[ir.Expr]int, f.NumInstrs()), canon: true}
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			e, ok := in.Expr()

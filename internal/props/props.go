@@ -33,7 +33,10 @@ type Universe struct {
 
 // Collect scans f and returns its expression universe.
 func Collect(f *ir.Function) *Universe {
-	u := &Universe{index: make(map[ir.Expr]int)}
+	// Presize the index to the instruction count (an upper bound on the
+	// expression count) so insertion never rehashes: incremental map growth
+	// was the single hottest line of the whole analysis prep.
+	u := &Universe{index: make(map[ir.Expr]int, f.NumInstrs())}
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			e, ok := in.Expr()

@@ -13,6 +13,7 @@ package randprog
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"lazycm/internal/ir"
 )
@@ -79,8 +80,9 @@ type gen struct {
 	cfg   Config
 	r     *rand.Rand
 	bd    *ir.Builder
-	block int // fresh block counter
-	loop  int // fresh loop-counter counter
+	block int      // fresh block counter
+	loop  int      // fresh loop-counter counter
+	vars  []string // interned pool-variable names, indexed by number
 }
 
 // Generate builds a program from cfg. It panics only on internal generator
@@ -125,7 +127,15 @@ func (g *gen) fresh() string {
 	return fmt.Sprintf("b%d", g.block)
 }
 
-func (g *gen) varName(i int) string { return fmt.Sprintf("v%d", i) }
+// varName interns pool-variable names: every operand of every generated
+// statement asks for one, so formatting a fresh string per reference was
+// the generator's hottest allocation.
+func (g *gen) varName(i int) string {
+	for len(g.vars) <= i {
+		g.vars = append(g.vars, "v"+strconv.Itoa(len(g.vars)))
+	}
+	return g.vars[i]
+}
 
 func (g *gen) poolVar() string { return g.varName(g.r.Intn(g.cfg.Vars)) }
 
