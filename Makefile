@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fuzz bench bench-json bench-delta serve triage chaos fleet restart-smoke resume-smoke
+.PHONY: check build vet test race fuzz bench bench-json bench-delta serve triage chaos fleet restart-smoke resume-smoke disk-smoke
 
 # Tier-1 gate: everything CI and pre-commit must hold.
 check: build vet race
@@ -101,6 +101,21 @@ resume-smoke:
 	mkdir -p _cache/resume
 	LCM_RESUME_DIR=$(CURDIR)/_cache/resume \
 		$(GO) test -race -short -run 'TestResumeSoakKillMidBatch' -count=1 -v ./internal/lcmserver/
+
+# Hostile-storage soak under the race detector (-short windows): three
+# lcmd backends behind the gateway while backend 0's filesystem cycles
+# through an ENOSPC storm, EIO on reads, multi-second fsync stalls, and
+# torn renames via the internal/vfs fault injector. Asserts every 200
+# byte-identical to a healthy reference, the disk tier self-quarantines
+# (new ?job= refused with the journal_degraded contract) and re-enables
+# via the background probe, stalled fsyncs bounded by the IO deadline,
+# and exact admission accounting. The injected-fault log and gateway
+# routing log land in _cache/diskchaos for inspection.
+disk-smoke:
+	mkdir -p _cache/diskchaos
+	LCM_DISK_CHAOS_DIR=$(CURDIR)/_cache/diskchaos \
+	LCMGATE_SOAK_LOG=$(CURDIR)/_cache/diskchaos/gateway.log \
+		$(GO) test -race -short -run 'TestDiskChaosSoak' -count=1 -v ./cmd/lcmgate/
 
 # Corpus hygiene gate: every crasher in testdata/crashers must be
 # minimal, signatures must be unique, and recorded sidecars must match

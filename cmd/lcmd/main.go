@@ -51,6 +51,9 @@
 //	                 durability; they remain resumable in-process)
 //	-job-ttl D       journaled jobs older than this are swept at boot
 //	                 (default 1h)
+//	-io-timeout D    deadline on every blocking filesystem operation on
+//	                 the durable paths — a stalled fsync errors out
+//	                 instead of wedging a worker (default 2s; 0 disables)
 //	-stream-heartbeat D  keep-alive cadence on NDJSON streams (default 10s)
 //	-verify          re-check every pass output on random interpreted runs
 //	-quarantine DIR  capture inputs that fault or fall back as .ir seeds
@@ -130,6 +133,7 @@ func main() {
 	peerTimeout := fs.Duration("peer-timeout", 0, "per-peer budget for one cache fetch (0 = 150ms)")
 	journalDir := fs.String("journal-dir", "", "write-ahead journal directory for resumable jobs (\"\" disables durability)")
 	jobTTL := fs.Duration("job-ttl", 0, "journaled jobs older than this are swept at boot (0 = 1h)")
+	ioTimeout := fs.Duration("io-timeout", 2*time.Second, "deadline per blocking filesystem operation on durable paths (0 disables)")
 	streamHeartbeat := fs.Duration("stream-heartbeat", 0, "keep-alive cadence on NDJSON streams (0 = 10s)")
 	verify := fs.Bool("verify", false, "re-check every pass output on random interpreted runs")
 	quarantine := fs.String("quarantine", "testdata/crashers", "directory for faulting inputs (\"\" disables)")
@@ -180,6 +184,7 @@ func main() {
 		PeerTimeout:     *peerTimeout,
 		JournalDir:      *journalDir,
 		JobTTL:          *jobTTL,
+		IOTimeout:       *ioTimeout,
 		StreamHeartbeat: *streamHeartbeat,
 		DegradedFuel:    *degradedFuel,
 		TargetLatency:   *targetLatency,

@@ -1,0 +1,477 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lazycm/internal/lcmserver"
+	"lazycm/internal/vfs"
+)
+
+// corpusOwnedBy collects n distinct valid programs whose ring primary
+// is the wanted backend.
+func corpusOwnedBy(t *testing.T, gw *Gateway, urls []string, want, n int, tag string) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for i := 0; len(out) < n && i < 4096; i++ {
+		body := optBody(t, strings.ReplaceAll(diamond, "func f", fmt.Sprintf("func %s%d", tag, i)))
+		if ownerIndex(t, gw, urls, "/optimize", body) == want {
+			out = append(out, body)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("only %d/%d probe bodies hashed to backend %d", len(out), n, want)
+	}
+	return out
+}
+
+// freshProgram mints a program no cache in the fleet has seen — the
+// chaos driver uses these to force durable-tier writes and reads on the
+// faulted backend at will.
+func freshProgram(tag string, i int) string {
+	return strings.ReplaceAll(diamond, "func f", fmt.Sprintf("func %s%d", tag, i))
+}
+
+// TestDiskChaosSoak is the hostile-storage soak: a three-backend fleet
+// under live gateway traffic while backend 0's filesystem cycles
+// through an ENOSPC storm, an EIO-on-read phase, multi-second fsync
+// stalls, and torn renames. The assertions are the fail-open contract:
+//
+//   - every 200, throughout every fault phase, is byte-identical to a
+//     healthy single-node reference — storage faults cost recompute,
+//     never a wrong byte;
+//   - the faulted backend's disk tier quarantines itself under the
+//     storm (new ?job= submissions get the structured journal_degraded
+//     503; plain requests keep answering 200) and re-enables once the
+//     background probe sees the disk healthy again;
+//   - stalled fsyncs are bounded by the IO deadline — requests keep
+//     completing promptly and no goroutine wedges;
+//   - admission accounting stays exact on every backend.
+//
+// Set LCM_DISK_CHAOS_DIR to keep the injected-fault log on disk for CI
+// artifacts; LCMGATE_SOAK_LOG captures the gateway routing log.
+func TestDiskChaosSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	window := func(d time.Duration) time.Duration {
+		if testing.Short() {
+			return d / 2
+		}
+		return d
+	}
+
+	var logBuf syncBuffer
+	var logDst io.Writer = &logBuf
+	if path := os.Getenv("LCMGATE_SOAK_LOG"); path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("opening LCMGATE_SOAK_LOG: %v", err)
+		}
+		defer f.Close()
+		logDst = io.MultiWriter(&logBuf, f)
+	}
+
+	// The injected-fault log: every fault FaultFS fires, one line each,
+	// kept as a CI artifact when LCM_DISK_CHAOS_DIR is set.
+	var faultMu sync.Mutex
+	var faultDst io.Writer = io.Discard
+	if dir := os.Getenv("LCM_DISK_CHAOS_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(filepath.Join(dir, "faults.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatalf("opening fault log: %v", err)
+		}
+		defer f.Close()
+		faultDst = f
+	}
+
+	fault := vfs.NewFaultFS(vfs.OS, 31)
+	fault.Logf = func(format string, args ...any) {
+		faultMu.Lock()
+		fmt.Fprintf(faultDst, format+"\n", args...)
+		faultMu.Unlock()
+	}
+
+	// Three real backends, no proxies: the chaos is inside backend 0's
+	// filesystem, not on the wire. Memory caches are big enough that the
+	// steady corpus stays memory-resident — the chaos driver decides
+	// when the durable tier is exercised, so each fault phase measures
+	// its own class.
+	const nBackends = 3
+	servers := make([]*lcmserver.Server, nBackends)
+	tss := make([]*httptest.Server, nBackends)
+	urls := make([]string, nBackends)
+	for i := range servers {
+		cfg := lcmserver.Config{
+			Workers: 4, Queue: 32, Timeout: 2 * time.Second,
+			Quarantine: "",
+			CacheSize:  64,
+			CacheDir:   t.TempDir(),
+			JournalDir: t.TempDir(),
+			IOTimeout:  250 * time.Millisecond,
+		}
+		if i == 0 {
+			cfg.FS = fault
+			cfg.DiskHealth = lcmserver.DiskHealthConfig{
+				Window: 32, TripAfter: 6, TripFrac: 0.25,
+				ProbeInterval: 25 * time.Millisecond, ProbeAfter: 3,
+			}
+		}
+		servers[i] = lcmserver.NewServer(cfg)
+		tss[i] = httptest.NewServer(servers[i].Handler())
+		urls[i] = tss[i].URL
+	}
+	s0 := servers[0]
+
+	gw, err := NewGateway(Config{
+		Backends:       urls,
+		AttemptTimeout: time.Second,
+		Timeout:        5 * time.Second,
+		HealthInterval: 50 * time.Millisecond,
+		AccessLog:      logDst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := httptest.NewServer(gw.Handler())
+
+	closed := false
+	shutdown := func() {
+		if !closed {
+			closed = true
+			gts.Close()
+			gw.Close()
+			for i := range tss {
+				tss[i].Close()
+			}
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+	}
+	defer shutdown()
+
+	// Corpus: a handful of programs per backend. The healthy reference
+	// node stays up the whole soak so chaos-driver responses can be
+	// checked byte-for-byte too.
+	var corpus [][]byte
+	for i := 0; i < nBackends; i++ {
+		corpus = append(corpus, corpusOwnedBy(t, gw, urls, i, 3, fmt.Sprintf("dc%d", i))...)
+	}
+	ref := lcmserver.NewServer(lcmserver.Config{Workers: 1, Queue: 4, Quarantine: ""})
+	refTS := httptest.NewServer(ref.Handler())
+	defer func() { refTS.Close(); ref.Close() }()
+	var refMu sync.Mutex
+	refExpected := map[string]string{}
+	expect := func(body []byte) string {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if want, ok := refExpected[string(body)]; ok {
+			return want
+		}
+		code, _, raw := postRaw(t, refTS.URL, "/optimize", body)
+		if code != http.StatusOK {
+			t.Fatalf("reference node answered %d: %s", code, raw)
+		}
+		var out struct {
+			Program string `json:"program"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		refExpected[string(body)] = out.Program
+		return out.Program
+	}
+	for _, body := range corpus {
+		expect(body)
+	}
+
+	// Live traffic: modest and steady, so the chaos driver's filesystem
+	// operations dominate the fault window during each phase.
+	var c200, cShed, cOther, sent atomic.Int64
+	var identityViolations atomic.Int64
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + g)))
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				body := corpus[rng.Intn(len(corpus))]
+				sent.Add(1)
+				resp, err := http.Post(gts.URL+"/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					cOther.Add(1)
+					t.Errorf("gateway transport error: %v", err)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var out struct {
+					Program  string `json:"program"`
+					Error    string `json:"error"`
+					FellBack bool   `json:"fell_back"`
+					Canceled bool   `json:"canceled"`
+				}
+				if err := json.Unmarshal(raw, &out); err != nil {
+					cOther.Add(1)
+					t.Errorf("non-JSON response (status %d): %s", resp.StatusCode, raw)
+					continue
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					c200.Add(1)
+					if out.Error == "" && !out.FellBack && !out.Canceled {
+						if want := expect(body); out.Program != want {
+							identityViolations.Add(1)
+							t.Errorf("200 diverged from single-node output:\n got: %q\nwant: %q", out.Program, want)
+						}
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					cShed.Add(1)
+				default:
+					cOther.Add(1)
+					t.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(g)
+	}
+
+	// drive posts one fresh program straight at backend 0 and verifies
+	// it against the reference — every driver response is held to the
+	// same byte-identity bar as the steady traffic.
+	driven := 0
+	drive := func(tag string) {
+		t.Helper()
+		driven++
+		body := optBody(t, freshProgram(tag, driven))
+		code, _, raw := postRaw(t, urls[0], "/optimize", body)
+		if code != http.StatusOK {
+			t.Fatalf("driver %s%d: status %d: %s", tag, driven, code, raw)
+		}
+		var out struct {
+			Program string `json:"program"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		if want := expect(body); out.Program != want {
+			identityViolations.Add(1)
+			t.Errorf("driver 200 diverged from single-node output under faults:\n got: %q\nwant: %q", out.Program, want)
+		}
+	}
+
+	// Phase 0: healthy warm-up — backend 0 persists durable entries.
+	drive("warm")
+	drive("warm")
+	waitFor(t, func() bool { return s0.Stats().DiskEntries > 0 })
+	// A resumable job lands on a healthy disk; re-attaching to it must
+	// keep working even while the journal is degraded.
+	preJob := optBody(t, freshProgram("job", 1))
+	if code, _, raw := postRaw(t, urls[0], "/optimize/batch?job=1", preJob); code != http.StatusOK {
+		t.Fatalf("healthy ?job= submit: status %d: %s", code, raw)
+	}
+	time.Sleep(window(200 * time.Millisecond))
+
+	// Phase 1: ENOSPC storm. Every durable write fails until the health
+	// tracker quarantines the tier.
+	fault.SetWindow(vfs.Window{WriteErrProb: 0.95, ShortWriteProb: 0.3, SyncErrProb: 0.5})
+	deadline := time.Now().Add(10 * time.Second)
+	for !s0.Stats().DiskDisabled {
+		if time.Now().After(deadline) {
+			t.Fatal("ENOSPC storm did not quarantine the disk tier")
+		}
+		drive("enospc")
+	}
+	if got := s0.Stats().DiskFaultsWrite; got == 0 {
+		t.Errorf("DiskFaultsWrite = %d after ENOSPC storm, want > 0", got)
+	}
+
+	// While quarantined: plain requests still 200 (the drive() above
+	// keeps proving it); a NEW resumable submission is refused with the
+	// structured contract; attaching to the pre-storm job still works.
+	drive("quarantined")
+	code, _, raw := postRaw(t, urls[0], "/optimize/batch?job=1", optBody(t, freshProgram("jobrefused", 1)))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("new ?job= while degraded: status %d: %s", code, raw)
+	}
+	var refusal struct {
+		Kind            string `json:"kind"`
+		JournalDegraded bool   `json:"journal_degraded"`
+		RetryAfterMS    int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(raw, &refusal); err != nil {
+		t.Fatalf("degraded refusal is not JSON: %v: %s", err, raw)
+	}
+	if refusal.Kind != "journal_degraded" || !refusal.JournalDegraded || refusal.RetryAfterMS <= 0 {
+		t.Fatalf("degraded refusal missing contract fields: %+v", refusal)
+	}
+	if code, _, raw := postRaw(t, urls[0], "/optimize/batch?job=1", preJob); code != http.StatusOK {
+		t.Fatalf("attach to pre-storm job while degraded: status %d: %s", code, raw)
+	}
+
+	// The gateway's fleet view folds the quarantine in from its probes.
+	waitFor(t, func() bool {
+		_, _, hraw := postRawGet(t, gts.URL+"/healthz")
+		var h struct {
+			Fleet map[string]int64 `json:"fleet"`
+		}
+		if err := json.Unmarshal(hraw, &h); err != nil {
+			return false
+		}
+		return h.Fleet["disk_disabled_backends"] == 1 && h.Fleet["journal_degraded_backends"] == 1
+	})
+
+	// Storm clears: the background probe re-enables the tier and new
+	// resumable submissions are accepted again.
+	fault.SetWindow(vfs.Window{})
+	waitFor(t, func() bool { return !s0.Stats().DiskDisabled })
+	if code, _, raw := postRaw(t, urls[0], "/optimize/batch?job=1", optBody(t, freshProgram("jobback", 1))); code != http.StatusOK {
+		t.Fatalf("?job= after recovery: status %d: %s", code, raw)
+	}
+
+	// Phase 2: EIO on read. Fresh writes land (the disk takes bytes
+	// fine) and churn the memory LRU, so steady traffic re-reads its
+	// corpus from the durable tier and hits the injected EIO — which
+	// must surface as plain recomputes, never corruption or 500s.
+	baseRead := s0.Stats().DiskFaultsRead
+	fault.SetWindow(vfs.Window{ReadErrProb: 0.95})
+	deadline = time.Now().Add(10 * time.Second)
+	for s0.Stats().DiskFaultsRead < baseRead+8 {
+		if time.Now().After(deadline) {
+			t.Fatal("EIO-on-read phase injected too few read faults")
+		}
+		drive("eio")
+	}
+	fault.SetWindow(vfs.Window{})
+
+	// Phase 3: fsync stalls far beyond the IO deadline. Writes must be
+	// cut off by WithTimeout — requests keep completing promptly, no
+	// handler wedges on a hung fsync.
+	baseSync := s0.Stats().DiskFaultsSync
+	fault.SetWindow(vfs.Window{SyncStallProb: 0.9, SyncStall: 2 * time.Second})
+	deadline = time.Now().Add(15 * time.Second)
+	for s0.Stats().DiskFaultsSync < baseSync+4 {
+		if time.Now().After(deadline) {
+			t.Fatal("fsync-stall phase injected too few sync faults")
+		}
+		begin := time.Now()
+		drive("stall")
+		if d := time.Since(begin); d > 1500*time.Millisecond {
+			t.Errorf("request under fsync stall took %v — IO deadline (250ms) did not bound it", d)
+		}
+	}
+	fault.SetWindow(vfs.Window{})
+
+	// Phase 4: torn renames — publication drops the target and never
+	// installs the new name. The store must deindex, the driver's 200s
+	// stay byte-identical, and nothing torn is ever served.
+	baseRename := s0.Stats().DiskFaultsRename
+	fault.SetWindow(vfs.Window{TornRenameProb: 0.9})
+	deadline = time.Now().Add(10 * time.Second)
+	for s0.Stats().DiskFaultsRename < baseRename+4 {
+		if time.Now().After(deadline) {
+			t.Fatal("torn-rename phase injected too few rename faults")
+		}
+		drive("torn")
+	}
+	fault.SetWindow(vfs.Window{})
+
+	// Let the tier settle healthy, then stop.
+	waitFor(t, func() bool { return !s0.Stats().DiskDisabled })
+	time.Sleep(window(200 * time.Millisecond))
+	close(stopTraffic)
+	wg.Wait()
+
+	// Snapshot fleet health before teardown.
+	_, _, hraw := postRawGet(t, gts.URL+"/healthz")
+	shutdown()
+
+	// Response contract held end to end, under every fault regime.
+	if got := c200.Load() + cShed.Load() + cOther.Load(); got != sent.Load() {
+		t.Errorf("responses %d != requests sent %d", got, sent.Load())
+	}
+	if cOther.Load() != 0 {
+		t.Errorf("out-of-contract responses: %d", cOther.Load())
+	}
+	if identityViolations.Load() != 0 {
+		t.Errorf("byte-identity violations: %d", identityViolations.Load())
+	}
+	if c200.Load() == 0 {
+		t.Error("soak produced no successful responses")
+	}
+
+	// All four fault classes were actually exercised, on both the
+	// injector's and the server's books.
+	fw, fr, fsy, frn := fault.Injected()
+	if fw == 0 || fr == 0 || fsy == 0 || frn == 0 {
+		t.Errorf("injected faults write=%d read=%d sync=%d rename=%d, want all > 0", fw, fr, fsy, frn)
+	}
+	st0 := s0.Stats()
+	if st0.DiskFaultsWrite == 0 || st0.DiskFaultsRead == 0 || st0.DiskFaultsSync == 0 || st0.DiskFaultsRename == 0 {
+		t.Errorf("server fault classes write=%d read=%d sync=%d rename=%d, want all > 0",
+			st0.DiskFaultsWrite, st0.DiskFaultsRead, st0.DiskFaultsSync, st0.DiskFaultsRename)
+	}
+	// The tier went down and came back — and ended healthy.
+	if st0.DiskDisableTransitions < 2 {
+		t.Errorf("DiskDisableTransitions = %d, want >= 2", st0.DiskDisableTransitions)
+	}
+	if st0.DiskDisabled {
+		t.Error("disk tier still quarantined after the faults cleared")
+	}
+
+	// Exact accounting on every backend: whatever was admitted was
+	// classified, and the queues drained to zero.
+	for i, s := range servers {
+		st := s.Stats()
+		sum := st.Optimized + st.FellBack + st.Canceled + st.Invalid + st.Panics
+		if sum != st.Requests {
+			t.Errorf("backend %d outcome buckets sum to %d, want %d (%+v)", i, sum, st.Requests, st)
+		}
+		if st.Panics != 0 {
+			t.Errorf("backend %d recovered %d panics", i, st.Panics)
+		}
+		if st.Queued != 0 || st.Inflight != 0 {
+			t.Errorf("backend %d drained with queued=%d inflight=%d", i, st.Queued, st.Inflight)
+		}
+	}
+
+	// The gateway folded the hostile-storage story into its fleet view.
+	var health struct {
+		Fleet map[string]int64 `json:"fleet"`
+	}
+	if err := json.Unmarshal(hraw, &health); err != nil {
+		t.Fatalf("gateway healthz is not JSON: %v", err)
+	}
+	if health.Fleet["disk_disable_transitions"] < 2 {
+		t.Errorf("fleet disk_disable_transitions = %d, want >= 2", health.Fleet["disk_disable_transitions"])
+	}
+	if health.Fleet["disk_faults_write"] == 0 {
+		t.Error("fleet disk_faults_write = 0, want > 0")
+	}
+
+	// No goroutine wedges: stalled fsyncs were abandoned by their
+	// deadline and drained; everything else shut down.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline+5 })
+}

@@ -128,6 +128,18 @@ type backend struct {
 	solverSlices      atomic.Int64
 	solverSparseSkips atomic.Int64
 
+	// Hostile-storage state harvested from the probe: whether the
+	// backend has quarantined its disk tier (and is refusing new
+	// journaled jobs), how many times it has flipped, and the per-class
+	// fault totals its health tracker has seen.
+	diskDisabled     atomic.Bool
+	journalDegraded  atomic.Bool
+	diskTransitions  atomic.Int64
+	diskFaultsWrite  atomic.Int64
+	diskFaultsRead   atomic.Int64
+	diskFaultsSync   atomic.Int64
+	diskFaultsRename atomic.Int64
+
 	// gone closes when the backend leaves the fleet, stopping its
 	// health loop without touching the gateway-wide stop channel.
 	gone chan struct{}
@@ -888,6 +900,13 @@ func (g *Gateway) probe(b *backend) {
 		FnCacheMisses        int64 `json:"fn_cache_misses"`
 		SolverParallelSlices int64 `json:"solver_parallel_slices"`
 		SolverSparseSkips    int64 `json:"solver_sparse_skips"`
+		DiskDisabled         bool  `json:"disk_disabled"`
+		DiskTransitions      int64 `json:"disk_disable_transitions"`
+		JournalDegraded      bool  `json:"journal_degraded"`
+		DiskFaultsWrite      int64 `json:"disk_faults_write"`
+		DiskFaultsRead       int64 `json:"disk_faults_read"`
+		DiskFaultsSync       int64 `json:"disk_faults_sync"`
+		DiskFaultsRename     int64 `json:"disk_faults_rename"`
 	}
 	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&status)
 	b.ready.Store(resp.StatusCode == http.StatusOK)
@@ -900,6 +919,13 @@ func (g *Gateway) probe(b *backend) {
 	b.fnCacheMisses.Store(status.FnCacheMisses)
 	b.solverSlices.Store(status.SolverParallelSlices)
 	b.solverSparseSkips.Store(status.SolverSparseSkips)
+	b.diskDisabled.Store(status.DiskDisabled)
+	b.journalDegraded.Store(status.JournalDegraded)
+	b.diskTransitions.Store(status.DiskTransitions)
+	b.diskFaultsWrite.Store(status.DiskFaultsWrite)
+	b.diskFaultsRead.Store(status.DiskFaultsRead)
+	b.diskFaultsSync.Store(status.DiskFaultsSync)
+	b.diskFaultsRename.Store(status.DiskFaultsRename)
 	b.breaker.Record(true)
 	g.logf("probe backend=%s status=%d ready=%v degrade=%d", b.id, resp.StatusCode, resp.StatusCode == http.StatusOK, status.DegradeLevel)
 }
@@ -907,28 +933,51 @@ func (g *Gateway) probe(b *backend) {
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	g.mu.RLock()
 	bk := make(map[string]any, len(g.ids))
-	fleetJobs := map[string]int64{}
+	// Present even at zero, so a fleet watcher reads "no disk trouble"
+	// rather than "field missing".
+	fleetJobs := map[string]int64{
+		"disk_disabled_backends":    0,
+		"journal_degraded_backends": 0,
+	}
 	for _, id := range g.ids {
 		b := g.backends[id]
 		bk[id] = map[string]any{
-			"breaker":                b.breaker.State().String(),
-			"breaker_opened":         b.breaker.Opened(),
-			"ready":                  b.ready.Load(),
-			"degrade_level":          b.degrade.Load(),
-			"inflight":               b.inflight.Load(),
-			"routed":                 b.routed.Load(),
-			"succeeded":              b.succeeded.Load(),
-			"failed":                 b.failed.Load(),
-			"probes":                 b.probes.Load(),
-			"jobs_active":            b.jobsActive.Load(),
-			"jobs_resumed":           b.jobsResumed.Load(),
-			"jobs_expired":           b.jobsExpired.Load(),
-			"stream_clients":         b.streamClients.Load(),
-			"fn_cache_hits":          b.fnCacheHits.Load(),
-			"fn_cache_misses":        b.fnCacheMisses.Load(),
-			"solver_parallel_slices": b.solverSlices.Load(),
-			"solver_sparse_skips":    b.solverSparseSkips.Load(),
+			"breaker":                  b.breaker.State().String(),
+			"breaker_opened":           b.breaker.Opened(),
+			"ready":                    b.ready.Load(),
+			"degrade_level":            b.degrade.Load(),
+			"inflight":                 b.inflight.Load(),
+			"routed":                   b.routed.Load(),
+			"succeeded":                b.succeeded.Load(),
+			"failed":                   b.failed.Load(),
+			"probes":                   b.probes.Load(),
+			"jobs_active":              b.jobsActive.Load(),
+			"jobs_resumed":             b.jobsResumed.Load(),
+			"jobs_expired":             b.jobsExpired.Load(),
+			"stream_clients":           b.streamClients.Load(),
+			"fn_cache_hits":            b.fnCacheHits.Load(),
+			"fn_cache_misses":          b.fnCacheMisses.Load(),
+			"solver_parallel_slices":   b.solverSlices.Load(),
+			"solver_sparse_skips":      b.solverSparseSkips.Load(),
+			"disk_disabled":            b.diskDisabled.Load(),
+			"journal_degraded":         b.journalDegraded.Load(),
+			"disk_disable_transitions": b.diskTransitions.Load(),
+			"disk_faults_write":        b.diskFaultsWrite.Load(),
+			"disk_faults_read":         b.diskFaultsRead.Load(),
+			"disk_faults_sync":         b.diskFaultsSync.Load(),
+			"disk_faults_rename":       b.diskFaultsRename.Load(),
 		}
+		if b.diskDisabled.Load() {
+			fleetJobs["disk_disabled_backends"]++
+		}
+		if b.journalDegraded.Load() {
+			fleetJobs["journal_degraded_backends"]++
+		}
+		fleetJobs["disk_disable_transitions"] += b.diskTransitions.Load()
+		fleetJobs["disk_faults_write"] += b.diskFaultsWrite.Load()
+		fleetJobs["disk_faults_read"] += b.diskFaultsRead.Load()
+		fleetJobs["disk_faults_sync"] += b.diskFaultsSync.Load()
+		fleetJobs["disk_faults_rename"] += b.diskFaultsRename.Load()
 		fleetJobs["jobs_active"] += b.jobsActive.Load()
 		fleetJobs["jobs_resumed"] += b.jobsResumed.Load()
 		fleetJobs["jobs_expired"] += b.jobsExpired.Load()

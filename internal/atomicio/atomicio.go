@@ -7,11 +7,20 @@
 // atomic link/rename — so a crash at any instant leaves either the old
 // file, the new file, or an ignorable *.tmp leftover, never a partial
 // target.
+//
+// All file IO goes through internal/vfs so fault-injecting tests can
+// make the disk lie (ENOSPC, torn renames, stalled fsyncs) underneath
+// these primitives. The plain entry points (WriteFile, CreateExclusive,
+// SweepTmp) run against the real filesystem via vfs.OS; the *FS
+// variants take the filesystem explicitly.
 package atomicio
 
 import (
 	"os"
 	"path/filepath"
+	"strings"
+
+	"lazycm/internal/vfs"
 )
 
 // TmpSuffix is the extension every in-progress write carries. Scanners
@@ -24,15 +33,20 @@ const TmpSuffix = ".tmp"
 // rename. Like os.WriteFile, but a process killed mid-call can never
 // leave a truncated or interleaved path behind.
 func WriteFile(path string, data []byte, perm os.FileMode) error {
-	tmp, err := writeTmp(path, data, perm)
+	return WriteFileFS(vfs.OS, path, data, perm)
+}
+
+// WriteFileFS is WriteFile against an explicit filesystem.
+func WriteFileFS(fsys vfs.FS, path string, data []byte, perm os.FileMode) error {
+	tmp, err := writeTmp(fsys, path, data, perm)
 	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	syncDir(filepath.Dir(path))
+	syncDir(fsys, filepath.Dir(path))
 	return nil
 }
 
@@ -42,42 +56,55 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 // same path produce exactly one file and exactly one winner — the
 // crash-safe replacement for O_CREATE|O_EXCL followed by writes.
 func CreateExclusive(path string, data []byte, perm os.FileMode) error {
-	tmp, err := writeTmp(path, data, perm)
+	return CreateExclusiveFS(vfs.OS, path, data, perm)
+}
+
+// CreateExclusiveFS is CreateExclusive against an explicit filesystem.
+func CreateExclusiveFS(fsys vfs.FS, path string, data []byte, perm os.FileMode) error {
+	tmp, err := writeTmp(fsys, path, data, perm)
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp)
-	if err := os.Link(tmp, path); err != nil {
+	defer fsys.Remove(tmp)
+	if err := fsys.Link(tmp, path); err != nil {
 		if os.IsExist(err) {
 			return os.ErrExist
 		}
 		return err
 	}
-	syncDir(filepath.Dir(path))
+	syncDir(fsys, filepath.Dir(path))
 	return nil
 }
 
 // SweepTmp removes every *.tmp leftover in dir — writes abandoned by a
 // crash. Callers run it on startup, before trusting the directory's
 // contents. Missing directories and individual remove failures are
-// ignored: sweeping is hygiene, never load-bearing.
+// ignored: sweeping is hygiene, never load-bearing, and a sweep that
+// faults midway leaves only files a later sweep can still remove.
 func SweepTmp(dir string) {
-	paths, err := filepath.Glob(filepath.Join(dir, "*"+TmpSuffix))
+	SweepTmpFS(vfs.OS, dir)
+}
+
+// SweepTmpFS is SweepTmp against an explicit filesystem.
+func SweepTmpFS(fsys vfs.FS, dir string) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
-	for _, p := range paths {
-		os.Remove(p)
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), TmpSuffix) {
+			fsys.Remove(filepath.Join(dir, e.Name()))
+		}
 	}
 }
 
 // writeTmp writes data to a unique tmp sibling of path and fsyncs it.
-func writeTmp(path string, data []byte, perm os.FileMode) (string, error) {
+func writeTmp(fsys vfs.FS, path string, data []byte, perm os.FileMode) (string, error) {
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	f, err := os.CreateTemp(dir, base+"-*"+TmpSuffix)
+	f, err := fsys.CreateTemp(dir, base+"-*"+TmpSuffix)
 	if err != nil {
 		return "", err
 	}
@@ -85,9 +112,9 @@ func writeTmp(path string, data []byte, perm os.FileMode) (string, error) {
 	_, werr := f.Write(data)
 	serr := f.Sync()
 	cerr := f.Close()
-	err = firstErr(werr, serr, cerr, os.Chmod(tmp, perm))
+	err = firstErr(werr, serr, cerr, fsys.Chmod(tmp, perm))
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return "", err
 	}
 	return tmp, nil
@@ -105,8 +132,8 @@ func firstErr(errs ...error) error {
 // syncDir fsyncs a directory so the rename/link that just published a
 // file is itself durable. Best-effort: some filesystems refuse directory
 // fsync, and the publication is already atomic without it.
-func syncDir(dir string) {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return
 	}

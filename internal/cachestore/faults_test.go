@@ -1,0 +1,187 @@
+package cachestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lazycm/internal/vfs"
+)
+
+// TestWriteErrorsSeparateFromCorrupt: a failed Put counts only as a
+// write error — it must not inflate the corruption counter, which is
+// reserved for verification rejecting bytes the disk returned.
+func TestWriteErrorsSeparateFromCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFaultFS(vfs.OS, 5)
+	s, err := OpenFS(fault, dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := keyFor("wk")
+	fault.SetWindow(vfs.Window{WriteErrProb: 1})
+	if err := s.Put(key, []byte("payload")); err == nil {
+		t.Fatal("Put under ENOSPC must fail")
+	}
+	if got := s.WriteErrors(); got != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", got)
+	}
+	if got := s.CorruptDropped(); got != 0 {
+		t.Fatalf("CorruptDropped = %d, want 0 — a write failure is not corruption", got)
+	}
+	if _, ok, _ := s.Get(key); ok {
+		t.Fatal("failed Put must not be indexed")
+	}
+
+	// Disk recovers: the same Put lands and reads back.
+	fault.SetWindow(vfs.Window{})
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if p, ok, _ := s.Get(key); !ok || string(p) != "payload" {
+		t.Fatalf("Get after recovery = %q, %v", p, ok)
+	}
+}
+
+// TestCorruptSeparateFromWriteErrors: an on-disk entry whose bytes
+// fail verification counts only as corrupt-dropped.
+func TestCorruptSeparateFromWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	key := keyFor("ck")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip bytes underneath the store.
+	path := filepath.Join(dir, key+entrySuffix)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, corrupt := s.Get(key); ok || !corrupt {
+		t.Fatalf("Get over flipped bytes = ok=%v corrupt=%v, want miss+corrupt", ok, corrupt)
+	}
+	if got := s.CorruptDropped(); got != 1 {
+		t.Fatalf("CorruptDropped = %d, want 1", got)
+	}
+	if got := s.WriteErrors(); got != 0 {
+		t.Fatalf("WriteErrors = %d, want 0 — corruption is not a write failure", got)
+	}
+	if got := s.ReadErrors(); got != 0 {
+		t.Fatalf("ReadErrors = %d, want 0 — the disk returned bytes fine", got)
+	}
+	// The corrupt entry was unlinked: it can never be served again.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still on disk: %v", err)
+	}
+}
+
+// TestReadErrorsKeepEntryIndexed: an EIO on read is a transient disk
+// fault, not corruption — the entry stays indexed and is served again
+// once the disk recovers.
+func TestReadErrorsKeepEntryIndexed(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFaultFS(vfs.OS, 9)
+	s, err := OpenFS(fault, dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("rk")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.SetWindow(vfs.Window{ReadErrProb: 1})
+	if _, ok, corrupt := s.Get(key); ok || corrupt {
+		t.Fatalf("Get under EIO = ok=%v corrupt=%v, want plain miss", ok, corrupt)
+	}
+	if got := s.ReadErrors(); got != 1 {
+		t.Fatalf("ReadErrors = %d, want 1", got)
+	}
+	if got := s.CorruptDropped(); got != 0 {
+		t.Fatalf("CorruptDropped = %d, want 0 — an unreadable disk is not corruption", got)
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d after EIO, want 1 — the entry must stay indexed", got)
+	}
+
+	fault.SetWindow(vfs.Window{})
+	if p, ok, _ := s.Get(key); !ok || string(p) != "payload" {
+		t.Fatalf("Get after disk recovery = %q, %v", p, ok)
+	}
+}
+
+// TestTornRenameDeindexesDroppedEntry: a torn rename during Put can
+// drop the previously published entry for the key; the store must
+// notice and deindex it so later reads are plain misses, not
+// corruption reports.
+func TestTornRenameDeindexesDroppedEntry(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFaultFS(vfs.OS, 13)
+	s, err := OpenFS(fault, dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("tk")
+	if err := s.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.SetWindow(vfs.Window{TornRenameProb: 1})
+	if err := s.Put(key, []byte("v2")); err == nil {
+		t.Fatal("Put under torn rename must fail")
+	}
+	fault.SetWindow(vfs.Window{})
+	if got := s.WriteErrors(); got == 0 {
+		t.Fatal("torn rename must count as a write error")
+	}
+	if _, ok, corrupt := s.Get(key); ok || corrupt {
+		t.Fatalf("Get after torn rename = ok=%v corrupt=%v, want plain miss", ok, corrupt)
+	}
+	if got := s.CorruptDropped(); got != 0 {
+		t.Fatalf("CorruptDropped = %d, want 0", got)
+	}
+	// The key is recomputable: a healthy Put republishes it.
+	if err := s.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok, _ := s.Get(key); !ok || string(p) != "v2" {
+		t.Fatalf("Get after republish = %q, %v", p, ok)
+	}
+}
+
+// TestEvictRemoveFailureCountsWriteError: an eviction whose unlink
+// fails counts as a write error and still frees the index slot.
+func TestEvictRemoveFailureCountsWriteError(t *testing.T) {
+	dir := t.TempDir()
+	fault := vfs.NewFaultFS(vfs.OS, 17)
+	// Budget fits roughly one entry, so the second Put evicts the first.
+	s, err := OpenFS(fault, dir, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := keyFor("e1"), keyFor("e2")
+	if err := s.Put(k1, []byte("payload-one")); err != nil {
+		t.Fatal(err)
+	}
+	fault.SetWindow(vfs.Window{RemoveErrProb: 1})
+	if err := s.Put(k2, []byte("payload-two")); err != nil {
+		t.Fatalf("Put should survive a failed eviction unlink: %v", err)
+	}
+	fault.SetWindow(vfs.Window{})
+	if got := s.WriteErrors(); got == 0 {
+		t.Fatal("failed evict unlink must count as a write error")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 — eviction must still free the index slot", got)
+	}
+	if p, ok, _ := s.Get(k2); !ok || string(p) != "payload-two" {
+		t.Fatalf("Get(k2) = %q, %v", p, ok)
+	}
+}

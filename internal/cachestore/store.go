@@ -21,8 +21,9 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"lazycm/internal/atomicio"
+	"lazycm/internal/vfs"
 )
 
 // magic versions the entry encoding; bump it and old entries simply
@@ -110,13 +112,21 @@ func Decode(key string, data []byte) ([]byte, error) {
 // sizes and keeps the index and the directory from disagreeing.
 type Store struct {
 	mu       sync.Mutex
+	fsys     vfs.FS
 	dir      string
 	maxBytes int64
 	bytes    int64
 	ll       *list.List // front = most recently used
 	byKey    map[string]*list.Element
 
-	corrupt atomic.Int64 // entries dropped by integrity verification
+	// The three failure signals are deliberately distinct: corrupt
+	// means verification rejected bytes the disk returned (the scary
+	// one), readErrs means the disk would not return bytes at all, and
+	// writeErrs means the disk would not take bytes. Blurring them
+	// would make an ENOSPC storm look like corruption.
+	corrupt   atomic.Int64 // entries dropped by integrity verification
+	readErrs  atomic.Int64 // reads failed by IO errors (entry kept, treated as a miss)
+	writeErrs atomic.Int64 // puts/evicts/drops failed by IO errors
 }
 
 type diskEntry struct {
@@ -131,16 +141,22 @@ type diskEntry struct {
 // contents are not read here, because every Get re-verifies anyway.
 // Abandoned *.tmp files from a crashed writer are swept first.
 func Open(dir string, maxBytes int64) (*Store, error) {
+	return OpenFS(vfs.OS, dir, maxBytes)
+}
+
+// OpenFS is Open against an explicit filesystem — the seam fault
+// injection and the server's disk-health observer use.
+func OpenFS(fsys vfs.FS, dir string, maxBytes int64) (*Store, error) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	atomicio.SweepTmp(dir)
-	s := &Store{dir: dir, maxBytes: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element)}
+	atomicio.SweepTmpFS(fsys, dir)
+	s := &Store{fsys: fsys, dir: dir, maxBytes: maxBytes, ll: list.New(), byKey: make(map[string]*list.Element)}
 
-	ents, err := os.ReadDir(dir)
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -178,6 +194,13 @@ func (s *Store) Dir() string { return s.dir }
 // used. The third result reports that an entry existed but failed
 // verification — it has already been unlinked and counted, and must be
 // treated as a plain miss by the caller.
+//
+// An IO error on the read (EIO, a stalled disk hitting its deadline)
+// is NOT corruption: the entry stays indexed — the bytes may be fine
+// once the disk recovers — and the caller sees a plain miss while
+// ReadErrors counts the fault. A file that has vanished underneath the
+// index (a torn rename dropped it) is also a plain miss; only bytes
+// the disk returned and verification rejected count as corrupt.
 func (s *Store) Get(key string) (payload []byte, ok, corrupt bool) {
 	if s == nil {
 		return nil, false, false
@@ -188,13 +211,21 @@ func (s *Store) Get(key string) (payload []byte, ok, corrupt bool) {
 	if !found {
 		return nil, false, false
 	}
-	data, err := os.ReadFile(s.path(key))
-	if err == nil {
-		payload, err = Decode(key, data)
+	data, err := s.fsys.ReadFile(s.path(key))
+	switch {
+	case errors.Is(err, iofs.ErrNotExist):
+		// The file is gone (torn rename, external cleanup): deindex
+		// without touching the disk further. A plain miss.
+		s.removeIndexLocked(el)
+		return nil, false, false
+	case err != nil:
+		s.readErrs.Add(1)
+		return nil, false, false
 	}
+	payload, err = Decode(key, data)
 	if err != nil {
-		// Corrupt, truncated, misfiled, or unreadable: drop it so it can
-		// never be served, and surface the drop to the caller's counters.
+		// Corrupt, truncated, or misfiled: drop it so it can never be
+		// served, and surface the drop to the caller's counters.
 		s.dropLocked(el)
 		s.corrupt.Add(1)
 		return nil, false, true
@@ -217,7 +248,16 @@ func (s *Store) Put(key string, payload []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := atomicio.WriteFile(s.path(key), data, 0o644); err != nil {
+	if err := atomicio.WriteFileFS(s.fsys, s.path(key), data, 0o644); err != nil {
+		s.writeErrs.Add(1)
+		// A torn rename may have dropped the previously published
+		// entry for this key; deindex it so reads go straight to miss
+		// instead of discovering the hole later.
+		if el, ok := s.byKey[key]; ok {
+			if _, statErr := s.fsys.Stat(s.path(key)); errors.Is(statErr, iofs.ErrNotExist) {
+				s.removeIndexLocked(el)
+			}
+		}
 		return err
 	}
 	if el, ok := s.byKey[key]; ok {
@@ -261,14 +301,43 @@ func (s *Store) CorruptDropped() int64 {
 	return s.corrupt.Load()
 }
 
+// ReadErrors reports how many reads failed with IO errors (the entry
+// stayed indexed and the read was served as a miss).
+func (s *Store) ReadErrors() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.readErrs.Load()
+}
+
+// WriteErrors reports how many puts, evictions, or drops failed with
+// IO errors — distinct from CorruptDropped, which counts verification
+// rejecting bytes the disk did return.
+func (s *Store) WriteErrors() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.writeErrs.Load()
+}
+
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+entrySuffix)
 }
 
-// dropLocked unlinks one entry and removes it from the index.
+// dropLocked unlinks one entry and removes it from the index. A failed
+// unlink counts as a write error; the file stays behind for a later
+// boot scan, but the index no longer trusts it.
 func (s *Store) dropLocked(el *list.Element) {
 	ent := el.Value.(*diskEntry)
-	os.Remove(s.path(ent.key))
+	if err := s.fsys.Remove(s.path(ent.key)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		s.writeErrs.Add(1)
+	}
+	s.removeIndexLocked(el)
+}
+
+// removeIndexLocked forgets one entry without touching the disk.
+func (s *Store) removeIndexLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
 	s.ll.Remove(el)
 	delete(s.byKey, ent.key)
 	s.bytes -= ent.size

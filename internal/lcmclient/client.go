@@ -45,7 +45,11 @@ type Response struct {
 	Quarantined  string   `json:"quarantined,omitempty"`
 	DegradeLevel int      `json:"degrade_level,omitempty"`
 	RetryAfterMS int64    `json:"retry_after_ms,omitempty"`
-	ElapsedMS    int64    `json:"elapsed_ms"`
+	// JournalDegraded marks a refusal caused by the server quarantining
+	// its disk tier: new resumable (?job=) submissions are off until the
+	// disk probes healthy, while plain submissions still flow.
+	JournalDegraded bool  `json:"journal_degraded,omitempty"`
+	ElapsedMS       int64 `json:"elapsed_ms"`
 
 	// Status is the HTTP status the response arrived with (not part of
 	// the JSON body).
@@ -64,6 +68,10 @@ type TerminalError struct {
 	// rejected the request (0 when the body carried none) — how loaded
 	// the service was while saying no.
 	DegradeLevel int
+	// JournalDegraded reports that the server refused because its disk
+	// tier is quarantined (new resumable jobs off) — resubmitting
+	// without ?job= may succeed immediately.
+	JournalDegraded bool
 }
 
 func (e *TerminalError) Error() string {
@@ -85,6 +93,12 @@ type ExhaustedError struct {
 	// DegradeLevel is the last degradation rung the server reported
 	// while refusing (0 when unknown).
 	DegradeLevel int
+	// JournalDegraded reports that the final refusal was the server
+	// quarantining its disk tier (kind "journal_degraded"): resumable
+	// submissions are off until its probe re-enables the disk, so
+	// callers can fall back to a non-resumable submission instead of
+	// blindly retrying ?job=.
+	JournalDegraded bool
 }
 
 func (e *ExhaustedError) Error() string {
@@ -99,10 +113,11 @@ func (e *ExhaustedError) Unwrap() error { return e.Last }
 
 // retryableError marks one failed attempt the retry loop may cure.
 type retryableError struct {
-	msg          string
-	status       int           // HTTP status; 0 = transport-level failure
-	retryAfter   time.Duration // server hint; 0 = none
-	degradeLevel int           // server degrade level; 0 = unknown/full
+	msg             string
+	status          int           // HTTP status; 0 = transport-level failure
+	retryAfter      time.Duration // server hint; 0 = none
+	degradeLevel    int           // server degrade level; 0 = unknown/full
+	journalDegraded bool          // refusal was the disk-quarantine 503
 }
 
 func (e *retryableError) Error() string { return e.msg }
@@ -258,6 +273,7 @@ func exhausted(attempts int, start time.Time, budget bool, last error) *Exhauste
 	if errors.As(last, &re) {
 		e.RetryAfter = re.retryAfter
 		e.DegradeLevel = re.degradeLevel
+		e.JournalDegraded = re.journalDegraded
 	}
 	return e
 }
@@ -299,10 +315,11 @@ func (c *Client) post(ctx context.Context, req Request) (*Response, error) {
 	case hresp.StatusCode == http.StatusTooManyRequests,
 		hresp.StatusCode == http.StatusServiceUnavailable:
 		return nil, &retryableError{
-			msg:          fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
-			status:       hresp.StatusCode,
-			retryAfter:   retryAfterOf(&out, hresp.Header, decodeErr == nil),
-			degradeLevel: out.DegradeLevel,
+			msg:             fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
+			status:          hresp.StatusCode,
+			retryAfter:      retryAfterOf(&out, hresp.Header, decodeErr == nil),
+			degradeLevel:    out.DegradeLevel,
+			journalDegraded: out.JournalDegraded || out.Kind == "journal_degraded",
 		}
 	case hresp.StatusCode == http.StatusGatewayTimeout:
 		// The request's own deadline expired server-side; retrying the
@@ -324,6 +341,7 @@ func (c *Client) post(ctx context.Context, req Request) (*Response, error) {
 		return nil, &TerminalError{
 			Status: hresp.StatusCode, Kind: kindOf(&out, "rejected"),
 			Message: messageOf(&out, raw), DegradeLevel: out.DegradeLevel,
+			JournalDegraded: out.JournalDegraded,
 		}
 	}
 }

@@ -1,0 +1,94 @@
+package lcmclient
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+const degradedBody = `{"error":"journal degraded: disk tier quarantined; retry later or resubmit without ?job=","kind":"journal_degraded","journal_degraded":true,"retry_after_ms":9,"elapsed_ms":0}`
+
+// TestJournalDegradedSurfacesInExhaustedError: a server refusing new
+// resumable work because its disk tier is quarantined answers 503 with
+// kind "journal_degraded"; when retries run out, the typed error must
+// say so — a caller seeing JournalDegraded can fall back to a plain
+// (non-?job=) submission instead of blindly retrying.
+func TestJournalDegradedSurfacesInExhaustedError(t *testing.T) {
+	sc := &script{steps: []step{{status: 503, body: degradedBody, retryAfter: "1"}}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := newClient(ts, nil)
+	c.MaxAttempts = 2
+
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if !ex.JournalDegraded {
+		t.Error("ExhaustedError.JournalDegraded = false, want true")
+	}
+	if ex.RetryAfter != 9*time.Millisecond {
+		t.Errorf("ExhaustedError.RetryAfter = %v, want 9ms", ex.RetryAfter)
+	}
+
+	// An ordinary overload shed must NOT claim journal degradation.
+	sc2 := &script{steps: []step{{status: 503, retryAfter: "1"}}}
+	ts2 := httptest.NewServer(sc2.handler(t))
+	defer ts2.Close()
+	c2 := newClient(ts2, nil)
+	c2.MaxAttempts = 2
+	_, err = c2.Optimize(context.Background(), Request{Program: "p"})
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if ex.JournalDegraded {
+		t.Error("plain overload shed reported JournalDegraded = true")
+	}
+}
+
+// TestJournalDegradedKindAloneSuffices: an older server (or a proxy
+// that strips unknown fields) may send only the kind — the flag must
+// still be inferred.
+func TestJournalDegradedKindAloneSuffices(t *testing.T) {
+	sc := &script{steps: []step{{status: 503,
+		body: `{"error":"journal degraded","kind":"journal_degraded","retry_after_ms":5,"elapsed_ms":0}`}}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := newClient(ts, nil)
+	c.MaxAttempts = 1
+
+	_, err := c.Optimize(context.Background(), Request{Program: "p"})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if !ex.JournalDegraded {
+		t.Error("kind journal_degraded alone did not set JournalDegraded")
+	}
+}
+
+// TestStreamBatchJournalDegraded: the streaming client hits the same
+// refusal on POST /optimize/stream?job=1 and must surface it the same
+// way once its retries exhaust.
+func TestStreamBatchJournalDegraded(t *testing.T) {
+	sc := &script{steps: []step{{status: 503, body: degradedBody, retryAfter: "1"}}}
+	ts := httptest.NewServer(sc.handler(t))
+	defer ts.Close()
+	c := newClient(ts, nil)
+	c.MaxAttempts = 2
+
+	_, err := c.StreamBatch(context.Background(), Request{Program: "p"}, StreamOptions{Resumable: true})
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("error %v is not ExhaustedError", err)
+	}
+	if !ex.JournalDegraded {
+		t.Error("StreamBatch ExhaustedError.JournalDegraded = false, want true")
+	}
+	if ex.RetryAfter != 9*time.Millisecond {
+		t.Errorf("StreamBatch ExhaustedError.RetryAfter = %v, want 9ms", ex.RetryAfter)
+	}
+}

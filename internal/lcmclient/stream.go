@@ -207,10 +207,11 @@ func (c *Client) streamOnce(ctx context.Context, req Request, opts StreamOptions
 		switch hresp.StatusCode {
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 			return false, false, &retryableError{
-				msg:          fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
-				status:       hresp.StatusCode,
-				retryAfter:   retryAfterOf(&out, hresp.Header, decodeErr == nil),
-				degradeLevel: out.DegradeLevel,
+				msg:             fmt.Sprintf("server %d (%s): %s", hresp.StatusCode, out.Kind, out.Error),
+				status:          hresp.StatusCode,
+				retryAfter:      retryAfterOf(&out, hresp.Header, decodeErr == nil),
+				degradeLevel:    out.DegradeLevel,
+				journalDegraded: out.JournalDegraded || out.Kind == "journal_degraded",
 			}
 		case http.StatusNotFound:
 			return false, false, &TerminalError{

@@ -236,6 +236,10 @@ func (s *Server) handleBatchJob(w http.ResponseWriter, r *http.Request, req opti
 	hdr.ID = deriveJobID(hdr)
 	js := s.jobStore.get(hdr.ID)
 	if js == nil {
+		if s.journalDegraded() {
+			s.rejectDegradedJournal(w, start, lvl, seed)
+			return
+		}
 		if !s.shedStream(w, n, lvl, start, seed) {
 			return
 		}

@@ -36,8 +36,13 @@ type resultCache struct {
 	byKey map[string]*list.Element
 
 	// disk, when non-nil, is the durable tier consulted on memory miss
-	// and written through on every put.
-	disk *cachestore.Store
+	// and written through on every put. diskGate, when non-nil, is
+	// consulted before every disk access: while the disk-health tracker
+	// has the tier quarantined it returns false and the cache behaves
+	// exactly as if the tier were not configured — memory and peer fill
+	// keep serving, misses recompute.
+	disk     *cachestore.Store
+	diskGate func() bool
 
 	diskHits atomic.Int64 // memory misses served by the durable tier
 
@@ -159,6 +164,9 @@ func (c *resultCache) get(key string) (out outcome, ok, corrupted bool) {
 	}
 	c.mu.Unlock()
 
+	if !c.diskEnabled() {
+		return outcome{}, false, false
+	}
 	payload, found, _ := c.disk.Get(key)
 	if !found {
 		return outcome{}, false, false
@@ -180,7 +188,7 @@ func (c *resultCache) put(key string, out outcome) {
 		return
 	}
 	c.putMem(key, out)
-	if c.disk != nil {
+	if c.diskEnabled() {
 		if payload, err := encodeOutcome(out); err == nil {
 			_ = c.disk.Put(key, payload) // best-effort: a failed durable write only costs warmth
 		}
@@ -194,7 +202,15 @@ func (c *resultCache) putPayload(key string, out outcome, payload []byte) {
 		return
 	}
 	c.putMem(key, out)
-	_ = c.disk.Put(key, payload)
+	if c.diskEnabled() {
+		_ = c.disk.Put(key, payload)
+	}
+}
+
+// diskEnabled reports whether the durable tier exists and is not
+// quarantined by the disk-health tracker.
+func (c *resultCache) diskEnabled() bool {
+	return c.disk != nil && (c.diskGate == nil || c.diskGate())
 }
 
 func (c *resultCache) putMem(key string, out outcome) {

@@ -18,6 +18,7 @@ import (
 	"lazycm/internal/atomicio"
 	"lazycm/internal/conc"
 	"lazycm/internal/textir"
+	"lazycm/internal/vfs"
 )
 
 // DefaultJobTTL is how long an unfinished (or finished-but-unclaimed)
@@ -80,7 +81,7 @@ type jobState struct {
 	path      string // journal path; "" when not journaled
 
 	mu      sync.Mutex
-	file    *os.File        // open journal append handle
+	file    vfs.File        // open journal append handle
 	results map[int]outcome // completed items
 	order   []int           // completion order, what stream followers replay
 	// recorded maps journaled-but-unresolved clean items (known only by
@@ -223,8 +224,11 @@ func isCleanOutcome(out outcome) bool {
 
 // appendJournalLine appends one JSON record and syncs it. A torn append
 // (crash mid-write) leaves a partial final line the journal reader
-// drops — the item just recomputes, it can never resurrect garbage.
-func appendJournalLine(f *os.File, v any) {
+// drops — the item just recomputes, it can never resurrect garbage. A
+// failed append (hostile disk) is likewise safe: the item's outcome
+// still lives in memory for this generation, and after a crash it
+// recomputes — journaling accelerates resume, it never gates results.
+func appendJournalLine(f vfs.File, v any) {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return
@@ -239,6 +243,7 @@ func appendJournalLine(f *os.File, v any) {
 type jobStore struct {
 	dir string
 	ttl time.Duration
+	fs  vfs.FS // the server's observed durable-path filesystem
 	mu  sync.Mutex
 	m   map[string]*jobState
 }
@@ -247,7 +252,7 @@ func newJobStore(dir string, ttl time.Duration) *jobStore {
 	if ttl <= 0 {
 		ttl = DefaultJobTTL
 	}
-	return &jobStore{dir: dir, ttl: ttl, m: make(map[string]*jobState)}
+	return &jobStore{dir: dir, ttl: ttl, fs: vfs.OS, m: make(map[string]*jobState)}
 }
 
 func (st *jobStore) get(id string) *jobState {
@@ -311,8 +316,8 @@ func (s *Server) createJob(hdr jobHeader) (*jobState, bool) {
 			// The header lands crash-atomically (tmp + fsync + rename): a
 			// journal either names every function of its job or does not
 			// exist. Item records are then plain syncs appended behind it.
-			if err := atomicio.WriteFile(js.path, append(b, '\n'), 0o644); err == nil {
-				if f, err := os.OpenFile(js.path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+			if err := atomicio.WriteFileFS(st.fs, js.path, append(b, '\n'), 0o644); err == nil {
+				if f, err := st.fs.OpenFile(js.path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
 					js.file = f
 				}
 			}
@@ -325,13 +330,12 @@ func (s *Server) createJob(hdr jobHeader) (*jobState, bool) {
 // readJournal replays one journal file. It tolerates exactly the damage
 // a crash can cause — a torn final line — by dropping undecodable
 // trailing data; the affected item simply recomputes.
-func readJournal(path string) (hdr jobHeader, items []jobRecord, finished bool, err error) {
-	f, err := os.Open(path)
+func readJournal(fsys vfs.FS, path string) (hdr jobHeader, items []jobRecord, finished bool, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return hdr, nil, false, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	r := bufio.NewReader(bytes.NewReader(data))
 	first := true
 	for {
 		line, rerr := r.ReadBytes('\n')
@@ -376,11 +380,11 @@ func (s *Server) bootJobs() []*jobState {
 	if st == nil || st.dir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+	if err := st.fs.MkdirAll(st.dir, 0o755); err != nil {
 		return nil
 	}
-	atomicio.SweepTmp(st.dir)
-	ents, err := os.ReadDir(st.dir)
+	atomicio.SweepTmpFS(st.fs, st.dir)
+	ents, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil
 	}
@@ -390,9 +394,9 @@ func (s *Server) bootJobs() []*jobState {
 			continue
 		}
 		path := filepath.Join(st.dir, ent.Name())
-		hdr, items, finished, err := readJournal(path)
+		hdr, items, finished, err := readJournal(st.fs, path)
 		if err != nil || time.Since(hdr.Created) > st.ttl {
-			os.Remove(path)
+			st.fs.Remove(path)
 			s.jobsExpired.Add(1)
 			continue
 		}
@@ -457,7 +461,7 @@ func (s *Server) ensureRunner(js *jobState) {
 		return
 	}
 	if js.path != "" && js.file == nil {
-		if f, err := os.OpenFile(js.path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		if f, err := s.jobStore.fs.OpenFile(js.path, os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
 			js.file = f
 		}
 	}
@@ -574,8 +578,9 @@ func (s *Server) runJob(ctx context.Context, js *jobState, budget *batchBudget, 
 }
 
 // inlineClean reports whether clean outcomes must be journaled with
-// their bodies inline: without a durable cache tier a key-only record
-// could not be resolved after a restart.
+// their bodies inline: without a durable cache tier — or while the
+// disk-health tracker has it quarantined, when write-through is off —
+// a key-only record could not be resolved after a restart.
 func (s *Server) inlineClean() bool {
-	return s.cache == nil || s.cache.disk == nil
+	return s.cache == nil || !s.cache.diskEnabled()
 }

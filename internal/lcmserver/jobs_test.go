@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+
+	"lazycm/internal/vfs"
 	"strings"
 	"testing"
 	"time"
@@ -185,7 +187,7 @@ func TestStreamJobIdempotent(t *testing.T) {
 	}
 	reqs, opt := s.requests.Load(), s.optimized.Load()
 
-	hdr, recs, finished, err := readJournal(filepath.Join(jdir, meta.ID+journalExt))
+	hdr, recs, finished, err := readJournal(vfs.OS, filepath.Join(jdir, meta.ID+journalExt))
 	if err != nil || !finished || len(recs) != 3 || hdr.ID != meta.ID {
 		t.Fatalf("journal: hdr.ID=%q records=%d finished=%v err=%v", hdr.ID, len(recs), finished, err)
 	}
@@ -403,7 +405,7 @@ func TestJobBootResumeNoRecompute(t *testing.T) {
 	if sum := ast.Optimized + ast.FellBack + ast.Canceled + ast.Invalid + ast.Panics; sum != ast.Requests {
 		t.Errorf("gen1 outcome sum %d != requests %d", sum, ast.Requests)
 	}
-	hdr, recs, finished, err := readJournal(filepath.Join(jdir, jobID+journalExt))
+	hdr, recs, finished, err := readJournal(vfs.OS, filepath.Join(jdir, jobID+journalExt))
 	if err != nil || finished {
 		t.Fatalf("gen1 journal: finished=%v err=%v", finished, err)
 	}
@@ -567,7 +569,7 @@ func TestStreamClientDisconnect(t *testing.T) {
 	if r, o := s.requests.Load(), s.optimized.Load(); r != 3 || o != 3 {
 		t.Errorf("requests/optimized = %d/%d, want 3/3", r, o)
 	}
-	_, recs, finished, err := readJournal(filepath.Join(jdir, jobID+journalExt))
+	_, recs, finished, err := readJournal(vfs.OS, filepath.Join(jdir, jobID+journalExt))
 	if err != nil || !finished || len(recs) != 3 {
 		t.Fatalf("journal after disconnect: records=%d finished=%v err=%v", len(recs), finished, err)
 	}

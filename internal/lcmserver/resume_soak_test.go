@@ -4,6 +4,8 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+
+	"lazycm/internal/vfs"
 	"runtime"
 	"strings"
 	"sync"
@@ -252,7 +254,7 @@ func TestResumeSoakKillMidBatch(t *testing.T) {
 	if res.JobID == "" {
 		t.Fatal("no job ID on a resumable stream")
 	}
-	if _, recs, finished, err := readJournal(filepath.Join(jdir, res.JobID+journalExt)); err != nil || !finished || len(recs) != n {
+	if _, recs, finished, err := readJournal(vfs.OS, filepath.Join(jdir, res.JobID+journalExt)); err != nil || !finished || len(recs) != n {
 		t.Errorf("final journal: records=%d finished=%v err=%v; want %d/true/nil", len(recs), finished, err, n)
 	}
 	// Everything drains: no follower, runner, or connection goroutines

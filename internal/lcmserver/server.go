@@ -35,6 +35,7 @@ import (
 	"lazycm/internal/pipeline"
 	"lazycm/internal/textir"
 	"lazycm/internal/triage"
+	"lazycm/internal/vfs"
 )
 
 // Config tunes the optimization service.
@@ -123,6 +124,22 @@ type Config struct {
 	// stalls, induced panics, buggy passes, cache corruption) into the
 	// request path. Test-only: never set it on a production server.
 	Chaos *chaos.Injector
+	// FS is the filesystem every durable path — disk cache tier, job
+	// journal, quarantine capture — goes through; nil means the real
+	// OS filesystem (vfs.OS). Tests inject a vfs.FaultFS here to make
+	// the storage lie underneath a live server.
+	FS vfs.FS
+	// IOTimeout bounds every single blocking filesystem operation on
+	// the durable paths (vfs.WithTimeout): a stalled fsync returns an
+	// error to its caller instead of wedging a request goroutine. 0
+	// disables the deadline (production filesystems are trusted not to
+	// stall forever; soaks always set it).
+	IOTimeout time.Duration
+	// DiskHealth tunes the self-quarantining disk tier: sustained
+	// filesystem faults disable the disk cache and mark the journal
+	// degraded until a background probe sees the disk healthy again.
+	// The zero value takes the documented defaults.
+	DiskHealth DiskHealthConfig
 
 	// hook, when non-nil, runs on the worker goroutine before each job,
 	// inside the per-request panic guard; tests use it to hold workers
@@ -199,6 +216,16 @@ type Server struct {
 	ladder *overload.Ladder
 	gauge  *overload.Gauge
 
+	// fs is the observed filesystem every durable path uses: the
+	// configured FS (or vfs.OS), deadline-bounded by IOTimeout, with
+	// every outcome reported to diskHealth. rawFS is the same stack
+	// minus the observer — the background probe uses it so probe
+	// traffic never pollutes the live fault window.
+	fs         vfs.FS
+	rawFS      vfs.FS
+	diskHealth *diskHealth
+	probeWG    sync.WaitGroup
+
 	// jobStore registers resumable batch/stream jobs; jobsCtx parents
 	// every persisted job runner and jobsWG tracks them, so Close can
 	// stop runners before the worker channel closes.
@@ -238,10 +265,21 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg: cfg, jobs: make(chan *job, cfg.Queue), start: time.Now(),
-		cache:  newResultCache(cfg.CacheSize),
-		ladder: overload.NewLadder(cfg.Degrade),
-		gauge:  overload.NewGauge(cfg.TargetLatency, 0),
+		cache:      newResultCache(cfg.CacheSize),
+		ladder:     overload.NewLadder(cfg.Degrade),
+		gauge:      overload.NewGauge(cfg.TargetLatency, 0),
+		diskHealth: newDiskHealth(cfg.DiskHealth),
 	}
+	// The durable-path filesystem stack, bottom to top: the configured
+	// FS (production: the real OS; soaks: a FaultFS), an IO deadline so
+	// no single stalled operation wedges a goroutine, and the health
+	// observer feeding the self-quarantining tracker.
+	base := cfg.FS
+	if base == nil {
+		base = vfs.OS
+	}
+	s.rawFS = vfs.WithTimeout(base, cfg.IOTimeout)
+	s.fs = vfs.Observe(s.rawFS, s.diskHealth.record)
 	if cfg.Chaos != nil && s.cache != nil {
 		// Chaos corrupts cached programs on their way out; the cache's
 		// integrity checksum is what must catch it.
@@ -251,18 +289,22 @@ func NewServer(cfg Config) *Server {
 		// The durable tier is an accelerator, never a dependency: if the
 		// directory cannot be opened the server runs memory-only rather
 		// than failing to start.
-		if store, err := cachestore.Open(cfg.CacheDir, cfg.CacheBytes); err == nil {
+		if store, err := cachestore.OpenFS(s.fs, cfg.CacheDir, cfg.CacheBytes); err == nil {
 			s.cache.disk = store
+			// While the health tracker has the tier quarantined, the
+			// cache skips straight past disk to peers/compute.
+			s.cache.diskGate = func() bool { return !s.diskHealth.Disabled() }
 		}
 	}
 	s.peers = newPeerGroup(cfg)
 	if cfg.Quarantine != "" {
 		// A process killed mid-capture leaves *.tmp partials, never a
 		// partial .ir; sweep them before the first new capture.
-		atomicio.SweepTmp(cfg.Quarantine)
+		atomicio.SweepTmpFS(s.fs, cfg.Quarantine)
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	s.jobStore = newJobStore(cfg.JournalDir, cfg.JobTTL)
+	s.jobStore.fs = s.fs
 	resumable := s.bootJobs()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -274,6 +316,11 @@ func NewServer(cfg Config) *Server {
 	for _, js := range resumable {
 		s.jobsResumed.Add(1)
 		s.ensureRunner(js)
+	}
+	if s.probeDir() != "" {
+		// Background recovery probe for the quarantined disk tier.
+		s.probeWG.Add(1)
+		go s.diskProbeLoop()
 	}
 	return s
 }
@@ -307,6 +354,7 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 func (s *Server) Close() {
 	s.jobsCancel()
 	s.jobsWG.Wait()
+	s.probeWG.Wait()
 	close(s.jobs)
 	s.wg.Wait()
 }
@@ -343,9 +391,15 @@ type optimizeResponse struct {
 	Diagnostics []string `json:"diagnostics,omitempty"`
 	Error       string   `json:"error,omitempty"`
 	// Kind classifies failures: "parse", "invalid", "mode", "deadline",
-	// "panic", "overload", "draining".
+	// "panic", "overload", "draining", "journal_degraded".
 	Kind        string `json:"kind,omitempty"`
 	Quarantined string `json:"quarantined,omitempty"`
+	// JournalDegraded marks a 503 caused by the disk tier being
+	// quarantined under storage faults: the request itself is fine and
+	// an identical non-persisted submission would be served, but a new
+	// ?job= cannot be made durable right now. Clients should resubmit
+	// (still with ?job=) after RetryAfterMS.
+	JournalDegraded bool `json:"journal_degraded,omitempty"`
 	// DegradeLevel is the ladder level the request was handled under
 	// (0 = full service, omitted).
 	DegradeLevel int `json:"degrade_level,omitempty"`
@@ -686,6 +740,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"retry_after_ms":      s.lastRetryMS.Load(),
 		"latency_ewma_ms":     s.gauge.EWMA().Milliseconds(),
 		"quarantine_writable": s.quarantineWritable(),
+		"disk_write_errors":   s.disk().WriteErrors(),
+		"disk_read_errors":    s.disk().ReadErrors(),
 		// Solver-core telemetry (process-wide): slices launched by the
 		// word-parallel strategy and words the sparse worklist skipped.
 		// A soak asserts these advance, proving the fast paths actually
@@ -693,6 +749,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"solver_parallel_slices": tele.ParallelSlices,
 		"solver_sparse_skips":    tele.SparseSkips,
 	}
+	// Hostile-storage telemetry: per-class fault totals from the vfs
+	// observer, plus the self-quarantining tier's state. disk_disabled
+	// true means the disk cache is bypassed (memory + peers + compute
+	// still serve) and journal_degraded means new ?job= submissions are
+	// refused with a structured 503 until the background probe
+	// re-enables the tier.
+	fw, fr, fsy, frn := s.diskHealth.Faults()
+	body["disk_faults_write"] = fw
+	body["disk_faults_read"] = fr
+	body["disk_faults_sync"] = fsy
+	body["disk_faults_rename"] = frn
+	body["disk_disabled"] = s.diskHealth.Disabled()
+	body["disk_disable_transitions"] = s.diskHealth.Transitions()
+	body["journal_degraded"] = s.journalDegraded()
 	if ps := s.peers.states(); ps != nil {
 		body["peers"] = ps
 	}
@@ -747,7 +817,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// Solver-core telemetry rides along for the gateway's fleet view.
 		"solver_parallel_slices": tele.ParallelSlices,
 		"solver_sparse_skips":    tele.SparseSkips,
+		// Disk-tier health rides along too, so the gateway folds the
+		// hostile-storage state per backend into its fleet summary.
+		"disk_disabled":            s.diskHealth.Disabled(),
+		"disk_disable_transitions": s.diskHealth.Transitions(),
+		"journal_degraded":         s.journalDegraded(),
+		"disk_faults_write":        diskFaultAt(s, vfs.ClassWrite),
+		"disk_faults_read":         diskFaultAt(s, vfs.ClassRead),
+		"disk_faults_sync":         diskFaultAt(s, vfs.ClassSync),
+		"disk_faults_rename":       diskFaultAt(s, vfs.ClassRename),
 	})
+}
+
+// diskFaultAt reads one per-class fault total for the probes.
+func diskFaultAt(s *Server, c vfs.Class) int64 {
+	return s.diskHealth.classFaults[c].Load()
 }
 
 // Stats is a point-in-time snapshot of the server's accounting
@@ -771,23 +855,48 @@ type Stats struct {
 	DiskBytes    int64
 	DiskHits     int64
 	// CorruptDropped counts durable-tier entries dropped by integrity
-	// verification — detected disk rot, never served.
-	CorruptDropped int64
-	PeerHits       int64
-	PeerMisses     int64
-	PeerServed     int64
-	JobsActive     int64
-	JobsResumed    int64
-	JobsExpired    int64
-	StreamClients  int64
-	Queued         int64
-	Inflight       int64
+	// verification — detected disk rot, never served. DiskWriteErrors
+	// and DiskReadErrors are the distinct IO-failure signals (the disk
+	// refusing bytes, not lying about them).
+	CorruptDropped  int64
+	DiskWriteErrors int64
+	DiskReadErrors  int64
+	PeerHits        int64
+	PeerMisses      int64
+	PeerServed      int64
+	JobsActive      int64
+	JobsResumed     int64
+	JobsExpired     int64
+	StreamClients   int64
+	Queued          int64
+	Inflight        int64
+
+	// Hostile-storage health: per-class fault totals seen by the vfs
+	// observer and the self-quarantining tier's state.
+	DiskFaultsWrite        int64
+	DiskFaultsRead         int64
+	DiskFaultsSync         int64
+	DiskFaultsRename       int64
+	DiskDisabled           bool
+	DiskDisableTransitions int64
+	JournalDegraded        bool
 }
 
 // Stats snapshots the accounting counters. The snapshot is not atomic
 // across counters; audit it only on a drained server.
 func (s *Server) Stats() Stats {
+	fw, fr, fsy, frn := s.diskHealth.Faults()
 	return Stats{
+		DiskWriteErrors:        s.disk().WriteErrors(),
+		DiskReadErrors:         s.disk().ReadErrors(),
+		DiskFaultsWrite:        fw,
+		DiskFaultsRead:         fr,
+		DiskFaultsSync:         fsy,
+		DiskFaultsRename:       frn,
+		DiskDisabled:           s.diskHealth.Disabled(),
+		DiskDisableTransitions: s.diskHealth.Transitions(),
+		JournalDegraded:        s.journalDegraded(),
+
 		Requests:       s.requests.Load(),
 		Optimized:      s.optimized.Load(),
 		FellBack:       s.fellBack.Load(),
@@ -823,16 +932,16 @@ func (s *Server) quarantineWritable() bool {
 	if s.cfg.Quarantine == "" {
 		return false
 	}
-	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
 		return false
 	}
-	f, err := os.CreateTemp(s.cfg.Quarantine, ".probe-*")
+	f, err := s.fs.CreateTemp(s.cfg.Quarantine, ".probe-*")
 	if err != nil {
 		return false
 	}
 	name := f.Name()
 	f.Close()
-	os.Remove(name)
+	s.fs.Remove(name)
 	return true
 }
 
@@ -1105,7 +1214,7 @@ func (s *Server) quarantine(req optimizeRequest, fuel int, verify bool) string {
 
 	sum := sha256.Sum256([]byte(content))
 	path := filepath.Join(s.cfg.Quarantine, "crash-"+hex.EncodeToString(sum[:8])+".ir")
-	if err := os.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.cfg.Quarantine, 0o755); err != nil {
 		return ""
 	}
 	// Crash-atomic capture: the .ir name appears only after its full
@@ -1114,7 +1223,7 @@ func (s *Server) quarantine(req optimizeRequest, fuel int, verify bool) string {
 	// ignores and the next boot sweeps — never a truncated crasher. The
 	// link doubles as the O_EXCL dedupe: concurrent captures of the same
 	// defect produce one file and one count.
-	switch err := atomicio.CreateExclusive(path, []byte(content), 0o644); {
+	switch err := atomicio.CreateExclusiveFS(s.fs, path, []byte(content), 0o644); {
 	case err == nil:
 		s.quarantined.Add(1)
 		return path

@@ -109,6 +109,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			s.follow(w, r, js, start)
 			return
 		}
+		if s.journalDegraded() {
+			s.rejectDegradedJournal(w, start, lvl, seed)
+			return
+		}
 		if !s.shedStream(w, n, lvl, start, seed) {
 			return
 		}

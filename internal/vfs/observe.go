@@ -1,0 +1,121 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// Observe wraps fsys so that every operation outcome — success or
+// failure — is reported to fn before the result is returned to the
+// caller. The server's disk-health tracker uses this to measure the
+// sliding-window fault rate without cachestore, atomicio, or the
+// journal knowing they are being watched.
+//
+// fn must be safe for concurrent use; it is called inline on the IO
+// path so it should be cheap (counter updates, not IO).
+func Observe(fsys FS, fn func(op Op, err error)) FS {
+	return &observedFS{inner: fsys, fn: fn}
+}
+
+type observedFS struct {
+	inner FS
+	fn    func(op Op, err error)
+}
+
+func (o *observedFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := o.inner.OpenFile(name, flag, perm)
+	o.fn(openOp(flag), err)
+	if err != nil {
+		return nil, err
+	}
+	return &observedFile{inner: f, fn: o.fn}, nil
+}
+
+func (o *observedFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := o.inner.CreateTemp(dir, pattern)
+	o.fn(OpTemp, err)
+	if err != nil {
+		return nil, err
+	}
+	return &observedFile{inner: f, fn: o.fn}, nil
+}
+
+func (o *observedFS) ReadFile(name string) ([]byte, error) {
+	b, err := o.inner.ReadFile(name)
+	o.fn(OpRead, err)
+	return b, err
+}
+
+func (o *observedFS) Rename(oldpath, newpath string) error {
+	err := o.inner.Rename(oldpath, newpath)
+	o.fn(OpRename, err)
+	return err
+}
+
+func (o *observedFS) Link(oldpath, newpath string) error {
+	err := o.inner.Link(oldpath, newpath)
+	o.fn(OpLink, err)
+	return err
+}
+
+func (o *observedFS) Remove(name string) error {
+	err := o.inner.Remove(name)
+	o.fn(OpRemove, err)
+	return err
+}
+
+func (o *observedFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	ents, err := o.inner.ReadDir(name)
+	o.fn(OpReadDir, err)
+	return ents, err
+}
+
+func (o *observedFS) Stat(name string) (fs.FileInfo, error) {
+	fi, err := o.inner.Stat(name)
+	o.fn(OpStat, err)
+	return fi, err
+}
+
+func (o *observedFS) MkdirAll(path string, perm os.FileMode) error {
+	err := o.inner.MkdirAll(path, perm)
+	o.fn(OpMkdir, err)
+	return err
+}
+
+func (o *observedFS) Chmod(name string, mode os.FileMode) error {
+	err := o.inner.Chmod(name, mode)
+	o.fn(OpChmod, err)
+	return err
+}
+
+type observedFile struct {
+	inner File
+	fn    func(op Op, err error)
+}
+
+func (f *observedFile) Read(p []byte) (int, error) {
+	n, err := f.inner.Read(p)
+	// EOF is how reads end, not a fault.
+	if errors.Is(err, io.EOF) {
+		return n, err
+	}
+	f.fn(OpRead, err)
+	return n, err
+}
+
+func (f *observedFile) Write(p []byte) (int, error) {
+	n, err := f.inner.Write(p)
+	f.fn(OpWrite, err)
+	return n, err
+}
+
+func (f *observedFile) Sync() error {
+	err := f.inner.Sync()
+	f.fn(OpSync, err)
+	return err
+}
+
+func (f *observedFile) Close() error { return f.inner.Close() }
+func (f *observedFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,151 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// ErrTimeout is returned (wrapped) by a WithTimeout filesystem when a
+// single operation exceeds the IO deadline. It satisfies
+// errors.Is(err, ErrTimeout).
+var ErrTimeout = errors.New("vfs: io deadline exceeded")
+
+// WithTimeout wraps fsys so every potentially blocking operation is
+// bounded by d: the operation runs in its own goroutine and if it has
+// not completed within d the caller gets ErrTimeout instead of
+// blocking. This is what keeps a stalled fsync from wedging a request
+// goroutine — the caller treats the timeout like any other IO error
+// (the write failed, recompute/skip the tier) while the abandoned
+// goroutine drains whenever the underlying operation finally returns.
+// Results cross a buffered channel, never shared locals, so an
+// abandoned operation completing late cannot race the caller.
+//
+// d <= 0 returns fsys unchanged.
+//
+// An abandoned operation may still complete later; the durable paths
+// tolerate that (crash-atomic writes publish via rename, so a late
+// write touches only a temp file, and every cache read re-verifies a
+// content hash). The one residual hazard is an abandoned File.Read or
+// File.Write touching a caller-owned buffer after timeout; the fault
+// injector therefore only ever stalls operations that own their
+// buffers (Sync, ReadFile, Rename, Remove).
+func WithTimeout(fsys FS, d time.Duration) FS {
+	if d <= 0 {
+		return fsys
+	}
+	return &timeoutFS{inner: fsys, d: d}
+}
+
+type timeoutFS struct {
+	inner FS
+	d     time.Duration
+}
+
+type ioResult[T any] struct {
+	v   T
+	err error
+}
+
+// deadline runs op in its own goroutine and returns its result, or
+// ErrTimeout if it does not complete within d. The channel is buffered
+// so the abandoned goroutine can always deliver and exit.
+func deadline[T any](d time.Duration, what string, op func() (T, error)) (T, error) {
+	ch := make(chan ioResult[T], 1)
+	go func() {
+		v, err := op()
+		ch <- ioResult[T]{v, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, fmt.Errorf("%s: %w", what, ErrTimeout)
+	}
+}
+
+// deadline0 is deadline for error-only operations.
+func deadline0(d time.Duration, what string, op func() error) error {
+	_, err := deadline(d, what, func() (struct{}, error) { return struct{}{}, op() })
+	return err
+}
+
+func (t *timeoutFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := deadline(t.d, "openfile", func() (File, error) {
+		return t.inner.OpenFile(name, flag, perm)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &timeoutFile{inner: f, d: t.d}, nil
+}
+
+func (t *timeoutFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := deadline(t.d, "createtemp", func() (File, error) {
+		return t.inner.CreateTemp(dir, pattern)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &timeoutFile{inner: f, d: t.d}, nil
+}
+
+func (t *timeoutFS) ReadFile(name string) ([]byte, error) {
+	return deadline(t.d, "readfile", func() ([]byte, error) { return t.inner.ReadFile(name) })
+}
+
+func (t *timeoutFS) Rename(oldpath, newpath string) error {
+	return deadline0(t.d, "rename", func() error { return t.inner.Rename(oldpath, newpath) })
+}
+
+func (t *timeoutFS) Link(oldpath, newpath string) error {
+	return deadline0(t.d, "link", func() error { return t.inner.Link(oldpath, newpath) })
+}
+
+func (t *timeoutFS) Remove(name string) error {
+	return deadline0(t.d, "remove", func() error { return t.inner.Remove(name) })
+}
+
+func (t *timeoutFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return deadline(t.d, "readdir", func() ([]fs.DirEntry, error) { return t.inner.ReadDir(name) })
+}
+
+func (t *timeoutFS) Stat(name string) (fs.FileInfo, error) {
+	return deadline(t.d, "stat", func() (fs.FileInfo, error) { return t.inner.Stat(name) })
+}
+
+func (t *timeoutFS) MkdirAll(path string, perm os.FileMode) error {
+	return deadline0(t.d, "mkdirall", func() error { return t.inner.MkdirAll(path, perm) })
+}
+
+func (t *timeoutFS) Chmod(name string, mode os.FileMode) error {
+	return deadline0(t.d, "chmod", func() error { return t.inner.Chmod(name, mode) })
+}
+
+// timeoutFile bounds the per-handle operations. Read and Write results
+// cross the channel like everything else; see the package note about
+// caller-owned buffers for why injected stalls never target them.
+type timeoutFile struct {
+	inner File
+	d     time.Duration
+}
+
+func (f *timeoutFile) Read(p []byte) (int, error) {
+	return deadline(f.d, "read", func() (int, error) { return f.inner.Read(p) })
+}
+
+func (f *timeoutFile) Write(p []byte) (int, error) {
+	return deadline(f.d, "write", func() (int, error) { return f.inner.Write(p) })
+}
+
+func (f *timeoutFile) Sync() error {
+	return deadline0(f.d, "sync", func() error { return f.inner.Sync() })
+}
+
+func (f *timeoutFile) Close() error { return f.inner.Close() }
+func (f *timeoutFile) Name() string { return f.inner.Name() }
